@@ -1,0 +1,56 @@
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/workload/npb.hpp"
+
+/// Shared scaffolding for the experiment harnesses. Each bench binary
+/// regenerates one table/figure of the paper: it builds the paper's testbed
+/// (8 compute nodes + spare, DDR IB, GigE, PVFS on 4 servers), runs the
+/// workload in virtual time, and prints the same rows/series the paper
+/// reports, alongside the paper's published values where applicable.
+namespace jobmig::bench {
+
+/// The paper's testbed: 8 compute nodes + 1 hot spare.
+inline cluster::ClusterConfig paper_testbed(int compute_nodes = 8, int spare_nodes = 1) {
+  cluster::ClusterConfig cfg;
+  cfg.compute_nodes = compute_nodes;
+  cfg.spare_nodes = spare_nodes;
+  return cfg;
+}
+
+struct WallClock {
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_footer(const WallClock& wall, double sim_seconds) {
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("(simulated %.1f s of cluster time in %.1f s of wall time)\n\n", sim_seconds,
+              wall.seconds());
+}
+
+/// One LU/BT/SP class-C 64-rank spec per paper workload.
+inline std::vector<workload::KernelSpec> paper_workloads(int nprocs = 64,
+                                                         double runtime_scale = 1.0) {
+  return {
+      workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kC, nprocs, runtime_scale),
+      workload::make_spec(workload::NpbApp::kBT, workload::NpbClass::kC, nprocs, runtime_scale),
+      workload::make_spec(workload::NpbApp::kSP, workload::NpbClass::kC, nprocs, runtime_scale),
+  };
+}
+
+}  // namespace jobmig::bench

@@ -1,0 +1,69 @@
+/// Experiment E1 — paper Fig. 4: "Process Migration Overhead".
+///
+/// LU/BT/SP class C, 64 processes on 8 compute nodes (8 per node) plus one
+/// spare; one migration is triggered mid-run and the complete cycle is
+/// decomposed into the paper's four phases.
+///
+/// Shape targets (paper, DDR IB testbed): Job Stall takes tens of
+/// milliseconds; Job Migration (RDMA transfer) finishes in 0.4-0.8 s;
+/// Restart dominates (file-based restart on the spare); Resume is roughly
+/// constant per task scale. Totals: LU ~6.3 s, BT/SP ~10-12 s.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace jobmig;
+using namespace jobmig::sim::literals;
+using jobmig::bench::WallClock;
+
+struct Row {
+  std::string app;
+  migration::MigrationReport report;
+};
+
+Row run_one(const workload::KernelSpec& spec) {
+  sim::Engine engine;
+  cluster::Cluster cl(engine, bench::paper_testbed());
+  cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
+
+  Row row;
+  row.app = spec.name();
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s, Row& out) -> sim::Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(20_s);  // trigger the migration mid-run
+    out.report = co_await c.migration_manager().migrate("node3");
+  }(cl, spec, row));
+  // Run long enough for the cycle to complete; no need to finish the app.
+  engine.run_until(sim::TimePoint::origin() + 120_s);
+  JOBMIG_ASSERT_MSG(cl.migration_manager().cycles_completed() == 1,
+                    "migration cycle did not complete");
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 4 — Process migration overhead, phase decomposition",
+                      "LU/BT/SP class C, 64 procs on 8 nodes, 1 migration (times in ms)");
+  WallClock wall;
+
+  std::printf("%-10s %10s %12s %10s %10s %10s   %s\n", "app", "job-stall", "migration",
+              "restart", "resume", "total", "(paper total)");
+  const char* paper_totals[] = {"~6300", "~11000", "~10500"};
+  int i = 0;
+  double sim_total = 0.0;
+  for (const auto& spec : jobmig::bench::paper_workloads()) {
+    // A short run is enough: only the migration cycle is measured.
+    auto scaled = spec;
+    scaled.iterations = std::max(50, spec.iterations / 4);
+    Row row = run_one(scaled);
+    const auto& r = row.report;
+    std::printf("%-10s %10.0f %12.0f %10.0f %10.0f %10.0f   %s\n", row.app.c_str(),
+                r.stall.to_ms(), r.migration.to_ms(), r.restart.to_ms(), r.resume.to_ms(),
+                r.total().to_ms(), paper_totals[i++]);
+    sim_total += 120.0;
+  }
+  bench::print_footer(wall, sim_total);
+  return 0;
+}

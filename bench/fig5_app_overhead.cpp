@@ -1,0 +1,60 @@
+/// Experiment E2 — paper Fig. 5: "Application Execution Time with/without
+/// Migration".
+///
+/// LU/BT/SP class C, 64 ranks on 8 nodes: total runtime of the full run
+/// without migration vs. with one migration triggered mid-run. The paper
+/// reports 3.9 % (LU), 6.7 % (BT) and 4.6 % (SP) overhead.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace jobmig;
+using namespace jobmig::sim::literals;
+
+double run_app(const workload::KernelSpec& spec, bool with_migration) {
+  sim::Engine engine;
+  cluster::Cluster cl(engine, bench::paper_testbed());
+  cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
+
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s, bool migrate) -> sim::Task {
+    co_await c.start(workload::make_app(s));
+    if (migrate) {
+      co_await sim::sleep_for(30_s);  // one migration mid-run
+      (void)co_await c.migration_manager().migrate("node3");
+    }
+  }(cl, spec, with_migration));
+
+  double done_at = -1.0;
+  engine.spawn([](cluster::Cluster& c, double& out) -> sim::Task {
+    co_await c.job().wait_app_done();
+    out = sim::Engine::current()->now().to_seconds();
+  }(cl, done_at));
+  engine.run_until(sim::TimePoint::origin() + sim::Duration::sec(1200));
+  JOBMIG_ASSERT_MSG(done_at > 0.0, "application did not finish");
+  return done_at;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5 — Application execution time, 0 vs 1 migration",
+                      "LU/BT/SP class C, 64 procs on 8 nodes (times in s)");
+  jobmig::bench::WallClock wall;
+
+  std::printf("%-10s %14s %14s %10s   %s\n", "app", "no-migration", "1-migration", "overhead",
+              "(paper overhead)");
+  const char* paper[] = {"3.9%", "6.7%", "4.6%"};
+  int i = 0;
+  double sim_total = 0.0;
+  for (const auto& spec : jobmig::bench::paper_workloads()) {
+    const double base = run_app(spec, false);
+    const double with_mig = run_app(spec, true);
+    const double overhead = (with_mig - base) / base * 100.0;
+    std::printf("%-10s %14.1f %14.1f %9.1f%%   %s\n", spec.name().c_str(), base, with_mig,
+                overhead, paper[i++]);
+    sim_total += base + with_mig;
+  }
+  jobmig::bench::print_footer(wall, sim_total);
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// Experiment E4 — paper Fig. 7 (a,b,c): "Comparing Job Migration with
+/// Checkpoint/Restart (CR)".
+///
+/// For LU/BT/SP class C at 64 ranks: one Job Migration cycle vs. a complete
+/// CR cycle to node-local ext3 and to PVFS, decomposed into the paper's
+/// stacks (Job Stall / Checkpoint(Migration) / Resume / Restart).
+///
+/// Headline shape: LU.C.64 migration completes in ~6.3 s; CR(ext3) full
+/// cycle ~12.9 s (2.03x); CR(PVFS) ~28.3 s (4.49x). Checkpoint-only
+/// comparisons: migration comparable to ext3 dumps, 2.6x faster than PVFS.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace jobmig;
+using namespace jobmig::sim::literals;
+
+struct Stacks {
+  migration::MigrationReport mig;
+  migration::CrReport cr_ext3;
+  migration::CrReport cr_pvfs;
+};
+
+migration::MigrationReport run_migration(const workload::KernelSpec& spec) {
+  sim::Engine engine;
+  cluster::Cluster cl(engine, bench::paper_testbed());
+  cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
+  migration::MigrationReport report;
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s,
+                  migration::MigrationReport& out) -> sim::Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(20_s);
+    out = co_await c.migration_manager().migrate("node3");
+  }(cl, spec, report));
+  engine.run_until(sim::TimePoint::origin() + 150_s);
+  JOBMIG_ASSERT(cl.migration_manager().cycles_completed() == 1);
+  return report;
+}
+
+migration::CrReport run_cr(const workload::KernelSpec& spec, bool pvfs) {
+  sim::Engine engine;
+  cluster::Cluster cl(engine, bench::paper_testbed());
+  cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
+  migration::CrReport report;
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s, bool use_pvfs,
+                  migration::CrReport& out) -> sim::Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(20_s);
+    auto cr = use_pvfs ? c.make_cr_pvfs() : c.make_cr_local();
+    out = co_await cr->full_cycle();
+  }(cl, spec, pvfs, report));
+  engine.run_until(sim::TimePoint::origin() + 300_s);
+  JOBMIG_ASSERT_MSG(report.checkpoint_files > 0, "CR cycle did not complete");
+  return report;
+}
+
+void print_stacks(const workload::KernelSpec& spec, const Stacks& s) {
+  std::printf("\n--- %s (times in ms) ---\n", spec.name().c_str());
+  std::printf("%-12s %10s %20s %10s %10s %12s\n", "strategy", "job-stall", "ckpt(migration)",
+              "resume", "restart", "cycle-total");
+  std::printf("%-12s %10.0f %20.0f %10.0f %10.0f %12.0f\n", "Migration",
+              s.mig.stall.to_ms(), s.mig.migration.to_ms(), s.mig.resume.to_ms(),
+              s.mig.restart.to_ms(), s.mig.total().to_ms());
+  std::printf("%-12s %10.0f %20.0f %10.0f %10.0f %12.0f\n", "CR(ext3)",
+              s.cr_ext3.stall.to_ms(), s.cr_ext3.checkpoint.to_ms(), s.cr_ext3.resume.to_ms(),
+              s.cr_ext3.restart.to_ms(), s.cr_ext3.cycle_total().to_ms());
+  std::printf("%-12s %10.0f %20.0f %10.0f %10.0f %12.0f\n", "CR(PVFS)",
+              s.cr_pvfs.stall.to_ms(), s.cr_pvfs.checkpoint.to_ms(), s.cr_pvfs.resume.to_ms(),
+              s.cr_pvfs.restart.to_ms(), s.cr_pvfs.cycle_total().to_ms());
+  std::printf("speedup vs CR(ext3): %.2fx   vs CR(PVFS): %.2fx\n",
+              s.cr_ext3.cycle_total().to_seconds() / s.mig.total().to_seconds(),
+              s.cr_pvfs.cycle_total().to_seconds() / s.mig.total().to_seconds());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 7 — Job Migration vs Checkpoint/Restart",
+                      "LU/BT/SP class C, 64 procs; CR to local ext3 and PVFS");
+  jobmig::bench::WallClock wall;
+  double sim_total = 0.0;
+  for (const auto& spec : jobmig::bench::paper_workloads()) {
+    Stacks s;
+    s.mig = run_migration(spec);
+    s.cr_ext3 = run_cr(spec, /*pvfs=*/false);
+    s.cr_pvfs = run_cr(spec, /*pvfs=*/true);
+    print_stacks(spec, s);
+    sim_total += 750.0;
+  }
+  std::printf("\npaper headline (LU.C.64): migration 6.3 s; CR(ext3) 12.9 s -> 2.03x;\n"
+              "CR(PVFS) 28.3 s -> 4.49x.\n");
+  jobmig::bench::print_footer(wall, sim_total);
+  return 0;
+}

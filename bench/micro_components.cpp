@@ -1,0 +1,116 @@
+/// Component microbenchmarks (google-benchmark): the hot paths everything
+/// above is built from. Useful when recalibrating or porting — the
+/// simulator's wall-clock cost is dominated by exactly these.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "jobmig/proc/memory_image.hpp"
+#include "jobmig/sim/bytes.hpp"
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/resource.hpp"
+#include "jobmig/sim/sync.hpp"
+#include "jobmig/sim/task.hpp"
+
+namespace {
+
+using namespace jobmig;
+using namespace jobmig::sim::literals;
+
+void BM_PatternFill(benchmark::State& state) {
+  sim::Bytes buf(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    sim::pattern_fill(buf, 42, offset);
+    offset += buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PatternFill)->Arg(4096)->Arg(1 << 20);
+
+void BM_Crc64(benchmark::State& state) {
+  sim::Bytes buf(static_cast<std::size_t>(state.range(0)));
+  sim::pattern_fill(buf, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Crc64::of(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc64)->Arg(4096)->Arg(1 << 20);
+
+void BM_MemoryImageRead(benchmark::State& state) {
+  proc::MemoryImage img(64ull << 20, 3);
+  sim::Bytes buf(1 << 20);
+  std::uint64_t pos = 0;
+  for (auto _ : state) {
+    img.read(pos % (63ull << 20), buf);
+    pos += buf.size();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_MemoryImageRead);
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    constexpr int kEvents = 10000;
+    int fired = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      engine.call_at(sim::TimePoint::origin() + sim::Duration::us(i), [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EngineEventDispatch);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    auto channel = std::make_unique<sim::Channel<int>>(16);
+    constexpr int kRounds = 5000;
+    state.ResumeTiming();
+    engine.spawn([](sim::Channel<int>& ch, int rounds) -> sim::Task {
+      for (int i = 0; i < rounds; ++i) (void)co_await ch.send(i);
+      ch.close();
+    }(*channel, kRounds));
+    engine.spawn([](sim::Channel<int>& ch) -> sim::Task {
+      while (co_await ch.recv()) {
+      }
+    }(*channel));
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 5000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_FairShareChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    auto server = std::make_unique<sim::FairShareServer>(engine, 1e9);
+    constexpr int kTransfers = 1000;
+    state.ResumeTiming();
+    for (int i = 0; i < kTransfers; ++i) {
+      engine.spawn([](sim::FairShareServer& s, int delay_us) -> sim::Task {
+        co_await sim::sleep_for(sim::Duration::us(delay_us));
+        co_await s.transfer(1'000'000);
+      }(*server, i % 100));
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_FairShareChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

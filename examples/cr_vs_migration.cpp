@@ -1,0 +1,88 @@
+/// Side-by-side strategy comparison on one workload — the paper's core
+/// argument as a runnable demo: handling a predicted node failure by
+/// proactive migration vs. the traditional full-job Checkpoint/Restart.
+
+#include <cstdio>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/workload/npb.hpp"
+
+using namespace jobmig;
+using namespace jobmig::sim::literals;
+
+namespace {
+
+workload::KernelSpec demo_spec() {
+  return workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kA, 16);
+}
+
+/// Proactive migration of the failing node's ranks.
+migration::MigrationReport run_migration_strategy() {
+  sim::Engine engine;
+  cluster::ClusterConfig cfg;
+  cfg.compute_nodes = 4;
+  cfg.spare_nodes = 1;
+  cluster::Cluster cl(engine, cfg);
+  auto spec = demo_spec();
+  cl.create_job(4, spec.image_bytes_per_rank);
+  migration::MigrationReport report;
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s,
+                  migration::MigrationReport& out) -> sim::Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(15_s);
+    out = co_await c.migration_manager().migrate("node3");
+  }(cl, spec, report));
+  engine.run_until(sim::TimePoint::origin() + 2400_s);
+  JOBMIG_ASSERT(cl.job().app_done());
+  return report;
+}
+
+/// Reactive CR: checkpoint everything, node dies, restart everything.
+migration::CrReport run_cr_strategy(bool pvfs) {
+  sim::Engine engine;
+  cluster::ClusterConfig cfg;
+  cfg.compute_nodes = 4;
+  cfg.spare_nodes = 1;
+  cluster::Cluster cl(engine, cfg);
+  auto spec = demo_spec();
+  cl.create_job(4, spec.image_bytes_per_rank);
+  migration::CrReport report;
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s, bool use_pvfs,
+                  migration::CrReport& out) -> sim::Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(15_s);
+    auto cr = use_pvfs ? c.make_cr_pvfs() : c.make_cr_local();
+    out = co_await cr->full_cycle();  // checkpoint + (failure) + restart
+  }(cl, spec, pvfs, report));
+  engine.run_until(sim::TimePoint::origin() + 2400_s);
+  JOBMIG_ASSERT(report.checkpoint_files > 0);
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  auto spec = demo_spec();
+  std::printf("cr_vs_migration: one predicted node failure under %s (16 ranks, 4 nodes)\n\n",
+              spec.name().c_str());
+
+  const auto mig = run_migration_strategy();
+  const auto ext3 = run_cr_strategy(false);
+  const auto pvfs = run_cr_strategy(true);
+
+  std::printf("%-24s %14s %14s\n", "strategy", "time to handle", "data written");
+  std::printf("%-24s %12.1f s %11.1f MB  (only the failing node's ranks move)\n",
+              "proactive migration", mig.total().to_seconds(),
+              static_cast<double>(mig.bytes_moved) / 1e6);
+  std::printf("%-24s %12.1f s %11.1f MB  (full job dumped + restarted)\n",
+              "CR to local ext3", ext3.cycle_total().to_seconds(),
+              static_cast<double>(ext3.bytes_written) / 1e6);
+  std::printf("%-24s %12.1f s %11.1f MB  (full job through shared storage)\n",
+              "CR to PVFS", pvfs.cycle_total().to_seconds(),
+              static_cast<double>(pvfs.bytes_written) / 1e6);
+  std::printf("\nspeedup of migration: %.2fx vs CR(ext3), %.2fx vs CR(PVFS)\n",
+              ext3.cycle_total().to_seconds() / mig.total().to_seconds(),
+              pvfs.cycle_total().to_seconds() / mig.total().to_seconds());
+  std::printf("(the paper reports 2.03x and 4.49x for LU class C at 64 ranks)\n");
+  return 0;
+}

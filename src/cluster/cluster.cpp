@@ -1,0 +1,167 @@
+#include "jobmig/cluster/cluster.hpp"
+
+namespace jobmig::cluster {
+
+Cluster::Cluster(sim::Engine& engine, ClusterConfig cfg) : engine_(engine), cfg_(cfg) {
+  JOBMIG_EXPECTS(cfg_.compute_nodes >= 1);
+  JOBMIG_EXPECTS(cfg_.spare_nodes >= 0);
+
+  fabric_ = std::make_unique<ib::Fabric>(engine_, cfg_.cal.ib);
+  net_ = std::make_unique<net::Network>(engine_, cfg_.cal.eth);
+
+  // Login node: GigE only (it fronts the FTB tree and hosts the launcher).
+  login_host_ = &net_->add_host("login");
+  login_agent_ = std::make_unique<ftb::FtbAgent>(*login_host_);
+  login_agent_->start();
+
+  const int total = node_count();
+  for (int n = 0; n < total; ++n) {
+    const std::string name = node_name(n);
+    ib::Hca& hca = fabric_->add_node(name);
+    net::Host& host = net_->add_host(name);
+    disks_.push_back(std::make_unique<storage::LocalFs>(engine_, cfg_.cal.disk, name + ":ext3"));
+    blcrs_.push_back(std::make_unique<proc::Blcr>(engine_, cfg_.cal.blcr));
+    auto agent = std::make_unique<ftb::FtbAgent>(host);
+    // Ancestors: either the login agent directly (star) or the full chain
+    // up a k-ary tree rooted at it — nearest first, so an agent whose
+    // parent dies re-parents to its grandparent (FTB self-healing).
+    std::vector<std::pair<net::HostId, net::Port>> ancestors;
+    if (cfg_.ftb_fanout == 0) {
+      ancestors.push_back({login_host_->id(), ftb::FtbAgent::kDefaultPort});
+    } else {
+      // Tree slots: 0 = login, 1..N = nodes in creation order (this node is
+      // slot n+1). Walk parent links up to the root.
+      std::size_t slot = static_cast<std::size_t>(n) + 1;
+      while (slot != 0) {
+        const std::size_t parent = (slot - 1) / cfg_.ftb_fanout;
+        if (parent == 0) {
+          ancestors.push_back({login_host_->id(), ftb::FtbAgent::kDefaultPort});
+        } else {
+          // Parent node's eth host: nodes were added in order after login.
+          ancestors.push_back({envs_[parent - 1].eth_host, ftb::FtbAgent::kDefaultPort});
+        }
+        slot = parent;
+      }
+    }
+    agent->set_ancestors(std::move(ancestors));
+    agent->start();
+    agents_.push_back(std::move(agent));
+
+    mpr::NodeEnv env;
+    env.engine = &engine_;
+    env.hca = &hca;
+    env.eth_host = host.id();
+    env.scratch = disks_.back().get();
+    env.blcr = blcrs_.back().get();
+    env.cal = &cfg_.cal;
+    env.hostname = name;
+    envs_.push_back(env);
+
+    sensors_.push_back(
+        std::make_unique<health::SensorModel>(name, 0xC0FFEE00u + static_cast<std::uint64_t>(n)));
+  }
+  // NLAs after envs_ is stable (they keep pointers into it).
+  for (int n = 0; n < total; ++n) {
+    nlas_.push_back(std::make_unique<launch::NodeLaunchAgent>(
+        envs_[static_cast<std::size_t>(n)], *agents_[static_cast<std::size_t>(n)],
+        n < cfg_.compute_nodes ? launch::NlaState::kReady : launch::NlaState::kSpare));
+  }
+
+  if (cfg_.build_pvfs) {
+    pvfs_ = std::make_unique<storage::ParallelFs>(engine_, cfg_.cal.pvfs);
+  }
+
+  jm_ = std::make_unique<launch::JobManager>(engine_, *login_agent_, cfg_.launch_fanout);
+  for (auto& nla : nlas_) jm_->register_nla(*nla);
+
+  user_trigger_ = std::make_unique<migration::UserTrigger>(*login_agent_);
+}
+
+Cluster::~Cluster() {
+  for (auto& d : daemons_) d->shutdown();
+  if (mm_) mm_->shutdown();
+  if (health_trigger_) health_trigger_->stop();
+  for (auto& p : pollers_) p->stop();
+}
+
+std::string Cluster::node_name(int idx) const {
+  JOBMIG_EXPECTS(idx >= 0 && idx < node_count());
+  return idx < cfg_.compute_nodes ? "node" + std::to_string(idx)
+                                  : "spare" + std::to_string(idx - cfg_.compute_nodes);
+}
+
+mpr::NodeEnv& Cluster::node_env(int idx) {
+  JOBMIG_EXPECTS(idx >= 0 && idx < node_count());
+  return envs_[static_cast<std::size_t>(idx)];
+}
+
+storage::ParallelFs& Cluster::pvfs() {
+  JOBMIG_EXPECTS_MSG(pvfs_ != nullptr, "cluster built without PVFS");
+  return *pvfs_;
+}
+
+mpr::Job& Cluster::create_job(int ranks_per_node, std::uint64_t image_bytes_per_rank) {
+  JOBMIG_EXPECTS_MSG(job_ == nullptr, "one job per cluster");
+  JOBMIG_EXPECTS(ranks_per_node >= 1);
+  job_ = std::make_unique<mpr::Job>(engine_, cfg_.cal);
+  const int ranks = cfg_.compute_nodes * ranks_per_node;
+  for (int r = 0; r < ranks; ++r) {
+    job_->add_proc(r, envs_[static_cast<std::size_t>(r / ranks_per_node)], image_bytes_per_rank,
+                   0xA11CE000u + static_cast<std::uint64_t>(r));
+  }
+  // Job-scoped migration machinery.
+  migration::MigrationOptions opts = cfg_.mig;
+  for (auto& nla : nlas_) {
+    daemons_.push_back(std::make_unique<migration::NodeCrDaemon>(
+        *nla, *job_, *agents_[static_cast<std::size_t>(daemons_.size())], opts));
+  }
+  mm_ = std::make_unique<migration::MigrationManager>(*jm_, *job_, *login_agent_, opts);
+  return *job_;
+}
+
+sim::Task Cluster::start(mpr::Job::AppMain main) {
+  JOBMIG_EXPECTS_MSG(job_ != nullptr, "create_job() first");
+  co_await jm_->launch(*job_);
+  for (auto& d : daemons_) d->start();
+  mm_->start_request_listener();
+  job_->launch_app(std::move(main));
+}
+
+migration::MigrationManager& Cluster::migration_manager() {
+  JOBMIG_EXPECTS_MSG(mm_ != nullptr, "create_job() first");
+  return *mm_;
+}
+
+migration::UserTrigger& Cluster::user_trigger() { return *user_trigger_; }
+
+void Cluster::enable_health_monitoring(sim::Duration poll_interval) {
+  JOBMIG_EXPECTS_MSG(pollers_.empty(), "health monitoring already enabled");
+  for (int n = 0; n < cfg_.compute_nodes; ++n) {
+    pollers_.push_back(std::make_unique<health::IpmiPoller>(
+        engine_, *sensors_[static_cast<std::size_t>(n)], *agents_[static_cast<std::size_t>(n)],
+        poll_interval));
+    pollers_.back()->start();
+  }
+  health_trigger_ = std::make_unique<migration::HealthTrigger>(engine_, *login_agent_);
+  health_trigger_->start();
+}
+
+void Cluster::stop_health_monitoring() {
+  for (auto& p : pollers_) p->stop();
+  if (health_trigger_) health_trigger_->stop();
+}
+
+std::unique_ptr<migration::CheckpointRestart> Cluster::make_cr_local() {
+  JOBMIG_EXPECTS(job_ != nullptr);
+  return std::make_unique<migration::CheckpointRestart>(
+      *job_, [this](int rank) -> storage::FileSystem& { return *job_->node_of(rank).scratch; });
+}
+
+std::unique_ptr<migration::CheckpointRestart> Cluster::make_cr_pvfs() {
+  JOBMIG_EXPECTS(job_ != nullptr);
+  JOBMIG_EXPECTS_MSG(pvfs_ != nullptr, "cluster built without PVFS");
+  return std::make_unique<migration::CheckpointRestart>(
+      *job_, [this](int) -> storage::FileSystem& { return *pvfs_; });
+}
+
+}  // namespace jobmig::cluster

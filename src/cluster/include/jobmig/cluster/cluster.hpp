@@ -1,0 +1,106 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jobmig/ftb/ftb.hpp"
+#include "jobmig/health/health.hpp"
+#include "jobmig/launch/launch.hpp"
+#include "jobmig/migration/controller.hpp"
+#include "jobmig/migration/cr_baseline.hpp"
+#include "jobmig/migration/triggers.hpp"
+#include "jobmig/mpr/job.hpp"
+#include "jobmig/storage/filesystem.hpp"
+
+/// Top-level facade: assembles the simulated testbed the paper evaluates on
+/// — login node, compute nodes and hot spares on one DDR InfiniBand switch
+/// plus a GigE maintenance network, FTB agent tree, per-node local disks,
+/// a shared PVFS instance, the ScELA launcher, per-node health sensors and
+/// the migration framework. This is the entry point examples and benches
+/// build on.
+namespace jobmig::cluster {
+
+struct ClusterConfig {
+  int compute_nodes = 8;
+  int spare_nodes = 1;
+  std::size_t launch_fanout = 4;
+  /// FTB agent topology: 0 = every node's agent attaches straight to the
+  /// login agent (a star); k > 0 = k-ary tree rooted at the login agent,
+  /// each agent carrying its full ancestor chain as self-healing fallbacks.
+  std::size_t ftb_fanout = 0;
+  bool build_pvfs = true;
+  sim::Calibration cal{};
+  migration::MigrationOptions mig{};
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, ClusterConfig cfg = {});
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  // ---- Infrastructure access -------------------------------------------
+  int node_count() const { return cfg_.compute_nodes + cfg_.spare_nodes; }
+  /// Node environments: compute nodes first, then spares.
+  mpr::NodeEnv& node_env(int idx);
+  std::string node_name(int idx) const;
+  ib::Fabric& fabric() { return *fabric_; }
+  net::Network& ethernet() { return *net_; }
+  storage::ParallelFs& pvfs();
+  ftb::FtbAgent& login_agent() { return *login_agent_; }
+  ftb::FtbAgent& node_agent(int idx) { return *agents_.at(static_cast<std::size_t>(idx)); }
+  launch::JobManager& job_manager() { return *jm_; }
+  health::SensorModel& sensor(int idx) { return *sensors_.at(static_cast<std::size_t>(idx)); }
+
+  // ---- Job lifecycle -----------------------------------------------------
+  /// Create the (single) job: `ranks_per_node` ranks on every compute node,
+  /// each with an image of `image_bytes_per_rank`.
+  mpr::Job& create_job(int ranks_per_node, std::uint64_t image_bytes_per_rank);
+  mpr::Job& job() { return *job_; }
+  bool has_job() const { return job_ != nullptr; }
+
+  /// Launch the job through the spawn tree, start the per-node migration
+  /// daemons and the migration manager, and run `main` on every rank.
+  [[nodiscard]] sim::Task start(mpr::Job::AppMain main);
+
+  // ---- Fault-tolerance machinery ----------------------------------------
+  migration::MigrationManager& migration_manager();
+  migration::UserTrigger& user_trigger();
+  /// Start IPMI pollers on every compute node plus the health trigger.
+  void enable_health_monitoring(sim::Duration poll_interval = sim::Duration::sec(5));
+  /// Stop the pollers and the health trigger (e.g. at job end).
+  void stop_health_monitoring();
+  /// CR baseline writing to each rank's node-local disk.
+  std::unique_ptr<migration::CheckpointRestart> make_cr_local();
+  /// CR baseline writing to the shared PVFS.
+  std::unique_ptr<migration::CheckpointRestart> make_cr_pvfs();
+
+ private:
+  sim::Engine& engine_;
+  ClusterConfig cfg_;
+  std::unique_ptr<ib::Fabric> fabric_;
+  std::unique_ptr<net::Network> net_;
+  net::Host* login_host_ = nullptr;
+  std::unique_ptr<ftb::FtbAgent> login_agent_;
+  std::vector<std::unique_ptr<storage::LocalFs>> disks_;
+  std::vector<std::unique_ptr<proc::Blcr>> blcrs_;
+  std::vector<std::unique_ptr<ftb::FtbAgent>> agents_;
+  std::vector<mpr::NodeEnv> envs_;
+  std::vector<std::unique_ptr<launch::NodeLaunchAgent>> nlas_;
+  std::unique_ptr<storage::ParallelFs> pvfs_;
+  std::unique_ptr<launch::JobManager> jm_;
+  std::vector<std::unique_ptr<health::SensorModel>> sensors_;
+  std::vector<std::unique_ptr<health::IpmiPoller>> pollers_;
+  std::unique_ptr<migration::HealthTrigger> health_trigger_;
+  std::unique_ptr<migration::UserTrigger> user_trigger_;
+  std::unique_ptr<mpr::Job> job_;
+  std::vector<std::unique_ptr<migration::NodeCrDaemon>> daemons_;
+  std::unique_ptr<migration::MigrationManager> mm_;
+};
+
+}  // namespace jobmig::cluster

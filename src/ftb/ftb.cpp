@@ -1,0 +1,260 @@
+#include "jobmig/ftb/ftb.hpp"
+
+#include <algorithm>
+
+#include "jobmig/sim/log.hpp"
+
+namespace jobmig::ftb {
+
+using namespace sim::literals;
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+    case Severity::kFatal: return "fatal";
+  }
+  return "?";
+}
+
+namespace {
+
+void put_str(sim::Bytes& out, const std::string& s) {
+  sim::put_u32(out, static_cast<std::uint32_t>(s.size()));
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+}
+
+bool get_str(sim::ByteSpan in, std::size_t& pos, std::string& out) {
+  if (pos + 4 > in.size()) return false;
+  const std::uint32_t len = sim::get_u32(in, pos);
+  pos += 4;
+  if (pos + len > in.size()) return false;
+  out.clear();
+  out.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) out.push_back(static_cast<char>(in[pos + i]));
+  pos += len;
+  return true;
+}
+
+}  // namespace
+
+sim::Bytes FtbEvent::encode() const {
+  sim::Bytes out;
+  out.push_back(static_cast<std::byte>(severity));
+  sim::put_u32(out, origin);
+  sim::put_u64(out, seq);
+  put_str(out, space);
+  put_str(out, name);
+  put_str(out, payload);
+  put_str(out, publisher);
+  return out;
+}
+
+std::optional<FtbEvent> FtbEvent::decode(sim::ByteSpan data) {
+  if (data.size() < 13) return std::nullopt;
+  FtbEvent ev;
+  const auto sev = static_cast<std::uint8_t>(data[0]);
+  if (sev > static_cast<std::uint8_t>(Severity::kFatal)) return std::nullopt;
+  ev.severity = static_cast<Severity>(sev);
+  ev.origin = sim::get_u32(data, 1);
+  ev.seq = sim::get_u64(data, 5);
+  std::size_t pos = 13;
+  if (!get_str(data, pos, ev.space)) return std::nullopt;
+  if (!get_str(data, pos, ev.name)) return std::nullopt;
+  if (!get_str(data, pos, ev.payload)) return std::nullopt;
+  if (!get_str(data, pos, ev.publisher)) return std::nullopt;
+  if (pos != data.size()) return std::nullopt;
+  return ev;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative matcher with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool Subscription::matches(const FtbEvent& ev) const {
+  return static_cast<int>(ev.severity) >= static_cast<int>(min_severity) &&
+         glob_match(space_glob, ev.space) && glob_match(name_glob, ev.name);
+}
+
+FtbClient::FtbClient(FtbAgent& agent, std::string name) : agent_(agent), name_(std::move(name)) {
+  agent_.register_client(this);
+}
+
+FtbClient::~FtbClient() { agent_.unregister_client(this); }
+
+void FtbClient::subscribe(Subscription sub) { subs_.push_back(std::move(sub)); }
+
+sim::Task FtbClient::publish(FtbEvent ev) {
+  ev.publisher = name_;
+  co_await agent_.accept_local(std::move(ev));
+}
+
+sim::ValueTask<FtbEvent> FtbClient::next_event() {
+  auto ev = co_await inbox_.recv();
+  JOBMIG_ASSERT_MSG(ev.has_value(), "FTB client inbox closed");
+  co_return std::move(*ev);
+}
+
+std::optional<FtbEvent> FtbClient::poll_event() { return inbox_.try_recv(); }
+
+void FtbClient::deliver(const FtbEvent& ev) {
+  for (const Subscription& s : subs_) {
+    if (s.matches(ev)) {
+      if (!inbox_.try_send(ev)) ++dropped_;
+      return;  // at most one copy per client
+    }
+  }
+}
+
+FtbAgent::FtbAgent(net::Host& host, net::Port port) : host_(host), port_(port) {}
+
+FtbAgent::~FtbAgent() { shutdown(); }
+
+void FtbAgent::start() {
+  JOBMIG_EXPECTS_MSG(!running_, "agent already started");
+  running_ = true;
+  listener_ = host_.listen(port_);
+  host_.network().engine().spawn(accept_loop());
+  if (!ancestors_.empty()) {
+    host_.network().engine().spawn(maintain_parent());
+  }
+}
+
+void FtbAgent::set_ancestors(std::vector<std::pair<net::HostId, net::Port>> ancestors) {
+  JOBMIG_EXPECTS_MSG(!running_, "set_ancestors() before start()");
+  ancestors_ = std::move(ancestors);
+}
+
+void FtbAgent::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  if (listener_) listener_->close();
+  for (auto& link : links_) {
+    link->dead = true;
+    if (link->stream) link->stream->close();
+  }
+  links_.clear();
+  parent_link_ = nullptr;
+}
+
+std::size_t FtbAgent::child_count() const {
+  std::size_t n = 0;
+  for (const auto& link : links_) {
+    if (!link->is_parent && !link->dead) ++n;
+  }
+  return n;
+}
+
+void FtbAgent::register_client(FtbClient* c) { clients_.push_back(c); }
+
+void FtbAgent::unregister_client(FtbClient* c) {
+  clients_.erase(std::remove(clients_.begin(), clients_.end(), c), clients_.end());
+}
+
+sim::Task FtbAgent::accept_local(FtbEvent ev) {
+  ev.origin = host_.id();
+  ev.seq = next_seq_++;
+  route(ev, nullptr);
+  co_return;
+}
+
+sim::Task FtbAgent::accept_loop() {
+  while (running_) {
+    net::StreamPtr stream = co_await listener_->accept();
+    if (!stream) break;  // listener closed
+    auto link = std::make_shared<Link>();
+    link->stream = std::move(stream);
+    links_.push_back(link);
+    host_.network().engine().spawn(reader_loop(link));
+  }
+}
+
+sim::Task FtbAgent::reader_loop(LinkPtr link) {
+  while (running_ && !link->dead) {
+    auto frame = co_await link->stream->recv_frame();
+    if (!frame) break;
+    auto ev = FtbEvent::decode(*frame);
+    if (!ev) {
+      sim::log_warn("ftb", "agent on host {} dropped undecodable frame", host_.id());
+      continue;
+    }
+    route(*ev, link.get());
+  }
+  link->dead = true;
+  links_.erase(std::remove(links_.begin(), links_.end(), link), links_.end());
+  if (parent_link_ == link) {
+    parent_link_ = nullptr;
+    parent_lost_.set();  // maintain_parent() re-parents (self-healing)
+  }
+}
+
+sim::Task FtbAgent::maintain_parent() {
+  constexpr int kMaxRounds = 5;
+  int failed_rounds = 0;
+  bool first_attach = true;
+  while (running_ && failed_rounds < kMaxRounds) {
+    bool attached = false;
+    for (const auto& [ancestor_host, ancestor_port] : ancestors_) {
+      if (!running_) co_return;
+      net::StreamPtr stream = co_await host_.connect(ancestor_host, ancestor_port);
+      if (!stream) continue;
+      auto link = std::make_shared<Link>();
+      link->stream = std::move(stream);
+      link->is_parent = true;
+      links_.push_back(link);
+      parent_link_ = link;
+      if (!first_attach) ++reconnects_;
+      first_attach = false;
+      attached = true;
+      failed_rounds = 0;
+      // Run the reader inline so we notice the parent dying.
+      co_await reader_loop(link);
+      break;
+    }
+    if (!running_) co_return;
+    if (!attached) {
+      ++failed_rounds;
+      co_await sim::sleep_for(200_ms);
+    } else {
+      co_await sim::sleep_for(50_ms);  // brief backoff before re-parenting
+    }
+  }
+  if (running_ && failed_rounds >= kMaxRounds) {
+    sim::log_warn("ftb", "agent on host {} gave up re-parenting", host_.id());
+  }
+}
+
+void FtbAgent::route(const FtbEvent& ev, const Link* from) {
+  ++events_routed_;
+  for (FtbClient* c : clients_) c->deliver(ev);
+  sim::Bytes wire = ev.encode();
+  for (auto& link : links_) {
+    if (link.get() == from || link->dead) continue;
+    host_.network().engine().spawn(
+        [](LinkPtr l, sim::Bytes bytes) -> sim::Task {
+          if (l->dead) co_return;
+          co_await l->stream->send_frame(bytes);
+        }(link, wire));
+  }
+}
+
+}  // namespace jobmig::ftb

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jobmig/net/network.hpp"
+#include "jobmig/sim/sync.hpp"
+#include "jobmig/sim/task.hpp"
+
+/// Fault Tolerance Backplane (CIFTS FTB) — the publish/subscribe messaging
+/// substrate the paper's migration framework uses for all fault-related
+/// coordination (FTB_MIGRATE / FTB_MIGRATE_PIIC / FTB_RESTART in Fig. 2).
+///
+/// Faithful to the paper's description of the FTB software stack:
+///  - Client layer: FtbClient — connect/subscribe/publish/poll.
+///  - Manager layer: subscription matching and event routing inside each
+///    FtbAgent.
+///  - Network layer: length-framed messages over the cluster's GigE
+///    (jobmig::net streams), transparent to the upper layers.
+/// Agents form a tree; if an agent loses its parent it re-parents to the
+/// next ancestor on its fallback list (the self-healing behaviour §II-B).
+namespace jobmig::ftb {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+std::string_view to_string(Severity s);
+
+struct FtbEvent {
+  std::string space;    // event namespace, e.g. "FTB.MPI.MVAPICH2"
+  std::string name;     // e.g. "FTB_MIGRATE"
+  Severity severity = Severity::kInfo;
+  std::string payload;  // free-form: hostnames, rank lists, ...
+  std::string publisher;  // client name
+  net::HostId origin = 0;
+  std::uint64_t seq = 0;  // unique per origin agent
+
+  // User-declared special members: FtbEvent crosses coroutine boundaries by
+  // value, and GCC 12 miscompiles non-trivial aggregates there (see
+  // sim::Channel's static_assert).
+  FtbEvent() = default;
+  FtbEvent(std::string space_, std::string name_, Severity severity_, std::string payload_,
+           std::string publisher_ = {}, net::HostId origin_ = 0, std::uint64_t seq_ = 0)
+      : space(std::move(space_)),
+        name(std::move(name_)),
+        severity(severity_),
+        payload(std::move(payload_)),
+        publisher(std::move(publisher_)),
+        origin(origin_),
+        seq(seq_) {}
+  FtbEvent(const FtbEvent&) = default;
+  FtbEvent(FtbEvent&&) = default;
+  FtbEvent& operator=(const FtbEvent&) = default;
+  FtbEvent& operator=(FtbEvent&&) = default;
+
+  sim::Bytes encode() const;
+  static std::optional<FtbEvent> decode(sim::ByteSpan data);
+  friend bool operator==(const FtbEvent&, const FtbEvent&) = default;
+};
+
+/// Subscription: glob on "space.name" ('*' matches any run) plus a severity
+/// floor.
+struct Subscription {
+  std::string space_glob = "*";
+  std::string name_glob = "*";
+  Severity min_severity = Severity::kInfo;
+
+  Subscription() = default;
+  Subscription(std::string space, std::string name, Severity min_sev = Severity::kInfo)
+      : space_glob(std::move(space)), name_glob(std::move(name)), min_severity(min_sev) {}
+  Subscription(const Subscription&) = default;
+  Subscription(Subscription&&) = default;
+  Subscription& operator=(const Subscription&) = default;
+  Subscription& operator=(Subscription&&) = default;
+
+  bool matches(const FtbEvent& ev) const;
+};
+
+/// '*'-glob matcher (exported for tests).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+class FtbAgent;
+
+/// Client-layer handle. Clients attach to the agent on their own node (the
+/// real FTB uses shared memory for this hop; we model it as free).
+class FtbClient {
+ public:
+  FtbClient(FtbAgent& agent, std::string name);
+  ~FtbClient();
+  FtbClient(const FtbClient&) = delete;
+  FtbClient& operator=(const FtbClient&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  void subscribe(Subscription sub);
+
+  /// Publish into the backplane; completes when the local agent accepted it
+  /// (propagation continues asynchronously).
+  [[nodiscard]] sim::Task publish(FtbEvent ev);
+
+  /// Next matching event (blocks in virtual time).
+  [[nodiscard]] sim::ValueTask<FtbEvent> next_event();
+  std::optional<FtbEvent> poll_event();
+  std::size_t pending() const { return inbox_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  friend class FtbAgent;
+  void deliver(const FtbEvent& ev);
+
+  FtbAgent& agent_;
+  std::string name_;
+  std::vector<Subscription> subs_;
+  sim::Channel<FtbEvent> inbox_{1024};
+  std::uint64_t dropped_ = 0;
+};
+
+/// One agent per node; manager + network layers.
+class FtbAgent {
+ public:
+  static constexpr net::Port kDefaultPort = 14077;
+
+  FtbAgent(net::Host& host, net::Port port = kDefaultPort);
+  ~FtbAgent();
+  FtbAgent(const FtbAgent&) = delete;
+  FtbAgent& operator=(const FtbAgent&) = delete;
+
+  net::Host& host() { return host_; }
+  net::Port port() const { return port_; }
+
+  /// Begin accepting child agents. Root agents call only this.
+  void start();
+
+  /// Attach to a parent, with ordered fallbacks for self-healing. The entry
+  /// list holds (host, port) of ancestors, nearest first.
+  void set_ancestors(std::vector<std::pair<net::HostId, net::Port>> ancestors);
+
+  /// Orderly shutdown: drop all links and stop accepting.
+  void shutdown();
+
+  bool connected_to_parent() const { return parent_link_ != nullptr; }
+  std::size_t child_count() const;
+  std::uint64_t events_routed() const { return events_routed_; }
+  std::uint64_t reconnects() const { return reconnects_; }
+  bool running() const { return running_; }
+
+ private:
+  friend class FtbClient;
+  struct Link {
+    net::StreamPtr stream;
+    bool is_parent = false;
+    bool dead = false;
+  };
+  using LinkPtr = std::shared_ptr<Link>;
+
+  void register_client(FtbClient* c);
+  void unregister_client(FtbClient* c);
+  /// Entry from the local client layer.
+  [[nodiscard]] sim::Task accept_local(FtbEvent ev);
+
+  sim::Task accept_loop();
+  sim::Task reader_loop(LinkPtr link);
+  sim::Task maintain_parent();
+  /// Route to local subscribers and every link except `from`.
+  void route(const FtbEvent& ev, const Link* from);
+
+  net::Host& host_;
+  net::Port port_;
+  bool running_ = false;
+  std::unique_ptr<net::Listener> listener_;
+  LinkPtr parent_link_;
+  std::vector<LinkPtr> links_;
+  std::vector<std::pair<net::HostId, net::Port>> ancestors_;
+  std::vector<FtbClient*> clients_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_routed_ = 0;
+  std::uint64_t reconnects_ = 0;
+  sim::Event parent_lost_;
+};
+
+}  // namespace jobmig::ftb

@@ -1,0 +1,103 @@
+#include "jobmig/health/health.hpp"
+
+#include <algorithm>
+
+namespace jobmig::health {
+
+SensorModel::SensorModel(std::string hostname, std::uint64_t seed, double baseline_celsius)
+    : hostname_(std::move(hostname)), rng_(seed), baseline_(baseline_celsius) {}
+
+double SensorModel::temperature(sim::TimePoint now) {
+  const double noise = rng_.uniform(-0.7, 0.7);
+  double value = baseline_ + noise;
+  if (degrade_start_ && now >= *degrade_start_) {
+    value += (now - *degrade_start_).to_seconds() * ramp_rate_;
+  }
+  return value;
+}
+
+std::uint64_t SensorModel::ecc_errors(sim::TimePoint now) {
+  if (!degrade_start_ || now < *degrade_start_) return 0;
+  // Degrading DIMMs log correctable errors roughly linearly.
+  return static_cast<std::uint64_t>((now - *degrade_start_).to_seconds() * 2.0);
+}
+
+void SensorModel::inject_degradation(sim::TimePoint start, double celsius_per_second) {
+  degrade_start_ = start;
+  ramp_rate_ = celsius_per_second;
+}
+
+bool HealthPredictor::add_sample(sim::TimePoint when, double temperature) {
+  samples_.emplace_back(when, temperature);
+  while (samples_.size() > cfg_.window) samples_.pop_front();
+
+  if (temperature >= cfg_.warn_threshold_celsius) return true;
+  if (samples_.size() < 3) return false;
+
+  // Least-squares slope over the window.
+  const double t0 = samples_.front().first.to_seconds();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(samples_.size());
+  for (const auto& [tp, temp] : samples_) {
+    const double x = tp.to_seconds() - t0;
+    sx += x;
+    sy += temp;
+    sxx += x * x;
+    sxy += x * temp;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom <= 1e-9) return false;
+  last_trend_ = (n * sxy - sx * sy) / denom;
+  if (last_trend_ <= 0.0) return false;
+  const double projected =
+      temperature + last_trend_ * cfg_.horizon.to_seconds();
+  return projected >= cfg_.fatal_threshold_celsius;
+}
+
+IpmiPoller::IpmiPoller(sim::Engine& engine, SensorModel& sensor, ftb::FtbAgent& agent,
+                       sim::Duration interval, HealthPredictor::Config predictor_cfg)
+    : engine_(engine),
+      sensor_(sensor),
+      ftb_(agent, "ipmi:" + sensor.hostname()),
+      interval_(interval),
+      predictor_(predictor_cfg) {}
+
+void IpmiPoller::start() {
+  JOBMIG_EXPECTS(!running_);
+  running_ = true;
+  engine_.spawn(poll_loop());
+}
+
+sim::Task IpmiPoller::poll_loop() {
+  while (running_) {
+    co_await sim::sleep_for(interval_);
+    if (!running_) break;
+    const sim::TimePoint now = engine_.now();
+    const double temp = sensor_.temperature(now);
+    const std::uint64_t ecc = sensor_.ecc_errors(now);
+    ++samples_taken_;
+    const bool predicted =
+        predictor_.add_sample(now, temp) || predictor_.add_ecc_count(ecc);
+    if (temp >= predictor_.config().warn_threshold_celsius) {
+      co_await ftb_.publish(ftb::FtbEvent{kHealthSpace, kEventTempWarning,
+                                          ftb::Severity::kWarning,
+                                          sensor_.hostname()});
+    }
+    if (ecc > 0 && !ecc_warned_) {
+      ecc_warned_ = true;
+      co_await ftb_.publish(ftb::FtbEvent{kHealthSpace, kEventEccWarning,
+                                          ftb::Severity::kWarning,
+                                          sensor_.hostname()});
+    }
+    if (predicted && !prediction_fired_) {
+      prediction_fired_ = true;
+      co_await ftb_.publish(ftb::FtbEvent{kHealthSpace, kEventFailurePredicted,
+                                          ftb::Severity::kError,
+                                          sensor_.hostname()});
+      // Keep polling (temperature keeps ramping) but fire the prediction
+      // once; the migration trigger acts on the first event.
+    }
+  }
+}
+
+}  // namespace jobmig::health

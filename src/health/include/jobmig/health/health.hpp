@@ -1,0 +1,116 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "jobmig/ftb/ftb.hpp"
+#include "jobmig/sim/rng.hpp"
+#include "jobmig/sim/task.hpp"
+
+/// Node-health substrate: IPMI-like sensors, a polling daemon, and a simple
+/// threshold/trend failure predictor. Its only job in the paper's framework
+/// is to be *a* source of migration triggers — it publishes
+/// health-deteriorating events onto the FTB backplane, where the migration
+/// trigger component picks them up (paper §III, "Migration Trigger").
+namespace jobmig::health {
+
+/// FTB event vocabulary published by this module.
+inline constexpr const char* kHealthSpace = "FTB.NODE_HEALTH";
+inline constexpr const char* kEventTempWarning = "TEMP_WARNING";
+inline constexpr const char* kEventEccWarning = "ECC_WARNING";
+inline constexpr const char* kEventFailurePredicted = "FAILURE_PREDICTED";
+
+/// One node's thermal/ECC condition. Healthy nodes hover around a baseline
+/// with small noise; inject_degradation() starts a linear ramp (e.g. a
+/// failing fan) that the poller/predictor should catch before it becomes
+/// fatal.
+class SensorModel {
+ public:
+  SensorModel(std::string hostname, std::uint64_t seed, double baseline_celsius = 52.0);
+
+  const std::string& hostname() const { return hostname_; }
+
+  /// Instantaneous temperature at virtual time `now`.
+  double temperature(sim::TimePoint now);
+  /// Correctable-ECC error count so far.
+  std::uint64_t ecc_errors(sim::TimePoint now);
+
+  /// Begin deteriorating at `start`, ramping `celsius_per_second` and
+  /// accumulating ECC errors.
+  void inject_degradation(sim::TimePoint start, double celsius_per_second = 0.8);
+  bool degrading() const { return degrade_start_.has_value(); }
+
+ private:
+  std::string hostname_;
+  sim::Xoshiro256 rng_;
+  double baseline_;
+  std::optional<sim::TimePoint> degrade_start_;
+  double ramp_rate_ = 0.0;
+};
+
+/// Threshold + trend predictor over a sliding window of samples.
+/// Fires when either an absolute threshold is crossed or the linear trend
+/// projects a breach within the horizon — the "failure prediction models"
+/// role of the paper's citations [6], [7].
+class HealthPredictor {
+ public:
+  struct Config {
+    double warn_threshold_celsius = 68.0;
+    double fatal_threshold_celsius = 80.0;
+    sim::Duration horizon = sim::Duration::sec(60);
+    std::size_t window = 8;
+    /// Cumulative correctable-ECC errors that predict a DIMM failure
+    /// (the second predictor class the paper's citations [6],[7] cover).
+    std::uint64_t ecc_error_threshold = 40;
+  };
+
+  HealthPredictor() = default;
+  explicit HealthPredictor(Config cfg) : cfg_(cfg) {}
+
+  /// Feed one sample; returns true when a failure is predicted.
+  bool add_sample(sim::TimePoint when, double temperature);
+  /// Feed an ECC error count; returns true when it predicts failure.
+  bool add_ecc_count(std::uint64_t cumulative_errors) const {
+    return cumulative_errors >= cfg_.ecc_error_threshold;
+  }
+  const Config& config() const { return cfg_; }
+  double last_trend_celsius_per_sec() const { return last_trend_; }
+
+ private:
+  Config cfg_;
+  std::deque<std::pair<sim::TimePoint, double>> samples_;
+  double last_trend_ = 0.0;
+};
+
+/// Per-node IPMI polling daemon: samples the sensor on an interval, runs
+/// the predictor, and publishes warnings / predictions to FTB.
+class IpmiPoller {
+ public:
+  IpmiPoller(sim::Engine& engine, SensorModel& sensor, ftb::FtbAgent& agent,
+             sim::Duration interval = sim::Duration::sec(5),
+             HealthPredictor::Config predictor_cfg = HealthPredictor::Config());
+
+  /// Begin polling (spawned; runs until stop()).
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+  std::uint64_t samples_taken() const { return samples_taken_; }
+  bool prediction_fired() const { return prediction_fired_; }
+
+ private:
+  sim::Task poll_loop();
+
+  sim::Engine& engine_;
+  SensorModel& sensor_;
+  ftb::FtbClient ftb_;
+  sim::Duration interval_;
+  HealthPredictor predictor_;
+  bool running_ = false;
+  bool prediction_fired_ = false;
+  bool ecc_warned_ = false;
+  std::uint64_t samples_taken_ = 0;
+};
+
+}  // namespace jobmig::health

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <map>
+
+#include "jobmig/ib/verbs.hpp"
+#include "jobmig/sim/sync.hpp"
+
+namespace jobmig::ib {
+
+/// Demultiplexes one CompletionQueue to per-wr_id waiters. Consumers post
+/// work requests with unique non-zero ids and co_await the matching
+/// completion; a pushed sentinel completion with wr_id 0 stops the loop.
+class CompletionDispatcher {
+ public:
+  explicit CompletionDispatcher(CompletionQueue& cq) : cq_(cq) {}
+
+  /// Spawn the demux loop on `engine`.
+  void start(sim::Engine& engine) {
+    JOBMIG_EXPECTS(!running_);
+    running_ = true;
+    engine.spawn(loop());
+  }
+
+  /// Ask the loop to exit after draining queued completions.
+  void stop() {
+    cq_.push(WorkCompletion{0, WcStatus::kSuccess, WcOpcode::kSend, 0, 0, false});
+  }
+
+  bool running() const { return running_; }
+
+  [[nodiscard]] sim::ValueTask<WorkCompletion> await(std::uint64_t wr_id) {
+    JOBMIG_EXPECTS(wr_id != 0);
+    if (!results_.contains(wr_id)) {
+      sim::Event ev;
+      waiters_[wr_id] = &ev;
+      co_await ev.wait();
+      waiters_.erase(wr_id);
+    }
+    auto it = results_.find(wr_id);
+    JOBMIG_ASSERT(it != results_.end());
+    WorkCompletion wc = it->second;
+    results_.erase(it);
+    co_return wc;
+  }
+
+ private:
+  sim::Task loop() {
+    while (true) {
+      WorkCompletion wc = co_await cq_.wait();
+      if (wc.wr_id == 0) break;
+      results_[wc.wr_id] = wc;
+      auto it = waiters_.find(wc.wr_id);
+      if (it != waiters_.end()) it->second->set();
+    }
+    running_ = false;
+  }
+
+  CompletionQueue& cq_;
+  bool running_ = false;
+  std::map<std::uint64_t, WorkCompletion> results_;
+  std::map<std::uint64_t, sim::Event*> waiters_;
+};
+
+}  // namespace jobmig::ib

@@ -1,0 +1,264 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jobmig/sim/bytes.hpp"
+#include "jobmig/sim/calibration.hpp"
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/resource.hpp"
+#include "jobmig/sim/sync.hpp"
+#include "jobmig/sim/task.hpp"
+
+/// A verbs-like InfiniBand model. The API mirrors the subset of RDMA verbs
+/// the paper's migration engine uses: memory regions with lkey/rkey,
+/// reliable-connection queue pairs, completion queues, two-sided send/recv
+/// and one-sided RDMA READ/WRITE. All payloads are real bytes copied between
+/// registered regions; only elapsed time comes from the calibrated fabric
+/// model.
+///
+/// Timing model (see DESIGN.md §4): per-WQE HCA processing and the wire
+/// byte-phase are serialized per queue pair (preserving RC ordering and
+/// modeling RNR head-of-line blocking); wire bytes are charged on the
+/// receiving node's ingress fair-share server (the bottleneck port for every
+/// pattern exercised here); latency is two switch hops each way.
+namespace jobmig::ib {
+
+using NodeId = std::uint32_t;
+using QpNum = std::uint32_t;
+
+struct IbAddr {
+  NodeId node = 0;
+  QpNum qpn = 0;
+  friend auto operator<=>(const IbAddr&, const IbAddr&) = default;
+};
+
+enum class WcStatus {
+  kSuccess,
+  kLocalLengthError,    // payload larger than the posted receive buffer
+  kRemoteAccessError,   // bad rkey / out-of-bounds RDMA
+  kRetryExceeded,       // peer QP destroyed or unreachable
+  kFlushError,          // QP transitioned to ERROR with the WR outstanding
+};
+
+std::string_view to_string(WcStatus s);
+
+enum class WcOpcode { kSend, kRecv, kRdmaRead, kRdmaWrite, kFetchAdd, kCompareSwap };
+
+struct WorkCompletion {
+  std::uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  WcOpcode opcode = WcOpcode::kSend;
+  std::uint64_t byte_len = 0;
+  std::uint32_t imm_data = 0;
+  bool has_imm = false;
+  bool ok() const { return status == WcStatus::kSuccess; }
+};
+
+/// Registered memory region. Non-owning view over caller memory; the caller
+/// must keep the buffer alive until deregistration (as with real verbs).
+class MemoryRegion {
+ public:
+  std::uint32_t lkey() const { return lkey_; }
+  std::uint32_t rkey() const { return rkey_; }
+  std::byte* addr() const { return base_; }
+  std::uint64_t length() const { return length_; }
+  bool contains(std::uint64_t offset, std::uint64_t len) const {
+    return offset <= length_ && len <= length_ - offset;
+  }
+
+ private:
+  friend class Hca;
+  MemoryRegion(std::uint32_t lkey, std::uint32_t rkey, std::byte* base, std::uint64_t length)
+      : lkey_(lkey), rkey_(rkey), base_(base), length_(length) {}
+  std::uint32_t lkey_;
+  std::uint32_t rkey_;
+  std::byte* base_;
+  std::uint64_t length_;
+};
+
+class CompletionQueue {
+ public:
+  /// Blocks (in virtual time) until a completion is available.
+  [[nodiscard]] sim::ValueTask<WorkCompletion> wait();
+  /// Non-blocking poll.
+  std::optional<WorkCompletion> poll();
+  void push(WorkCompletion wc);
+  std::size_t depth() const { return queue_.size(); }
+
+ private:
+  std::deque<WorkCompletion> queue_;
+  sim::Event avail_;
+};
+
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  sim::Bytes payload;            // copied at post time (safe-send semantics)
+  std::uint32_t imm_data = 0;
+  bool has_imm = false;
+
+  // User-declared special members: SendWr goes by value into the delivery
+  // coroutine, and GCC 12 miscompiles non-trivial aggregates there.
+  SendWr() = default;
+  SendWr(std::uint64_t id, sim::Bytes body, std::uint32_t imm = 0, bool with_imm = false)
+      : wr_id(id), payload(std::move(body)), imm_data(imm), has_imm(with_imm) {}
+  SendWr(const SendWr&) = default;
+  SendWr(SendWr&&) = default;
+  SendWr& operator=(const SendWr&) = default;
+  SendWr& operator=(SendWr&&) = default;
+};
+
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::byte* addr = nullptr;     // must lie inside a registered MR
+  std::uint64_t length = 0;
+};
+
+struct RdmaWr {
+  std::uint64_t wr_id = 0;
+  std::byte* local_addr = nullptr;   // inside a local MR
+  std::uint64_t remote_offset = 0;   // byte offset inside the remote MR
+  std::uint32_t rkey = 0;
+  std::uint64_t length = 0;
+};
+
+/// 64-bit remote atomic (IBV_WR_ATOMIC_FETCH_AND_ADD / CMP_AND_SWP). The
+/// remote offset must be 8-byte aligned inside the remote MR; the original
+/// remote value lands in `*result` on completion.
+struct AtomicWr {
+  std::uint64_t wr_id = 0;
+  std::uint64_t* result = nullptr;
+  std::uint64_t remote_offset = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t operand = 0;  // addend, or swap value
+  std::uint64_t compare = 0;  // compare-swap only
+};
+
+enum class QpState { kReset, kRts, kError };
+
+class Hca;
+class Fabric;
+
+namespace detail {
+/// Shared endpoint state. Kept alive by shared_ptr from the owning
+/// QueuePair handle, the HCA registry, and any in-flight operation, so a QP
+/// can be destroyed (torn down) with traffic outstanding — exactly what the
+/// paper's Phase-1 teardown needs to exercise — without dangling references.
+struct QpEndpoint;
+}  // namespace detail
+
+/// Reliable-connection queue pair (RAII handle; destruction tears the
+/// connection down and flushes posted receives).
+class QueuePair {
+ public:
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+  ~QueuePair();
+
+  QpNum qpn() const;
+  QpState state() const;
+  IbAddr local_addr() const;
+  IbAddr remote_addr() const;
+
+  /// Transition RESET->RTS against the given remote address. Both sides
+  /// must connect (addresses are exchanged out of band, e.g. via PMI).
+  void connect(IbAddr remote);
+
+  /// Two-sided ops. Completions arrive on the CQs passed at creation.
+  void post_send(SendWr wr);
+  void post_recv(RecvWr wr);
+  /// One-sided ops; the remote CPU (and remote CQs) are not involved.
+  void post_rdma_read(RdmaWr wr);
+  void post_rdma_write(RdmaWr wr);
+  /// Remote 64-bit atomics (executed serially at the responder HCA).
+  void post_fetch_add(AtomicWr wr);
+  void post_compare_swap(AtomicWr wr);
+
+  /// Move to ERROR: posted receives and future WRs flush with kFlushError.
+  void to_error();
+
+  std::size_t outstanding() const;
+  std::size_t posted_recvs() const;
+
+ private:
+  friend class Hca;
+  explicit QueuePair(std::shared_ptr<detail::QpEndpoint> ep);
+  std::shared_ptr<detail::QpEndpoint> ep_;
+};
+
+/// Host channel adapter: one per node. Owns MRs, registers QPs and the
+/// node's ingress bandwidth server.
+class Hca {
+ public:
+  Hca(sim::Engine& engine, Fabric& fabric, NodeId node, std::string name);
+  Hca(const Hca&) = delete;
+  Hca& operator=(const Hca&) = delete;
+  ~Hca();
+
+  NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  sim::Engine& engine() { return engine_; }
+  Fabric& fabric() { return fabric_; }
+
+  /// Register caller memory; charges pinning cost proportional to pages.
+  [[nodiscard]] sim::ValueTask<MemoryRegion*> reg_mr(std::byte* addr, std::uint64_t length);
+  /// Deregister: subsequent remote accesses with the old rkey fail
+  /// (paper §III-A: cached rkeys become invalid after teardown).
+  void dereg_mr(MemoryRegion* mr);
+  MemoryRegion* lookup_rkey(std::uint32_t rkey);
+
+  [[nodiscard]] std::unique_ptr<QueuePair> create_qp(CompletionQueue& send_cq,
+                                                     CompletionQueue& recv_cq);
+
+  std::size_t mr_count() const { return mrs_.size(); }
+  std::size_t qp_count() const { return qps_.size(); }
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  sim::FairShareServer& ingress() { return *ingress_; }
+
+  /// Internal (used by the delivery coroutines).
+  void unregister_qp(QpNum qpn);
+  std::shared_ptr<detail::QpEndpoint> lookup_qp(QpNum qpn);
+  void add_bytes_in(std::uint64_t n) { bytes_in_ += n; }
+
+ private:
+  sim::Engine& engine_;
+  Fabric& fabric_;
+  NodeId node_;
+  std::string name_;
+  std::uint32_t next_key_ = 1;
+  QpNum next_qpn_ = 1;
+  std::map<std::uint32_t, std::unique_ptr<MemoryRegion>> mrs_;  // by rkey
+  std::map<QpNum, std::weak_ptr<detail::QpEndpoint>> qps_;
+  std::unique_ptr<sim::FairShareServer> ingress_;
+  std::uint64_t bytes_in_ = 0;
+};
+
+/// Single-switch full-bisection fabric (the paper's testbed is 8 nodes plus
+/// spares on one DDR switch).
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, sim::IbParams params = {});
+
+  Hca& add_node(std::string name);
+  Hca* hca(NodeId node);
+  const sim::IbParams& params() const { return params_; }
+  sim::Engine& engine() { return engine_; }
+  std::size_t node_count() const { return hcas_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Internal (used by the delivery coroutines).
+  void account(std::uint64_t bytes) { total_bytes_ += bytes; }
+
+ private:
+  sim::Engine& engine_;
+  sim::IbParams params_;
+  std::vector<std::unique_ptr<Hca>> hcas_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace jobmig::ib

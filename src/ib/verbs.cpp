@@ -1,0 +1,367 @@
+#include "jobmig/ib/verbs.hpp"
+
+#include <cstring>
+
+#include "jobmig/sim/log.hpp"
+
+namespace jobmig::ib {
+
+std::string_view to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess: return "success";
+    case WcStatus::kLocalLengthError: return "local-length-error";
+    case WcStatus::kRemoteAccessError: return "remote-access-error";
+    case WcStatus::kRetryExceeded: return "retry-exceeded";
+    case WcStatus::kFlushError: return "flush-error";
+  }
+  return "?";
+}
+
+sim::ValueTask<WorkCompletion> CompletionQueue::wait() {
+  while (queue_.empty()) {
+    co_await avail_.wait();
+    avail_.reset();
+  }
+  WorkCompletion wc = queue_.front();
+  queue_.pop_front();
+  co_return wc;
+}
+
+std::optional<WorkCompletion> CompletionQueue::poll() {
+  if (queue_.empty()) return std::nullopt;
+  WorkCompletion wc = queue_.front();
+  queue_.pop_front();
+  return wc;
+}
+
+void CompletionQueue::push(WorkCompletion wc) {
+  queue_.push_back(wc);
+  avail_.set();
+}
+
+namespace detail {
+
+struct QpEndpoint {
+  Hca* hca = nullptr;
+  QpNum qpn = 0;
+  QpState state = QpState::kReset;
+  IbAddr remote{};
+  CompletionQueue* send_cq = nullptr;
+  CompletionQueue* recv_cq = nullptr;
+  sim::Mutex tx;  // serializes the byte phase: RC ordering + RNR HOL blocking
+  std::deque<RecvWr> recvs;
+  sim::Event recv_posted;
+  std::size_t outstanding = 0;
+
+  /// Move to ERROR, flushing posted receives to the recv CQ (if attached).
+  void error_out() {
+    if (state == QpState::kError) return;
+    state = QpState::kError;
+    flush_recvs();
+    recv_posted.set();  // wake senders parked on this endpoint
+  }
+
+  /// Handle destroyed: error out, detach CQs, remove from the HCA registry.
+  void detach() {
+    error_out();
+    send_cq = nullptr;
+    recv_cq = nullptr;
+    if (hca) hca->unregister_qp(qpn);
+  }
+
+  void flush_recvs() {
+    while (!recvs.empty()) {
+      RecvWr r = recvs.front();
+      recvs.pop_front();
+      if (recv_cq) {
+        recv_cq->push(WorkCompletion{r.wr_id, WcStatus::kFlushError, WcOpcode::kRecv, 0, 0, false});
+      }
+    }
+  }
+
+  void complete(std::uint64_t wr_id, WcOpcode op, WcStatus status, std::uint64_t len) {
+    JOBMIG_ASSERT(outstanding > 0);
+    --outstanding;
+    if (send_cq) send_cq->push(WorkCompletion{wr_id, status, op, len, 0, false});
+  }
+};
+
+namespace {
+
+using EpPtr = std::shared_ptr<QpEndpoint>;
+
+/// Wait for a posted receive on `dst` and copy the payload in.
+/// Returns the status the *sender* should observe.
+sim::ValueTask<WcStatus> deliver(EpPtr dst, sim::Bytes payload, std::uint32_t imm, bool has_imm) {
+  while (dst->recvs.empty()) {
+    if (dst->state != QpState::kRts) co_return WcStatus::kRetryExceeded;
+    co_await dst->recv_posted.wait();
+    dst->recv_posted.reset();
+  }
+  if (dst->state != QpState::kRts) co_return WcStatus::kRetryExceeded;
+  RecvWr r = dst->recvs.front();
+  dst->recvs.pop_front();
+  if (payload.size() > r.length) {
+    if (dst->recv_cq) {
+      dst->recv_cq->push(
+          WorkCompletion{r.wr_id, WcStatus::kLocalLengthError, WcOpcode::kRecv, 0, 0, false});
+    }
+    co_return WcStatus::kRemoteAccessError;
+  }
+  if (!payload.empty()) std::memcpy(r.addr, payload.data(), payload.size());
+  if (dst->recv_cq) {
+    dst->recv_cq->push(WorkCompletion{r.wr_id, WcStatus::kSuccess, WcOpcode::kRecv,
+                                      payload.size(), imm, has_imm});
+  }
+  co_return WcStatus::kSuccess;
+}
+
+sim::Task run_send(EpPtr src, SendWr wr) {
+  const sim::IbParams& p = src->hca->fabric().params();
+  const std::uint64_t len = wr.payload.size();
+  WcStatus status = WcStatus::kSuccess;
+  {
+    auto lock = co_await src->tx.lock();
+    if (src->state != QpState::kRts) {
+      src->complete(wr.wr_id, WcOpcode::kSend, WcStatus::kFlushError, len);
+      co_return;
+    }
+    co_await sim::sleep_for(p.per_wqe_overhead);
+    Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
+    EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
+    if (!dst || dst->state != QpState::kRts) {
+      status = WcStatus::kRetryExceeded;
+    } else {
+      co_await sim::sleep_for(p.hop_latency * 2);
+      co_await dst_hca->ingress().transfer(len);
+      dst_hca->add_bytes_in(len);
+      src->hca->fabric().account(len);
+      status = co_await deliver(std::move(dst), std::move(wr.payload), wr.imm_data, wr.has_imm);
+    }
+  }
+  if (status == WcStatus::kSuccess && src->state != QpState::kRts) {
+    status = WcStatus::kFlushError;  // torn down while the ACK was in flight
+  }
+  co_await sim::sleep_for(p.hop_latency * 2);  // ACK return path
+  src->complete(wr.wr_id, WcOpcode::kSend, status, len);
+}
+
+sim::Task run_rdma(EpPtr src, RdmaWr wr, bool is_read) {
+  const sim::IbParams& p = src->hca->fabric().params();
+  WcStatus status = WcStatus::kSuccess;
+  {
+    auto lock = co_await src->tx.lock();
+    if (src->state != QpState::kRts) {
+      src->complete(wr.wr_id, is_read ? WcOpcode::kRdmaRead : WcOpcode::kRdmaWrite,
+                    WcStatus::kFlushError, wr.length);
+      co_return;
+    }
+    co_await sim::sleep_for(p.per_wqe_overhead);
+    Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
+    EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
+    if (!dst || dst->state != QpState::kRts) {
+      status = WcStatus::kRetryExceeded;
+    } else {
+      co_await sim::sleep_for(p.hop_latency * 2 +
+                              (is_read ? p.rdma_read_turnaround : sim::Duration::zero()));
+      MemoryRegion* mr = dst_hca->lookup_rkey(wr.rkey);
+      if (mr == nullptr || !mr->contains(wr.remote_offset, wr.length)) {
+        status = WcStatus::kRemoteAccessError;
+      } else {
+        // READ data flows responder->requester (charge requester ingress);
+        // WRITE flows requester->responder (charge responder ingress).
+        Hca& charged = is_read ? *src->hca : *dst_hca;
+        co_await charged.ingress().transfer(wr.length);
+        charged.add_bytes_in(wr.length);
+        src->hca->fabric().account(wr.length);
+        if (wr.length > 0) {
+          if (is_read) {
+            std::memcpy(wr.local_addr, mr->addr() + wr.remote_offset, wr.length);
+          } else {
+            std::memcpy(mr->addr() + wr.remote_offset, wr.local_addr, wr.length);
+          }
+        }
+      }
+    }
+  }
+  if (status == WcStatus::kRemoteAccessError) {
+    // Access faults are fatal to an RC connection.
+    src->error_out();
+  }
+  co_await sim::sleep_for(p.hop_latency * 2);
+  src->complete(wr.wr_id, is_read ? WcOpcode::kRdmaRead : WcOpcode::kRdmaWrite, status,
+                wr.length);
+}
+
+sim::Task run_atomic(EpPtr src, AtomicWr wr, bool is_fetch_add) {
+  const sim::IbParams& p = src->hca->fabric().params();
+  const WcOpcode op = is_fetch_add ? WcOpcode::kFetchAdd : WcOpcode::kCompareSwap;
+  WcStatus status = WcStatus::kSuccess;
+  {
+    auto lock = co_await src->tx.lock();
+    if (src->state != QpState::kRts) {
+      src->complete(wr.wr_id, op, WcStatus::kFlushError, 8);
+      co_return;
+    }
+    co_await sim::sleep_for(p.per_wqe_overhead);
+    Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
+    EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
+    if (!dst || dst->state != QpState::kRts) {
+      status = WcStatus::kRetryExceeded;
+    } else {
+      // Round trip plus responder-side execution (atomics are handled by
+      // the remote HCA's processing unit, serialized per endpoint).
+      co_await sim::sleep_for(p.hop_latency * 2 + p.rdma_read_turnaround);
+      MemoryRegion* mr = dst_hca->lookup_rkey(wr.rkey);
+      if (mr == nullptr || wr.remote_offset % 8 != 0 || !mr->contains(wr.remote_offset, 8)) {
+        status = WcStatus::kRemoteAccessError;
+      } else {
+        std::uint64_t current;
+        std::memcpy(&current, mr->addr() + wr.remote_offset, 8);
+        std::uint64_t updated = current;
+        if (is_fetch_add) {
+          updated = current + wr.operand;
+        } else if (current == wr.compare) {
+          updated = wr.operand;
+        }
+        std::memcpy(mr->addr() + wr.remote_offset, &updated, 8);
+        if (wr.result != nullptr) *wr.result = current;
+        src->hca->fabric().account(8);
+      }
+    }
+  }
+  if (status == WcStatus::kRemoteAccessError) src->error_out();
+  co_await sim::sleep_for(p.hop_latency * 2);
+  src->complete(wr.wr_id, op, status, 8);
+}
+
+}  // namespace
+}  // namespace detail
+
+QueuePair::QueuePair(std::shared_ptr<detail::QpEndpoint> ep) : ep_(std::move(ep)) {}
+
+QueuePair::~QueuePair() {
+  if (ep_) ep_->detach();
+}
+
+QpNum QueuePair::qpn() const { return ep_->qpn; }
+QpState QueuePair::state() const { return ep_->state; }
+IbAddr QueuePair::local_addr() const { return IbAddr{ep_->hca->node(), ep_->qpn}; }
+IbAddr QueuePair::remote_addr() const { return ep_->remote; }
+std::size_t QueuePair::outstanding() const { return ep_->outstanding; }
+std::size_t QueuePair::posted_recvs() const { return ep_->recvs.size(); }
+
+void QueuePair::connect(IbAddr remote) {
+  JOBMIG_EXPECTS_MSG(ep_->state == QpState::kReset, "connect() requires RESET state");
+  ep_->remote = remote;
+  ep_->state = QpState::kRts;
+}
+
+void QueuePair::post_send(SendWr wr) {
+  ++ep_->outstanding;
+  ep_->hca->engine().spawn(detail::run_send(ep_, std::move(wr)));
+}
+
+void QueuePair::post_recv(RecvWr wr) {
+  JOBMIG_EXPECTS_MSG(wr.addr != nullptr || wr.length == 0, "recv buffer required");
+  if (ep_->state == QpState::kError) {
+    if (ep_->recv_cq) {
+      ep_->recv_cq->push(WorkCompletion{wr.wr_id, WcStatus::kFlushError, WcOpcode::kRecv, 0, 0, false});
+    }
+    return;
+  }
+  ep_->recvs.push_back(wr);
+  ep_->recv_posted.set();
+}
+
+void QueuePair::post_rdma_read(RdmaWr wr) {
+  JOBMIG_EXPECTS_MSG(wr.local_addr != nullptr || wr.length == 0, "local buffer required");
+  ++ep_->outstanding;
+  ep_->hca->engine().spawn(detail::run_rdma(ep_, wr, /*is_read=*/true));
+}
+
+void QueuePair::post_rdma_write(RdmaWr wr) {
+  JOBMIG_EXPECTS_MSG(wr.local_addr != nullptr || wr.length == 0, "local buffer required");
+  ++ep_->outstanding;
+  ep_->hca->engine().spawn(detail::run_rdma(ep_, wr, /*is_read=*/false));
+}
+
+void QueuePair::post_fetch_add(AtomicWr wr) {
+  ++ep_->outstanding;
+  ep_->hca->engine().spawn(detail::run_atomic(ep_, wr, /*is_fetch_add=*/true));
+}
+
+void QueuePair::post_compare_swap(AtomicWr wr) {
+  ++ep_->outstanding;
+  ep_->hca->engine().spawn(detail::run_atomic(ep_, wr, /*is_fetch_add=*/false));
+}
+
+void QueuePair::to_error() { ep_->error_out(); }
+
+Hca::Hca(sim::Engine& engine, Fabric& fabric, NodeId node, std::string name)
+    : engine_(engine), fabric_(fabric), node_(node), name_(std::move(name)) {
+  ingress_ = std::make_unique<sim::FairShareServer>(engine_, fabric.params().link_bandwidth_Bps);
+}
+
+Hca::~Hca() {
+  for (auto& [qpn, weak] : qps_) {
+    if (auto ep = weak.lock()) {
+      ep->hca = nullptr;  // registry is going away; don't call back into it
+      ep->error_out();
+    }
+  }
+}
+
+sim::ValueTask<MemoryRegion*> Hca::reg_mr(std::byte* addr, std::uint64_t length) {
+  JOBMIG_EXPECTS_MSG(addr != nullptr || length == 0, "cannot register null memory");
+  constexpr std::uint64_t kPage = 4096;
+  const std::uint64_t pages = (length + kPage - 1) / kPage;
+  co_await sim::sleep_for(fabric_.params().mr_register_per_page * static_cast<std::int64_t>(pages));
+  const std::uint32_t key = next_key_++;
+  auto mr = std::unique_ptr<MemoryRegion>(new MemoryRegion(key, key, addr, length));
+  MemoryRegion* raw = mr.get();
+  mrs_.emplace(key, std::move(mr));
+  co_return raw;
+}
+
+void Hca::dereg_mr(MemoryRegion* mr) {
+  JOBMIG_EXPECTS(mr != nullptr);
+  const auto erased = mrs_.erase(mr->rkey());
+  JOBMIG_EXPECTS_MSG(erased == 1, "deregistering unknown MR");
+}
+
+MemoryRegion* Hca::lookup_rkey(std::uint32_t rkey) {
+  auto it = mrs_.find(rkey);
+  return it == mrs_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<QueuePair> Hca::create_qp(CompletionQueue& send_cq, CompletionQueue& recv_cq) {
+  auto ep = std::make_shared<detail::QpEndpoint>();
+  ep->hca = this;
+  ep->qpn = next_qpn_++;
+  ep->send_cq = &send_cq;
+  ep->recv_cq = &recv_cq;
+  qps_[ep->qpn] = ep;
+  return std::unique_ptr<QueuePair>(new QueuePair(std::move(ep)));
+}
+
+void Hca::unregister_qp(QpNum qpn) { qps_.erase(qpn); }
+
+std::shared_ptr<detail::QpEndpoint> Hca::lookup_qp(QpNum qpn) {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.lock();
+}
+
+Fabric::Fabric(sim::Engine& engine, sim::IbParams params) : engine_(engine), params_(params) {}
+
+Hca& Fabric::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(hcas_.size());
+  hcas_.push_back(std::make_unique<Hca>(engine_, *this, id, std::move(name)));
+  return *hcas_.back();
+}
+
+Hca* Fabric::hca(NodeId node) {
+  return node < hcas_.size() ? hcas_[node].get() : nullptr;
+}
+
+}  // namespace jobmig::ib

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jobmig/ftb/ftb.hpp"
+#include "jobmig/mpr/job.hpp"
+
+/// Hierarchical job-launch framework (the ScELA mpirun_rsh/mpispawn role in
+/// MVAPICH2): a Job Manager on the login node plus one Node Launch Agent
+/// (NLA) per compute/spare node, arranged in a k-ary spawn tree. The paper
+/// extends exactly these components: NLAs gain the MIGRATION_READY /
+/// MIGRATION_SPARE / MIGRATION_INACTIVE states, and the Job Manager adjusts
+/// the spawn tree when ranks move to a spare node (Phase 3).
+namespace jobmig::launch {
+
+/// K-ary tree over node indices; node 0 is the root (login node).
+class SpawnTree {
+ public:
+  SpawnTree(std::size_t node_count, std::size_t fanout);
+
+  std::size_t node_count() const { return parent_.size(); }
+  std::size_t fanout() const { return fanout_; }
+  /// Parent index; nullopt for the root.
+  std::optional<std::size_t> parent(std::size_t node) const;
+  std::vector<std::size_t> children(std::size_t node) const;
+  std::size_t depth() const;
+  std::size_t depth_of(std::size_t node) const;
+
+  /// Phase-3 topology adjustment: `replacement` takes over `failed`'s
+  /// position (children re-parent to it; it re-parents to failed's parent).
+  void replace_node(std::size_t failed, std::size_t replacement);
+
+ private:
+  std::size_t fanout_;
+  std::vector<std::optional<std::size_t>> parent_;
+};
+
+enum class NlaState {
+  kReady,     // MIGRATION_READY: hosting active ranks
+  kSpare,     // MIGRATION_SPARE: hot spare, no ranks
+  kInactive,  // MIGRATION_INACTIVE: drained after migrating its ranks away
+};
+
+std::string_view to_string(NlaState s);
+
+/// Node Launch Agent: per-node daemon responsible for starting and
+/// terminating the application processes on its node.
+class NodeLaunchAgent {
+ public:
+  NodeLaunchAgent(mpr::NodeEnv& env, ftb::FtbAgent& ftb_agent, NlaState initial_state);
+
+  const std::string& hostname() const { return env_->hostname; }
+  mpr::NodeEnv& env() { return *env_; }
+  NlaState state() const { return state_; }
+  void set_state(NlaState s) { state_ = s; }
+  ftb::FtbClient& ftb() { return ftb_client_; }
+
+  /// Ranks currently hosted on this node.
+  const std::vector<int>& local_ranks() const { return local_ranks_; }
+  void assign_rank(int rank) { local_ranks_.push_back(rank); }
+  void remove_rank(int rank);
+  void clear_ranks() { local_ranks_.clear(); }
+
+ private:
+  mpr::NodeEnv* env_;
+  NlaState state_ = NlaState::kReady;
+  std::vector<int> local_ranks_;
+  ftb::FtbClient ftb_client_;
+};
+
+/// Job Manager: login-node coordinator. Owns the spawn tree, the NLA
+/// registry and spare-node bookkeeping, and performs the staged job launch.
+class JobManager {
+ public:
+  JobManager(sim::Engine& engine, ftb::FtbAgent& ftb_agent, std::size_t fanout = 4);
+
+  /// Register a node (registration order defines tree positions: the Job
+  /// Manager itself is the tree root above all NLAs).
+  void register_nla(NodeLaunchAgent& nla);
+
+  /// Charge the staged, tree-parallel launch cost and mark ranks on their
+  /// NLAs (placement comes from the Job).
+  [[nodiscard]] sim::Task launch(mpr::Job& job);
+
+  NodeLaunchAgent* nla_for_host(const std::string& hostname);
+  NodeLaunchAgent* nla_at(std::size_t idx);
+  std::size_t nla_count() const { return nlas_.size(); }
+
+  /// First node in MIGRATION_SPARE state; nullptr if none remain.
+  NodeLaunchAgent* find_spare();
+
+  /// Phase-3 bookkeeping: move `ranks` from `source` to `target`, flip NLA
+  /// states, and adjust the spawn tree.
+  void adopt_migration(NodeLaunchAgent& source, NodeLaunchAgent& target,
+                       const std::vector<int>& ranks);
+
+  const SpawnTree& tree() const;
+  ftb::FtbClient& ftb() { return ftb_client_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Per-hop process-launch latency (ssh/exec across one tree level).
+  static constexpr sim::Duration kPerLevelLaunchCost = sim::Duration::ms(120);
+  static constexpr sim::Duration kPerRankSpawnCost = sim::Duration::ms(4);
+
+ private:
+  void rebuild_tree();
+
+  sim::Engine& engine_;
+  std::size_t fanout_;
+  std::vector<NodeLaunchAgent*> nlas_;
+  std::unique_ptr<SpawnTree> tree_;
+  ftb::FtbClient ftb_client_;
+};
+
+}  // namespace jobmig::launch

@@ -1,0 +1,152 @@
+#include "jobmig/launch/launch.hpp"
+
+#include <algorithm>
+
+namespace jobmig::launch {
+
+std::string_view to_string(NlaState s) {
+  switch (s) {
+    case NlaState::kReady: return "MIGRATION_READY";
+    case NlaState::kSpare: return "MIGRATION_SPARE";
+    case NlaState::kInactive: return "MIGRATION_INACTIVE";
+  }
+  return "?";
+}
+
+SpawnTree::SpawnTree(std::size_t node_count, std::size_t fanout) : fanout_(fanout) {
+  JOBMIG_EXPECTS(fanout >= 1);
+  parent_.resize(node_count);
+  for (std::size_t i = 1; i < node_count; ++i) parent_[i] = (i - 1) / fanout_;
+  if (node_count > 0) parent_[0] = std::nullopt;
+}
+
+std::optional<std::size_t> SpawnTree::parent(std::size_t node) const {
+  JOBMIG_EXPECTS(node < parent_.size());
+  return parent_[node];
+}
+
+std::vector<std::size_t> SpawnTree::children(std::size_t node) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    if (parent_[i] == node) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t SpawnTree::depth_of(std::size_t node) const {
+  JOBMIG_EXPECTS(node < parent_.size());
+  std::size_t d = 0;
+  std::optional<std::size_t> p = parent_[node];
+  while (p) {
+    ++d;
+    p = parent_[*p];
+    JOBMIG_ASSERT_MSG(d <= parent_.size(), "cycle in spawn tree");
+  }
+  return d;
+}
+
+std::size_t SpawnTree::depth() const {
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < parent_.size(); ++i) d = std::max(d, depth_of(i));
+  return d;
+}
+
+void SpawnTree::replace_node(std::size_t failed, std::size_t replacement) {
+  JOBMIG_EXPECTS(failed < parent_.size() && replacement < parent_.size());
+  JOBMIG_EXPECTS_MSG(failed != replacement, "node cannot replace itself");
+  // The replacement abandons its old position (it had no children as a
+  // spare leaf), takes the failed node's parent, and inherits its children.
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    if (i != replacement && parent_[i] == failed) parent_[i] = replacement;
+  }
+  parent_[replacement] = parent_[failed];
+  // The failed node is parked under its replacement so the tree stays
+  // connected for bookkeeping; it is inactive and launches nothing.
+  parent_[failed] = replacement;
+}
+
+NodeLaunchAgent::NodeLaunchAgent(mpr::NodeEnv& env, ftb::FtbAgent& ftb_agent,
+                                 NlaState initial_state)
+    : env_(&env), state_(initial_state), ftb_client_(ftb_agent, "nla:" + env.hostname) {}
+
+void NodeLaunchAgent::remove_rank(int rank) {
+  local_ranks_.erase(std::remove(local_ranks_.begin(), local_ranks_.end(), rank),
+                     local_ranks_.end());
+}
+
+JobManager::JobManager(sim::Engine& engine, ftb::FtbAgent& ftb_agent, std::size_t fanout)
+    : engine_(engine), fanout_(fanout), ftb_client_(ftb_agent, "job_manager") {
+  JOBMIG_EXPECTS(fanout >= 1);
+}
+
+void JobManager::register_nla(NodeLaunchAgent& nla) {
+  nlas_.push_back(&nla);
+  rebuild_tree();
+}
+
+void JobManager::rebuild_tree() {
+  // Tree slot 0 is the Job Manager itself; NLAs fill slots 1..n.
+  tree_ = std::make_unique<SpawnTree>(nlas_.size() + 1, fanout_);
+}
+
+const SpawnTree& JobManager::tree() const {
+  JOBMIG_EXPECTS_MSG(tree_ != nullptr, "no NLAs registered");
+  return *tree_;
+}
+
+NodeLaunchAgent* JobManager::nla_for_host(const std::string& hostname) {
+  for (NodeLaunchAgent* nla : nlas_) {
+    if (nla->hostname() == hostname) return nla;
+  }
+  return nullptr;
+}
+
+NodeLaunchAgent* JobManager::nla_at(std::size_t idx) {
+  return idx < nlas_.size() ? nlas_[idx] : nullptr;
+}
+
+NodeLaunchAgent* JobManager::find_spare() {
+  for (NodeLaunchAgent* nla : nlas_) {
+    if (nla->state() == NlaState::kSpare) return nla;
+  }
+  return nullptr;
+}
+
+sim::Task JobManager::launch(mpr::Job& job) {
+  JOBMIG_EXPECTS(tree_ != nullptr);
+  // Staged launch: each tree level starts in parallel after its parent
+  // level (ScELA's scalable bootstrap), then ranks spawn on their nodes.
+  const std::size_t levels = tree_->depth();
+  co_await sim::sleep_for(kPerLevelLaunchCost * static_cast<std::int64_t>(levels));
+  std::size_t max_ranks_per_node = 0;
+  for (int r = 0; r < job.size(); ++r) {
+    NodeLaunchAgent* nla = nla_for_host(job.node_of(r).hostname);
+    JOBMIG_EXPECTS_MSG(nla != nullptr, "rank placed on an unregistered node");
+    nla->assign_rank(r);
+  }
+  for (NodeLaunchAgent* nla : nlas_) {
+    max_ranks_per_node = std::max(max_ranks_per_node, nla->local_ranks().size());
+  }
+  co_await sim::sleep_for(kPerRankSpawnCost * static_cast<std::int64_t>(max_ranks_per_node));
+}
+
+void JobManager::adopt_migration(NodeLaunchAgent& source, NodeLaunchAgent& target,
+                                 const std::vector<int>& ranks) {
+  JOBMIG_EXPECTS_MSG(target.state() == NlaState::kSpare, "migration target must be a spare");
+  for (int r : ranks) {
+    source.remove_rank(r);
+    target.assign_rank(r);
+  }
+  // Spawn-tree adjustment (tree slots are offset by 1 for the JM root).
+  std::size_t src_idx = 0, dst_idx = 0;
+  for (std::size_t i = 0; i < nlas_.size(); ++i) {
+    if (nlas_[i] == &source) src_idx = i + 1;
+    if (nlas_[i] == &target) dst_idx = i + 1;
+  }
+  JOBMIG_ASSERT(src_idx != 0 && dst_idx != 0);
+  tree_->replace_node(src_idx, dst_idx);
+  source.set_state(NlaState::kInactive);
+  target.set_state(NlaState::kReady);
+}
+
+}  // namespace jobmig::launch

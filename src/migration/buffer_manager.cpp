@@ -1,0 +1,447 @@
+#include "jobmig/migration/buffer_manager.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "jobmig/sim/log.hpp"
+
+namespace jobmig::migration {
+
+using namespace sim::literals;
+
+namespace wire {
+
+sim::Bytes ControlMsg::encode() const {
+  sim::Bytes out;
+  out.reserve(kWireSize);
+  out.push_back(static_cast<std::byte>(op));
+  sim::put_u32(out, chunk_index);
+  sim::put_u32(out, rkey);
+  sim::put_u64(out, pool_offset);
+  sim::put_u64(out, length);
+  sim::put_u32(out, static_cast<std::uint32_t>(rank));
+  sim::put_u64(out, stream_offset);
+  out.push_back(static_cast<std::byte>(end_of_stream ? 1 : 0));
+  return out;
+}
+
+std::optional<ControlMsg> ControlMsg::decode(sim::ByteSpan data) {
+  if (data.size() != kWireSize) return std::nullopt;
+  const auto op_raw = static_cast<std::uint8_t>(data[0]);
+  if (op_raw < 1 || op_raw > 4) return std::nullopt;
+  ControlMsg m;
+  m.op = static_cast<Op>(op_raw);
+  m.chunk_index = sim::get_u32(data, 1);
+  m.rkey = sim::get_u32(data, 5);
+  m.pool_offset = sim::get_u64(data, 9);
+  m.length = sim::get_u64(data, 17);
+  m.rank = static_cast<std::int32_t>(sim::get_u32(data, 25));
+  m.stream_offset = sim::get_u64(data, 29);
+  m.end_of_stream = data[37] != std::byte{0};
+  return m;
+}
+
+}  // namespace wire
+
+namespace {
+
+constexpr std::size_t kControlRing = 32;
+constexpr std::uint32_t kNoChunk = UINT32_MAX;  // eos marker without payload
+
+void post_control_ring(ib::QueuePair& qp, std::vector<sim::Bytes>& ring) {
+  ring.resize(kControlRing);
+  for (std::size_t s = 0; s < kControlRing; ++s) {
+    ring[s].resize(wire::ControlMsg::kWireSize);
+    qp.post_recv(ib::RecvWr{1000 + s, ring[s].data(), ring[s].size()});
+  }
+}
+
+void repost_control_slot(ib::QueuePair& qp, std::vector<sim::Bytes>& ring, std::uint64_t wr_id) {
+  const std::size_t s = static_cast<std::size_t>(wr_id - 1000);
+  qp.post_recv(ib::RecvWr{wr_id, ring[s].data(), ring[s].size()});
+}
+
+}  // namespace
+
+// ---- Target side -------------------------------------------------------------
+
+TargetBufferManager::TargetBufferManager(ib::Hca& hca, PoolConfig cfg) : hca_(hca), cfg_(cfg) {
+  pool_.resize(cfg_.pool_bytes);
+  for (std::size_t c = 0; c < cfg_.chunks(); ++c) free_list_.push_back(c);
+  free_chunks_.release(cfg_.chunks());
+}
+
+TargetBufferManager::~TargetBufferManager() {
+  if (pool_mr_ != nullptr) hca_.dereg_mr(pool_mr_);
+  if (send_dispatch_.running()) send_dispatch_.stop();
+}
+
+sim::ValueTask<ib::IbAddr> TargetBufferManager::open() {
+  pool_mr_ = co_await hca_.reg_mr(pool_.data(), pool_.size());
+  qp_ = hca_.create_qp(send_cq_, recv_cq_);
+  post_control_ring(*qp_, ring_);
+  send_dispatch_.start(hca_.engine());
+  co_return ib::IbAddr{hca_.node(), qp_->qpn()};
+}
+
+void TargetBufferManager::connect_to(ib::IbAddr source_control) {
+  qp_->connect(source_control);
+}
+
+sim::Task TargetBufferManager::serve() {
+  JOBMIG_EXPECTS_MSG(qp_ != nullptr && qp_->state() == ib::QpState::kRts,
+                     "serve() before open()/connect_to()");
+  while (true) {
+    ib::WorkCompletion wc = co_await recv_cq_.wait();
+    if (!wc.ok()) continue;
+    const std::size_t slot = static_cast<std::size_t>(wc.wr_id - 1000);
+    auto msg = wire::ControlMsg::decode(sim::ByteSpan(ring_[slot].data(), wc.byte_len));
+    repost_control_slot(*qp_, ring_, wc.wr_id);
+    JOBMIG_ASSERT_MSG(msg.has_value(), "undecodable buffer-manager control message");
+    if (msg->op == wire::Op::kRequest) {
+      ++active_pulls_;
+      hca_.engine().spawn(pull_one(*msg));
+    } else if (msg->op == wire::Op::kDone) {
+      done_seen_ = true;
+      rank_announced_.set();  // unblock next_announced_rank() consumers
+      break;
+    }
+  }
+  while (active_pulls_ > 0) {
+    co_await pulls_idle_.wait();
+    pulls_idle_.reset();
+  }
+  for (const auto& [rank, complete] : stream_complete_) {
+    JOBMIG_ASSERT_MSG(complete, "DONE received with an incomplete rank stream");
+  }
+  wire::ControlMsg ack;
+  ack.op = wire::Op::kDoneAck;
+  const std::uint64_t wr = next_wr_++;
+  qp_->post_send(ib::SendWr{wr, ack.encode()});
+  ib::WorkCompletion wc = co_await send_dispatch_.await(wr);
+  JOBMIG_ASSERT(wc.ok());
+  // Join the dispatcher before the caller may destroy this object.
+  send_dispatch_.stop();
+  while (send_dispatch_.running()) co_await sim::sleep_for(sim::Duration::us(1));
+}
+
+std::string_view to_string(RestartMode mode) {
+  switch (mode) {
+    case RestartMode::kFile: return "file";
+    case RestartMode::kMemory: return "memory";
+    case RestartMode::kPipelined: return "pipelined";
+  }
+  return "?";
+}
+
+sim::Task TargetBufferManager::pull_one(wire::ControlMsg req) {
+  sim::Bytes& stream = streams_[req.rank];
+  if (!stream_complete_.contains(req.rank)) stream_complete_[req.rank] = false;
+  note_rank(req.rank);
+
+  if (req.length > 0) {
+    JOBMIG_EXPECTS_MSG(req.length <= cfg_.chunk_bytes, "oversized chunk advertised");
+    // Wait for a free local chunk, pull, then reassemble at the advertised
+    // stream offset ("concatenated into a complete checkpoint file").
+    co_await free_chunks_.acquire();
+    const std::size_t local_chunk = free_list_.front();
+    free_list_.pop_front();
+    std::byte* dst = pool_.data() + local_chunk * cfg_.chunk_bytes;
+
+    const std::uint64_t wr = next_wr_++;
+    qp_->post_rdma_read(ib::RdmaWr{wr, dst, req.pool_offset, req.rkey, req.length});
+    ib::WorkCompletion wc = co_await send_dispatch_.await(wr);
+    JOBMIG_ASSERT_MSG(wc.ok(), "buffer-pool RDMA read failed");
+    bytes_pulled_ += req.length;
+
+    if (stream.size() < req.stream_offset + req.length) {
+      stream.resize(req.stream_offset + req.length);
+    }
+    std::memcpy(stream.data() + req.stream_offset, dst, req.length);
+    free_list_.push_back(local_chunk);
+    free_chunks_.release();
+
+    // Advance the contiguous watermark (chunks normally land in order; the
+    // segment map absorbs any reordering) for on-the-fly readers.
+    RankProgress& prog = progress_of(req.rank);
+    prog.segments[req.stream_offset] = req.length;
+    for (auto it = prog.segments.begin();
+         it != prog.segments.end() && it->first <= prog.watermark;) {
+      prog.watermark = std::max(prog.watermark, it->first + it->second);
+      it = prog.segments.erase(it);
+    }
+    if (prog.expected_end && prog.watermark >= *prog.expected_end) prog.complete = true;
+    prog.advanced.set();
+
+    // Tell the source to recycle its chunk.
+    wire::ControlMsg release;
+    release.op = wire::Op::kRelease;
+    release.chunk_index = req.chunk_index;
+    const std::uint64_t rel_wr = next_wr_++;
+    qp_->post_send(ib::SendWr{rel_wr, release.encode()});
+    ib::WorkCompletion rel_wc = co_await send_dispatch_.await(rel_wr);
+    JOBMIG_ASSERT(rel_wc.ok());
+  }
+  if (req.end_of_stream) {
+    stream_complete_[req.rank] = true;
+    RankProgress& prog = progress_of(req.rank);
+    prog.expected_end = req.stream_offset + req.length;
+    if (prog.watermark >= *prog.expected_end) prog.complete = true;
+    prog.advanced.set();
+  }
+
+  --active_pulls_;
+  if (active_pulls_ == 0) pulls_idle_.set();
+}
+
+TargetBufferManager::RankProgress& TargetBufferManager::progress_of(int rank) {
+  return progress_[rank];
+}
+
+void TargetBufferManager::note_rank(int rank) {
+  if (progress_.contains(rank)) return;
+  progress_[rank];  // materialize
+  announced_.push_back(rank);
+  rank_announced_.set();
+}
+
+sim::ValueTask<int> TargetBufferManager::next_announced_rank() {
+  while (announced_.empty()) {
+    if (done_seen_) co_return -1;
+    co_await rank_announced_.wait();
+    rank_announced_.reset();
+  }
+  const int rank = announced_.front();
+  announced_.pop_front();
+  co_return rank;
+}
+
+namespace {
+
+/// RestartSource that tails a rank's stream while chunks are still landing.
+class StreamingSource final : public proc::RestartSource {
+ public:
+  StreamingSource(TargetBufferManager& mgr, int rank) : mgr_(mgr), rank_(rank) {}
+
+  sim::ValueTask<sim::Bytes> read(std::uint64_t max_len) override {
+    auto& prog = mgr_.progress_of(rank_);
+    while (prog.watermark <= offset_ && !prog.complete) {
+      co_await prog.advanced.wait();
+      prog.advanced.reset();
+    }
+    if (offset_ >= prog.watermark) co_return sim::Bytes{};  // complete: EOF
+    const std::uint64_t n = std::min<std::uint64_t>(max_len, prog.watermark - offset_);
+    const sim::Bytes& stream = mgr_.stream_of(rank_);
+    sim::Bytes out(stream.begin() + static_cast<std::ptrdiff_t>(offset_),
+                   stream.begin() + static_cast<std::ptrdiff_t>(offset_ + n));
+    offset_ += n;
+    co_return out;
+  }
+
+ private:
+  TargetBufferManager& mgr_;
+  int rank_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<proc::RestartSource> TargetBufferManager::make_streaming_source(int rank) {
+  note_rank(rank);  // reader may attach before the first chunk
+  return std::make_unique<StreamingSource>(*this, rank);
+}
+
+const sim::Bytes& TargetBufferManager::stream_of(int rank) const {
+  auto it = streams_.find(rank);
+  JOBMIG_EXPECTS_MSG(it != streams_.end(), "no stream for rank");
+  return it->second;
+}
+
+sim::Bytes TargetBufferManager::take_stream(int rank) {
+  auto it = streams_.find(rank);
+  JOBMIG_EXPECTS_MSG(it != streams_.end(), "no stream for rank");
+  sim::Bytes out = std::move(it->second);
+  streams_.erase(it);
+  return out;
+}
+
+std::vector<int> TargetBufferManager::ranks() const {
+  std::vector<int> out;
+  for (const auto& [rank, stream] : streams_) out.push_back(rank);
+  return out;
+}
+
+// ---- Source side -------------------------------------------------------------
+
+SourceBufferManager::SourceBufferManager(ib::Hca& hca, PoolConfig cfg) : hca_(hca), cfg_(cfg) {
+  pool_.resize(cfg_.pool_bytes);
+  for (std::size_t c = 0; c < cfg_.chunks(); ++c) free_list_.push_back(c);
+  free_chunks_.release(cfg_.chunks());
+}
+
+SourceBufferManager::~SourceBufferManager() {
+  if (pool_mr_ != nullptr) hca_.dereg_mr(pool_mr_);
+  if (send_dispatch_.running()) send_dispatch_.stop();
+}
+
+sim::ValueTask<ib::IbAddr> SourceBufferManager::open(ib::IbAddr target_control) {
+  pool_mr_ = co_await hca_.reg_mr(pool_.data(), pool_.size());
+  qp_ = hca_.create_qp(send_cq_, recv_cq_);
+  post_control_ring(*qp_, ring_);
+  qp_->connect(target_control);
+  send_dispatch_.start(hca_.engine());
+  co_return ib::IbAddr{hca_.node(), qp_->qpn()};
+}
+
+void SourceBufferManager::start() {
+  JOBMIG_EXPECTS(!running_);
+  running_ = true;
+  hca_.engine().spawn(release_loop());
+}
+
+sim::Task SourceBufferManager::release_loop() {
+  while (true) {
+    ib::WorkCompletion wc = co_await recv_cq_.wait();
+    if (!wc.ok()) continue;
+    const std::size_t slot = static_cast<std::size_t>(wc.wr_id - 1000);
+    auto msg = wire::ControlMsg::decode(sim::ByteSpan(ring_[slot].data(), wc.byte_len));
+    repost_control_slot(*qp_, ring_, wc.wr_id);
+    JOBMIG_ASSERT(msg.has_value());
+    if (msg->op == wire::Op::kRelease) {
+      free_list_.push_back(msg->chunk_index);
+      free_chunks_.release();
+      JOBMIG_ASSERT(in_flight_ > 0);
+      --in_flight_;
+      if (in_flight_ == 0) chunks_idle_.set();
+    } else if (msg->op == wire::Op::kDoneAck) {
+      done_ack_.set();
+      break;
+    }
+  }
+  running_ = false;
+}
+
+sim::ValueTask<SourceBufferManager::Chunk> SourceBufferManager::acquire_chunk() {
+  co_await free_chunks_.acquire();
+  JOBMIG_ASSERT(!free_list_.empty());
+  Chunk chunk{free_list_.front(), 0};
+  free_list_.pop_front();
+  co_return chunk;
+}
+
+sim::Task SourceBufferManager::submit(Chunk chunk, int rank, std::uint64_t stream_offset,
+                                      bool end_of_stream) {
+  wire::ControlMsg req;
+  req.op = wire::Op::kRequest;
+  req.chunk_index = static_cast<std::uint32_t>(chunk.index);
+  req.rkey = pool_mr_->rkey();
+  req.pool_offset = chunk.index * cfg_.chunk_bytes;
+  req.length = chunk.fill;
+  req.rank = rank;
+  req.stream_offset = stream_offset;
+  req.end_of_stream = end_of_stream;
+
+  ++in_flight_;
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+  bytes_submitted_ += chunk.fill;
+  const std::uint64_t wr = next_wr_++;
+  qp_->post_send(ib::SendWr{wr, req.encode()});
+  ib::WorkCompletion wc = co_await send_dispatch_.await(wr);
+  JOBMIG_ASSERT_MSG(wc.ok(), "buffer-pool request send failed");
+}
+
+namespace {
+
+/// BLCR sink writing one rank's checkpoint stream through the source pool.
+class PoolSink final : public proc::CheckpointSink {
+ public:
+  PoolSink(SourceBufferManager& mgr, int rank) : mgr_(mgr), rank_(rank) {}
+
+  sim::Task write(sim::ByteSpan chunk_data) override {
+    std::size_t pos = 0;
+    while (pos < chunk_data.size()) {
+      if (!current_) current_ = co_await mgr_.acquire_chunk();
+      const std::uint64_t room = mgr_.config().chunk_bytes - current_->fill;
+      const std::uint64_t n = std::min<std::uint64_t>(room, chunk_data.size() - pos);
+      std::memcpy(mgr_.chunk_data(current_->index) + current_->fill, chunk_data.data() + pos,
+                  n);
+      current_->fill += n;
+      pos += n;
+      if (current_->fill == mgr_.config().chunk_bytes) {
+        co_await flush(/*end_of_stream=*/false);
+      }
+    }
+  }
+
+  sim::Task finish() override {
+    if (current_ && current_->fill > 0) {
+      co_await flush(/*end_of_stream=*/true);
+      co_return;
+    }
+    // Stream ended exactly on a chunk boundary: send a payload-free marker.
+    wire::ControlMsg eos;
+    eos.op = wire::Op::kRequest;
+    eos.chunk_index = UINT32_MAX;
+    eos.length = 0;
+    eos.rank = rank_;
+    eos.stream_offset = stream_offset_;
+    eos.end_of_stream = true;
+    co_await mgr_.send_marker(eos);
+  }
+
+ private:
+  sim::Task flush(bool end_of_stream) {
+    SourceBufferManager::Chunk c = *current_;
+    current_.reset();
+    const std::uint64_t offset = stream_offset_;
+    stream_offset_ += c.fill;
+    co_await mgr_.submit(c, rank_, offset, end_of_stream);
+  }
+
+  SourceBufferManager& mgr_;
+  int rank_;
+  std::optional<SourceBufferManager::Chunk> current_;
+  std::uint64_t stream_offset_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<proc::CheckpointSink> SourceBufferManager::make_sink(int rank) {
+  return std::make_unique<PoolSink>(*this, rank);
+}
+
+sim::Task SourceBufferManager::send_marker(const wire::ControlMsg& msg) {
+  const std::uint64_t wr = next_wr_++;
+  qp_->post_send(ib::SendWr{wr, msg.encode()});
+  ib::WorkCompletion wc = co_await send_dispatch_.await(wr);
+  JOBMIG_ASSERT(wc.ok());
+}
+
+sim::Task SourceBufferManager::finish() {
+  while (in_flight_ > 0) {
+    co_await chunks_idle_.wait();
+    chunks_idle_.reset();
+  }
+  wire::ControlMsg done;
+  done.op = wire::Op::kDone;
+  co_await send_marker(done);
+  while (!done_ack_.is_set()) co_await done_ack_.wait();
+  // Join the service loops before the caller may destroy this object: a
+  // loop parked on a member CQ would otherwise wake into freed memory.
+  send_dispatch_.stop();
+  while (send_dispatch_.running() || running_) co_await sim::sleep_for(sim::Duration::us(1));
+}
+
+// ---- Restart source ----------------------------------------------------------
+
+sim::ValueTask<sim::Bytes> BufferedStreamSource::read(std::uint64_t max_len) {
+  const std::uint64_t n = std::min<std::uint64_t>(max_len, stream_.size() - offset_);
+  if (n == 0) co_return sim::Bytes{};
+  if (disk_ != nullptr) co_await disk_->read(n);
+  sim::Bytes out(stream_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                 stream_.begin() + static_cast<std::ptrdiff_t>(offset_ + n));
+  offset_ += n;
+  co_return out;
+}
+
+}  // namespace jobmig::migration

@@ -1,0 +1,421 @@
+#include "jobmig/migration/controller.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "jobmig/sim/log.hpp"
+
+namespace jobmig::migration {
+
+using namespace sim::literals;
+
+std::string encode_kv(const std::map<std::string, std::string>& kv) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) os << ' ';
+    first = false;
+    os << k << '=' << v;
+  }
+  return os.str();
+}
+
+std::map<std::string, std::string> decode_kv(const std::string& payload) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(payload);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    out[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+
+namespace {
+
+/// Builds a migration-space event. Kept out of co_await expressions: GCC 12
+/// rejects initializer_list temporaries inside awaited full-expressions
+/// ("array used as initializer"), so callers hoist event construction into
+/// a plain statement first.
+ftb::FtbEvent mig_event(const char* name, ftb::Severity sev,
+                        std::map<std::string, std::string> kv) {
+  return ftb::FtbEvent{kMigSpace, name, sev, encode_kv(kv)};
+}
+
+}  // namespace
+
+sim::ValueTask<ftb::FtbEvent> EventWaiter::await_named(std::string name) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (it->name == name) {
+      ftb::FtbEvent ev = std::move(*it);
+      stash_.erase(it);
+      co_return ev;
+    }
+  }
+  while (true) {
+    ftb::FtbEvent ev = co_await client_.next_event();
+    if (ev.name == name) co_return ev;
+    stash_.push_back(std::move(ev));
+  }
+}
+
+namespace {
+
+std::string encode_ranks(const std::vector<int>& ranks) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i) os << ',';
+    os << ranks[i];
+  }
+  return os.str();
+}
+
+std::vector<int> decode_ranks(const std::string& s) {
+  std::vector<int> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+ftb::Subscription all_mig_events() {
+  return ftb::Subscription{kMigSpace, "*", ftb::Severity::kInfo};
+}
+
+}  // namespace
+
+// ---- NodeCrDaemon ------------------------------------------------------------
+
+NodeCrDaemon::NodeCrDaemon(launch::NodeLaunchAgent& nla, mpr::Job& job,
+                           ftb::FtbAgent& ftb_agent, MigrationOptions opts)
+    : nla_(nla), job_(job), ftb_agent_(ftb_agent), ftb_(ftb_agent, "crd:" + nla.hostname()),
+      opts_(opts) {
+  // The daemon client only consumes FTB_MIGRATE; each cycle opens its own
+  // client for the cycle's event exchange, so no two coroutines ever share
+  // one inbox.
+  ftb_.subscribe(ftb::Subscription{kMigSpace, kEvMigrate, ftb::Severity::kInfo});
+}
+
+void NodeCrDaemon::start() {
+  JOBMIG_EXPECTS(!running_);
+  running_ = true;
+  nla_.env().engine->spawn(event_loop());
+}
+
+sim::Task NodeCrDaemon::event_loop() {
+  while (running_) {
+    ftb::FtbEvent ev = co_await ftb_.next_event();
+    if (!running_) break;
+    auto kv = decode_kv(ev.payload);
+    co_await handle_migrate(kv["src"], kv["dst"]);
+  }
+}
+
+sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string target_host) {
+  const bool is_source = nla_.hostname() == source_host;
+  const bool is_target = nla_.hostname() == target_host;
+
+  // Cycle-scoped client: subscribed now, at FTB_MIGRATE receipt, so every
+  // later event of this cycle (which needs at least one network hop to get
+  // here) is guaranteed to be captured.
+  ftb::FtbClient cycle_client(ftb_agent_, "cyc:" + nla_.hostname());
+  cycle_client.subscribe(all_mig_events());
+
+  if (is_target) {
+    // The spare's duties span phases 2-4 and run concurrently with the
+    // stall phase on the hosting nodes.
+    nla_.env().engine->spawn(target_routine(source_host));
+  }
+
+  const std::vector<int> local_ranks = nla_.local_ranks();
+  if (local_ranks.empty()) {
+    if (is_target) {
+      // Hold the event loop until the cycle finishes so migrations stay
+      // strictly serialized on this node.
+      co_await target_done_.wait();
+      target_done_.reset();
+    }
+    co_return;  // idle spare or drained node
+  }
+
+  // ---- Phase 1: Job Stall (per-process C/R-thread work) ----
+  for (int r : local_ranks) job_.proc(r).request_park();
+  for (int r : local_ranks) co_await job_.proc(r).wait_parked();
+  for (int r : local_ranks) co_await job_.proc(r).drain_and_teardown();
+  ftb::FtbEvent suspend_done = mig_event(kEvSuspendDone, ftb::Severity::kInfo,
+                                         {{"host", nla_.hostname()}});
+  co_await ftb_.publish(std::move(suspend_done));
+
+  if (is_source) {
+    co_await source_routine(target_host, cycle_client);
+  } else {
+    // Ranks staying put enter the migration barrier and rebuild once the
+    // restarted ranks re-join (paper: "enter a migration barrier and
+    // remain stalled").
+    sim::TaskGroup group(*nla_.env().engine);
+    for (int r : local_ranks) group.spawn(stay_routine(r));
+    co_await group.wait();
+    ftb::FtbEvent resume_done = mig_event(kEvResumeDone, ftb::Severity::kInfo,
+                                          {{"host", nla_.hostname()}});
+    co_await ftb_.publish(std::move(resume_done));
+  }
+}
+
+sim::Task NodeCrDaemon::stay_routine(int rank) {
+  co_await job_.migration_barrier_enter();
+  co_await job_.proc(rank).rebuild_and_resume();
+}
+
+sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& cycle_client) {
+  (void)target_host;
+  EventWaiter waiter(cycle_client);
+  // Wait for global consistency before checkpointing (end of Phase 1).
+  (void)co_await waiter.await_named(kEvAllSuspended);
+
+  // Pull-channel handshake with the target's buffer manager.
+  ftb::FtbEvent ready = co_await waiter.await_named(kEvPullReady);
+  auto rkv = decode_kv(ready.payload);
+  ib::IbAddr target_addr{static_cast<ib::NodeId>(std::stoul(rkv["node"])),
+                         static_cast<ib::QpNum>(std::stoul(rkv["qpn"]))};
+
+  SourceBufferManager smgr(*nla_.env().hca, opts_.pool);
+  ib::IbAddr my_addr = co_await smgr.open(target_addr);
+  ftb::FtbEvent src_ready_ev = mig_event(
+      kEvPullSrcReady, ftb::Severity::kInfo,
+      {{"node", std::to_string(my_addr.node)}, {"qpn", std::to_string(my_addr.qpn)}});
+  co_await ftb_.publish(std::move(src_ready_ev));
+  (void)co_await waiter.await_named(kEvPullConnected);
+  smgr.start();
+
+  // ---- Phase 2: checkpoint every local rank through the pool ----
+  const std::vector<int> ranks = nla_.local_ranks();
+  std::vector<std::unique_ptr<proc::CheckpointSink>> sinks;
+  sim::TaskGroup group(*nla_.env().engine);
+  for (int r : ranks) {
+    sinks.push_back(smgr.make_sink(r));
+    group.spawn(nla_.env().blcr->checkpoint(job_.proc(r).sim_process(), *sinks.back()));
+  }
+  co_await group.wait();
+  co_await smgr.finish();
+
+  ftb::FtbEvent piic_ev = mig_event(
+      kEvMigratePiic, ftb::Severity::kInfo,
+      {{"host", nla_.hostname()}, {"bytes", std::to_string(smgr.bytes_submitted())}});
+  co_await ftb_.publish(std::move(piic_ev));
+
+  // The node is drained: terminate the local (now stale) processes.
+  for (int r : ranks) job_.proc(r).kill();
+}
+
+sim::Task NodeCrDaemon::target_routine(std::string source_host) {
+  (void)source_host;
+  // Own cycle client: opened before any counterpart can publish (their
+  // events need at least one network hop to reach this agent).
+  ftb::FtbClient cycle_client(ftb_agent_, "cyt:" + nla_.hostname());
+  cycle_client.subscribe(all_mig_events());
+  EventWaiter waiter(cycle_client);
+  target_mgr_ = std::make_unique<TargetBufferManager>(*nla_.env().hca, opts_.pool);
+  ib::IbAddr addr = co_await target_mgr_->open();
+  ftb::FtbEvent pull_ready_ev = mig_event(
+      kEvPullReady, ftb::Severity::kInfo,
+      {{"node", std::to_string(addr.node)}, {"qpn", std::to_string(addr.qpn)}});
+  co_await ftb_.publish(std::move(pull_ready_ev));
+  ftb::FtbEvent src_ready = co_await waiter.await_named(kEvPullSrcReady);
+  auto skv = decode_kv(src_ready.payload);
+  target_mgr_->connect_to(ib::IbAddr{static_cast<ib::NodeId>(std::stoul(skv["node"])),
+                                     static_cast<ib::QpNum>(std::stoul(skv["qpn"]))});
+  ftb::FtbEvent connected_ev = mig_event(kEvPullConnected, ftb::Severity::kInfo, {});
+  co_await ftb_.publish(std::move(connected_ev));
+
+  // ---- Phase 2 (target side): pull chunks until the source is done ----
+  // In pipelined mode the paper's §IV-A revision runs here too: BLCR
+  // restarts consume each rank's stream on the fly, overlapping the
+  // transfer, so Phase 3 shrinks to bookkeeping.
+  std::map<int, proc::SimProcessPtr> pipelined_images;
+  if (opts_.restart_mode == RestartMode::kPipelined) {
+    sim::TaskGroup pipeline(*nla_.env().engine);
+    pipeline.spawn([](NodeCrDaemon& self, std::map<int, proc::SimProcessPtr>& images)
+                       -> sim::Task {
+      sim::TaskGroup per_rank(*self.nla_.env().engine);
+      while (true) {
+        const int rank = co_await self.target_mgr_->next_announced_rank();
+        if (rank < 0) break;
+        per_rank.spawn([](NodeCrDaemon& s, int r,
+                          std::map<int, proc::SimProcessPtr>& out) -> sim::Task {
+          auto source = s.target_mgr_->make_streaming_source(r);
+          out[r] = co_await s.nla_.env().blcr->restart(*source);
+        }(self, rank, images));
+      }
+      co_await per_rank.wait();
+    }(*this, pipelined_images));
+    co_await target_mgr_->serve();
+    co_await pipeline.wait();
+  } else {
+    co_await target_mgr_->serve();
+  }
+
+  // ---- Phase 3: restart the migrated ranks from the transferred images ----
+  ftb::FtbEvent restart_ev = co_await waiter.await_named(kEvRestart);
+  auto rkv = decode_kv(restart_ev.payload);
+  JOBMIG_ASSERT_MSG(rkv["dst"] == nla_.hostname(), "FTB_RESTART routed to the wrong node");
+  const std::vector<int> ranks = decode_ranks(rkv["ranks"]);
+
+  if (opts_.restart_mode == RestartMode::kPipelined) {
+    for (int r : ranks) {
+      auto it = pipelined_images.find(r);
+      JOBMIG_ASSERT_MSG(it != pipelined_images.end(), "pipelined image missing for rank");
+      auto fresh = job_.make_unwired_proc(r, nla_.env());
+      fresh->adopt_sim_process(std::move(it->second));
+      job_.replace_proc(r, std::move(fresh));
+    }
+  } else {
+    storage::BlockDevice* restart_disk =
+        opts_.restart_mode == RestartMode::kFile ? &nla_.env().scratch->device() : nullptr;
+    sim::TaskGroup group(*nla_.env().engine);
+    for (int r : ranks) {
+      group.spawn([](NodeCrDaemon& self, int rank, storage::BlockDevice* disk) -> sim::Task {
+        BufferedStreamSource source(self.target_mgr_->take_stream(rank), disk);
+        proc::SimProcessPtr image = co_await self.nla_.env().blcr->restart(source);
+        auto fresh = self.job_.make_unwired_proc(rank, self.nla_.env());
+        fresh->adopt_sim_process(std::move(image));
+        self.job_.replace_proc(rank, std::move(fresh));
+      }(*this, r, restart_disk));
+    }
+    co_await group.wait();
+  }
+  ftb::FtbEvent restart_done = mig_event(kEvRestartDone, ftb::Severity::kInfo,
+                                         {{"host", nla_.hostname()}});
+  co_await ftb_.publish(std::move(restart_done));
+
+  // ---- Phase 4: re-join the job and resume ----
+  sim::TaskGroup resume_group(*nla_.env().engine);
+  for (int r : ranks) {
+    resume_group.spawn([](NodeCrDaemon& self, int rank) -> sim::Task {
+      co_await self.job_.migration_barrier_enter();
+      co_await self.job_.proc(rank).rebuild_and_resume();
+      self.job_.relaunch_app_on(rank);
+    }(*this, r));
+  }
+  co_await resume_group.wait();
+  ftb::FtbEvent resume_done = mig_event(kEvResumeDone, ftb::Severity::kInfo,
+                                        {{"host", nla_.hostname()}});
+  co_await ftb_.publish(std::move(resume_done));
+  target_mgr_.reset();
+  target_done_.set();
+}
+
+// ---- MigrationManager ----------------------------------------------------------
+
+MigrationManager::MigrationManager(launch::JobManager& jm, mpr::Job& job,
+                                   ftb::FtbAgent& ftb_agent, MigrationOptions opts)
+    : jm_(jm), job_(job), ftb_agent_(ftb_agent), ftb_(ftb_agent, "migration_manager"),
+      opts_(opts) {}  // ftb_ publishes only; cycle clients do the listening
+
+sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& source_host) {
+  JOBMIG_EXPECTS_MSG(!cycle_active_, "one migration cycle at a time");
+  // Serialize against other job-wide FT operations (periodic checkpoints).
+  auto ft_lock = co_await job_.acquire_ft_lock();
+  cycle_active_ = true;
+
+  launch::NodeLaunchAgent* src = jm_.nla_for_host(source_host);
+  JOBMIG_EXPECTS_MSG(src != nullptr, "unknown source host");
+  JOBMIG_EXPECTS_MSG(!src->local_ranks().empty(), "source node hosts no ranks");
+  launch::NodeLaunchAgent* dst = jm_.find_spare();
+  JOBMIG_EXPECTS_MSG(dst != nullptr, "no spare node available");
+  const std::vector<int> ranks = src->local_ranks();
+
+  // Hosts that must report suspension (everyone currently hosting ranks).
+  std::set<std::string> hosting;
+  for (int r = 0; r < job_.size(); ++r) hosting.insert(job_.node_of(r).hostname);
+
+  job_.configure_migration_barrier();
+  // Cycle-scoped client: subscribed before FTB_MIGRATE goes out.
+  ftb::FtbClient cycle_client(ftb_agent_, "migmgr_cycle");
+  cycle_client.subscribe(all_mig_events());
+  EventWaiter waiter(cycle_client);
+  MigrationReport report;
+  report.source_host = source_host;
+  report.target_host = dst->hostname();
+  report.migrated_ranks = ranks;
+
+  const sim::TimePoint t0 = jm_.engine().now();
+  ftb::FtbEvent migrate_ev = mig_event(kEvMigrate, ftb::Severity::kWarning,
+                                       {{"src", source_host}, {"dst", dst->hostname()}});
+  co_await ftb_.publish(std::move(migrate_ev));
+
+  // ---- Phase 1 ends when every hosting node reports drained ----
+  std::set<std::string> suspended;
+  while (suspended.size() < hosting.size()) {
+    ftb::FtbEvent ev = co_await waiter.await_named(kEvSuspendDone);
+    suspended.insert(decode_kv(ev.payload)["host"]);
+  }
+  ftb::FtbEvent all_suspended = mig_event(kEvAllSuspended, ftb::Severity::kInfo, {});
+  co_await ftb_.publish(std::move(all_suspended));
+  const sim::TimePoint t1 = jm_.engine().now();
+
+  // ---- Phase 2 ends with FTB_MIGRATE_PIIC from the source NLA ----
+  ftb::FtbEvent piic = co_await waiter.await_named(kEvMigratePiic);
+  report.bytes_moved = std::stoull(decode_kv(piic.payload)["bytes"]);
+  const sim::TimePoint t2 = jm_.engine().now();
+
+  // ---- Phase 3: adjust the spawn tree, broadcast FTB_RESTART ----
+  jm_.adopt_migration(*src, *dst, ranks);
+  ftb::FtbEvent restart_ev2 = mig_event(
+      kEvRestart, ftb::Severity::kInfo,
+      {{"dst", dst->hostname()}, {"ranks", encode_ranks(ranks)}});
+  co_await ftb_.publish(std::move(restart_ev2));
+  (void)co_await waiter.await_named(kEvRestartDone);
+  const sim::TimePoint t3 = jm_.engine().now();
+
+  // ---- Phase 4 ends when every node hosting ranks has resumed ----
+  std::set<std::string> expected_resume;
+  for (int r = 0; r < job_.size(); ++r) expected_resume.insert(job_.node_of(r).hostname);
+  std::set<std::string> resumed;
+  while (resumed.size() < expected_resume.size()) {
+    ftb::FtbEvent ev = co_await waiter.await_named(kEvResumeDone);
+    resumed.insert(decode_kv(ev.payload)["host"]);
+  }
+  const sim::TimePoint t4 = jm_.engine().now();
+
+  report.stall = t1 - t0;
+  report.migration = t2 - t1;
+  report.restart = t3 - t2;
+  report.resume = t4 - t3;
+  last_report_ = report;
+  ++cycles_completed_;
+  cycle_active_ = false;
+  co_return report;
+}
+
+void MigrationManager::start_request_listener() {
+  JOBMIG_EXPECTS(!running_);
+  running_ = true;
+  jm_.engine().spawn(request_loop());
+}
+
+sim::Task MigrationManager::request_loop() {
+  // A dedicated client so cycle-scoped event handling stays isolated.
+  ftb::FtbClient requests(ftb_agent_, "migration_requests");
+  requests.subscribe(ftb::Subscription{kMigSpace, kEvMigrateRequest, ftb::Severity::kInfo});
+  while (running_) {
+    ftb::FtbEvent ev = co_await requests.next_event();
+    if (!running_) break;
+    auto kv = decode_kv(ev.payload);
+    const std::string host = kv.contains("host") ? kv["host"] : ev.payload;
+    if (cycle_active_) {
+      sim::log_warn("migration", "migration request for {} ignored: cycle active", host);
+      continue;
+    }
+    if (jm_.nla_for_host(host) == nullptr || jm_.nla_for_host(host)->local_ranks().empty()) {
+      sim::log_warn("migration", "migration request for {} ignored: hosts no ranks", host);
+      continue;
+    }
+    (void)co_await migrate(host);
+  }
+}
+
+}  // namespace jobmig::migration

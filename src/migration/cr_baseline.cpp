@@ -1,0 +1,84 @@
+#include "jobmig/migration/cr_baseline.hpp"
+
+namespace jobmig::migration {
+
+CheckpointRestart::CheckpointRestart(mpr::Job& job, FsSelector fs_for_rank)
+    : job_(job), fs_for_rank_(std::move(fs_for_rank)) {
+  JOBMIG_EXPECTS(fs_for_rank_ != nullptr);
+}
+
+sim::ValueTask<CrReport> CheckpointRestart::checkpoint_all() {
+  CrReport report;
+  sim::Engine& engine = job_.engine();
+  // Serialize against migrations and other checkpoints.
+  auto ft_lock = co_await job_.acquire_ft_lock();
+  if (job_.app_done()) co_return report;  // nothing left to protect
+  const sim::TimePoint t0 = engine.now();
+
+  // ---- Job Stall: identical to the migration Phase 1, for every rank ----
+  for (int r = 0; r < job_.size(); ++r) job_.proc(r).request_park();
+  for (int r = 0; r < job_.size(); ++r) co_await job_.proc(r).wait_parked();
+  for (int r = 0; r < job_.size(); ++r) co_await job_.proc(r).drain_and_teardown();
+  const sim::TimePoint t1 = engine.now();
+
+  // ---- Checkpoint: all ranks dump concurrently ----
+  sim::TaskGroup group(engine);
+  for (int r = 0; r < job_.size(); ++r) {
+    group.spawn([](mpr::Job& job, FsSelector& select, int rank, CrReport& rep) -> sim::Task {
+      storage::FileSystem& fs = select(rank);
+      storage::FilePtr file = co_await fs.create(checkpoint_path(rank));
+      proc::FileSink sink(file);
+      co_await job.node_of(rank).blcr->checkpoint(job.proc(rank).sim_process(), sink);
+      rep.bytes_written += sink.bytes_written();
+      ++rep.checkpoint_files;
+    }(job_, fs_for_rank_, r, report));
+  }
+  co_await group.wait();
+  const sim::TimePoint t2 = engine.now();
+
+  // ---- Resume: rebuild endpoints, reopen the gates ----
+  sim::TaskGroup resume_group(engine);
+  for (int r = 0; r < job_.size(); ++r) {
+    resume_group.spawn(job_.proc(r).rebuild_and_resume());
+  }
+  co_await resume_group.wait();
+  const sim::TimePoint t3 = engine.now();
+
+  report.stall = t1 - t0;
+  report.checkpoint = t2 - t1;
+  report.resume = t3 - t2;
+  co_return report;
+}
+
+sim::ValueTask<std::vector<proc::SimProcessPtr>> CheckpointRestart::restart_all(
+    sim::Duration* elapsed) {
+  sim::Engine& engine = job_.engine();
+  auto ft_lock = co_await job_.acquire_ft_lock();
+  const sim::TimePoint t0 = engine.now();
+  std::vector<proc::SimProcessPtr> restored(static_cast<std::size_t>(job_.size()));
+  sim::TaskGroup group(engine);
+  for (int r = 0; r < job_.size(); ++r) {
+    group.spawn([](mpr::Job& job, FsSelector& select, int rank,
+                   std::vector<proc::SimProcessPtr>& out) -> sim::Task {
+      storage::FileSystem& fs = select(rank);
+      storage::FilePtr file = co_await fs.open(checkpoint_path(rank));
+      JOBMIG_ASSERT_MSG(file != nullptr, "missing checkpoint file at restart");
+      proc::FileSource source(file);
+      out[static_cast<std::size_t>(rank)] = co_await job.node_of(rank).blcr->restart(source);
+    }(job_, fs_for_rank_, r, restored));
+  }
+  co_await group.wait();
+  if (elapsed != nullptr) *elapsed = engine.now() - t0;
+  co_return restored;
+}
+
+sim::ValueTask<CrReport> CheckpointRestart::full_cycle() {
+  CrReport report = co_await checkpoint_all();
+  sim::Duration restart_time{};
+  auto restored = co_await restart_all(&restart_time);
+  JOBMIG_ASSERT(static_cast<int>(restored.size()) == job_.size());
+  report.restart = restart_time;
+  co_return report;
+}
+
+}  // namespace jobmig::migration

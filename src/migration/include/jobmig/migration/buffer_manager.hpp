@@ -1,0 +1,224 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <map>
+#include <memory>
+
+#include "jobmig/ib/dispatcher.hpp"
+#include "jobmig/ib/verbs.hpp"
+#include "jobmig/proc/blcr.hpp"
+#include "jobmig/storage/filesystem.hpp"
+
+/// The paper's §III-B RDMA-based process-migration engine.
+///
+/// Source side: a user-level buffer manager owns a registered buffer pool;
+/// BLCR checkpoint writes from all local processes are aggregated into pool
+/// chunks (each chunk carries data of one process). Every filled chunk
+/// produces an "RDMA-read request" control message to the target carrying
+/// (a) the RDMA information to pull the chunk — rkey, pool offset, length —
+/// and (b) the reassembly information — rank, stream offset — so chunks of
+/// the same process can be concatenated into a complete checkpoint stream.
+/// The target pulls each chunk with an RDMA Read at its own pace and sends
+/// a release reply, returning the chunk to the source's free list. Pool
+/// occupancy is the flow control: checkpoint writes stall when the pool is
+/// exhausted, which is why the paper gets away with a 10 MB pool.
+namespace jobmig::migration {
+
+struct PoolConfig {
+  std::uint64_t pool_bytes = 10ull << 20;  // 10 MB, the paper's default
+  std::uint64_t chunk_bytes = 1ull << 20;  // 1 MB chunks
+  std::size_t chunks() const {
+    JOBMIG_EXPECTS(chunk_bytes > 0 && pool_bytes >= chunk_bytes);
+    return static_cast<std::size_t>(pool_bytes / chunk_bytes);
+  }
+};
+
+/// What the target does with reassembled per-rank checkpoint streams.
+enum class RestartMode {
+  kFile,    // paper's implementation: buffer to node-local tmp files, restart reads them
+  kMemory,  // restart straight from the fully buffered stream (no disk)
+  // §IV-A's planned revision, verbatim: "restarting the processes on-the-fly
+  // as the process image data arrives at the buffer pool". Restart overlaps
+  // the RDMA transfer, so Phase 3 all but disappears.
+  kPipelined,
+};
+
+std::string_view to_string(RestartMode mode);
+
+namespace wire {
+enum class Op : std::uint8_t { kRequest = 1, kRelease = 2, kDone = 3, kDoneAck = 4 };
+struct ControlMsg {
+  Op op = Op::kRequest;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t pool_offset = 0;
+  std::uint64_t length = 0;
+  std::int32_t rank = -1;
+  std::uint64_t stream_offset = 0;
+  bool end_of_stream = false;
+
+  sim::Bytes encode() const;
+  static std::optional<ControlMsg> decode(sim::ByteSpan data);
+  static constexpr std::size_t kWireSize = 1 + 4 + 4 + 8 + 8 + 4 + 8 + 1;
+};
+}  // namespace wire
+
+class SourceBufferManager;
+
+/// Target-side manager: pulls advertised chunks and reassembles per-rank
+/// checkpoint streams.
+class TargetBufferManager {
+ public:
+  TargetBufferManager(ib::Hca& hca, PoolConfig cfg);
+  ~TargetBufferManager();
+  TargetBufferManager(const TargetBufferManager&) = delete;
+  TargetBufferManager& operator=(const TargetBufferManager&) = delete;
+
+  /// Register the pool and open the control endpoint; returns the address
+  /// the source must connect its control QP to (published via FTB).
+  [[nodiscard]] sim::ValueTask<ib::IbAddr> open();
+  void connect_to(ib::IbAddr source_control);
+
+  /// Serve pull requests until the source's DONE arrives; then ack.
+  [[nodiscard]] sim::Task serve();
+
+  /// Reassembled checkpoint stream of `rank` (valid after serve()).
+  const sim::Bytes& stream_of(int rank) const;
+  std::vector<int> ranks() const;
+  std::uint64_t bytes_pulled() const { return bytes_pulled_; }
+  /// Take the stream (frees the buffered copy).
+  sim::Bytes take_stream(int rank);
+
+  /// On-the-fly consumption: a RestartSource over `rank`'s stream that
+  /// delivers bytes as chunks land (blocking at the contiguous watermark),
+  /// so BLCR restart can run concurrently with serve(). Create before or
+  /// during the transfer; each rank supports one streaming reader.
+  [[nodiscard]] std::unique_ptr<proc::RestartSource> make_streaming_source(int rank);
+  /// Ranks announced so far (first chunk seen), oldest first.
+  [[nodiscard]] sim::ValueTask<int> next_announced_rank();
+
+  /// Internal surface used by the streaming-source adapter.
+  struct RankProgress {
+    std::uint64_t watermark = 0;  // contiguous bytes available from offset 0
+    bool complete = false;
+    /// Total stream length advertised by the end-of-stream message. The EOS
+    /// control message can overtake in-flight data pulls, so completion is
+    /// only declared once the watermark reaches this.
+    std::optional<std::uint64_t> expected_end;
+    std::map<std::uint64_t, std::uint64_t> segments;  // out-of-order arrivals
+    sim::Event advanced;
+  };
+  RankProgress& progress_of(int rank);
+
+ private:
+  sim::Task pull_one(wire::ControlMsg req);
+  void note_rank(int rank);
+
+  ib::Hca& hca_;
+  PoolConfig cfg_;
+  sim::Bytes pool_;
+  ib::MemoryRegion* pool_mr_ = nullptr;
+  ib::CompletionQueue send_cq_, recv_cq_;
+  ib::CompletionDispatcher send_dispatch_{send_cq_};
+  std::unique_ptr<ib::QueuePair> qp_;
+  std::vector<sim::Bytes> ring_;
+  sim::Semaphore free_chunks_{0};
+  std::deque<std::size_t> free_list_;
+  std::map<int, sim::Bytes> streams_;
+  std::map<int, bool> stream_complete_;
+  std::map<int, RankProgress> progress_;
+  std::deque<int> announced_;
+  sim::Event rank_announced_;
+  std::uint64_t bytes_pulled_ = 0;
+  std::uint64_t next_wr_ = 1;
+  bool done_seen_ = false;
+  std::size_t active_pulls_ = 0;
+  sim::Event pulls_idle_;
+};
+
+/// Source-side manager: owns the pool BLCR writes into and the control
+/// channel toward the target.
+class SourceBufferManager {
+ public:
+  SourceBufferManager(ib::Hca& hca, PoolConfig cfg);
+  ~SourceBufferManager();
+  SourceBufferManager(const SourceBufferManager&) = delete;
+  SourceBufferManager& operator=(const SourceBufferManager&) = delete;
+
+  /// Register the pool, open the control endpoint and connect it to the
+  /// target's; the target must connect_to() our address symmetrically.
+  [[nodiscard]] sim::ValueTask<ib::IbAddr> open(ib::IbAddr target_control);
+
+  /// Start consuming release replies (spawned alongside checkpointing).
+  void start();
+
+  /// Build a BLCR sink that funnels one process's checkpoint stream
+  /// through the pool as rank `rank`.
+  [[nodiscard]] std::unique_ptr<proc::CheckpointSink> make_sink(int rank);
+
+  /// All ranks checkpointed: send DONE, wait for the target's ack, release
+  /// the pool registration.
+  [[nodiscard]] sim::Task finish();
+
+  std::uint64_t bytes_submitted() const { return bytes_submitted_; }
+  std::size_t peak_chunks_in_flight() const { return peak_in_flight_; }
+  const PoolConfig& config() const { return cfg_; }
+
+  /// Internal surface used by the pool sink adapter.
+  struct Chunk {
+    std::size_t index;
+    std::uint64_t fill = 0;
+  };
+  /// Blocks while the pool is exhausted (the paper's flow control).
+  [[nodiscard]] sim::ValueTask<Chunk> acquire_chunk();
+  /// Hand a (partially) filled chunk to the wire.
+  [[nodiscard]] sim::Task submit(Chunk chunk, int rank, std::uint64_t stream_offset,
+                                 bool end_of_stream);
+  /// Send a payload-free control message (eos marker, DONE).
+  [[nodiscard]] sim::Task send_marker(const wire::ControlMsg& msg);
+  std::byte* chunk_data(std::size_t index) {
+    return pool_.data() + index * cfg_.chunk_bytes;
+  }
+
+ private:
+  sim::Task release_loop();
+
+  ib::Hca& hca_;
+  PoolConfig cfg_;
+  sim::Bytes pool_;
+  ib::MemoryRegion* pool_mr_ = nullptr;
+  ib::CompletionQueue send_cq_, recv_cq_;
+  ib::CompletionDispatcher send_dispatch_{send_cq_};
+  std::unique_ptr<ib::QueuePair> qp_;
+  std::vector<sim::Bytes> ring_;
+  sim::Semaphore free_chunks_{0};
+  std::deque<std::size_t> free_list_;
+  sim::Event chunks_idle_;
+  std::size_t in_flight_ = 0;
+  std::size_t peak_in_flight_ = 0;
+  std::uint64_t bytes_submitted_ = 0;
+  std::uint64_t next_wr_ = 1;
+  sim::Event done_ack_;
+  bool running_ = false;
+};
+
+/// Restart source that replays a buffered stream while charging a disk for
+/// the reads — models BLCR loading the tmp checkpoint files the target
+/// wrote (the paper's file-based restart whose I/O latency dominates
+/// Phase 3). RestartMode::kMemory skips the disk charge.
+class BufferedStreamSource final : public proc::RestartSource {
+ public:
+  BufferedStreamSource(sim::Bytes stream, storage::BlockDevice* charge_reads)
+      : stream_(std::move(stream)), disk_(charge_reads) {}
+
+  sim::ValueTask<sim::Bytes> read(std::uint64_t max_len) override;
+
+ private:
+  sim::Bytes stream_;
+  storage::BlockDevice* disk_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace jobmig::migration

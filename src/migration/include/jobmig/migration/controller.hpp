@@ -1,0 +1,156 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "jobmig/ftb/ftb.hpp"
+#include "jobmig/launch/launch.hpp"
+#include "jobmig/migration/buffer_manager.hpp"
+#include "jobmig/mpr/job.hpp"
+#include "jobmig/sim/stats.hpp"
+
+/// The paper's Job Migration procedure (§III-A, Fig. 2): a four-phase cycle
+/// coordinated entirely through FTB events.
+///
+///   Phase 1  Job Stall   — FTB_MIGRATE fans out; every process parks at a
+///                          safe point, drains in-flight traffic and tears
+///                          down its communication endpoints.
+///   Phase 2  Migration   — processes on the source node are checkpointed
+///                          with BLCR into the source buffer pool; the
+///                          target pulls the chunks with RDMA Reads and
+///                          reassembles per-rank checkpoint streams.
+///                          Everyone else sits in the migration barrier.
+///                          Ends with FTB_MIGRATE_PIIC from the source NLA.
+///   Phase 3  Restart     — the Job Manager adjusts the spawn tree and
+///                          broadcasts FTB_RESTART; the target NLA restarts
+///                          the migrated ranks from the transferred images
+///                          (file-based by default; memory-based extension
+///                          available).
+///   Phase 4  Resume      — restarted ranks join the migration barrier; it
+///                          releases, endpoints are rebuilt, execution
+///                          resumes.
+namespace jobmig::migration {
+
+/// FTB vocabulary. The three starred events are the paper's; the rest are
+/// auxiliary completion notifications the paper leaves implicit.
+inline constexpr const char* kMigSpace = "FTB.MPI.MVAPICH2";
+inline constexpr const char* kEvMigrate = "FTB_MIGRATE";             // *
+inline constexpr const char* kEvMigratePiic = "FTB_MIGRATE_PIIC";    // *
+inline constexpr const char* kEvRestart = "FTB_RESTART";             // *
+inline constexpr const char* kEvSuspendDone = "FTB_SUSPEND_DONE";
+inline constexpr const char* kEvAllSuspended = "FTB_ALL_SUSPENDED";
+inline constexpr const char* kEvPullReady = "FTB_PULL_READY";
+inline constexpr const char* kEvPullSrcReady = "FTB_PULL_SRC_READY";
+inline constexpr const char* kEvPullConnected = "FTB_PULL_CONNECTED";
+inline constexpr const char* kEvRestartDone = "FTB_RESTART_DONE";
+inline constexpr const char* kEvResumeDone = "FTB_RESUME_DONE";
+inline constexpr const char* kEvMigrateRequest = "FTB_MIGRATE_REQUEST";
+
+/// "k=v k=v" payload codec for FTB event payloads.
+std::string encode_kv(const std::map<std::string, std::string>& kv);
+std::map<std::string, std::string> decode_kv(const std::string& payload);
+
+/// Ordered event consumption over one FTB client: awaiting a name stashes
+/// (rather than drops) every other event, so a protocol can consume events
+/// in its own order regardless of arrival order.
+class EventWaiter {
+ public:
+  explicit EventWaiter(ftb::FtbClient& client) : client_(client) {}
+
+  [[nodiscard]] sim::ValueTask<ftb::FtbEvent> await_named(std::string name);
+
+ private:
+  ftb::FtbClient& client_;
+  std::deque<ftb::FtbEvent> stash_;
+};
+
+struct MigrationOptions {
+  PoolConfig pool;
+  RestartMode restart_mode = RestartMode::kFile;
+};
+
+/// Result of one migration cycle, decomposed as in the paper's Fig. 4.
+struct MigrationReport {
+  sim::Duration stall;      // Phase 1
+  sim::Duration migration;  // Phase 2
+  sim::Duration restart;    // Phase 3
+  sim::Duration resume;     // Phase 4
+  sim::Duration total() const { return stall + migration + restart + resume; }
+  std::uint64_t bytes_moved = 0;  // checkpoint data transferred (Table I)
+  std::string source_host;
+  std::string target_host;
+  std::vector<int> migrated_ranks;
+};
+
+/// Per-node migration daemon: the C/R-thread role of the paper, plus the
+/// NLA-side source/target duties. One per compute/spare node.
+class NodeCrDaemon {
+ public:
+  NodeCrDaemon(launch::NodeLaunchAgent& nla, mpr::Job& job, ftb::FtbAgent& ftb_agent,
+               MigrationOptions opts);
+
+  /// Start listening for migration events (spawned; runs until shutdown).
+  void start();
+  void shutdown() { running_ = false; }
+
+  launch::NodeLaunchAgent& nla() { return nla_; }
+  const MigrationOptions& options() const { return opts_; }
+
+ private:
+  sim::Task event_loop();
+  /// Phase-1 work for every node hosting ranks.
+  sim::Task handle_migrate(std::string source_host, std::string target_host);
+  /// Per-rank C/R-thread routine for ranks staying put: drain, barrier,
+  /// rebuild (the barrier releases once migrated ranks re-join).
+  sim::Task stay_routine(int rank);
+  /// Source-node Phase 2: checkpoint local ranks into the buffer pool.
+  sim::Task source_routine(std::string target_host, ftb::FtbClient& cycle_client);
+  /// Target-node role across Phases 2-4: pull, restart, re-join.
+  sim::Task target_routine(std::string source_host);
+
+  launch::NodeLaunchAgent& nla_;
+  mpr::Job& job_;
+  ftb::FtbAgent& ftb_agent_;
+  ftb::FtbClient ftb_;
+  MigrationOptions opts_;
+  bool running_ = false;
+  sim::Event target_done_;
+  std::unique_ptr<TargetBufferManager> target_mgr_;  // live during a cycle
+};
+
+/// Login-node coordinator: fields migration requests (user, health,
+/// maintenance), runs the cycle, measures the phases.
+class MigrationManager {
+ public:
+  MigrationManager(launch::JobManager& jm, mpr::Job& job, ftb::FtbAgent& ftb_agent,
+                   MigrationOptions opts = {});
+
+  /// Execute one complete migration cycle away from `source_host` onto the
+  /// first available spare. Blocks (in virtual time) until Phase 4 ends.
+  [[nodiscard]] sim::ValueTask<MigrationReport> migrate(const std::string& source_host);
+
+  /// Listen for FTB_MIGRATE_REQUEST events (from triggers) and run cycles;
+  /// spawned, runs until shutdown().
+  void start_request_listener();
+  void shutdown() { running_ = false; }
+  std::size_t cycles_completed() const { return cycles_completed_; }
+  const MigrationReport& last_report() const { return last_report_; }
+
+ private:
+  sim::Task request_loop();
+  [[nodiscard]] sim::ValueTask<ftb::FtbEvent> await_event(const std::string& name,
+                                                          ftb::FtbClient& client);
+
+  launch::JobManager& jm_;
+  mpr::Job& job_;
+  ftb::FtbAgent& ftb_agent_;
+  ftb::FtbClient ftb_;
+  MigrationOptions opts_;
+  bool running_ = false;
+  bool cycle_active_ = false;
+  std::size_t cycles_completed_ = 0;
+  MigrationReport last_report_;
+};
+
+}  // namespace jobmig::migration

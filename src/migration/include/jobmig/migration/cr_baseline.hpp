@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "jobmig/mpr/job.hpp"
+#include "jobmig/storage/filesystem.hpp"
+
+/// The Checkpoint/Restart baseline the paper compares against (§IV-C):
+/// MVAPICH2's coordinated full-job CR with BLCR. Phases, mirroring the
+/// paper's decomposition:
+///   Job Stall  — same park/drain/teardown as migration, but job-wide.
+///   Checkpoint — every process dumps its image through BLCR to either its
+///                node-local file system or the shared parallel FS.
+///   Resume     — endpoints rebuilt, execution continues.
+///   Restart    — (separate, after a failure) every process image is read
+///                back and the processes restored.
+namespace jobmig::migration {
+
+struct CrReport {
+  sim::Duration stall;
+  sim::Duration checkpoint;
+  sim::Duration resume;
+  sim::Duration restart;  // zero unless restart_all() was run
+  std::uint64_t bytes_written = 0;
+  std::uint64_t checkpoint_files = 0;
+  sim::Duration cycle_total() const { return stall + checkpoint + resume + restart; }
+};
+
+class CheckpointRestart {
+ public:
+  /// `fs_for_rank` maps a rank to the file system its checkpoint lands on:
+  /// node-local ext3 (one FS per node) or the shared PVFS instance.
+  using FsSelector = std::function<storage::FileSystem&(int rank)>;
+
+  CheckpointRestart(mpr::Job& job, FsSelector fs_for_rank);
+
+  /// One coordinated checkpoint: stall + dump-all + resume. The job keeps
+  /// running afterwards (checkpoints are taken "at certain intervals").
+  [[nodiscard]] sim::ValueTask<CrReport> checkpoint_all();
+
+  /// Measure a full-job restart from the latest checkpoint files: every
+  /// image is read back through BLCR and integrity-checked. Returns the
+  /// restored images (the caller decides whether to rewire them into a
+  /// job; the paper's restart is a fresh job submission).
+  [[nodiscard]] sim::ValueTask<std::vector<proc::SimProcessPtr>> restart_all(
+      sim::Duration* elapsed = nullptr);
+
+  /// checkpoint_all() + restart_all(), reported like the paper's Fig. 7
+  /// "complete CR cycle".
+  [[nodiscard]] sim::ValueTask<CrReport> full_cycle();
+
+  static std::string checkpoint_path(int rank) {
+    return "/ckpt/context.rank" + std::to_string(rank);
+  }
+
+ private:
+  mpr::Job& job_;
+  FsSelector fs_for_rank_;
+};
+
+}  // namespace jobmig::migration

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "jobmig/migration/cr_baseline.hpp"
+
+/// The paper's §VI outlook, built out: "investigate the potentials of our
+/// process-migration approach to benefit the existing Checkpoint/Restart
+/// strategy by prolonging the interval between full job-wide checkpoints."
+///
+/// A periodic checkpoint scheduler drives coordinated CR at a fixed
+/// interval. When the migration framework handles a predicted failure, the
+/// scheduler is notified: the node set is healthy again, so the next
+/// checkpoint can be pushed out ("prolonged") instead of taken on schedule —
+/// every avoided checkpoint saves a full-job dump.
+namespace jobmig::migration {
+
+class CheckpointScheduler {
+ public:
+  struct Config {
+    sim::Duration interval = sim::Duration::sec(300);
+    /// On a successful migration, push the next checkpoint a full interval
+    /// out from the migration instead of keeping the old schedule.
+    bool prolong_on_migration = true;
+  };
+
+  CheckpointScheduler(mpr::Job& job, CheckpointRestart& cr, Config cfg);
+
+  /// Begin the periodic cycle (spawned; runs until stop()).
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  /// Tell the scheduler a migration just handled a failure.
+  void notify_migration();
+
+  std::size_t checkpoints_taken() const { return checkpoints_taken_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  sim::Duration time_in_checkpoints() const { return time_in_checkpoints_; }
+  std::size_t checkpoints_avoided() const { return checkpoints_avoided_; }
+  /// Virtual time of the most recent completed checkpoint (work since then
+  /// would be lost to a reactive restart).
+  sim::TimePoint last_checkpoint() const { return last_checkpoint_; }
+
+ private:
+  sim::Task cycle_loop();
+
+  mpr::Job& job_;
+  CheckpointRestart& cr_;
+  Config cfg_;
+  bool running_ = false;
+  sim::TimePoint next_due_{};
+  sim::TimePoint last_checkpoint_{};
+  std::size_t checkpoints_taken_ = 0;
+  std::size_t checkpoints_avoided_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  sim::Duration time_in_checkpoints_{};
+};
+
+}  // namespace jobmig::migration

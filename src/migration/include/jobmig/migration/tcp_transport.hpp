@@ -1,0 +1,49 @@
+#pragma once
+
+#include "jobmig/net/network.hpp"
+#include "jobmig/proc/blcr.hpp"
+
+/// Socket-based checkpoint movement — the transport of Wang et al.'s
+/// process-level live migration that §III-B argues against. BLCR treats a
+/// TCP socket as the checkpoint file descriptor: every byte rides the
+/// memory-copy-heavy stream stack instead of zero-copy RDMA. Two rate
+/// points matter for the E7 ablation: plain GigE and IPoIB (socket
+/// emulation over the IB link, which the paper notes is still suboptimal).
+namespace jobmig::migration {
+
+/// BLCR sink writing the checkpoint stream into a connected net::Stream,
+/// framed per rank so the receiver can demultiplex.
+class SocketSink final : public proc::CheckpointSink {
+ public:
+  SocketSink(net::Stream& stream, int rank) : stream_(stream), rank_(rank) {}
+
+  sim::Task write(sim::ByteSpan chunk) override;
+  sim::Task finish() override;
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  net::Stream& stream_;
+  int rank_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Receiver side: demultiplexes framed rank streams from the socket until
+/// every announced rank has finished.
+class SocketReceiver {
+ public:
+  explicit SocketReceiver(net::Stream& stream) : stream_(stream) {}
+
+  /// Consume frames until `expected_ranks` streams have completed.
+  [[nodiscard]] sim::Task receive_all(std::size_t expected_ranks);
+
+  const sim::Bytes& stream_of(int rank) const;
+  sim::Bytes take_stream(int rank);
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  net::Stream& stream_;
+  std::map<int, sim::Bytes> streams_;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace jobmig::migration

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "jobmig/ftb/ftb.hpp"
+#include "jobmig/health/health.hpp"
+
+/// Migration Triggers (paper Fig. 1): components that fire the events
+/// initiating a migration — "either upon a user request, or at the
+/// detection of system abnormal status by some health monitoring
+/// component". All of them publish FTB_MIGRATE_REQUEST; the
+/// MigrationManager's request listener does the rest.
+namespace jobmig::migration {
+
+/// Direct operator intervention: migrate the ranks off `host` now. Also
+/// covers the paper's load-balancing / system-maintenance use cases.
+class UserTrigger {
+ public:
+  explicit UserTrigger(ftb::FtbAgent& agent) : ftb_(agent, "user_trigger") {}
+
+  [[nodiscard]] sim::Task fire(const std::string& host);
+  std::size_t fired() const { return fired_; }
+
+ private:
+  ftb::FtbClient ftb_;
+  std::size_t fired_ = 0;
+};
+
+/// Bridges the health substrate to the migration framework: subscribes to
+/// FAILURE_PREDICTED events from the IPMI pollers and converts each (first
+/// occurrence per host) into a migration request.
+class HealthTrigger {
+ public:
+  HealthTrigger(sim::Engine& engine, ftb::FtbAgent& agent);
+
+  void start();
+  void stop() { running_ = false; }
+  std::size_t fired() const { return fired_; }
+
+ private:
+  sim::Task listen_loop();
+
+  sim::Engine& engine_;
+  ftb::FtbClient ftb_;
+  bool running_ = false;
+  std::size_t fired_ = 0;
+  std::set<std::string> already_fired_;
+};
+
+}  // namespace jobmig::migration

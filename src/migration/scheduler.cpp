@@ -1,0 +1,50 @@
+#include "jobmig/migration/scheduler.hpp"
+
+namespace jobmig::migration {
+
+using namespace sim::literals;
+
+CheckpointScheduler::CheckpointScheduler(mpr::Job& job, CheckpointRestart& cr, Config cfg)
+    : job_(job), cr_(cr), cfg_(cfg) {
+  JOBMIG_EXPECTS(cfg_.interval > sim::Duration::zero());
+}
+
+void CheckpointScheduler::start() {
+  JOBMIG_EXPECTS(!running_);
+  running_ = true;
+  next_due_ = job_.engine().now() + cfg_.interval;
+  last_checkpoint_ = job_.engine().now();  // job start counts as a safe point
+  job_.engine().spawn(cycle_loop());
+}
+
+void CheckpointScheduler::notify_migration() {
+  if (!cfg_.prolong_on_migration) return;
+  const sim::TimePoint pushed = job_.engine().now() + cfg_.interval;
+  if (pushed > next_due_) {
+    // The checkpoint that was about to happen is skipped entirely.
+    ++checkpoints_avoided_;
+    next_due_ = pushed;
+  }
+}
+
+sim::Task CheckpointScheduler::cycle_loop() {
+  while (running_) {
+    // Poll-style wait so notify_migration() can push the deadline while we
+    // sleep (a fixed sleep would bake in the old deadline).
+    while (running_ && job_.engine().now() < next_due_) {
+      const sim::Duration remaining = next_due_ - job_.engine().now();
+      co_await sim::sleep_for(remaining < 500_ms ? remaining : 500_ms);
+    }
+    if (!running_) co_return;
+    if (job_.app_done()) co_return;  // nothing left to protect
+    const sim::TimePoint start = job_.engine().now();
+    CrReport report = co_await cr_.checkpoint_all();
+    ++checkpoints_taken_;
+    bytes_written_ += report.bytes_written;
+    time_in_checkpoints_ += report.stall + report.checkpoint + report.resume;
+    last_checkpoint_ = start;
+    next_due_ = job_.engine().now() + cfg_.interval;
+  }
+}
+
+}  // namespace jobmig::migration

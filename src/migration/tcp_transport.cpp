@@ -1,0 +1,57 @@
+#include "jobmig/migration/tcp_transport.hpp"
+
+namespace jobmig::migration {
+
+namespace {
+// Frame: u32 rank | u8 eos | u32 len | payload. Sent through the stream's
+// own framing so partial reads never split a header.
+sim::Bytes make_frame(int rank, bool eos, sim::ByteSpan payload) {
+  sim::Bytes out;
+  out.reserve(9 + payload.size());
+  sim::put_u32(out, static_cast<std::uint32_t>(rank));
+  out.push_back(static_cast<std::byte>(eos ? 1 : 0));
+  sim::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+}  // namespace
+
+sim::Task SocketSink::write(sim::ByteSpan chunk) {
+  co_await stream_.send_frame(make_frame(rank_, false, chunk));
+  bytes_sent_ += chunk.size();
+}
+
+sim::Task SocketSink::finish() { co_await stream_.send_frame(make_frame(rank_, true, {})); }
+
+sim::Task SocketReceiver::receive_all(std::size_t expected_ranks) {
+  std::size_t finished = 0;
+  while (finished < expected_ranks) {
+    auto frame = co_await stream_.recv_frame();
+    JOBMIG_ASSERT_MSG(frame.has_value(), "socket closed mid-transfer");
+    JOBMIG_ASSERT(frame->size() >= 9);
+    const int rank = static_cast<int>(sim::get_u32(*frame, 0));
+    const bool eos = (*frame)[4] != std::byte{0};
+    const std::uint32_t len = sim::get_u32(*frame, 5);
+    JOBMIG_ASSERT(frame->size() == 9u + len);
+    sim::Bytes& stream = streams_[rank];
+    stream.insert(stream.end(), frame->begin() + 9, frame->end());
+    bytes_received_ += len;
+    if (eos) ++finished;
+  }
+}
+
+const sim::Bytes& SocketReceiver::stream_of(int rank) const {
+  auto it = streams_.find(rank);
+  JOBMIG_EXPECTS_MSG(it != streams_.end(), "no stream for rank");
+  return it->second;
+}
+
+sim::Bytes SocketReceiver::take_stream(int rank) {
+  auto it = streams_.find(rank);
+  JOBMIG_EXPECTS_MSG(it != streams_.end(), "no stream for rank");
+  sim::Bytes out = std::move(it->second);
+  streams_.erase(it);
+  return out;
+}
+
+}  // namespace jobmig::migration

@@ -1,0 +1,47 @@
+#include "jobmig/migration/triggers.hpp"
+
+#include "jobmig/migration/controller.hpp"
+
+namespace jobmig::migration {
+
+namespace {
+// Hoisted out of co_await expressions (GCC 12 initializer_list bug; see
+// controller.cpp).
+ftb::FtbEvent request_event(const std::string& host) {
+  return ftb::FtbEvent{kMigSpace, kEvMigrateRequest, ftb::Severity::kWarning,
+                       encode_kv({{"host", host}})};
+}
+}  // namespace
+
+sim::Task UserTrigger::fire(const std::string& host) {
+  ++fired_;
+  ftb::FtbEvent ev = request_event(host);
+  co_await ftb_.publish(std::move(ev));
+}
+
+HealthTrigger::HealthTrigger(sim::Engine& engine, ftb::FtbAgent& agent)
+    : engine_(engine), ftb_(agent, "health_trigger") {
+  ftb_.subscribe(ftb::Subscription{health::kHealthSpace, health::kEventFailurePredicted,
+                                   ftb::Severity::kInfo});
+}
+
+void HealthTrigger::start() {
+  JOBMIG_EXPECTS(!running_);
+  running_ = true;
+  engine_.spawn(listen_loop());
+}
+
+sim::Task HealthTrigger::listen_loop() {
+  while (running_) {
+    ftb::FtbEvent ev = co_await ftb_.next_event();
+    if (!running_) break;
+    const std::string& host = ev.payload;  // IPMI pollers put the hostname there
+    if (already_fired_.contains(host)) continue;
+    already_fired_.insert(host);
+    ++fired_;
+    ftb::FtbEvent req = request_event(host);
+    co_await ftb_.publish(std::move(req));
+  }
+}
+
+}  // namespace jobmig::migration

@@ -1,0 +1,274 @@
+#include <algorithm>
+#include <cstring>
+
+#include "jobmig/mpr/job.hpp"
+#include "jobmig/mpr/proc.hpp"
+
+namespace jobmig::mpr {
+
+namespace {
+
+/// Collective operations use a reserved tag region so they never collide
+/// with application tags (which must stay below kCollTagBase). Each
+/// collective instance consumes one sequence number; ranks stay aligned
+/// because every rank calls collectives in the same program order (and the
+/// counter is checkpointed with the process).
+constexpr std::int32_t kCollTagBase = 0x40000000;
+
+std::int32_t coll_tag(std::uint64_t seq, int round) {
+  return kCollTagBase | static_cast<std::int32_t>(((seq & 0x3FFFFF) << 6) |
+                                                  static_cast<std::uint32_t>(round & 0x3F));
+}
+
+sim::Bytes encode_double(double v) {
+  sim::Bytes b(sizeof(double));
+  std::memcpy(b.data(), &v, sizeof(double));
+  return b;
+}
+
+double decode_double(const sim::Bytes& b) {
+  JOBMIG_EXPECTS(b.size() == sizeof(double));
+  double v;
+  std::memcpy(&v, b.data(), sizeof(double));
+  return v;
+}
+
+}  // namespace
+
+sim::Task Proc::barrier() {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  if (n <= 1) co_return;
+  static const sim::Bytes kToken{std::byte{0x42}};
+  // Dissemination barrier: log2(n) rounds of paired token exchange.
+  int round = 0;
+  for (int dist = 1; dist < n; dist <<= 1, ++round) {
+    const int to = (rank_ + dist) % n;
+    const int from = (rank_ - dist % n + n) % n;
+    sim::TaskGroup group(*env_->engine);
+    group.spawn(send(to, coll_tag(seq, round), kToken));
+    (void)co_await recv(from, coll_tag(seq, round));
+    co_await group.wait();
+  }
+}
+
+sim::Task Proc::bcast(int root, sim::Bytes& data) {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  if (n <= 1) co_return;
+  const std::int32_t tag = coll_tag(seq, 0);
+  const int vrank = (rank_ - root + n) % n;
+  // Binomial tree: receive from the parent, then fan out to children.
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % n;
+      data = co_await recv(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank & (mask - 1)) == 0 && !(vrank & mask) && vrank + mask < n) {
+      const int dst = (vrank + mask + root) % n;
+      co_await send(dst, tag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+namespace {
+double apply_op(Proc::ReduceOp op, double a, double b) {
+  switch (op) {
+    case Proc::ReduceOp::kSum: return a + b;
+    case Proc::ReduceOp::kMin: return std::min(a, b);
+    case Proc::ReduceOp::kMax: return std::max(a, b);
+    case Proc::ReduceOp::kProd: return a * b;
+  }
+  JOBMIG_ASSERT_MSG(false, "unknown reduce op");
+  return a;
+}
+}  // namespace
+
+sim::ValueTask<double> Proc::allreduce(double value, ReduceOp op) {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  if (n <= 1) co_return value;
+  const std::int32_t tag = coll_tag(seq, 1);
+  // Binomial reduction to rank 0 ...
+  double acc = value;
+  int mask = 1;
+  while (mask < n) {
+    if (rank_ & mask) {
+      co_await send(rank_ - mask, tag, encode_double(acc));
+      break;
+    }
+    const int src = rank_ + mask;
+    if (src < n) {
+      sim::Bytes b = co_await recv(src, tag);
+      acc = apply_op(op, acc, decode_double(b));
+    }
+    mask <<= 1;
+  }
+  // ... then a binomial broadcast of the result. bcast() consumes its own
+  // sequence number on every rank, keeping the counters aligned.
+  sim::Bytes result = rank_ == 0 ? encode_double(acc) : sim::Bytes{};
+  co_await bcast(0, result);
+  co_return decode_double(result);
+}
+
+sim::ValueTask<std::vector<sim::Bytes>> Proc::allgather(sim::ByteSpan mine) {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  std::vector<sim::Bytes> blocks(static_cast<std::size_t>(n));
+  blocks[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+  if (n <= 1) co_return blocks;
+  // Ring allgather: n-1 steps, each forwarding the block received last.
+  const int to = (rank_ + 1) % n;
+  const int from = (rank_ - 1 + n) % n;
+  sim::Bytes current = blocks[static_cast<std::size_t>(rank_)];
+  for (int step = 0; step < n - 1; ++step) {
+    const std::int32_t tag = coll_tag(seq, step % 64);
+    sim::TaskGroup group(*env_->engine);
+    group.spawn(send(to, tag, current));
+    current = co_await recv(from, tag);
+    co_await group.wait();
+    const int block_owner = (rank_ - 1 - step + 2 * n) % n;
+    blocks[static_cast<std::size_t>(block_owner)] = current;
+  }
+  co_return blocks;
+}
+
+sim::ValueTask<double> Proc::reduce_sum(int root, double value) {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  if (n <= 1) co_return value;
+  const std::int32_t tag = coll_tag(seq, 2);
+  const int vrank = (rank_ - root + n) % n;
+  double acc = value;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int dst = (vrank - mask + root) % n;
+      co_await send(dst, tag, encode_double(acc));
+      break;
+    }
+    const int vsrc = vrank + mask;
+    if (vsrc < n) {
+      sim::Bytes b = co_await recv((vsrc + root) % n, tag);
+      acc += decode_double(b);
+    }
+    mask <<= 1;
+  }
+  co_return acc;  // meaningful only at root
+}
+
+sim::ValueTask<std::vector<sim::Bytes>> Proc::gather(int root, sim::ByteSpan mine) {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  const std::int32_t tag = coll_tag(seq, 3);
+  std::vector<sim::Bytes> blocks;
+  if (rank_ == root) {
+    blocks.resize(static_cast<std::size_t>(n));
+    blocks[static_cast<std::size_t>(root)].assign(mine.begin(), mine.end());
+    for (int src = 0; src < n; ++src) {
+      if (src == root) continue;
+      blocks[static_cast<std::size_t>(src)] = co_await recv(src, tag);
+    }
+  } else {
+    co_await send(root, tag, mine);
+  }
+  co_return blocks;
+}
+
+sim::ValueTask<sim::Bytes> Proc::scatter(int root, const std::vector<sim::Bytes>& blocks) {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  const std::int32_t tag = coll_tag(seq, 4);
+  if (rank_ == root) {
+    JOBMIG_EXPECTS_MSG(static_cast<int>(blocks.size()) == n,
+                       "scatter root must supply one block per rank");
+    sim::TaskGroup group(*env_->engine);
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == root) continue;
+      group.spawn(send(dst, tag, blocks[static_cast<std::size_t>(dst)]));
+    }
+    co_await group.wait();
+    co_return blocks[static_cast<std::size_t>(root)];
+  }
+  co_return co_await recv(root, tag);
+}
+
+sim::ValueTask<std::vector<sim::Bytes>> Proc::alltoall(const std::vector<sim::Bytes>& to_each) {
+  const std::uint64_t seq = collective_seq_++;
+  const int n = size();
+  JOBMIG_EXPECTS_MSG(static_cast<int>(to_each.size()) == n,
+                     "alltoall needs one block per rank");
+  const std::int32_t tag = coll_tag(seq, 5);
+  std::vector<sim::Bytes> from_each(static_cast<std::size_t>(n));
+  from_each[static_cast<std::size_t>(rank_)] = to_each[static_cast<std::size_t>(rank_)];
+  if (n <= 1) co_return from_each;
+  sim::TaskGroup group(*env_->engine);
+  for (int dst = 0; dst < n; ++dst) {
+    if (dst == rank_) continue;
+    group.spawn(send(dst, tag, to_each[static_cast<std::size_t>(dst)]));
+  }
+  for (int src = 0; src < n; ++src) {
+    if (src == rank_) continue;
+    from_each[static_cast<std::size_t>(src)] = co_await recv(src, tag);
+  }
+  co_await group.wait();
+  co_return from_each;
+}
+
+sim::ValueTask<sim::Bytes> Proc::sendrecv(int dst, int src, std::int32_t tag,
+                                          sim::ByteSpan data) {
+  sim::TaskGroup group(*env_->engine);
+  group.spawn(send(dst, tag, data));
+  sim::Bytes got = co_await recv(src, tag);
+  co_await group.wait();
+  co_return got;
+}
+
+// ---- Nonblocking operations ---------------------------------------------------
+
+sim::ValueTask<sim::Bytes> Proc::Request::wait() {
+  while (!completed_) {
+    co_await event_.wait();
+    event_.reset();
+  }
+  if (error_) std::rethrow_exception(error_);
+  co_return std::move(payload_);
+}
+
+Proc::RequestPtr Proc::isend(int dst, std::int32_t tag, sim::Bytes payload) {
+  auto req = std::make_shared<Request>();
+  env_->engine->spawn([](Proc& self, int d, std::int32_t t, sim::Bytes body,
+                         RequestPtr r) -> sim::Task {
+    try {
+      co_await self.send(d, t, std::move(body));
+    } catch (...) {
+      r->error_ = std::current_exception();
+    }
+    r->completed_ = true;
+    r->event_.set();
+  }(*this, dst, tag, std::move(payload), req));
+  return req;
+}
+
+Proc::RequestPtr Proc::irecv(int src, std::int32_t tag) {
+  auto req = std::make_shared<Request>();
+  env_->engine->spawn([](Proc& self, int s, std::int32_t t, RequestPtr r) -> sim::Task {
+    try {
+      r->payload_ = co_await self.recv(s, t);
+    } catch (...) {
+      r->error_ = std::current_exception();
+    }
+    r->completed_ = true;
+    r->event_.set();
+  }(*this, src, tag, req));
+  return req;
+}
+
+}  // namespace jobmig::mpr

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "jobmig/mpr/proc.hpp"
+
+namespace jobmig::mpr {
+
+/// A running parallel job: the rank space, rank->node placement, the
+/// out-of-band address service (the PMI role the launcher tree plays in
+/// MVAPICH2), and process lifecycle during migration.
+class Job {
+ public:
+  using AppMain = std::function<sim::Task(Proc&)>;
+
+  Job(sim::Engine& engine, sim::Calibration cal);
+  ~Job();
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const sim::Calibration& calibration() const { return cal_; }
+
+  /// Place rank `rank` on `env` with the given image geometry.
+  Proc& add_proc(int rank, NodeEnv& env, std::uint64_t image_bytes, std::uint64_t image_seed);
+
+  int size() const { return static_cast<int>(procs_.size()); }
+  Proc& proc(int rank);
+  NodeEnv& node_of(int rank);
+
+  /// Launch `main` on every rank (spawned; returns immediately). The same
+  /// callable is reused to relaunch migrated ranks, so it must derive all
+  /// state from the Proc it is given.
+  void launch_app(AppMain main);
+  /// Re-launch the app on a (restarted) rank.
+  void relaunch_app_on(int rank);
+  /// Set when every rank's app coroutine has returned.
+  [[nodiscard]] sim::Task wait_app_done();
+  bool app_done() const { return finished_ranks_ >= procs_.size() && !procs_.empty(); }
+
+  /// On-demand connection establishment between two ranks (charges QP setup
+  /// on both HCAs plus an out-of-band address exchange). Idempotent.
+  [[nodiscard]] sim::Task ensure_connected(int a, int b);
+
+  /// Swap in a new process object for `rank` (restart on the migration
+  /// target). The old Proc must already be dead.
+  void replace_proc(int rank, std::unique_ptr<Proc> fresh);
+  /// Build an unwired Proc for `rank` on `env` (used by the restart path;
+  /// the caller adopts the restored SimProcess into it).
+  std::unique_ptr<Proc> make_unwired_proc(int rank, NodeEnv& env);
+
+  /// The job-wide migration barrier of the paper's Phase 2/4. Every rank
+  /// enters; all are released together once the restarted ranks arrive.
+  [[nodiscard]] sim::Task migration_barrier_enter();
+  void configure_migration_barrier();  // arm for the current job size
+
+  /// Aggregate counters for experiments.
+  std::uint64_t total_messages() const { return total_messages_; }
+  void count_message() { ++total_messages_; }
+
+  /// Global fault-tolerance lock: any operation that drives the job-wide
+  /// park/drain/resume state machine (a migration cycle, a coordinated
+  /// checkpoint, a restart) must hold it, so cycles never interleave.
+  [[nodiscard]] sim::ValueTask<sim::Mutex::ScopedLock> acquire_ft_lock() {
+    return ft_mutex_.lock();
+  }
+
+ private:
+  sim::Task run_app_wrapper(int rank);
+
+  sim::Engine& engine_;
+  sim::Calibration cal_;
+  std::vector<std::unique_ptr<Proc>> procs_;  // index == rank
+  std::vector<NodeEnv*> placement_;
+  AppMain app_main_;
+  std::size_t finished_ranks_ = 0;
+  sim::Event app_done_;
+  std::unique_ptr<sim::Barrier> migration_barrier_;
+  std::map<std::pair<int, int>, std::unique_ptr<sim::Mutex>> connect_mutexes_;
+  sim::Mutex ft_mutex_;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace jobmig::mpr

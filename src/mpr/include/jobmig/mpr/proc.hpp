@@ -1,0 +1,265 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "jobmig/ib/verbs.hpp"
+#include "jobmig/mpr/wire.hpp"
+#include "jobmig/net/network.hpp"
+#include "jobmig/proc/blcr.hpp"
+#include "jobmig/proc/process.hpp"
+#include "jobmig/sim/calibration.hpp"
+#include "jobmig/sim/sync.hpp"
+
+/// The message-passing runtime ("mini-MVAPICH2"): rank processes with
+/// eager + rendezvous point-to-point over IB queue pairs, collectives, and
+/// — the part the paper actually modifies — cooperative suspension with
+/// channel drain, endpoint teardown and endpoint rebuild (Phases 1 and 4 of
+/// the migration cycle).
+namespace jobmig::mpr {
+
+class Job;
+
+/// Thrown out of blocking MPI calls when the process is killed (its node is
+/// taken down after its image has been migrated away).
+class ProcKilled : public std::runtime_error {
+ public:
+  ProcKilled() : std::runtime_error("process killed") {}
+};
+
+/// Per-node environment a process runs in (constructed by the cluster
+/// layer). All references must outlive the processes on the node.
+struct NodeEnv {
+  sim::Engine* engine = nullptr;
+  ib::Hca* hca = nullptr;               // InfiniBand port
+  net::HostId eth_host = 0;             // GigE identity (FTB side)
+  storage::LocalFs* scratch = nullptr;  // node-local (ext3-like) file system
+  proc::Blcr* blcr = nullptr;           // per-node checkpoint engine
+  const sim::Calibration* cal = nullptr;
+  std::string hostname;
+};
+
+enum class ProcState {
+  kRunning,    // normal operation
+  kParked,     // app parked at a safe point, channels still open
+  kSuspended,  // channels drained and torn down (consistent global state)
+  kDead,       // killed after migration away
+};
+
+/// One MPI process. Public surface has three audiences:
+///  - applications: send/recv/collectives/check_suspend (via run_app),
+///  - the migration layer: request_park/drain_and_teardown/rebuild/resume,
+///  - the checkpoint engine: sim_process().
+class Proc {
+ public:
+  /// `start_suspended` builds the process in kSuspended with no service
+  /// loops running — the restart path uses this and brings it up via
+  /// rebuild_and_resume() after adopting the restored image.
+  Proc(Job& job, int rank, NodeEnv& env, std::uint64_t image_bytes, std::uint64_t image_seed,
+       bool start_suspended = false);
+  ~Proc();
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const;
+  Job& job() { return job_; }
+  NodeEnv& env() { return *env_; }
+  ProcState state() const { return state_; }
+  proc::SimProcess& sim_process() { return *process_; }
+  const proc::SimProcess& sim_process() const { return *process_; }
+  /// Adopt a restored image (restart on the migration target).
+  void adopt_sim_process(proc::SimProcessPtr p);
+
+  // ---- Application-facing API ------------------------------------------
+
+  /// Blocking tagged send. Eager below the threshold, rendezvous (RDMA
+  /// read pulled by the receiver) above it. Safe-buffer semantics: the
+  /// payload is captured at call time, so callers may drop or mutate the
+  /// source buffer immediately (important for spawned concurrent sends).
+  [[nodiscard]] sim::Task send(int dst, std::int32_t tag, sim::Bytes payload);
+  [[nodiscard]] sim::Task send(int dst, std::int32_t tag, sim::ByteSpan data) {
+    return send(dst, tag, sim::Bytes(data.begin(), data.end()));  // copy at call time
+  }
+  /// Wildcard source for recv/probe (MPI_ANY_SOURCE).
+  static constexpr int kAnySource = -1;
+
+  /// Blocking tagged receive from `src` (or kAnySource).
+  [[nodiscard]] sim::ValueTask<sim::Bytes> recv(int src, std::int32_t tag);
+  /// Blocking receive that also reports the sender (for kAnySource).
+  [[nodiscard]] sim::ValueTask<std::pair<int, sim::Bytes>> recv_any(std::int32_t tag);
+  /// Blocking probe: waits until a message matching (src, tag) is queued
+  /// and returns its sender without consuming it.
+  [[nodiscard]] sim::ValueTask<int> probe(int src, std::int32_t tag);
+  /// Non-blocking probe: sender rank if a matching message is queued.
+  std::optional<int> iprobe(int src, std::int32_t tag) const;
+
+  /// Collectives (every rank of the job must call in the same order).
+  [[nodiscard]] sim::Task barrier();
+  [[nodiscard]] sim::Task bcast(int root, sim::Bytes& data);
+  enum class ReduceOp { kSum, kMin, kMax, kProd };
+  [[nodiscard]] sim::ValueTask<double> allreduce(double value, ReduceOp op);
+  [[nodiscard]] sim::ValueTask<double> allreduce_sum(double value) {
+    return allreduce(value, ReduceOp::kSum);
+  }
+  [[nodiscard]] sim::ValueTask<std::vector<sim::Bytes>> allgather(sim::ByteSpan mine);
+  /// Binomial reduction; the returned sum is meaningful only at `root`.
+  [[nodiscard]] sim::ValueTask<double> reduce_sum(int root, double value);
+  /// Root receives every rank's block (in rank order); non-roots get {}.
+  [[nodiscard]] sim::ValueTask<std::vector<sim::Bytes>> gather(int root, sim::ByteSpan mine);
+  /// Root supplies one block per rank; every rank receives its own.
+  [[nodiscard]] sim::ValueTask<sim::Bytes> scatter(int root,
+                                                   const std::vector<sim::Bytes>& blocks);
+  /// Personalized all-to-all: `to_each[d]` goes to rank d; returns what each
+  /// rank sent to us, in rank order.
+  [[nodiscard]] sim::ValueTask<std::vector<sim::Bytes>> alltoall(
+      const std::vector<sim::Bytes>& to_each);
+  /// Combined send + receive (deadlock-free pairwise exchange).
+  [[nodiscard]] sim::ValueTask<sim::Bytes> sendrecv(int dst, int src, std::int32_t tag,
+                                                    sim::ByteSpan data);
+
+  /// Nonblocking operations. The returned request completes independently;
+  /// wait() returns the received payload (empty for sends) and rethrows any
+  /// failure. Requests must be waited before the proc is suspended.
+  class Request {
+   public:
+    [[nodiscard]] sim::ValueTask<sim::Bytes> wait();
+    bool done() const { return completed_; }
+
+   private:
+    friend class Proc;
+    sim::Event event_;
+    bool completed_ = false;
+    sim::Bytes payload_;
+    std::exception_ptr error_;
+  };
+  using RequestPtr = std::shared_ptr<Request>;
+  [[nodiscard]] RequestPtr isend(int dst, std::int32_t tag, sim::Bytes payload);
+  [[nodiscard]] RequestPtr irecv(int src, std::int32_t tag);
+
+  /// Cooperative safe point: applications call this between iterations.
+  /// Parks while a migration is in flight; throws ProcKilled if the process
+  /// was migrated away.
+  [[nodiscard]] sim::Task check_suspend();
+
+  /// Charge `seconds` of local computation and mark `dirty_bytes` of the
+  /// image written (workload kernels call this each iteration).
+  [[nodiscard]] sim::Task compute(sim::Duration d, std::uint64_t dirty_bytes,
+                                  std::uint64_t dirty_offset = 0);
+
+  // ---- Migration-layer API ---------------------------------------------
+
+  /// Ask the app to park at its next safe point.
+  void request_park();
+  /// Wait until the app is parked (or already suspended/dead).
+  [[nodiscard]] sim::Task wait_parked();
+  /// Phase 1 per-process work: drain channel-level traffic, stop progress,
+  /// destroy all queue pairs, deregister memory. Requires the app parked
+  /// and no application-level operation outstanding.
+  [[nodiscard]] sim::Task drain_and_teardown();
+  /// Phase 4 per-process work: re-create endpoints to previously-connected
+  /// peers (cost per MpiParams) and reopen the gate for the app.
+  [[nodiscard]] sim::Task rebuild_and_resume();
+  /// Mark dead: blocked and future app calls throw ProcKilled.
+  void kill();
+
+  /// Peers this process holds connections to (rebuilt after migration).
+  std::vector<int> connected_peers() const;
+  std::size_t outstanding_app_ops() const { return outstanding_ops_; }
+
+  // ---- Wiring (used by Job) --------------------------------------------
+
+  /// Accept a new connection to `peer`: create the local QP half.
+  ib::QueuePair* create_link(int peer);
+  /// Both halves exist; finish (post ring, mark usable).
+  void activate_link(int peer);
+  bool has_link(int peer) const { return links_.contains(peer); }
+  ib::IbAddr link_addr(int peer) const;
+  void connect_link(int peer, ib::IbAddr remote);
+
+ private:
+  struct PendingRecv {
+    int src;  // requested source; may be kAnySource
+    std::int32_t tag;
+    int actual_src = -1;  // sender that matched
+    sim::Bytes data;
+    bool rendezvous_running = false;
+    sim::Event done;
+  };
+  struct UnexpectedMsg {
+    MsgHeader header;
+    sim::Bytes payload;  // eager only
+  };
+  struct Link {
+    std::unique_ptr<ib::QueuePair> qp;
+    std::vector<sim::Bytes> ring;  // preposted eager receive buffers
+    bool active = false;
+  };
+  struct RdvzSend {
+    sim::Bytes pinned;          // staged payload (stays valid during pull)
+    ib::MemoryRegion* mr = nullptr;
+    sim::Event fin;
+  };
+
+  static constexpr std::size_t kRingSlots = 8;
+
+  // Progress machinery.
+  sim::Task progress_loop();
+  sim::Task send_dispatch_loop();
+  void handle_message(int peer, const MsgHeader& h, sim::ByteSpan payload);
+  [[nodiscard]] sim::Task run_rendezvous_pull(int peer, MsgHeader rts,
+                                              std::shared_ptr<PendingRecv> pending);
+  [[nodiscard]] sim::ValueTask<ib::WorkCompletion> await_wr(std::uint64_t wr_id);
+  std::uint64_t next_wr_id() { return ++wr_seq_; }
+  void post_ring_slot(int peer, std::size_t slot);
+  [[nodiscard]] sim::Task send_control(int peer, const MsgHeader& h, sim::ByteSpan payload);
+
+  /// Gate every app op passes through; closed while parked/suspended.
+  [[nodiscard]] sim::Task enter_op();
+  [[nodiscard]] sim::ValueTask<std::pair<int, sim::Bytes>> recv_impl(int src, std::int32_t tag);
+  void leave_op() { JOBMIG_ASSERT(outstanding_ops_ > 0); --outstanding_ops_; }
+
+  std::shared_ptr<PendingRecv> match_pending(int src, std::int32_t tag);
+  std::optional<UnexpectedMsg> take_unexpected(int src, std::int32_t tag);
+  void pack_runtime_state();
+  void unpack_runtime_state();
+
+  Job& job_;
+  int rank_;
+  NodeEnv* env_;
+  proc::SimProcessPtr process_;
+  ProcState state_ = ProcState::kRunning;
+  bool park_requested_ = false;
+  bool resumed_from_restart_ = false;
+  sim::Event parked_;
+  sim::Event resume_gate_;
+  std::size_t outstanding_ops_ = 0;
+  sim::Event ops_drained_;
+
+  ib::CompletionQueue send_cq_;
+  ib::CompletionQueue recv_cq_;
+  std::map<int, Link> links_;
+  std::vector<int> remembered_peers_;  // links to rebuild at resume
+  std::deque<std::shared_ptr<PendingRecv>> pending_recvs_;
+  std::deque<UnexpectedMsg> unexpected_;
+  sim::Event unexpected_arrived_;
+  std::map<std::uint64_t, RdvzSend> rdvz_sends_;
+  std::map<std::uint64_t, sim::Event*> wr_waiters_;
+  std::map<std::uint64_t, ib::WorkCompletion> wr_results_;
+  std::uint64_t wr_seq_ = 0;
+  std::uint64_t rdvz_seq_ = 0;
+  std::uint64_t active_pulls_ = 0;
+  std::uint64_t collective_seq_ = 0;
+  std::uint64_t compute_epoch_ = 0;
+  bool progress_running_ = false;
+  bool dispatch_running_ = false;
+
+  friend class Job;
+};
+
+}  // namespace jobmig::mpr

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "jobmig/sim/bytes.hpp"
+
+namespace jobmig::mpr {
+
+/// Channel-level message kinds between two ranks (one QP per rank pair).
+enum class MsgKind : std::uint8_t {
+  kEager = 1,  // header + payload inline
+  kRts = 2,    // rendezvous request: payload pinned at sender, pull via RDMA
+  kFin = 3,    // rendezvous complete: sender may release the pinned buffer
+};
+
+/// Fixed-size wire header preceding every channel message.
+struct MsgHeader {
+  MsgKind kind = MsgKind::kEager;
+  std::uint32_t src_rank = 0;
+  std::int32_t tag = 0;
+  std::uint64_t payload_len = 0;  // eager: inline bytes; rts: pinned bytes
+  std::uint64_t rdvz_id = 0;      // rts/fin: rendezvous operation id
+  std::uint32_t rkey = 0;         // rts: sender-side MR key
+
+  static constexpr std::size_t kWireSize = 1 + 4 + 4 + 8 + 8 + 4;
+
+  void encode_to(sim::Bytes& out) const;
+  static std::optional<MsgHeader> decode(sim::ByteSpan data);
+};
+
+}  // namespace jobmig::mpr

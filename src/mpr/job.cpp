@@ -1,0 +1,104 @@
+#include "jobmig/mpr/job.hpp"
+
+#include "jobmig/sim/log.hpp"
+
+namespace jobmig::mpr {
+
+using namespace sim::literals;
+
+Job::Job(sim::Engine& engine, sim::Calibration cal) : engine_(engine), cal_(cal) {}
+
+Job::~Job() = default;
+
+Proc& Job::add_proc(int rank, NodeEnv& env, std::uint64_t image_bytes, std::uint64_t image_seed) {
+  JOBMIG_EXPECTS_MSG(rank == static_cast<int>(procs_.size()),
+                     "ranks must be added densely in order");
+  procs_.push_back(std::make_unique<Proc>(*this, rank, env, image_bytes, image_seed));
+  placement_.push_back(&env);
+  return *procs_.back();
+}
+
+Proc& Job::proc(int rank) {
+  JOBMIG_EXPECTS(rank >= 0 && rank < size());
+  return *procs_[static_cast<std::size_t>(rank)];
+}
+
+NodeEnv& Job::node_of(int rank) {
+  JOBMIG_EXPECTS(rank >= 0 && rank < size());
+  return *placement_[static_cast<std::size_t>(rank)];
+}
+
+void Job::launch_app(AppMain main) {
+  JOBMIG_EXPECTS_MSG(app_main_ == nullptr, "app already launched");
+  app_main_ = std::move(main);
+  for (int r = 0; r < size(); ++r) engine_.spawn(run_app_wrapper(r));
+}
+
+void Job::relaunch_app_on(int rank) {
+  JOBMIG_EXPECTS(app_main_ != nullptr);
+  engine_.spawn(run_app_wrapper(rank));
+}
+
+sim::Task Job::run_app_wrapper(int rank) {
+  Proc* self = procs_[static_cast<std::size_t>(rank)].get();
+  try {
+    co_await app_main_(*self);
+  } catch (const ProcKilled&) {
+    co_return;  // migrated away; the restarted twin finishes for this rank
+  }
+  ++finished_ranks_;
+  if (finished_ranks_ >= procs_.size()) app_done_.set();
+}
+
+sim::Task Job::wait_app_done() {
+  while (finished_ranks_ < procs_.size()) {
+    co_await app_done_.wait();
+    app_done_.reset();
+  }
+}
+
+sim::Task Job::ensure_connected(int a, int b) {
+  JOBMIG_EXPECTS(a != b);
+  const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+  auto [it, inserted] = connect_mutexes_.try_emplace(key);
+  if (inserted) it->second = std::make_unique<sim::Mutex>();
+  auto lock = co_await it->second->lock();
+
+  Proc& pa = proc(a);
+  Proc& pb = proc(b);
+  if (pa.has_link(b) && pb.has_link(a)) co_return;
+  JOBMIG_ASSERT_MSG(!pa.has_link(b) && !pb.has_link(a), "half-connected rank pair");
+
+  // On-demand connection management (as in MVAPICH2): QP creation on both
+  // ends plus an out-of-band address exchange through the launcher tree.
+  co_await sim::sleep_for(cal_.ib.qp_setup + 120_us);
+  pa.create_link(b);
+  pb.create_link(a);
+  pa.connect_link(b, pb.link_addr(a));
+  pb.connect_link(a, pa.link_addr(b));
+  pa.activate_link(b);
+  pb.activate_link(a);
+}
+
+void Job::replace_proc(int rank, std::unique_ptr<Proc> fresh) {
+  JOBMIG_EXPECTS(rank >= 0 && rank < size());
+  JOBMIG_EXPECTS_MSG(procs_[static_cast<std::size_t>(rank)]->state() == ProcState::kDead,
+                     "replacing a live process");
+  placement_[static_cast<std::size_t>(rank)] = &fresh->env();
+  procs_[static_cast<std::size_t>(rank)] = std::move(fresh);
+}
+
+std::unique_ptr<Proc> Job::make_unwired_proc(int rank, NodeEnv& env) {
+  return std::make_unique<Proc>(*this, rank, env, 0, 0, /*start_suspended=*/true);
+}
+
+void Job::configure_migration_barrier() {
+  migration_barrier_ = std::make_unique<sim::Barrier>(static_cast<std::size_t>(size()));
+}
+
+sim::Task Job::migration_barrier_enter() {
+  JOBMIG_EXPECTS_MSG(migration_barrier_ != nullptr, "migration barrier not configured");
+  co_await migration_barrier_->arrive_and_wait();
+}
+
+}  // namespace jobmig::mpr

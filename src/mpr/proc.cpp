@@ -1,0 +1,560 @@
+#include "jobmig/mpr/proc.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "jobmig/mpr/job.hpp"
+#include "jobmig/sim/log.hpp"
+
+namespace jobmig::mpr {
+
+using namespace sim::literals;
+
+namespace {
+
+/// Ring-slot wr_ids carry the peer rank and slot so the progress loop can
+/// repost the right buffer. High bit distinguishes them from send-side ids.
+constexpr std::uint64_t kRingBit = 1ULL << 63;
+constexpr std::uint64_t kStopWr = 0;
+
+std::uint64_t ring_wr_id(int peer, std::size_t slot) {
+  return kRingBit | (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer)) << 8) |
+         static_cast<std::uint64_t>(slot);
+}
+
+/// RAII bracket for an application-level operation.
+class OpGuard {
+ public:
+  explicit OpGuard(std::size_t& counter, sim::Event& drained)
+      : counter_(counter), drained_(drained) {}
+  ~OpGuard() {
+    --counter_;
+    if (counter_ == 0) drained_.set();
+  }
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+
+ private:
+  std::size_t& counter_;
+  sim::Event& drained_;
+};
+
+}  // namespace
+
+Proc::Proc(Job& job, int rank, NodeEnv& env, std::uint64_t image_bytes, std::uint64_t image_seed,
+           bool start_suspended)
+    : job_(job), rank_(rank), env_(&env) {
+  process_ = std::make_unique<proc::SimProcess>(
+      proc::ProcessIdentity{static_cast<std::uint32_t>(1000 + rank), rank, "mpi_app"},
+      image_bytes, image_seed);
+  if (start_suspended) {
+    state_ = ProcState::kSuspended;
+    return;  // rebuild_and_resume() starts the service loops
+  }
+  progress_running_ = true;
+  dispatch_running_ = true;
+  env_->engine->spawn(progress_loop());
+  env_->engine->spawn(send_dispatch_loop());
+}
+
+Proc::~Proc() {
+  // Stop the service loops if the engine is still running; frames parked on
+  // our CQs after engine teardown simply never resume.
+  if (progress_running_) recv_cq_.push(ib::WorkCompletion{kStopWr, ib::WcStatus::kSuccess,
+                                                          ib::WcOpcode::kRecv, 0, 0, false});
+  if (dispatch_running_) send_cq_.push(ib::WorkCompletion{kStopWr, ib::WcStatus::kSuccess,
+                                                          ib::WcOpcode::kSend, 0, 0, false});
+}
+
+int Proc::size() const { return job_.size(); }
+
+void Proc::adopt_sim_process(proc::SimProcessPtr p) {
+  JOBMIG_EXPECTS(p != nullptr);
+  JOBMIG_EXPECTS_MSG(p->rank() == rank_, "restored image has a different rank");
+  process_ = std::move(p);
+  unpack_runtime_state();
+  // The image was captured while parked — i.e. *after* this rank took part
+  // in the park-agreement reduction. The relaunched app's first
+  // check_suspend must therefore not run another one, or its collective
+  // sequence would fall out of step with the surviving ranks.
+  resumed_from_restart_ = true;
+}
+
+// ---- Gate and lifecycle ---------------------------------------------------
+
+sim::Task Proc::enter_op() {
+  while (true) {
+    if (state_ == ProcState::kDead) throw ProcKilled{};
+    if (state_ == ProcState::kRunning) break;
+    co_await resume_gate_.wait();
+    resume_gate_.reset();
+  }
+  ++outstanding_ops_;
+}
+
+sim::Task Proc::check_suspend() {
+  if (state_ == ProcState::kDead) throw ProcKilled{};
+  if (state_ != ProcState::kRunning) co_return;
+  if (resumed_from_restart_) {
+    resumed_from_restart_ = false;
+    co_return;  // the pre-checkpoint self already passed this safe point
+  }
+  // Collective park agreement. A rank that parked unilaterally could do so
+  // before producing data a neighbour is already blocked on — deadlocking
+  // the stall phase. Instead every rank contributes its park flag to an
+  // OR-reduction each safe point; all ranks therefore park at the same
+  // iteration boundary with no application traffic in flight.
+  const double flag = park_requested_ ? 1.0 : 0.0;
+  const double agreed = co_await allreduce_sum(flag);
+  if (agreed == 0.0) co_return;
+  park_requested_ = true;  // adopt the group decision
+  state_ = ProcState::kParked;
+  parked_.set();
+  while (state_ == ProcState::kParked || state_ == ProcState::kSuspended) {
+    co_await resume_gate_.wait();
+    resume_gate_.reset();
+    if (state_ == ProcState::kDead) throw ProcKilled{};
+  }
+}
+
+sim::Task Proc::compute(sim::Duration d, std::uint64_t dirty_bytes, std::uint64_t dirty_offset) {
+  co_await enter_op();
+  OpGuard guard(outstanding_ops_, ops_drained_);
+  co_await sim::sleep_for(d);
+  if (dirty_bytes > 0) {
+    auto& image = process_->image();
+    JOBMIG_EXPECTS(dirty_offset + dirty_bytes <= image.size());
+    // Stamp an epoch marker into every page of the window: the pages become
+    // dirty (and their content changes between checkpoints) without
+    // regenerating full window content — the solver-writes analogue at
+    // simulation speed.
+    sim::Bytes stamp(16);
+    sim::put_u64(stamp, 0x5EED0000u + compute_epoch_);
+    sim::put_u64(stamp, dirty_offset);
+    const std::uint64_t kPage = proc::MemoryImage::kPageSize;
+    for (std::uint64_t pos = 0; pos < dirty_bytes; pos += kPage) {
+      const std::uint64_t at = dirty_offset + pos;
+      image.write(at, sim::ByteSpan(stamp.data(),
+                                    std::min<std::uint64_t>(stamp.size(),
+                                                            image.size() - at)));
+    }
+    ++compute_epoch_;
+  }
+}
+
+void Proc::request_park() { park_requested_ = true; }
+
+sim::Task Proc::wait_parked() {
+  while (state_ == ProcState::kRunning) {
+    co_await parked_.wait();
+    parked_.reset();
+  }
+}
+
+void Proc::kill() {
+  state_ = ProcState::kDead;
+  resume_gate_.set();
+  parked_.set();
+  for (auto& p : pending_recvs_) p->done.set();
+  pending_recvs_.clear();
+  for (auto& [id, op] : rdvz_sends_) op.fin.set();
+}
+
+// ---- Phase 1: drain + teardown ---------------------------------------------
+
+sim::Task Proc::drain_and_teardown() {
+  JOBMIG_EXPECTS_MSG(state_ == ProcState::kParked, "drain requires a parked process");
+
+  // (a) Application-level quiescence: every op completes (a parked app
+  //     issues no new ones).
+  while (outstanding_ops_ > 0) {
+    co_await ops_drained_.wait();
+    ops_drained_.reset();
+  }
+  // (b) Serve in-flight inbound rendezvous pulls to completion.
+  while (active_pulls_ > 0) co_await sim::sleep_for(10_us);
+  // (c) Flush the channels: wait for every posted WQE to complete.
+  for (auto& [peer, link] : links_) {
+    while (link.qp->outstanding() > 0) co_await sim::sleep_for(10_us);
+  }
+  JOBMIG_ASSERT_MSG(rdvz_sends_.empty(), "rendezvous sends must be drained before teardown");
+
+  // (d) Stop the service loops so nothing touches the endpoints below.
+  recv_cq_.push(ib::WorkCompletion{kStopWr, ib::WcStatus::kSuccess, ib::WcOpcode::kRecv, 0, 0, false});
+  send_cq_.push(ib::WorkCompletion{kStopWr, ib::WcStatus::kSuccess, ib::WcOpcode::kSend, 0, 0, false});
+  while (progress_running_ || dispatch_running_) co_await sim::sleep_for(1_us);
+
+  // (e) Release the connection context: destroy QPs and drop the rings.
+  //     Remote rkeys cached against us become invalid from this instant
+  //     (paper §III-A, third constraint).
+  remembered_peers_ = connected_peers();
+  links_.clear();
+
+  // (f) Preserve library state (unexpected queue, collective counter) inside
+  //     the process image so a restarted twin loses nothing.
+  pack_runtime_state();
+
+  state_ = ProcState::kSuspended;
+}
+
+// ---- Phase 4: rebuild + resume ----------------------------------------------
+
+sim::Task Proc::rebuild_and_resume() {
+  JOBMIG_EXPECTS_MSG(state_ == ProcState::kSuspended, "rebuild requires a suspended process");
+  const sim::MpiParams& p = env_->cal->mpi;
+  co_await sim::sleep_for(p.endpoint_reinit +
+                          p.pmi_exchange_per_rank * static_cast<std::int64_t>(size()));
+  for (int peer : remembered_peers_) {
+    co_await sim::sleep_for(p.endpoint_rebuild_per_peer);
+    co_await job_.ensure_connected(rank_, peer);
+  }
+  remembered_peers_.clear();
+  progress_running_ = true;
+  dispatch_running_ = true;
+  env_->engine->spawn(progress_loop());
+  env_->engine->spawn(send_dispatch_loop());
+  state_ = ProcState::kRunning;
+  park_requested_ = false;
+  resume_gate_.set();
+}
+
+// ---- Wiring -----------------------------------------------------------------
+
+ib::QueuePair* Proc::create_link(int peer) {
+  JOBMIG_EXPECTS(!links_.contains(peer));
+  Link link;
+  link.qp = env_->hca->create_qp(send_cq_, recv_cq_);
+  auto [it, ok] = links_.emplace(peer, std::move(link));
+  JOBMIG_ASSERT(ok);
+  return it->second.qp.get();
+}
+
+ib::IbAddr Proc::link_addr(int peer) const {
+  auto it = links_.find(peer);
+  JOBMIG_EXPECTS(it != links_.end());
+  return ib::IbAddr{env_->hca->node(), it->second.qp->qpn()};
+}
+
+void Proc::connect_link(int peer, ib::IbAddr remote) {
+  auto it = links_.find(peer);
+  JOBMIG_EXPECTS(it != links_.end());
+  it->second.qp->connect(remote);
+}
+
+void Proc::activate_link(int peer) {
+  auto it = links_.find(peer);
+  JOBMIG_EXPECTS(it != links_.end());
+  Link& link = it->second;
+  JOBMIG_EXPECTS(!link.active);
+  link.ring.resize(kRingSlots);
+  const std::size_t slot_bytes = env_->cal->mpi.eager_threshold + MsgHeader::kWireSize;
+  for (std::size_t s = 0; s < kRingSlots; ++s) {
+    link.ring[s].resize(slot_bytes);
+    link.qp->post_recv(ib::RecvWr{ring_wr_id(peer, s), link.ring[s].data(), slot_bytes});
+  }
+  link.active = true;
+}
+
+std::vector<int> Proc::connected_peers() const {
+  std::vector<int> out;
+  out.reserve(links_.size());
+  for (const auto& [peer, link] : links_) out.push_back(peer);
+  return out;
+}
+
+void Proc::post_ring_slot(int peer, std::size_t slot) {
+  auto it = links_.find(peer);
+  if (it == links_.end()) return;  // link torn down meanwhile
+  Link& link = it->second;
+  link.qp->post_recv(
+      ib::RecvWr{ring_wr_id(peer, slot), link.ring[slot].data(), link.ring[slot].size()});
+}
+
+// ---- Service loops ----------------------------------------------------------
+
+sim::Task Proc::send_dispatch_loop() {
+  while (true) {
+    ib::WorkCompletion wc = co_await send_cq_.wait();
+    if (wc.wr_id == kStopWr) break;
+    wr_results_[wc.wr_id] = wc;
+    auto it = wr_waiters_.find(wc.wr_id);
+    if (it != wr_waiters_.end()) it->second->set();
+  }
+  dispatch_running_ = false;
+}
+
+sim::ValueTask<ib::WorkCompletion> Proc::await_wr(std::uint64_t wr_id) {
+  if (!wr_results_.contains(wr_id)) {
+    sim::Event ev;
+    wr_waiters_[wr_id] = &ev;
+    co_await ev.wait();
+    wr_waiters_.erase(wr_id);
+  }
+  auto it = wr_results_.find(wr_id);
+  JOBMIG_ASSERT(it != wr_results_.end());
+  ib::WorkCompletion wc = it->second;
+  wr_results_.erase(it);
+  co_return wc;
+}
+
+sim::Task Proc::progress_loop() {
+  while (true) {
+    ib::WorkCompletion wc = co_await recv_cq_.wait();
+    if (wc.wr_id == kStopWr) break;
+    if (!wc.ok()) continue;  // flushed ring slot during teardown
+    const int peer = static_cast<int>((wc.wr_id >> 8) & 0xFFFFFFFFu);
+    const std::size_t slot = static_cast<std::size_t>(wc.wr_id & 0xFF);
+    auto it = links_.find(peer);
+    if (it == links_.end()) continue;
+    const sim::Bytes& buf = it->second.ring[slot];
+    auto header = MsgHeader::decode(sim::ByteSpan(buf.data(), wc.byte_len));
+    JOBMIG_ASSERT_MSG(header.has_value(), "undecodable channel message");
+    const std::size_t inline_len =
+        header->kind == MsgKind::kEager ? static_cast<std::size_t>(header->payload_len) : 0;
+    sim::Bytes payload(buf.begin() + MsgHeader::kWireSize,
+                       buf.begin() + static_cast<std::ptrdiff_t>(MsgHeader::kWireSize + inline_len));
+    handle_message(peer, *header, payload);
+    post_ring_slot(peer, slot);
+  }
+  progress_running_ = false;
+}
+
+void Proc::handle_message(int peer, const MsgHeader& h, sim::ByteSpan payload) {
+  switch (h.kind) {
+    case MsgKind::kEager: {
+      if (auto pending = match_pending(peer, h.tag)) {
+        pending->actual_src = peer;
+        pending->data.assign(payload.begin(), payload.end());
+        pending->done.set();
+      } else {
+        unexpected_.push_back(UnexpectedMsg{h, sim::Bytes(payload.begin(), payload.end())});
+        unexpected_arrived_.set();
+      }
+      break;
+    }
+    case MsgKind::kRts: {
+      if (auto pending = match_pending(peer, h.tag)) {
+        pending->actual_src = peer;
+        env_->engine->spawn(run_rendezvous_pull(peer, h, std::move(pending)));
+      } else {
+        unexpected_.push_back(UnexpectedMsg{h, {}});
+        unexpected_arrived_.set();
+      }
+      break;
+    }
+    case MsgKind::kFin: {
+      auto it = rdvz_sends_.find(h.rdvz_id);
+      JOBMIG_ASSERT_MSG(it != rdvz_sends_.end(), "FIN for unknown rendezvous");
+      it->second.fin.set();
+      break;
+    }
+  }
+}
+
+sim::Task Proc::run_rendezvous_pull(int peer, MsgHeader rts,
+                                    std::shared_ptr<PendingRecv> pending) {
+  ++active_pulls_;
+  sim::Bytes dst(rts.payload_len);
+  ib::MemoryRegion* mr = co_await env_->hca->reg_mr(dst.data(), dst.size());
+  auto it = links_.find(peer);
+  JOBMIG_ASSERT_MSG(it != links_.end(), "rendezvous pull on a torn-down link");
+  const std::uint64_t wr = next_wr_id();
+  it->second.qp->post_rdma_read(ib::RdmaWr{wr, dst.data(), 0, rts.rkey, rts.payload_len});
+  ib::WorkCompletion wc = co_await await_wr(wr);
+  env_->hca->dereg_mr(mr);
+  JOBMIG_ASSERT_MSG(wc.ok(), "rendezvous RDMA read failed");
+  MsgHeader fin;
+  fin.kind = MsgKind::kFin;
+  fin.src_rank = static_cast<std::uint32_t>(rank_);
+  fin.tag = rts.tag;
+  fin.rdvz_id = rts.rdvz_id;
+  co_await send_control(peer, fin, {});
+  if (state_ != ProcState::kDead) {
+    pending->data = std::move(dst);
+    pending->done.set();
+  }
+  --active_pulls_;
+  job_.count_message();
+}
+
+sim::Task Proc::send_control(int peer, const MsgHeader& h, sim::ByteSpan payload) {
+  auto it = links_.find(peer);
+  JOBMIG_ASSERT_MSG(it != links_.end(), "control message on a torn-down link");
+  sim::Bytes wire;
+  wire.reserve(MsgHeader::kWireSize + payload.size());
+  h.encode_to(wire);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  const std::uint64_t wr = next_wr_id();
+  it->second.qp->post_send(ib::SendWr{wr, std::move(wire)});
+  ib::WorkCompletion wc = co_await await_wr(wr);
+  JOBMIG_ASSERT_MSG(wc.ok(), "channel send failed");
+}
+
+// ---- Point-to-point ----------------------------------------------------------
+
+sim::Task Proc::send(int dst, std::int32_t tag, sim::Bytes payload) {
+  JOBMIG_EXPECTS_MSG(dst >= 0 && dst < size() && dst != rank_, "bad destination rank");
+  co_await enter_op();
+  OpGuard guard(outstanding_ops_, ops_drained_);
+  co_await sim::sleep_for(env_->cal->mpi.per_call_overhead);
+  co_await job_.ensure_connected(rank_, dst);
+
+  if (payload.size() <= env_->cal->mpi.eager_threshold) {
+    MsgHeader h;
+    h.kind = MsgKind::kEager;
+    h.src_rank = static_cast<std::uint32_t>(rank_);
+    h.tag = tag;
+    h.payload_len = payload.size();
+    co_await send_control(dst, h, payload);
+    job_.count_message();
+    co_return;
+  }
+
+  // Rendezvous: pin the payload, advertise it, wait for the receiver's pull.
+  const std::uint64_t id = ++rdvz_seq_;
+  RdvzSend& op = rdvz_sends_[id];
+  op.pinned = std::move(payload);
+  op.mr = co_await env_->hca->reg_mr(op.pinned.data(), op.pinned.size());
+  MsgHeader rts;
+  rts.kind = MsgKind::kRts;
+  rts.src_rank = static_cast<std::uint32_t>(rank_);
+  rts.tag = tag;
+  rts.payload_len = op.pinned.size();
+  rts.rdvz_id = id;
+  rts.rkey = op.mr->rkey();
+  co_await send_control(dst, rts, {});
+  co_await op.fin.wait();
+  if (state_ == ProcState::kDead) throw ProcKilled{};
+  env_->hca->dereg_mr(op.mr);
+  rdvz_sends_.erase(id);
+}
+
+sim::ValueTask<std::pair<int, sim::Bytes>> Proc::recv_impl(int src, std::int32_t tag) {
+  co_await enter_op();
+  OpGuard guard(outstanding_ops_, ops_drained_);
+  co_await sim::sleep_for(env_->cal->mpi.per_call_overhead);
+
+  if (auto um = take_unexpected(src, tag)) {
+    const int sender = static_cast<int>(um->header.src_rank);
+    if (um->header.kind == MsgKind::kEager) {
+      co_return std::pair<int, sim::Bytes>(sender, std::move(um->payload));
+    }
+    // Early RTS: pull now.
+    auto pending = std::make_shared<PendingRecv>();
+    pending->src = src;
+    pending->tag = tag;
+    pending->actual_src = sender;
+    env_->engine->spawn(run_rendezvous_pull(sender, um->header, pending));
+    co_await pending->done.wait();
+    if (state_ == ProcState::kDead) throw ProcKilled{};
+    co_return std::pair<int, sim::Bytes>(sender, std::move(pending->data));
+  }
+
+  auto pending = std::make_shared<PendingRecv>();
+  pending->src = src;
+  pending->tag = tag;
+  pending_recvs_.push_back(pending);
+  co_await pending->done.wait();
+  if (state_ == ProcState::kDead) throw ProcKilled{};
+  co_return std::pair<int, sim::Bytes>(pending->actual_src, std::move(pending->data));
+}
+
+sim::ValueTask<sim::Bytes> Proc::recv(int src, std::int32_t tag) {
+  JOBMIG_EXPECTS_MSG((src >= 0 && src < size() && src != rank_) || src == kAnySource,
+                     "bad source rank");
+  auto [sender, data] = co_await recv_impl(src, tag);
+  co_return std::move(data);
+}
+
+sim::ValueTask<std::pair<int, sim::Bytes>> Proc::recv_any(std::int32_t tag) {
+  return recv_impl(kAnySource, tag);
+}
+
+sim::ValueTask<int> Proc::probe(int src, std::int32_t tag) {
+  co_await enter_op();
+  OpGuard guard(outstanding_ops_, ops_drained_);
+  while (true) {
+    if (state_ == ProcState::kDead) throw ProcKilled{};
+    if (auto sender = iprobe(src, tag)) co_return *sender;
+    co_await unexpected_arrived_.wait();
+    unexpected_arrived_.reset();
+  }
+}
+
+std::optional<int> Proc::iprobe(int src, std::int32_t tag) const {
+  for (const auto& m : unexpected_) {
+    const int sender = static_cast<int>(m.header.src_rank);
+    if ((src == kAnySource || sender == src) && m.header.tag == tag) return sender;
+  }
+  return std::nullopt;
+}
+
+std::shared_ptr<Proc::PendingRecv> Proc::match_pending(int src, std::int32_t tag) {
+  for (auto it = pending_recvs_.begin(); it != pending_recvs_.end(); ++it) {
+    if (((*it)->src == src || (*it)->src == kAnySource) && (*it)->tag == tag) {
+      auto p = *it;
+      pending_recvs_.erase(it);
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<Proc::UnexpectedMsg> Proc::take_unexpected(int src, std::int32_t tag) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    const int sender = static_cast<int>(it->header.src_rank);
+    if ((src == kAnySource || sender == src) && it->header.tag == tag) {
+      UnexpectedMsg m = std::move(*it);
+      unexpected_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- Runtime-state capture -----------------------------------------------------
+
+void Proc::pack_runtime_state() {
+  // Unexpected RTS entries cannot survive teardown (their rkeys die with the
+  // sender's MR); the send side re-issues them, so only eager payloads and
+  // the collective counter are captured.
+  sim::Bytes out;
+  sim::put_u64(out, collective_seq_);
+  std::uint32_t eager_count = 0;
+  for (const auto& m : unexpected_) {
+    JOBMIG_ASSERT_MSG(m.header.kind == MsgKind::kEager,
+                      "non-eager unexpected message at suspension");
+    ++eager_count;
+  }
+  sim::put_u32(out, eager_count);
+  for (const auto& m : unexpected_) {
+    m.header.encode_to(out);
+    sim::put_u32(out, static_cast<std::uint32_t>(m.payload.size()));
+    out.insert(out.end(), m.payload.begin(), m.payload.end());
+  }
+  process_->set_runtime_state(std::move(out));
+}
+
+void Proc::unpack_runtime_state() {
+  const sim::Bytes& in = process_->runtime_state();
+  if (in.empty()) return;
+  std::size_t pos = 0;
+  collective_seq_ = sim::get_u64(in, pos);
+  pos += 8;
+  const std::uint32_t count = sim::get_u32(in, pos);
+  pos += 4;
+  unexpected_.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto h = MsgHeader::decode(sim::ByteSpan(in.data() + pos, in.size() - pos));
+    JOBMIG_ASSERT(h.has_value());
+    pos += MsgHeader::kWireSize;
+    const std::uint32_t len = sim::get_u32(in, pos);
+    pos += 4;
+    unexpected_.push_back(
+        UnexpectedMsg{*h, sim::Bytes(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                                     in.begin() + static_cast<std::ptrdiff_t>(pos + len))});
+    pos += len;
+  }
+}
+
+}  // namespace jobmig::mpr

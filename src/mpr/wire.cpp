@@ -1,0 +1,28 @@
+#include "jobmig/mpr/wire.hpp"
+
+namespace jobmig::mpr {
+
+void MsgHeader::encode_to(sim::Bytes& out) const {
+  out.push_back(static_cast<std::byte>(kind));
+  sim::put_u32(out, src_rank);
+  sim::put_u32(out, static_cast<std::uint32_t>(tag));
+  sim::put_u64(out, payload_len);
+  sim::put_u64(out, rdvz_id);
+  sim::put_u32(out, rkey);
+}
+
+std::optional<MsgHeader> MsgHeader::decode(sim::ByteSpan data) {
+  if (data.size() < kWireSize) return std::nullopt;
+  MsgHeader h;
+  const auto kind = static_cast<std::uint8_t>(data[0]);
+  if (kind < 1 || kind > 3) return std::nullopt;
+  h.kind = static_cast<MsgKind>(kind);
+  h.src_rank = sim::get_u32(data, 1);
+  h.tag = static_cast<std::int32_t>(sim::get_u32(data, 5));
+  h.payload_len = sim::get_u64(data, 9);
+  h.rdvz_id = sim::get_u64(data, 17);
+  h.rkey = sim::get_u32(data, 25);
+  return h;
+}
+
+}  // namespace jobmig::mpr

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jobmig/sim/bytes.hpp"
+#include "jobmig/sim/calibration.hpp"
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/resource.hpp"
+#include "jobmig/sim/sync.hpp"
+#include "jobmig/sim/task.hpp"
+
+/// Switched-Ethernet + TCP-like stream model: the cluster's GigE maintenance
+/// network. The FTB backplane runs over it (as in the paper's testbed), and
+/// the socket-based migration baseline (§III-B's critique of Wang et al.'s
+/// TCP transport) uses it to move checkpoint streams. Reliable in-order byte
+/// streams with listen/connect/accept; bytes are charged on the receiving
+/// host's ingress fair-share server plus per-message protocol overhead
+/// (the memory-copy-heavy socket path the paper contrasts with RDMA).
+namespace jobmig::net {
+
+using HostId = std::uint32_t;
+using Port = std::uint16_t;
+
+class Host;
+class Network;
+
+namespace detail {
+
+/// One direction of a stream: an unbounded reliable byte pipe.
+struct Pipe {
+  std::deque<std::byte> data;
+  bool closed = false;
+  sim::Event readable;
+};
+
+/// Shared connection state; endpoints index halves symmetrically.
+struct StreamCore {
+  Pipe pipes[2];  // pipes[i] carries bytes written by endpoint i
+  HostId hosts[2] = {0, 0};
+};
+
+}  // namespace detail
+
+/// One endpoint of an established connection.
+class Stream {
+ public:
+  Stream(Network& net, std::shared_ptr<detail::StreamCore> core, int side);
+  ~Stream();
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Transmit `data`; completes when the bytes have been accepted by the
+  /// receiving host (wire time + protocol overhead charged).
+  [[nodiscard]] sim::Task send(sim::ByteSpan data);
+
+  /// Receive up to `max_len` bytes; blocks until data is available.
+  /// Returns an empty vector when the peer has closed and the pipe drained.
+  [[nodiscard]] sim::ValueTask<sim::Bytes> recv_some(std::size_t max_len);
+
+  /// Receive exactly out.size() bytes; false if the peer closed early.
+  [[nodiscard]] sim::ValueTask<bool> recv_exact(sim::MutableByteSpan out);
+
+  /// Length-prefixed message framing on top of the byte stream.
+  [[nodiscard]] sim::Task send_frame(sim::ByteSpan payload);
+  /// nullopt on orderly close.
+  [[nodiscard]] sim::ValueTask<std::optional<sim::Bytes>> recv_frame();
+
+  void close();
+  bool peer_closed() const;
+  HostId remote_host() const { return core_->hosts[1 - side_]; }
+  HostId local_host() const { return core_->hosts[side_]; }
+
+ private:
+  Network& net_;
+  std::shared_ptr<detail::StreamCore> core_;
+  int side_;
+};
+
+using StreamPtr = std::unique_ptr<Stream>;
+
+class Listener {
+ public:
+  Listener(Host& host, Port port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Wait for the next inbound connection; nullptr after close().
+  [[nodiscard]] sim::ValueTask<StreamPtr> accept();
+  void close();
+  Port port() const { return port_; }
+
+ private:
+  friend class Host;  // connect() pushes into the backlog
+  Host& host_;
+  Port port_;
+  sim::Channel<StreamPtr> backlog_{64};
+  bool open_ = true;
+};
+
+class Host {
+ public:
+  Host(Network& net, HostId id, std::string name);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  HostId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Network& network() { return net_; }
+
+  /// Bind a listening port (throws ContractViolation if already bound).
+  [[nodiscard]] std::unique_ptr<Listener> listen(Port port);
+
+  /// Connect to a listening port on `remote`; nullptr if nothing listens
+  /// (connection refused) or the host is unreachable.
+  [[nodiscard]] sim::ValueTask<StreamPtr> connect(HostId remote, Port port);
+
+  sim::FairShareServer& ingress() { return *ingress_; }
+  std::uint64_t bytes_in() const { return bytes_in_; }
+  void add_bytes_in(std::uint64_t n) { bytes_in_ += n; }
+
+  /// Take the host offline: refuses new connections and marks all
+  /// subsequently-used streams broken (used for failure injection).
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
+
+ private:
+  friend class Listener;
+  void bind(Port port, Listener* l);
+  void unbind(Port port);
+  Listener* listener_at(Port port);
+
+  Network& net_;
+  HostId id_;
+  std::string name_;
+  bool online_ = true;
+  std::map<Port, Listener*> listeners_;
+  std::unique_ptr<sim::FairShareServer> ingress_;
+  std::uint64_t bytes_in_ = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Engine& engine, sim::EthParams params = {});
+
+  Host& add_host(std::string name);
+  Host* host(HostId id);
+  sim::Engine& engine() { return engine_; }
+  const sim::EthParams& params() const { return params_; }
+  std::size_t host_count() const { return hosts_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  void account(std::uint64_t n) { total_bytes_ += n; }
+
+ private:
+  sim::Engine& engine_;
+  sim::EthParams params_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace jobmig::net

@@ -1,0 +1,144 @@
+#include "jobmig/net/network.hpp"
+
+#include <algorithm>
+
+namespace jobmig::net {
+
+Stream::Stream(Network& net, std::shared_ptr<detail::StreamCore> core, int side)
+    : net_(net), core_(std::move(core)), side_(side) {}
+
+Stream::~Stream() { close(); }
+
+sim::Task Stream::send(sim::ByteSpan data) {
+  detail::Pipe& pipe = core_->pipes[side_];
+  if (pipe.closed) co_return;  // connection reset: bytes silently dropped
+  const sim::EthParams& p = net_.params();
+  Host* dst = net_.host(core_->hosts[1 - side_]);
+  JOBMIG_ASSERT(dst != nullptr);
+  co_await sim::sleep_for(p.per_msg_overhead);
+  co_await dst->ingress().transfer(data.size());
+  co_await sim::sleep_for(p.latency);
+  if (pipe.closed) co_return;  // torn down while in flight: bytes are lost
+  dst->add_bytes_in(data.size());
+  net_.account(data.size());
+  pipe.data.insert(pipe.data.end(), data.begin(), data.end());
+  pipe.readable.set();
+}
+
+sim::ValueTask<sim::Bytes> Stream::recv_some(std::size_t max_len) {
+  detail::Pipe& pipe = core_->pipes[1 - side_];  // peer writes here
+  while (pipe.data.empty()) {
+    if (pipe.closed) co_return sim::Bytes{};
+    co_await pipe.readable.wait();
+    pipe.readable.reset();
+  }
+  const std::size_t n = std::min(max_len, pipe.data.size());
+  sim::Bytes out(pipe.data.begin(), pipe.data.begin() + static_cast<std::ptrdiff_t>(n));
+  pipe.data.erase(pipe.data.begin(), pipe.data.begin() + static_cast<std::ptrdiff_t>(n));
+  co_return out;
+}
+
+sim::ValueTask<bool> Stream::recv_exact(sim::MutableByteSpan out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    sim::Bytes chunk = co_await recv_some(out.size() - filled);
+    if (chunk.empty()) co_return false;  // peer closed early
+    std::copy(chunk.begin(), chunk.end(), out.begin() + static_cast<std::ptrdiff_t>(filled));
+    filled += chunk.size();
+  }
+  co_return true;
+}
+
+sim::Task Stream::send_frame(sim::ByteSpan payload) {
+  sim::Bytes framed;
+  framed.reserve(payload.size() + 4);
+  sim::put_u32(framed, static_cast<std::uint32_t>(payload.size()));
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  co_await send(framed);
+}
+
+sim::ValueTask<std::optional<sim::Bytes>> Stream::recv_frame() {
+  sim::Bytes header(4);
+  if (!co_await recv_exact(header)) co_return std::nullopt;
+  const std::uint32_t len = sim::get_u32(header, 0);
+  sim::Bytes payload(len);
+  if (len > 0 && !co_await recv_exact(payload)) co_return std::nullopt;
+  co_return std::optional<sim::Bytes>(std::move(payload));
+}
+
+void Stream::close() {
+  if (!core_) return;
+  for (auto& pipe : core_->pipes) {
+    pipe.closed = true;
+    pipe.readable.set();
+  }
+}
+
+bool Stream::peer_closed() const { return core_->pipes[1 - side_].closed; }
+
+Listener::Listener(Host& host, Port port) : host_(host), port_(port) { host_.bind(port, this); }
+
+Listener::~Listener() { close(); }
+
+sim::ValueTask<StreamPtr> Listener::accept() {
+  auto next = co_await backlog_.recv();
+  co_return next ? std::move(*next) : nullptr;
+}
+
+void Listener::close() {
+  if (!open_) return;
+  open_ = false;
+  host_.unbind(port_);
+  backlog_.close();
+}
+
+Host::Host(Network& net, HostId id, std::string name)
+    : net_(net), id_(id), name_(std::move(name)) {
+  ingress_ = std::make_unique<sim::FairShareServer>(net_.engine(), net_.params().bandwidth_Bps);
+}
+
+std::unique_ptr<Listener> Host::listen(Port port) {
+  return std::make_unique<Listener>(*this, port);
+}
+
+void Host::bind(Port port, Listener* l) {
+  JOBMIG_EXPECTS_MSG(!listeners_.contains(port), "port already bound");
+  listeners_[port] = l;
+}
+
+void Host::unbind(Port port) { listeners_.erase(port); }
+
+Listener* Host::listener_at(Port port) {
+  auto it = listeners_.find(port);
+  return it == listeners_.end() ? nullptr : it->second;
+}
+
+sim::ValueTask<StreamPtr> Host::connect(HostId remote, Port port) {
+  const sim::EthParams& p = net_.params();
+  co_await sim::sleep_for(p.latency * 3);  // SYN / SYN-ACK / ACK
+  Host* peer = net_.host(remote);
+  if (peer == nullptr || !peer->online() || !online_) co_return nullptr;
+  Listener* l = peer->listener_at(port);
+  if (l == nullptr || !l->open_) co_return nullptr;
+
+  auto core = std::make_shared<detail::StreamCore>();
+  core->hosts[0] = id_;
+  core->hosts[1] = remote;
+  auto local_end = std::make_unique<Stream>(net_, core, 0);
+  auto remote_end = std::make_unique<Stream>(net_, core, 1);
+  if (!l->backlog_.try_send(std::move(remote_end))) co_return nullptr;  // backlog full
+  co_return local_end;
+}
+
+Network::Network(sim::Engine& engine, sim::EthParams params)
+    : engine_(engine), params_(params) {}
+
+Host& Network::add_host(std::string name) {
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(std::make_unique<Host>(*this, id, std::move(name)));
+  return *hosts_.back();
+}
+
+Host* Network::host(HostId id) { return id < hosts_.size() ? hosts_[id].get() : nullptr; }
+
+}  // namespace jobmig::net

@@ -1,0 +1,274 @@
+#include "jobmig/proc/blcr.hpp"
+
+#include <algorithm>
+
+namespace jobmig::proc {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4A4D5F424C435231ULL;     // "JM_BLCR1"
+constexpr std::uint64_t kEndMagic = 0x4A4D5F454E444D31ULL;  // "JM_ENDM1"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kStreamChunk = 1 << 20;  // 1 MiB serialization units
+constexpr std::uint64_t kMaxRunBytes = 4 << 20;  // cap coalesced page runs
+
+enum SectionKind : std::uint8_t { kClean = 0, kDirty = 1, kEnd = 2 };
+
+/// Contiguous page run of one kind inside the image.
+struct Run {
+  SectionKind kind;
+  std::uint64_t offset;
+  std::uint64_t length;
+};
+
+/// Walk the image page table, coalescing adjacent clean/dirty pages.
+/// Clean content still travels in full on the wire (it is regenerated from
+/// the pattern); the split only lets restart rebuild a lazily-backed image.
+std::vector<Run> plan_runs(const MemoryImage& image) {
+  std::vector<Run> runs;
+  const std::uint64_t size = image.size();
+  if (size == 0) return runs;
+  const std::uint64_t pages = (size + MemoryImage::kPageSize - 1) / MemoryImage::kPageSize;
+  // Reconstruct dirtiness page by page via a probe write-free API: the image
+  // exposes only dirty_pages() count, so classify by comparing content with
+  // the pattern would be costly. Instead extend: we conservatively mark all
+  // pages clean unless a dirty page map lookup says otherwise.
+  for (std::uint64_t p = 0; p < pages;) {
+    const bool dirty = image.is_dirty_page(p);
+    std::uint64_t q = p + 1;
+    while (q < pages && image.is_dirty_page(q) == dirty &&
+           (q - p) * MemoryImage::kPageSize < kMaxRunBytes) {
+      ++q;
+    }
+    const std::uint64_t off = p * MemoryImage::kPageSize;
+    const std::uint64_t len = std::min(size, q * MemoryImage::kPageSize) - off;
+    runs.push_back(Run{dirty ? kDirty : kClean, off, len});
+    p = q;
+  }
+  return runs;
+}
+
+void put_u8(sim::Bytes& out, std::uint8_t v) { out.push_back(static_cast<std::byte>(v)); }
+
+void put_blob(sim::Bytes& out, sim::ByteSpan blob) {
+  sim::put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+sim::Bytes encode_header(const SimProcess& proc) {
+  sim::Bytes h;
+  sim::put_u64(h, kMagic);
+  sim::put_u32(h, kVersion);
+  sim::put_u32(h, proc.pid());
+  sim::put_u32(h, static_cast<std::uint32_t>(proc.rank()));
+  sim::Bytes exe;
+  for (char c : proc.identity().executable) exe.push_back(static_cast<std::byte>(c));
+  put_blob(h, exe);
+  put_blob(h, proc.app_state());
+  put_blob(h, proc.runtime_state());
+  sim::put_u64(h, proc.image().size());
+  sim::put_u64(h, proc.image().seed());
+  return h;
+}
+
+std::uint64_t header_size(const SimProcess& proc) {
+  return 8 + 4 + 4 + 4 + (4 + proc.identity().executable.size()) +
+         (4 + proc.app_state().size()) + (4 + proc.runtime_state().size()) + 8 + 8;
+}
+
+/// Incremental stream consumer used by restart().
+class StreamReader {
+ public:
+  StreamReader(RestartSource& source, sim::FairShareServer& bus)
+      : source_(source), bus_(bus) {}
+
+  /// Ensure at least `n` bytes are buffered; false on EOF before n.
+  sim::ValueTask<bool> ensure(std::uint64_t n) {
+    while (buffer_.size() - consumed_ < n) {
+      sim::Bytes chunk = co_await source_.read(kStreamChunk);
+      if (chunk.empty()) co_return false;
+      co_await bus_.transfer(chunk.size());  // restore-side memory bus
+      buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+    }
+    co_return true;
+  }
+
+  sim::ByteSpan peek(std::uint64_t n) const {
+    JOBMIG_ASSERT(buffer_.size() - consumed_ >= n);
+    return sim::ByteSpan(buffer_.data() + consumed_, n);
+  }
+
+  /// Consume `n` bytes, folding them into the running CRC unless excluded.
+  void advance(std::uint64_t n, bool crc = true) {
+    if (crc) crc_.update(sim::ByteSpan(buffer_.data() + consumed_, n));
+    consumed_ += n;
+    // Compact occasionally so the parse buffer stays ~one run long.
+    if (consumed_ > (8u << 20)) {
+      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+      consumed_ = 0;
+    }
+  }
+
+  std::uint64_t crc_value() const { return crc_.value(); }
+
+ private:
+  RestartSource& source_;
+  sim::FairShareServer& bus_;
+  sim::Bytes buffer_;
+  std::uint64_t consumed_ = 0;
+  sim::Crc64 crc_;
+};
+
+[[noreturn]] void corrupt(const std::string& why) { throw CheckpointCorruption(why); }
+
+}  // namespace
+
+Blcr::Blcr(sim::Engine& engine, sim::BlcrParams params)
+    : engine_(engine),
+      params_(params),
+      dump_bus_(engine, params.dump_Bps_per_node),
+      restore_bus_(engine, params.restore_Bps_per_node) {}
+
+std::uint64_t Blcr::stream_size(const SimProcess& proc) {
+  std::uint64_t total = header_size(proc);
+  for (const Run& r : plan_runs(proc.image())) {
+    total += 1 + 8 + 8 + r.length;
+  }
+  total += 1 + 8 + 8;  // end marker
+  total += 8 + 8;      // crc + end magic
+  return total;
+}
+
+sim::Task Blcr::checkpoint(const SimProcess& proc, CheckpointSink& sink) {
+  co_await sim::sleep_for(params_.per_process_checkpoint_overhead);
+
+  sim::Crc64 crc;
+  // Emit a piece of the stream: charge the node dump bus, fold into the
+  // running CRC, hand to the sink.
+  auto emit = [&](sim::ByteSpan piece) -> sim::Task {
+    co_await dump_bus_.transfer(piece.size());
+    crc.update(piece);
+    co_await sink.write(piece);
+  };
+
+  co_await emit(encode_header(proc));
+
+  sim::Bytes staging;
+  for (const Run& r : plan_runs(proc.image())) {
+    sim::Bytes section_header;
+    put_u8(section_header, static_cast<std::uint8_t>(r.kind));
+    sim::put_u64(section_header, r.offset);
+    sim::put_u64(section_header, r.length);
+    co_await emit(section_header);
+    std::uint64_t pos = 0;
+    while (pos < r.length) {
+      const std::uint64_t run = std::min<std::uint64_t>(kStreamChunk, r.length - pos);
+      staging.resize(run);
+      proc.image().read(r.offset + pos, staging);
+      co_await emit(sim::ByteSpan(staging.data(), run));
+      pos += run;
+    }
+  }
+  sim::Bytes end_marker;
+  put_u8(end_marker, kEnd);
+  sim::put_u64(end_marker, 0);
+  sim::put_u64(end_marker, 0);
+  co_await emit(end_marker);
+
+  sim::Bytes trailer;
+  sim::put_u64(trailer, crc.value());
+  sim::put_u64(trailer, kEndMagic);
+  co_await dump_bus_.transfer(trailer.size());
+  co_await sink.write(trailer);
+  co_await sink.finish();
+  ++checkpoints_taken_;
+}
+
+sim::ValueTask<SimProcessPtr> Blcr::restart(RestartSource& source) {
+  co_await sim::sleep_for(params_.per_process_restart_overhead);
+  StreamReader reader(source, restore_bus_);
+
+  const std::uint64_t fixed_header = 8 + 4 + 4 + 4;
+  if (!co_await reader.ensure(fixed_header)) corrupt("truncated header");
+  {
+    sim::ByteSpan h = reader.peek(fixed_header);
+    if (sim::get_u64(h, 0) != kMagic) corrupt("bad magic");
+    if (sim::get_u32(h, 8) != kVersion) corrupt("unsupported version");
+  }
+  sim::ByteSpan h = reader.peek(fixed_header);
+  ProcessIdentity id;
+  id.pid = sim::get_u32(h, 12);
+  id.rank = static_cast<std::int32_t>(sim::get_u32(h, 16));
+  reader.advance(fixed_header);
+
+  auto read_blob = [&]() -> sim::ValueTask<sim::Bytes> {
+    if (!co_await reader.ensure(4)) corrupt("truncated blob length");
+    const std::uint32_t len = sim::get_u32(reader.peek(4), 0);
+    reader.advance(4);
+    if (!co_await reader.ensure(len)) corrupt("truncated blob");
+    sim::ByteSpan body = reader.peek(len);
+    sim::Bytes out(body.begin(), body.end());
+    reader.advance(len);
+    co_return out;
+  };
+
+  sim::Bytes exe = co_await read_blob();
+  for (std::byte b : exe) id.executable.push_back(static_cast<char>(b));
+  sim::Bytes app_state = co_await read_blob();
+  sim::Bytes runtime_state = co_await read_blob();
+
+  if (!co_await reader.ensure(16)) corrupt("truncated image descriptor");
+  const std::uint64_t image_size = sim::get_u64(reader.peek(16), 0);
+  const std::uint64_t image_seed = sim::get_u64(reader.peek(16), 8);
+  reader.advance(16);
+
+  auto proc = std::make_unique<SimProcess>(id, image_size, image_seed);
+  proc->set_app_state(std::move(app_state));
+  proc->set_runtime_state(std::move(runtime_state));
+
+  // Sections until the end marker.
+  sim::Bytes expected;
+  while (true) {
+    if (!co_await reader.ensure(1 + 8 + 8)) corrupt("truncated section header");
+    sim::ByteSpan sh = reader.peek(1 + 8 + 8);
+    const auto kind = static_cast<SectionKind>(sh[0]);
+    const std::uint64_t offset = sim::get_u64(sh, 1);
+    const std::uint64_t length = sim::get_u64(sh, 9);
+    reader.advance(1 + 8 + 8);
+    if (kind == kEnd) break;
+    if (kind != kClean && kind != kDirty) corrupt("bad section kind");
+    if (offset + length > image_size) corrupt("section out of bounds");
+    std::uint64_t pos = 0;
+    while (pos < length) {
+      const std::uint64_t run = std::min<std::uint64_t>(kStreamChunk, length - pos);
+      if (!co_await reader.ensure(run)) corrupt("truncated section payload");
+      sim::ByteSpan body = reader.peek(run);
+      if (kind == kDirty) {
+        proc->image().write(offset + pos, body);
+      } else {
+        // Clean content travelled in full; verify it against the pattern the
+        // lazily-backed image will regenerate, instead of storing it.
+        expected.resize(run);
+        sim::pattern_fill(expected, image_seed, offset + pos);
+        if (!std::equal(body.begin(), body.end(), expected.begin())) {
+          corrupt("clean section content mismatch");
+        }
+      }
+      reader.advance(run);
+      pos += run;
+    }
+  }
+
+  const std::uint64_t computed_crc = reader.crc_value();
+  if (!co_await reader.ensure(16)) corrupt("truncated trailer");
+  const std::uint64_t stored_crc = sim::get_u64(reader.peek(16), 0);
+  const std::uint64_t end_magic = sim::get_u64(reader.peek(16), 8);
+  reader.advance(16, /*crc=*/false);
+  if (end_magic != kEndMagic) corrupt("bad end magic");
+  if (stored_crc != computed_crc) corrupt("payload CRC mismatch");
+
+  ++restarts_done_;
+  co_return proc;
+}
+
+}  // namespace jobmig::proc

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "jobmig/sim/bytes.hpp"
+
+namespace jobmig::proc {
+
+/// Page-granular process address-space image with real, verifiable content.
+///
+/// Clean pages are materialized lazily from a deterministic pattern keyed by
+/// (seed, page offset), so a multi-GB image costs memory only for pages the
+/// workload actually dirtied — yet every byte that flows through checkpoint,
+/// RDMA and restart is a real byte that can be CRC-checked end to end.
+class MemoryImage {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  MemoryImage(std::uint64_t size_bytes, std::uint64_t content_seed);
+
+  std::uint64_t size() const { return size_; }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t dirty_pages() const { return dirty_.size(); }
+  bool is_dirty_page(std::uint64_t page_index) const { return dirty_.contains(page_index); }
+
+  /// Copy [offset, offset+out.size()) into `out`.
+  void read(std::uint64_t offset, sim::MutableByteSpan out) const;
+  /// Overwrite [offset, offset+data.size()); affected pages become dirty.
+  void write(std::uint64_t offset, sim::ByteSpan data);
+
+  /// CRC-64 of the full image content (streamed; no full materialization).
+  std::uint64_t content_crc() const;
+
+  /// Deep equality without materializing both images at once.
+  bool content_equals(const MemoryImage& other) const;
+
+ private:
+  void read_page(std::uint64_t page_index, std::uint64_t within, sim::MutableByteSpan out) const;
+
+  std::uint64_t size_;
+  std::uint64_t seed_;
+  std::map<std::uint64_t, sim::Bytes> dirty_;  // page index -> full page
+};
+
+}  // namespace jobmig::proc

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "jobmig/proc/memory_image.hpp"
+#include "jobmig/sim/bytes.hpp"
+
+namespace jobmig::proc {
+
+struct ProcessIdentity {
+  std::uint32_t pid = 0;
+  std::int32_t rank = -1;        // MPI rank; -1 for non-MPI processes
+  std::string executable;
+  friend bool operator==(const ProcessIdentity&, const ProcessIdentity&) = default;
+};
+
+/// A simulated OS process: identity + address-space image + a small opaque
+/// application-state blob. The blob is what a real process would keep in
+/// registers/stack (e.g. a solver's iteration counter); workload kernels
+/// serialize their progress into it so a restarted process resumes where
+/// the checkpoint was taken.
+class SimProcess {
+ public:
+  SimProcess(ProcessIdentity id, std::uint64_t image_bytes, std::uint64_t content_seed)
+      : id_(std::move(id)), image_(image_bytes, content_seed) {}
+
+  const ProcessIdentity& identity() const { return id_; }
+  std::uint32_t pid() const { return id_.pid; }
+  std::int32_t rank() const { return id_.rank; }
+
+  MemoryImage& image() { return image_; }
+  const MemoryImage& image() const { return image_; }
+
+  const sim::Bytes& app_state() const { return app_state_; }
+  void set_app_state(sim::Bytes state) { app_state_ = std::move(state); }
+
+  /// Opaque runtime-library state (e.g. the MPI library's unexpected-message
+  /// queue) captured at suspension so a restarted process loses nothing.
+  const sim::Bytes& runtime_state() const { return runtime_state_; }
+  void set_runtime_state(sim::Bytes state) { runtime_state_ = std::move(state); }
+
+  /// Total bytes a checkpoint of this process carries (image + state).
+  std::uint64_t checkpoint_payload_bytes() const {
+    return image_.size() + app_state_.size() + runtime_state_.size();
+  }
+
+ private:
+  ProcessIdentity id_;
+  MemoryImage image_;
+  sim::Bytes app_state_;
+  sim::Bytes runtime_state_;
+};
+
+using SimProcessPtr = std::unique_ptr<SimProcess>;
+
+}  // namespace jobmig::proc

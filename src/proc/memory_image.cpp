@@ -1,0 +1,89 @@
+#include "jobmig/proc/memory_image.hpp"
+
+#include <algorithm>
+
+#include "jobmig/sim/assert.hpp"
+
+namespace jobmig::proc {
+
+MemoryImage::MemoryImage(std::uint64_t size_bytes, std::uint64_t content_seed)
+    : size_(size_bytes), seed_(content_seed) {}
+
+void MemoryImage::read_page(std::uint64_t page_index, std::uint64_t within,
+                            sim::MutableByteSpan out) const {
+  JOBMIG_ASSERT(within + out.size() <= kPageSize);
+  auto it = dirty_.find(page_index);
+  if (it != dirty_.end()) {
+    std::copy_n(it->second.begin() + static_cast<std::ptrdiff_t>(within), out.size(), out.begin());
+  } else {
+    sim::pattern_fill(out, seed_, page_index * kPageSize + within);
+  }
+}
+
+void MemoryImage::read(std::uint64_t offset, sim::MutableByteSpan out) const {
+  JOBMIG_EXPECTS_MSG(offset + out.size() <= size_, "image read out of bounds");
+  std::uint64_t pos = 0;
+  while (pos < out.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t page = abs / kPageSize;
+    const std::uint64_t within = abs % kPageSize;
+    const std::uint64_t run = std::min<std::uint64_t>(out.size() - pos, kPageSize - within);
+    read_page(page, within, out.subspan(pos, run));
+    pos += run;
+  }
+}
+
+void MemoryImage::write(std::uint64_t offset, sim::ByteSpan data) {
+  JOBMIG_EXPECTS_MSG(offset + data.size() <= size_, "image write out of bounds");
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t page = abs / kPageSize;
+    const std::uint64_t within = abs % kPageSize;
+    const std::uint64_t run = std::min<std::uint64_t>(data.size() - pos, kPageSize - within);
+    auto it = dirty_.find(page);
+    if (it == dirty_.end()) {
+      sim::Bytes page_bytes(kPageSize);
+      if (run < kPageSize) {
+        // Partial overwrite: materialize the page content first.
+        sim::pattern_fill(page_bytes, seed_, page * kPageSize);
+      }
+      it = dirty_.emplace(page, std::move(page_bytes)).first;
+    }
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(pos), run,
+                it->second.begin() + static_cast<std::ptrdiff_t>(within));
+    pos += run;
+  }
+}
+
+std::uint64_t MemoryImage::content_crc() const {
+  sim::Crc64 crc;
+  sim::Bytes buf(64 * kPageSize);
+  std::uint64_t pos = 0;
+  while (pos < size_) {
+    const std::uint64_t run = std::min<std::uint64_t>(buf.size(), size_ - pos);
+    sim::MutableByteSpan window(buf.data(), run);
+    read(pos, window);
+    crc.update(sim::ByteSpan(buf.data(), run));
+    pos += run;
+  }
+  return crc.value();
+}
+
+bool MemoryImage::content_equals(const MemoryImage& other) const {
+  if (size_ != other.size_) return false;
+  sim::Bytes a(16 * kPageSize), b(16 * kPageSize);
+  std::uint64_t pos = 0;
+  while (pos < size_) {
+    const std::uint64_t run = std::min<std::uint64_t>(a.size(), size_ - pos);
+    read(pos, sim::MutableByteSpan(a.data(), run));
+    other.read(pos, sim::MutableByteSpan(b.data(), run));
+    if (!std::equal(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(run), b.begin())) {
+      return false;
+    }
+    pos += run;
+  }
+  return true;
+}
+
+}  // namespace jobmig::proc

@@ -1,0 +1,111 @@
+#include "jobmig/sim/bytes.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/sim/rng.hpp"
+
+namespace jobmig::sim {
+
+namespace {
+
+std::array<std::uint64_t, 256> make_crc64_table() {
+  // CRC-64/XZ: reflected polynomial 0xC96C5795D7870F42.
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0xC96C5795D7870F42ULL : crc >> 1;
+    }
+    table[static_cast<std::size_t>(i)] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint64_t, 256>& crc64_table() {
+  static const auto table = make_crc64_table();
+  return table;
+}
+
+}  // namespace
+
+Crc64& Crc64::update(ByteSpan data) {
+  const auto& table = crc64_table();
+  for (std::byte b : data) {
+    crc_ = table[static_cast<std::size_t>((crc_ ^ static_cast<std::uint64_t>(b)) & 0xFF)] ^
+           (crc_ >> 8);
+  }
+  return *this;
+}
+
+Crc64& Crc64::update_u64(std::uint64_t v) {
+  std::byte buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  return update(ByteSpan(buf, 8));
+}
+
+namespace {
+
+/// Value of the 8-byte lane `lane` of the (seed)-keyed pattern stream.
+inline std::uint64_t pattern_lane(std::uint64_t seed, std::uint64_t lane) {
+  SplitMix64 sm(seed ^ (lane * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL));
+  return sm.next();
+}
+
+}  // namespace
+
+void pattern_fill(MutableByteSpan out, std::uint64_t seed, std::uint64_t offset) {
+  // One SplitMix64 step per 8-byte lane, keyed by absolute lane index so any
+  // sub-range can be regenerated independently. Unaligned head/tail bytes
+  // are peeled off; the body writes whole lanes (this function backs every
+  // clean-page materialization, so it is on the simulator's hot path).
+  std::size_t i = 0;
+  const std::size_t n = out.size();
+  // Head: bytes until (offset + i) is lane-aligned.
+  while (i < n && (offset + i) % 8 != 0) {
+    const std::uint64_t v = pattern_lane(seed, (offset + i) / 8);
+    out[i] = static_cast<std::byte>((v >> (8 * ((offset + i) % 8))) & 0xFF);
+    ++i;
+  }
+  // Body: whole lanes.
+  while (i + 8 <= n) {
+    const std::uint64_t v = pattern_lane(seed, (offset + i) / 8);
+    std::memcpy(out.data() + i, &v, 8);
+    i += 8;
+  }
+  // Tail.
+  while (i < n) {
+    const std::uint64_t v = pattern_lane(seed, (offset + i) / 8);
+    out[i] = static_cast<std::byte>((v >> (8 * ((offset + i) % 8))) & 0xFF);
+    ++i;
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint64_t get_u64(ByteSpan in, std::size_t offset) {
+  JOBMIG_EXPECTS(offset + 8 <= in.size());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[offset + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint32_t get_u32(ByteSpan in, std::size_t offset) {
+  JOBMIG_EXPECTS(offset + 4 <= in.size());
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[offset + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace jobmig::sim

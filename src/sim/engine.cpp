@@ -1,0 +1,133 @@
+#include "jobmig/sim/engine.hpp"
+
+#include <sstream>
+
+#include "jobmig/sim/task.hpp"
+
+namespace jobmig::sim {
+
+namespace {
+Engine* g_current_engine = nullptr;
+}  // namespace
+
+namespace detail2 {
+
+/// Root wrapper for spawned tasks. The frame self-destructs at final suspend
+/// (suspend_never); exceptions escaping the wrapped task are reported to the
+/// engine and rethrown from Engine::run().
+struct Detached {
+  struct promise_type {
+    Engine* engine = nullptr;
+
+    Detached get_return_object() {
+      return Detached{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {
+      if (engine) engine->on_root_task_done();
+    }
+    void unhandled_exception() noexcept {
+      if (engine) {
+        engine->on_root_task_exception(std::current_exception());
+        engine->on_root_task_done();
+      }
+    }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached run_root(Task t) { co_await std::move(t); }
+
+}  // namespace detail2
+
+Engine::~Engine() = default;
+
+void Engine::schedule_at(TimePoint t, std::coroutine_handle<> h) {
+  JOBMIG_EXPECTS_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(QueueItem{t, next_seq_++, h, nullptr});
+}
+
+void Engine::schedule_in(Duration d, std::coroutine_handle<> h) {
+  JOBMIG_EXPECTS_MSG(d >= Duration::zero(), "negative delay");
+  schedule_at(now_ + d, h);
+}
+
+void Engine::call_at(TimePoint t, std::function<void()> fn) {
+  JOBMIG_EXPECTS_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(QueueItem{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Engine::call_in(Duration d, std::function<void()> fn) {
+  JOBMIG_EXPECTS_MSG(d >= Duration::zero(), "negative delay");
+  call_at(now_ + d, std::move(fn));
+}
+
+void Engine::spawn(Task t) {
+  JOBMIG_EXPECTS_MSG(t.valid(), "spawn() of an empty task");
+  detail2::Detached d = detail2::run_root(std::move(t));
+  d.handle.promise().engine = this;
+  ++live_tasks_;
+  schedule_at(now_, d.handle);
+}
+
+TimePoint Engine::run() { return run_until(TimePoint::max()); }
+
+TimePoint Engine::run_until(TimePoint deadline) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.top().when > deadline) break;
+    step();
+    if (pending_exception_) {
+      auto e = std::exchange(pending_exception_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+  if (now_ < deadline && deadline != TimePoint::max()) now_ = deadline;
+  return now_;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  QueueItem item = queue_.top();
+  queue_.pop();
+  JOBMIG_ASSERT(item.when >= now_);
+  now_ = item.when;
+  ++events_processed_;
+  dispatch(item);
+  return true;
+}
+
+void Engine::dispatch(QueueItem& item) {
+  CurrentEngineGuard guard(this);
+  if (item.handle) {
+    item.handle.resume();
+  } else if (item.callback) {
+    item.callback();
+  }
+}
+
+void Engine::on_root_task_exception(std::exception_ptr e) {
+  // First exception wins; later ones are dropped (the sim is already failing).
+  if (!pending_exception_) pending_exception_ = e;
+}
+
+Engine* Engine::current() { return g_current_engine; }
+
+CurrentEngineGuard::CurrentEngineGuard(Engine* e) : prev_(g_current_engine) {
+  g_current_engine = e;
+}
+CurrentEngineGuard::~CurrentEngineGuard() { g_current_engine = prev_; }
+
+}  // namespace jobmig::sim
+
+namespace jobmig::detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace jobmig::detail

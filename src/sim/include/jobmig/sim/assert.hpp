@@ -1,0 +1,45 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jobmig {
+
+/// Thrown when a precondition/postcondition/invariant check fails.
+/// Exceptions (rather than abort) so tests can assert on violations.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace jobmig
+
+#define JOBMIG_EXPECTS(cond)                                                              \
+  do {                                                                                    \
+    if (!(cond)) ::jobmig::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define JOBMIG_EXPECTS_MSG(cond, msg)                                                          \
+  do {                                                                                         \
+    if (!(cond)) ::jobmig::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define JOBMIG_ENSURES(cond)                                                               \
+  do {                                                                                     \
+    if (!(cond)) ::jobmig::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define JOBMIG_ASSERT(cond)                                                              \
+  do {                                                                                   \
+    if (!(cond)) ::jobmig::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define JOBMIG_ASSERT_MSG(cond, msg)                                                          \
+  do {                                                                                        \
+    if (!(cond)) ::jobmig::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jobmig::sim {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected). Used for checkpoint-image
+/// integrity checks end to end.
+class Crc64 {
+ public:
+  Crc64() = default;
+
+  Crc64& update(ByteSpan data);
+  Crc64& update_u64(std::uint64_t v);
+  std::uint64_t value() const { return ~crc_; }
+
+  static std::uint64_t of(ByteSpan data) { return Crc64{}.update(data).value(); }
+
+ private:
+  std::uint64_t crc_ = ~0ULL;
+};
+
+/// Deterministic pseudo-random fill keyed by (seed, offset); the same key
+/// always yields the same bytes, so page content can be regenerated lazily
+/// and verified after transfer without keeping a second copy.
+void pattern_fill(MutableByteSpan out, std::uint64_t seed, std::uint64_t offset);
+
+/// Little-endian scalar codecs for wire/stream headers.
+void put_u64(Bytes& out, std::uint64_t v);
+void put_u32(Bytes& out, std::uint32_t v);
+std::uint64_t get_u64(ByteSpan in, std::size_t offset);
+std::uint32_t get_u32(ByteSpan in, std::size_t offset);
+
+namespace literals {
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024ULL * 1024ULL; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * 1024ULL * 1024ULL * 1024ULL; }
+}  // namespace literals
+
+}  // namespace jobmig::sim

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/sim/time.hpp"
+
+namespace jobmig::sim {
+
+template <typename T>
+class ValueTask;  // fwd (task.hpp)
+using Task = ValueTask<void>;
+
+/// Deterministic discrete-event engine. Single-threaded: all simulated
+/// entities are coroutines resumed from this loop, so there is no data-race
+/// surface (CppCoreGuidelines CP.2 by construction). Events at equal
+/// timestamps fire in insertion order, making runs exactly reproducible.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current virtual time.
+  TimePoint now() const { return now_; }
+
+  /// Schedule a coroutine to be resumed at absolute time `t` (>= now).
+  void schedule_at(TimePoint t, std::coroutine_handle<> h);
+  /// Schedule a coroutine to be resumed after `d` (>= 0).
+  void schedule_in(Duration d, std::coroutine_handle<> h);
+  /// Schedule a plain callback (used by timers that may be superseded).
+  void call_at(TimePoint t, std::function<void()> fn);
+  void call_in(Duration d, std::function<void()> fn);
+
+  /// Launch a root task. The engine owns the coroutine frame until it
+  /// completes; an exception escaping a root task is rethrown from run().
+  void spawn(Task t);
+
+  /// Run until the event queue is empty. Returns the final virtual time.
+  TimePoint run();
+  /// Run until virtual time reaches `deadline` (events at `deadline` fire).
+  TimePoint run_until(TimePoint deadline);
+  /// Process one event; returns false if the queue was empty.
+  bool step();
+
+  /// Number of events processed so far.
+  std::uint64_t events_processed() const { return events_processed_; }
+  /// Number of spawned root tasks that have not yet completed.
+  std::size_t live_tasks() const { return live_tasks_; }
+  bool queue_empty() const { return queue_.empty(); }
+
+  /// The engine whose loop is currently executing (set around every event
+  /// dispatch). Awaitables use this to find their engine; valid only while
+  /// simulation code is running.
+  static Engine* current();
+
+  /// Stop the run loop after the current event (queue is preserved).
+  void request_stop() { stop_requested_ = true; }
+
+  /// Internal: root-task lifecycle callbacks (used by the spawn wrapper).
+  void on_root_task_done() { JOBMIG_ASSERT(live_tasks_ > 0); --live_tasks_; }
+  void on_root_task_exception(std::exception_ptr e);
+
+ private:
+  struct QueueItem {
+    TimePoint when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;      // exactly one of handle/callback set
+    std::function<void()> callback;
+  };
+  struct ItemOrder {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.when != b.when) return a.when > b.when;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(QueueItem& item);
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, ItemOrder> queue_;
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t live_tasks_ = 0;
+  std::exception_ptr pending_exception_;
+  bool stop_requested_ = false;
+};
+
+/// RAII guard that makes `e` the Engine::current() for its scope.
+class CurrentEngineGuard {
+ public:
+  explicit CurrentEngineGuard(Engine* e);
+  ~CurrentEngineGuard();
+  CurrentEngineGuard(const CurrentEngineGuard&) = delete;
+  CurrentEngineGuard& operator=(const CurrentEngineGuard&) = delete;
+
+ private:
+  Engine* prev_;
+};
+
+}  // namespace jobmig::sim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "jobmig/sim/time.hpp"
+
+namespace jobmig::sim {
+
+class Engine;
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+std::string_view to_string(LogLevel level);
+
+/// Minimal structured logger for sim components. Records are tagged with the
+/// virtual time and a component name. A custom sink can capture records for
+/// test assertions; the default sink writes to stderr at >= kWarn.
+class Logger {
+ public:
+  struct Record {
+    TimePoint when;
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+  using Sink = std::function<void(const Record&)>;
+
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void reset_sink();
+
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  void emit(LogLevel level, std::string_view component, std::string message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+
+inline void format_one(std::ostringstream& os, std::string_view& fmt) { os << fmt; }
+
+template <typename T, typename... Rest>
+void format_one(std::ostringstream& os, std::string_view& fmt, const T& value, const Rest&... rest) {
+  const std::size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    os << fmt;
+    return;
+  }
+  os << fmt.substr(0, pos) << value;
+  fmt = fmt.substr(pos + 2);
+  format_one(os, fmt, rest...);
+}
+
+}  // namespace detail
+
+/// Brace-substitution formatter: format_str("a {} b {}", 1, "x") -> "a 1 b x".
+template <typename... Args>
+std::string format_str(std::string_view fmt, const Args&... args) {
+  std::ostringstream os;
+  detail::format_one(os, fmt, args...);
+  return os.str();
+}
+
+template <typename... Args>
+void log_at(LogLevel level, std::string_view component, std::string_view fmt, const Args&... args) {
+  Logger& lg = Logger::global();
+  if (!lg.enabled(level)) return;
+  lg.emit(level, component, format_str(fmt, args...));
+}
+
+#define JOBMIG_DEFINE_LOG_FN(name, level)                                           \
+  template <typename... Args>                                                       \
+  void name(std::string_view component, std::string_view fmt, const Args&... args) { \
+    log_at(level, component, fmt, args...);                                         \
+  }
+
+JOBMIG_DEFINE_LOG_FN(log_trace, LogLevel::kTrace)
+JOBMIG_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+JOBMIG_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+JOBMIG_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+JOBMIG_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef JOBMIG_DEFINE_LOG_FN
+
+}  // namespace jobmig::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/sync.hpp"
+#include "jobmig/sim/task.hpp"
+
+namespace jobmig::sim {
+
+/// Fluid-flow processor-sharing bandwidth server.
+///
+/// Concurrent transfers share the configured rate equally; an optional
+/// efficiency curve models aggregate degradation under concurrency (e.g.,
+/// disk-head seek thrash between streams). Between membership changes each
+/// active transfer progresses at rate * efficiency(n) / n bytes per second.
+/// This is the model used for InfiniBand links, Ethernet links and disks;
+/// its contention behaviour is what reproduces the paper's Fig. 7 storage
+/// effects (see EXPERIMENTS.md).
+class FairShareServer {
+ public:
+  using EfficiencyFn = std::function<double(std::size_t active_streams)>;
+
+  /// `rate_bytes_per_sec` must be > 0. The default efficiency is 1.0
+  /// (perfect sharing).
+  FairShareServer(Engine& engine, double rate_bytes_per_sec,
+                  EfficiencyFn efficiency = nullptr);
+
+  /// Move `bytes` through the server; completes when this transfer's share
+  /// of the (time-varying) bandwidth has delivered all bytes.
+  [[nodiscard]] Task transfer(std::uint64_t bytes);
+
+  std::size_t active_streams() const { return jobs_.size(); }
+  double rate() const { return rate_; }
+  /// Total bytes fully served since construction.
+  std::uint64_t bytes_served() const { return bytes_served_; }
+
+ private:
+  struct Job {
+    double remaining;  // bytes
+    Event done;
+  };
+
+  void settle();        // charge progress since last_update_ to all jobs
+  void reschedule();    // arm the completion timer for the earliest finisher
+  void on_timer();
+  double per_job_rate() const;
+
+  Engine& engine_;
+  double rate_;
+  EfficiencyFn efficiency_;
+  std::map<std::uint64_t, Job> jobs_;  // node-stable: waiters hold Event refs
+  std::uint64_t next_id_ = 0;
+  TimePoint last_update_{};
+  std::uint64_t timer_generation_ = 0;
+  std::uint64_t bytes_served_ = 0;
+};
+
+/// Strictly serializing server: one transfer at a time, FIFO order, each
+/// charged latency + bytes/rate. Models command-queue style devices.
+class FifoServer {
+ public:
+  FifoServer(Engine& engine, double rate_bytes_per_sec, Duration per_op_latency);
+
+  [[nodiscard]] Task transfer(std::uint64_t bytes);
+
+  double rate() const { return rate_; }
+  std::uint64_t ops_served() const { return ops_served_; }
+
+ private:
+  Engine& engine_;
+  double rate_;
+  Duration per_op_latency_;
+  Mutex mutex_;
+  std::uint64_t ops_served_ = 0;
+};
+
+/// Duration of moving `bytes` at `rate` bytes/sec, rounded up to whole ns.
+Duration transfer_time(std::uint64_t bytes, double rate_bytes_per_sec);
+
+}  // namespace jobmig::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jobmig/sim/time.hpp"
+
+namespace jobmig::sim {
+
+/// Online mean/min/max/stddev accumulator (Welford).
+class Summary {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double total() const { return total_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Named phase stopwatch: records labeled (start, stop) spans of virtual time
+/// and can report per-phase totals. Used to decompose migration cycles into
+/// the paper's four phases.
+class PhaseTimeline {
+ public:
+  struct Span {
+    std::string phase;
+    TimePoint start;
+    TimePoint stop;
+    Duration length() const { return stop - start; }
+  };
+
+  void begin(const std::string& phase, TimePoint now);
+  void end(const std::string& phase, TimePoint now);
+  /// Record a complete span directly.
+  void record(const std::string& phase, TimePoint start, TimePoint stop);
+
+  Duration total(const std::string& phase) const;
+  const std::vector<Span>& spans() const { return spans_; }
+  std::vector<std::string> phases() const;
+  void clear();
+
+ private:
+  std::vector<Span> spans_;
+  std::map<std::string, TimePoint> open_;
+};
+
+/// Simple named-counter registry for throughput/IO accounting.
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t delta = 1) { values_[name] += delta; }
+  std::uint64_t get(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& all() const { return values_; }
+  void clear() { values_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace jobmig::sim

@@ -1,0 +1,297 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/task.hpp"
+
+namespace jobmig::sim {
+
+namespace detail {
+/// Resume `h` through the engine queue at the current virtual time. Keeps
+/// wake-ups ordered and avoids re-entrant resumption from notifier frames.
+/// Outside the engine loop (object teardown after run()) the wake-up is
+/// dropped: the engine will never run again, so the waiter stays suspended.
+inline void resume_soon(std::coroutine_handle<> h) {
+  if (Engine* e = Engine::current()) e->schedule_in(Duration::zero(), h);
+}
+}  // namespace detail
+
+/// Broadcast event. Waiters block until set(); once set, waits pass
+/// immediately until reset(). All primitives here must outlive their waiters.
+class Event {
+ public:
+  bool is_set() const { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) detail::resume_soon(h);
+  }
+
+  void reset() { set_ = false; }
+
+  struct Awaiter {
+    Event& ev;
+    bool await_ready() const noexcept { return ev.set_; }
+    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{*this}; }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wake-up order.
+class Semaphore {
+ public:
+  explicit Semaphore(std::size_t initial) : count_(initial) {}
+
+  struct Awaiter {
+    Semaphore& sem;
+    bool await_ready() {
+      if (sem.count_ > 0) {
+        --sem.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter acquire() { return Awaiter{*this}; }
+
+  void release(std::size_t n = 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!waiters_.empty()) {
+        auto h = waiters_.front();
+        waiters_.pop_front();
+        detail::resume_soon(h);
+      } else {
+        ++count_;
+      }
+    }
+  }
+
+  std::size_t available() const { return count_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  std::size_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Cooperative mutex (CP.20: RAII-style holding via ScopedLock).
+class Mutex {
+ public:
+  class ScopedLock {
+   public:
+    ScopedLock() = default;
+    explicit ScopedLock(Mutex* m) : mutex_(m) {}
+    ScopedLock(ScopedLock&& o) noexcept : mutex_(std::exchange(o.mutex_, nullptr)) {}
+    ScopedLock& operator=(ScopedLock&& o) noexcept {
+      if (this != &o) {
+        unlock();
+        mutex_ = std::exchange(o.mutex_, nullptr);
+      }
+      return *this;
+    }
+    ScopedLock(const ScopedLock&) = delete;
+    ScopedLock& operator=(const ScopedLock&) = delete;
+    ~ScopedLock() { unlock(); }
+    void unlock() {
+      if (mutex_) {
+        std::exchange(mutex_, nullptr)->unlock_internal();
+      }
+    }
+
+   private:
+    Mutex* mutex_ = nullptr;
+  };
+
+  /// co_await m.lock() -> ScopedLock guard.
+  ValueTask<ScopedLock> lock() {
+    co_await sem_.acquire();
+    co_return ScopedLock{this};
+  }
+
+  bool is_locked() const { return sem_.available() == 0; }
+
+ private:
+  friend class ScopedLock;
+  void unlock_internal() { sem_.release(); }
+  Semaphore sem_{1};
+};
+
+/// Reusable barrier for a fixed party count: the Nth arrival releases all.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {
+    JOBMIG_EXPECTS(parties >= 1);
+  }
+
+  struct Awaiter {
+    Barrier& b;
+    bool await_ready() {
+      if (b.arrived_ + 1 == b.parties_) {
+        b.arrived_ = 0;
+        ++b.generation_;
+        auto waiters = std::move(b.waiters_);
+        b.waiters_.clear();
+        for (auto h : waiters) detail::resume_soon(h);
+        return true;  // last arrival does not suspend
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ++b.arrived_;
+      b.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaiter arrive_and_wait() { return Awaiter{*this}; }
+
+  std::size_t parties() const { return parties_; }
+  std::size_t arrived() const { return arrived_; }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Bounded FIFO channel. recv() returns nullopt after close() once drained.
+template <typename T>
+class Channel {
+  // GCC 12 miscompiles by-value coroutine parameters whose type is an
+  // aggregate with implicitly-declared special members (the argument prvalue
+  // is elided into the frame slot and then double-destroyed). send(T) takes
+  // T by value, so require queued types to be immune: either trivially
+  // destructible or with user-declared (may be =default) special members.
+  static_assert(!std::is_aggregate_v<T> || std::is_trivially_destructible_v<T>,
+                "non-trivial aggregate T hits a GCC 12 coroutine-parameter bug; "
+                "declare (=default) its constructors");
+
+ public:
+  explicit Channel(std::size_t capacity = SIZE_MAX) : capacity_(capacity) {
+    JOBMIG_EXPECTS(capacity >= 1);
+  }
+
+  [[nodiscard]] ValueTask<bool> send(T value) {
+    JOBMIG_EXPECTS_MSG(!closed_, "send on closed channel");
+    while (items_.size() >= capacity_) {
+      co_await space_.wait();
+      space_.reset();
+      if (closed_) co_return false;
+    }
+    items_.push_back(std::move(value));
+    avail_.set();
+    co_return true;
+  }
+
+  [[nodiscard]] ValueTask<std::optional<T>> recv() {
+    while (items_.empty()) {
+      if (closed_) co_return std::nullopt;
+      co_await avail_.wait();
+      avail_.reset();
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    if (items_.empty()) avail_.reset();
+    space_.set();
+    co_return std::optional<T>(std::move(v));
+  }
+
+  /// Non-blocking variants.
+  bool try_send(T value) {
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    avail_.set();
+    return true;
+  }
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    space_.set();
+    return std::optional<T>(std::move(v));
+  }
+
+  void close() {
+    closed_ = true;
+    avail_.set();
+    space_.set();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> items_;
+  Event avail_;
+  Event space_;
+};
+
+/// Launch-and-join group for structured concurrency. The first exception
+/// raised by a member is rethrown from wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(Engine& engine) : engine_(engine) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void spawn(Task t) {
+    ++live_;
+    engine_.spawn(wrap(std::move(t)));
+  }
+
+  [[nodiscard]] Task wait() {
+    while (live_ > 0) {
+      co_await done_.wait();
+      done_.reset();
+    }
+    if (first_exception_) {
+      std::rethrow_exception(std::exchange(first_exception_, nullptr));
+    }
+  }
+
+  std::size_t live() const { return live_; }
+
+ private:
+  Task wrap(Task t) {
+    try {
+      co_await std::move(t);
+    } catch (...) {
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    --live_;
+    done_.set();
+  }
+
+  Engine& engine_;
+  std::size_t live_ = 0;
+  Event done_;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace jobmig::sim

@@ -1,0 +1,209 @@
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/sim/engine.hpp"
+
+namespace jobmig::sim {
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazy coroutine task. `co_await`-ing it starts the child and resumes the
+/// parent when the child completes (symmetric transfer, no stack growth).
+/// Root tasks are handed to Engine::spawn(). Tasks are move-only and own
+/// their coroutine frame.
+template <typename T = void>
+class [[nodiscard]] ValueTask;
+
+using Task = ValueTask<void>;
+
+template <typename T>
+class [[nodiscard]] ValueTask {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value;
+    ValueTask get_return_object() {
+      return ValueTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  ValueTask() = default;
+  ValueTask(ValueTask&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  ValueTask& operator=(ValueTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ~ValueTask() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> child;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+      child.promise().continuation = parent;
+      return child;
+    }
+    T await_resume() {
+      auto& p = child.promise();
+      if (p.exception) std::rethrow_exception(p.exception);
+      JOBMIG_ASSERT_MSG(p.value.has_value(), "ValueTask completed without a value");
+      return std::move(*p.value);
+    }
+  };
+
+  Awaiter operator co_await() && {
+    JOBMIG_EXPECTS_MSG(handle_ != nullptr, "co_await on empty task");
+    return Awaiter{handle_};
+  }
+
+  /// For Engine::spawn / detached wrappers.
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  explicit ValueTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] ValueTask<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    ValueTask get_return_object() {
+      return ValueTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  ValueTask() = default;
+  ValueTask(ValueTask&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  ValueTask& operator=(ValueTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ~ValueTask() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  struct Awaiter {
+    std::coroutine_handle<promise_type> child;
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+      child.promise().continuation = parent;
+      return child;
+    }
+    void await_resume() {
+      auto& p = child.promise();
+      if (p.exception) std::rethrow_exception(p.exception);
+    }
+  };
+
+  Awaiter operator co_await() && {
+    JOBMIG_EXPECTS_MSG(handle_ != nullptr, "co_await on empty task");
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  friend class Engine;
+  explicit ValueTask(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Awaitable: suspend the current task for `d` of virtual time.
+struct SleepAwaiter {
+  Duration d;
+  bool await_ready() const noexcept { return d <= Duration::zero(); }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Engine* e = Engine::current();
+    JOBMIG_ASSERT_MSG(e != nullptr, "sleep() outside an engine loop");
+    e->schedule_in(d, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline SleepAwaiter sleep_for(Duration d) { return SleepAwaiter{d}; }
+
+struct SleepUntilAwaiter {
+  TimePoint t;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Engine* e = Engine::current();
+    JOBMIG_ASSERT_MSG(e != nullptr, "sleep_until() outside an engine loop");
+    e->schedule_at(t < e->now() ? e->now() : t, h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline SleepUntilAwaiter sleep_until(TimePoint t) { return SleepUntilAwaiter{t}; }
+
+/// Awaitable: yield to the event loop, resuming at the same virtual time
+/// (after already-queued events at this time).
+struct YieldAwaiter {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    Engine* e = Engine::current();
+    JOBMIG_ASSERT_MSG(e != nullptr, "yield() outside an engine loop");
+    e->schedule_in(Duration::zero(), h);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline YieldAwaiter yield_now() { return YieldAwaiter{}; }
+
+}  // namespace jobmig::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <ostream>
+
+namespace jobmig::sim {
+
+/// Length of virtual time, nanosecond resolution. Signed so that arithmetic
+/// on differences is well defined; negative durations are legal intermediate
+/// values but may not be slept on.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration ns(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration us(std::int64_t v) { return Duration{v * 1'000}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration sec(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  static constexpr Duration seconds(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e9 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() { return Duration{INT64_MAX}; }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+/// A point on the virtual timeline. Simulations start at TimePoint{0}.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t v) { return TimePoint{v}; }
+  static constexpr TimePoint origin() { return TimePoint{0}; }
+  static constexpr TimePoint max() { return TimePoint{INT64_MAX}; }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ + d.count_ns()};
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.ns_ - d.count_ns()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::ns(a.ns_ - b.ns_);
+  }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.to_seconds() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t=" << t.to_seconds() << "s";
+}
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::ns(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::us(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::ms(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(unsigned long long v) { return Duration::sec(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_s(long double v) { return Duration::seconds(static_cast<double>(v)); }
+}  // namespace literals
+
+}  // namespace jobmig::sim

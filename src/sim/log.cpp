@@ -1,0 +1,44 @@
+#include "jobmig/sim/log.hpp"
+
+#include <iostream>
+
+#include "jobmig/sim/engine.hpp"
+
+namespace jobmig::sim {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() { reset_sink(); }
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::reset_sink() {
+  sink_ = [](const Record& r) {
+    std::cerr << "[" << r.when.to_seconds() << "s " << to_string(r.level) << " " << r.component
+              << "] " << r.message << "\n";
+  };
+}
+
+void Logger::emit(LogLevel level, std::string_view component, std::string message) {
+  Record r;
+  r.when = Engine::current() ? Engine::current()->now() : TimePoint::origin();
+  r.level = level;
+  r.component = std::string(component);
+  r.message = std::move(message);
+  if (sink_) sink_(r);
+}
+
+}  // namespace jobmig::sim

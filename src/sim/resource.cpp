@@ -1,0 +1,90 @@
+#include "jobmig/sim/resource.hpp"
+
+#include <cmath>
+
+namespace jobmig::sim {
+
+Duration transfer_time(std::uint64_t bytes, double rate_bytes_per_sec) {
+  JOBMIG_EXPECTS(rate_bytes_per_sec > 0.0);
+  double sec = static_cast<double>(bytes) / rate_bytes_per_sec;
+  return Duration::ns(static_cast<std::int64_t>(std::ceil(sec * 1e9)));
+}
+
+FairShareServer::FairShareServer(Engine& engine, double rate_bytes_per_sec,
+                                 EfficiencyFn efficiency)
+    : engine_(engine), rate_(rate_bytes_per_sec), efficiency_(std::move(efficiency)) {
+  JOBMIG_EXPECTS(rate_ > 0.0);
+}
+
+double FairShareServer::per_job_rate() const {
+  const std::size_t n = jobs_.size();
+  if (n == 0) return rate_;
+  const double eff = efficiency_ ? efficiency_(n) : 1.0;
+  JOBMIG_ASSERT_MSG(eff > 0.0 && eff <= 1.0, "efficiency must be in (0, 1]");
+  return rate_ * eff / static_cast<double>(n);
+}
+
+void FairShareServer::settle() {
+  const TimePoint now = engine_.now();
+  const double elapsed = (now - last_update_).to_seconds();
+  if (elapsed > 0.0 && !jobs_.empty()) {
+    const double served = elapsed * per_job_rate();
+    for (auto& [id, job] : jobs_) job.remaining -= served;
+  }
+  last_update_ = now;
+}
+
+void FairShareServer::reschedule() {
+  ++timer_generation_;
+  if (jobs_.empty()) return;
+  double min_remaining = jobs_.begin()->second.remaining;
+  for (const auto& [id, job] : jobs_) min_remaining = std::min(min_remaining, job.remaining);
+  if (min_remaining < 0.0) min_remaining = 0.0;
+  const double sec = min_remaining / per_job_rate();
+  const Duration dt = Duration::ns(static_cast<std::int64_t>(std::ceil(sec * 1e9)));
+  const std::uint64_t gen = timer_generation_;
+  engine_.call_in(dt, [this, gen] {
+    if (gen == timer_generation_) on_timer();
+  });
+}
+
+void FairShareServer::on_timer() {
+  settle();
+  // Complete every job whose remaining bytes have been fully served.
+  // A sub-byte epsilon absorbs ns-rounding residue.
+  constexpr double kEpsilon = 0.5;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= kEpsilon) {
+      it->second.done.set();
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+}
+
+Task FairShareServer::transfer(std::uint64_t bytes) {
+  if (bytes == 0) co_return;
+  settle();
+  const std::uint64_t id = next_id_++;
+  auto [it, inserted] =
+      jobs_.emplace(id, Job{static_cast<double>(bytes), Event{}});
+  JOBMIG_ASSERT(inserted);
+  reschedule();
+  co_await it->second.done.wait();
+  bytes_served_ += bytes;
+}
+
+FifoServer::FifoServer(Engine& engine, double rate_bytes_per_sec, Duration per_op_latency)
+    : engine_(engine), rate_(rate_bytes_per_sec), per_op_latency_(per_op_latency) {
+  JOBMIG_EXPECTS(rate_ > 0.0);
+}
+
+Task FifoServer::transfer(std::uint64_t bytes) {
+  auto lock = co_await mutex_.lock();
+  co_await sleep_for(per_op_latency_ + transfer_time(bytes, rate_));
+  ++ops_served_;
+}
+
+}  // namespace jobmig::sim

@@ -1,0 +1,69 @@
+#include "jobmig/sim/stats.hpp"
+
+#include <cmath>
+
+#include "jobmig/sim/assert.hpp"
+
+namespace jobmig::sim {
+
+void Summary::add(double x) {
+  ++n_;
+  total_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void PhaseTimeline::begin(const std::string& phase, TimePoint now) {
+  JOBMIG_EXPECTS_MSG(!open_.contains(phase), "phase already open: " + phase);
+  open_[phase] = now;
+}
+
+void PhaseTimeline::end(const std::string& phase, TimePoint now) {
+  auto it = open_.find(phase);
+  JOBMIG_EXPECTS_MSG(it != open_.end(), "phase not open: " + phase);
+  spans_.push_back(Span{phase, it->second, now});
+  open_.erase(it);
+}
+
+void PhaseTimeline::record(const std::string& phase, TimePoint start, TimePoint stop) {
+  JOBMIG_EXPECTS(stop >= start);
+  spans_.push_back(Span{phase, start, stop});
+}
+
+Duration PhaseTimeline::total(const std::string& phase) const {
+  Duration sum = Duration::zero();
+  for (const auto& s : spans_) {
+    if (s.phase == phase) sum += s.length();
+  }
+  return sum;
+}
+
+std::vector<std::string> PhaseTimeline::phases() const {
+  std::vector<std::string> out;
+  for (const auto& s : spans_) {
+    if (std::find(out.begin(), out.end(), s.phase) == out.end()) out.push_back(s.phase);
+  }
+  return out;
+}
+
+void PhaseTimeline::clear() {
+  spans_.clear();
+  open_.clear();
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+}  // namespace jobmig::sim

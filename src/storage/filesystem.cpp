@@ -1,0 +1,234 @@
+#include "jobmig/storage/filesystem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jobmig/sim/sync.hpp"
+
+namespace jobmig::storage {
+
+namespace {
+
+/// Convert a byte count at `rate_Bps` into microseconds of device service.
+std::uint64_t service_us(std::uint64_t bytes, double rate_Bps) {
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(bytes) / rate_Bps * 1e6));
+}
+
+sim::FairShareServer::EfficiencyFn seek_curve(double alpha) {
+  return [alpha](std::size_t n) {
+    return 1.0 / (1.0 + alpha * static_cast<double>(n > 0 ? n - 1 : 0));
+  };
+}
+
+}  // namespace
+
+BlockDevice::BlockDevice(sim::Engine& engine, sim::DiskParams params)
+    : engine_(engine), params_(params) {
+  // The server's unit is "microseconds of head time": 1e6 units/second.
+  head_ = std::make_unique<sim::FairShareServer>(engine_, 1e6, seek_curve(params_.seek_alpha));
+}
+
+sim::Task BlockDevice::io(std::uint64_t bytes, double rate_Bps) {
+  co_await head_->transfer(service_us(bytes, rate_Bps));
+}
+
+sim::Task BlockDevice::write(std::uint64_t bytes) {
+  bytes_written_ += bytes;
+  co_await io(bytes, params_.write_Bps);
+}
+
+sim::Task BlockDevice::read(std::uint64_t bytes) {
+  bytes_read_ += bytes;
+  co_await io(bytes, params_.read_Bps);
+}
+
+namespace {
+
+void write_into(detail::Inode& inode, std::uint64_t offset, sim::ByteSpan data) {
+  const std::uint64_t end = offset + data.size();
+  if (inode.data.size() < end) inode.data.resize(end);
+  std::copy(data.begin(), data.end(), inode.data.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+sim::Bytes read_from(const detail::Inode& inode, std::uint64_t offset, std::uint64_t length) {
+  if (offset >= inode.data.size()) return {};
+  const std::uint64_t n = std::min<std::uint64_t>(length, inode.data.size() - offset);
+  return sim::Bytes(inode.data.begin() + static_cast<std::ptrdiff_t>(offset),
+                    inode.data.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+class LocalFile final : public File {
+ public:
+  LocalFile(BlockDevice& dev, std::shared_ptr<detail::Inode> inode)
+      : dev_(dev), inode_(std::move(inode)) {}
+
+  sim::Task pwrite(std::uint64_t offset, sim::ByteSpan data) override {
+    co_await dev_.write(data.size());
+    write_into(*inode_, offset, data);
+  }
+
+  sim::ValueTask<sim::Bytes> pread(std::uint64_t offset, std::uint64_t length) override {
+    sim::Bytes out = read_from(*inode_, offset, length);
+    co_await dev_.read(out.size());
+    co_return out;
+  }
+
+  std::uint64_t size() const override { return inode_->data.size(); }
+
+ private:
+  BlockDevice& dev_;
+  std::shared_ptr<detail::Inode> inode_;
+};
+
+}  // namespace
+
+LocalFs::LocalFs(sim::Engine& engine, sim::DiskParams params, std::string label)
+    : engine_(engine), device_(engine, params), label_(std::move(label)) {}
+
+sim::ValueTask<FilePtr> LocalFs::create(const std::string& path) {
+  co_await sim::sleep_for(device_.params().op_latency);  // dentry + journal commit
+  auto inode = std::make_shared<detail::Inode>();
+  inodes_[path] = inode;
+  co_return std::make_shared<LocalFile>(device_, std::move(inode));
+}
+
+sim::ValueTask<FilePtr> LocalFs::open(const std::string& path) {
+  co_await sim::sleep_for(device_.params().op_latency);
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) co_return nullptr;
+  co_return std::make_shared<LocalFile>(device_, it->second);
+}
+
+sim::ValueTask<bool> LocalFs::remove(const std::string& path) {
+  co_await sim::sleep_for(device_.params().op_latency);
+  co_return inodes_.erase(path) > 0;
+}
+
+bool LocalFs::exists(const std::string& path) const { return inodes_.contains(path); }
+
+std::uint64_t LocalFs::file_size(const std::string& path) const {
+  auto it = inodes_.find(path);
+  return it == inodes_.end() ? 0 : it->second->data.size();
+}
+
+std::vector<std::string> LocalFs::list() const {
+  std::vector<std::string> out;
+  out.reserve(inodes_.size());
+  for (const auto& [path, inode] : inodes_) out.push_back(path);
+  return out;
+}
+
+namespace {
+
+class PvfsFile final : public File {
+ public:
+  PvfsFile(ParallelFs& fs, std::shared_ptr<detail::Inode> inode)
+      : fs_(fs), inode_(std::move(inode)) {}
+
+  sim::Task pwrite(std::uint64_t offset, sim::ByteSpan data) override {
+    co_await striped_io(offset, data.size(), /*is_write=*/true);
+    write_into(*inode_, offset, data);
+  }
+
+  sim::ValueTask<sim::Bytes> pread(std::uint64_t offset, std::uint64_t length) override {
+    sim::Bytes out = read_from(*inode_, offset, length);
+    co_await striped_io(offset, out.size(), /*is_write=*/false);
+    co_return out;
+  }
+
+  std::uint64_t size() const override { return inode_->data.size(); }
+
+ private:
+  /// Split [offset, offset+length) into per-server byte counts by stripe
+  /// unit and charge all involved servers concurrently.
+  sim::Task striped_io(std::uint64_t offset, std::uint64_t length, bool is_write);
+
+  ParallelFs& fs_;
+  std::shared_ptr<detail::Inode> inode_;
+};
+
+sim::Task PvfsFile::striped_io(std::uint64_t offset, std::uint64_t length, bool is_write) {
+  if (length == 0) co_return;
+  const auto& p = fs_.params();
+  const std::size_t n_servers = fs_.server_count();
+  std::vector<std::uint64_t> per_server(n_servers, 0);
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  while (remaining > 0) {
+    const std::uint64_t stripe_idx = pos / p.stripe_bytes;
+    const std::uint64_t within = pos % p.stripe_bytes;
+    const std::uint64_t run = std::min<std::uint64_t>(remaining, p.stripe_bytes - within);
+    per_server[static_cast<std::size_t>(stripe_idx % n_servers)] += run;
+    pos += run;
+    remaining -= run;
+  }
+  sim::TaskGroup group(*sim::Engine::current());
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    if (per_server[s] == 0) continue;
+    group.spawn([](ParallelFs& fs, std::size_t srv, std::uint64_t bytes, bool w,
+                   sim::Duration op_lat) -> sim::Task {
+      co_await sim::sleep_for(op_lat);
+      if (w) {
+        co_await fs.server(srv).write(bytes);
+      } else {
+        co_await fs.server(srv).read(bytes);
+      }
+    }(fs_, s, per_server[s], is_write, p.server_op_latency));
+  }
+  co_await group.wait();
+}
+
+}  // namespace
+
+ParallelFs::ParallelFs(sim::Engine& engine, sim::PvfsParams params, std::string label)
+    : engine_(engine), params_(params), label_(std::move(label)) {
+  JOBMIG_EXPECTS(params_.data_servers >= 1);
+  JOBMIG_EXPECTS(params_.stripe_bytes >= 1);
+  sim::DiskParams server_disk;
+  server_disk.write_Bps = params_.server_write_Bps;
+  server_disk.read_Bps = params_.server_read_Bps;
+  server_disk.op_latency = params_.server_op_latency;
+  server_disk.seek_alpha = params_.seek_alpha;
+  for (std::uint32_t i = 0; i < params_.data_servers; ++i) {
+    servers_.push_back(std::make_unique<BlockDevice>(engine_, server_disk));
+  }
+  mds_ = std::make_unique<sim::FifoServer>(engine_, 1e9, params_.mds_op_latency);
+}
+
+sim::Task ParallelFs::mds_op() { co_await mds_->transfer(0); }
+
+sim::ValueTask<FilePtr> ParallelFs::create(const std::string& path) {
+  co_await mds_op();
+  auto inode = std::make_shared<detail::Inode>();
+  inodes_[path] = inode;
+  co_return std::make_shared<PvfsFile>(*this, std::move(inode));
+}
+
+sim::ValueTask<FilePtr> ParallelFs::open(const std::string& path) {
+  co_await mds_op();
+  auto it = inodes_.find(path);
+  if (it == inodes_.end()) co_return nullptr;
+  co_return std::make_shared<PvfsFile>(*this, it->second);
+}
+
+sim::ValueTask<bool> ParallelFs::remove(const std::string& path) {
+  co_await mds_op();
+  co_return inodes_.erase(path) > 0;
+}
+
+bool ParallelFs::exists(const std::string& path) const { return inodes_.contains(path); }
+
+std::uint64_t ParallelFs::file_size(const std::string& path) const {
+  auto it = inodes_.find(path);
+  return it == inodes_.end() ? 0 : it->second->data.size();
+}
+
+std::vector<std::string> ParallelFs::list() const {
+  std::vector<std::string> out;
+  out.reserve(inodes_.size());
+  for (const auto& [path, inode] : inodes_) out.push_back(path);
+  return out;
+}
+
+}  // namespace jobmig::storage

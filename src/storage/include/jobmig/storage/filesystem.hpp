@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jobmig/sim/bytes.hpp"
+#include "jobmig/sim/calibration.hpp"
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/resource.hpp"
+#include "jobmig/sim/task.hpp"
+
+/// Storage substrate: the two places the paper's Checkpoint/Restart baseline
+/// dumps process images — node-local ext3 disks and a PVFS-style striped
+/// parallel file system (4 data servers, 1 MB stripes in the testbed).
+/// File contents are real bytes; elapsed time comes from calibrated device
+/// models whose concurrency behaviour reproduces the §IV-C contention
+/// effects (many concurrent checkpoint streams degrade both).
+namespace jobmig::storage {
+
+/// A single spindle. Reads and writes contend for the same head: service
+/// time is normalized to "microseconds of head time" on one fair-share
+/// server, with an efficiency curve modeling inter-stream seek thrash.
+class BlockDevice {
+ public:
+  BlockDevice(sim::Engine& engine, sim::DiskParams params);
+
+  [[nodiscard]] sim::Task write(std::uint64_t bytes);
+  [[nodiscard]] sim::Task read(std::uint64_t bytes);
+
+  const sim::DiskParams& params() const { return params_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  [[nodiscard]] sim::Task io(std::uint64_t bytes, double rate_Bps);
+
+  sim::Engine& engine_;
+  sim::DiskParams params_;
+  std::unique_ptr<sim::FairShareServer> head_;  // units: microseconds of service
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+class File;
+using FilePtr = std::shared_ptr<File>;
+
+/// Minimal file-system interface shared by LocalFs and ParallelFs: the
+/// checkpoint engine writes through it without knowing where images land.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Create (truncate) a file; charges metadata cost.
+  [[nodiscard]] virtual sim::ValueTask<FilePtr> create(const std::string& path) = 0;
+  /// Open for reading; nullptr if absent.
+  [[nodiscard]] virtual sim::ValueTask<FilePtr> open(const std::string& path) = 0;
+  /// Remove; false if absent.
+  [[nodiscard]] virtual sim::ValueTask<bool> remove(const std::string& path) = 0;
+
+  virtual bool exists(const std::string& path) const = 0;
+  virtual std::uint64_t file_size(const std::string& path) const = 0;
+  virtual std::vector<std::string> list() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+namespace detail {
+struct Inode {
+  sim::Bytes data;
+};
+}  // namespace detail
+
+/// Open-file handle. Offsets are explicit (pread/pwrite style); writes past
+/// EOF extend the file.
+class File {
+ public:
+  virtual ~File() = default;
+  [[nodiscard]] virtual sim::Task pwrite(std::uint64_t offset, sim::ByteSpan data) = 0;
+  [[nodiscard]] virtual sim::ValueTask<sim::Bytes> pread(std::uint64_t offset,
+                                                         std::uint64_t length) = 0;
+  virtual std::uint64_t size() const = 0;
+
+  /// Append convenience: writes at the current end.
+  [[nodiscard]] sim::Task append(sim::ByteSpan data) { return pwrite(size(), data); }
+};
+
+/// Node-local ext3-like file system on one BlockDevice.
+class LocalFs final : public FileSystem {
+ public:
+  LocalFs(sim::Engine& engine, sim::DiskParams params, std::string label = "ext3");
+
+  sim::ValueTask<FilePtr> create(const std::string& path) override;
+  sim::ValueTask<FilePtr> open(const std::string& path) override;
+  sim::ValueTask<bool> remove(const std::string& path) override;
+  bool exists(const std::string& path) const override;
+  std::uint64_t file_size(const std::string& path) const override;
+  std::vector<std::string> list() const override;
+  std::string describe() const override { return label_; }
+
+  BlockDevice& device() { return device_; }
+
+ private:
+  sim::Engine& engine_;
+  BlockDevice device_;
+  std::string label_;
+  std::map<std::string, std::shared_ptr<detail::Inode>> inodes_;
+};
+
+/// PVFS-like parallel file system: files striped round-robin over N data
+/// servers, one metadata server serializing namespace operations. Many
+/// concurrent clients contend on the per-server disks, which is exactly the
+/// effect behind the paper's CR(PVFS) numbers.
+class ParallelFs final : public FileSystem {
+ public:
+  ParallelFs(sim::Engine& engine, sim::PvfsParams params, std::string label = "pvfs");
+
+  sim::ValueTask<FilePtr> create(const std::string& path) override;
+  sim::ValueTask<FilePtr> open(const std::string& path) override;
+  sim::ValueTask<bool> remove(const std::string& path) override;
+  bool exists(const std::string& path) const override;
+  std::uint64_t file_size(const std::string& path) const override;
+  std::vector<std::string> list() const override;
+  std::string describe() const override { return label_; }
+
+  const sim::PvfsParams& params() const { return params_; }
+  std::size_t server_count() const { return servers_.size(); }
+  BlockDevice& server(std::size_t i) { return *servers_.at(i); }
+
+  /// Charge one metadata operation (serialized at the MDS).
+  [[nodiscard]] sim::Task mds_op();
+
+ private:
+  friend class PvfsFile;
+  sim::Engine& engine_;
+  sim::PvfsParams params_;
+  std::string label_;
+  std::vector<std::unique_ptr<BlockDevice>> servers_;
+  std::unique_ptr<sim::FifoServer> mds_;
+  std::map<std::string, std::shared_ptr<detail::Inode>> inodes_;
+};
+
+}  // namespace jobmig::storage

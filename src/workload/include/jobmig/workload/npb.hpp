@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "jobmig/mpr/job.hpp"
+
+/// NPB-like workload kernels (the paper evaluates LU/BT/SP of class C, 64
+/// ranks on 8 nodes). These are *skeletons*: they reproduce what the
+/// evaluation depends on — per-rank image sizes (Table I), base runtimes
+/// (Fig. 5) and the iterative compute/neighbor-exchange pattern — not the
+/// numerics. Each iteration: safe point, compute (dirtying image pages),
+/// halo exchange on a 2D rank grid with content verification, periodic
+/// residual allreduce. Progress is serialized into the process image, so a
+/// rank restarted from a checkpoint resumes at the right iteration.
+namespace jobmig::workload {
+
+enum class NpbApp { kLU, kBT, kSP };
+enum class NpbClass { kTest, kA, kB, kC };
+
+std::string to_string(NpbApp app);
+std::string to_string(NpbClass cls);
+
+struct KernelSpec {
+  NpbApp app = NpbApp::kLU;
+  NpbClass cls = NpbClass::kC;
+  int nprocs = 64;
+  int iterations = 250;
+  sim::Duration time_per_iter = sim::Duration::ms(648);
+  std::uint64_t image_bytes_per_rank = 21ull << 20;
+  std::uint64_t msg_bytes = 40ull << 10;       // halo exchange payload
+  std::uint64_t dirty_bytes_per_iter = 1ull << 20;
+  int residual_interval = 5;                   // allreduce every N iters
+
+  std::string name() const;  // e.g. "LU.C.64"
+};
+
+/// Build the calibrated spec for (app, class, nprocs). `runtime_scale`
+/// shrinks the iteration count for fast tests/benches while keeping
+/// per-iteration behaviour (and image sizes) intact.
+KernelSpec make_spec(NpbApp app, NpbClass cls, int nprocs, double runtime_scale = 1.0);
+
+/// Application entry point compatible with mpr::Job::launch_app. The
+/// returned callable reads/writes the rank's progress in its process image
+/// and therefore survives checkpoint/restart/migration.
+mpr::Job::AppMain make_app(KernelSpec spec);
+
+/// 2D rank grid used for halo exchanges (exposed for tests).
+struct Grid2D {
+  int px = 1, py = 1;
+  static Grid2D for_procs(int nprocs);
+  int x_of(int rank) const { return rank % px; }
+  int y_of(int rank) const { return rank / px; }
+  int rank_at(int x, int y) const { return ((y + py) % py) * px + ((x + px) % px); }
+};
+
+/// Progress record each rank keeps inside its image (exposed for tests).
+struct Progress {
+  std::uint32_t magic = 0x4E50424Au;  // "NPBJ"
+  std::uint32_t next_iteration = 0;
+
+  sim::Bytes encode() const;
+  static Progress decode_or_fresh(sim::ByteSpan state);
+};
+
+}  // namespace jobmig::workload

@@ -1,0 +1,176 @@
+#include "jobmig/cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::cluster {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+TEST(Cluster, BuildsTheConfiguredTopology) {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 5;
+  cfg.spare_nodes = 2;
+  Cluster cl(engine, cfg);
+
+  EXPECT_EQ(cl.node_count(), 7);
+  EXPECT_EQ(cl.fabric().node_count(), 7u);           // HCAs: compute + spares
+  EXPECT_EQ(cl.ethernet().host_count(), 8u);         // + login node
+  EXPECT_EQ(cl.node_name(0), "node0");
+  EXPECT_EQ(cl.node_name(4), "node4");
+  EXPECT_EQ(cl.node_name(5), "spare0");
+  EXPECT_EQ(cl.node_name(6), "spare1");
+  EXPECT_EQ(cl.job_manager().nla_count(), 7u);
+  EXPECT_EQ(cl.job_manager().nla_for_host("spare1")->state(), launch::NlaState::kSpare);
+  EXPECT_EQ(cl.job_manager().nla_for_host("node2")->state(), launch::NlaState::kReady);
+  EXPECT_TRUE(cl.pvfs().server_count() == 4);
+  EXPECT_FALSE(cl.has_job());
+}
+
+TEST(Cluster, NodeEnvsAreFullyWired) {
+  Engine engine;
+  Cluster cl(engine, ClusterConfig{});
+  for (int n = 0; n < cl.node_count(); ++n) {
+    mpr::NodeEnv& env = cl.node_env(n);
+    EXPECT_EQ(env.engine, &engine);
+    EXPECT_NE(env.hca, nullptr);
+    EXPECT_NE(env.scratch, nullptr);
+    EXPECT_NE(env.blcr, nullptr);
+    EXPECT_NE(env.cal, nullptr);
+    EXPECT_EQ(env.hostname, cl.node_name(n));
+  }
+}
+
+TEST(Cluster, FtbTreeFormsUnderTheLoginAgent) {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 3;
+  cfg.spare_nodes = 1;
+  Cluster cl(engine, cfg);
+  engine.run_until(sim::TimePoint::origin() + 2_s);
+  EXPECT_EQ(cl.login_agent().child_count(), 4u);
+  for (int n = 0; n < cl.node_count(); ++n) {
+    EXPECT_TRUE(cl.node_agent(n).connected_to_parent()) << cl.node_name(n);
+  }
+}
+
+TEST(Cluster, FtbTreeFanoutBuildsDeepTopologyThatSelfHeals) {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 6;
+  cfg.spare_nodes = 1;
+  cfg.ftb_fanout = 2;  // login has 2 children; depth >= 2
+  Cluster cl(engine, cfg);
+  engine.run_until(sim::TimePoint::origin() + 2_s);
+
+  // Binary tree over slots 1..7: login's children are nodes 0 and 1.
+  EXPECT_EQ(cl.login_agent().child_count(), 2u);
+  EXPECT_EQ(cl.node_agent(0).child_count(), 2u);  // nodes 2, 3
+  EXPECT_EQ(cl.node_agent(1).child_count(), 2u);  // nodes 4, 5
+  EXPECT_EQ(cl.node_agent(2).child_count(), 1u);  // spare0
+  for (int n = 0; n < cl.node_count(); ++n) {
+    EXPECT_TRUE(cl.node_agent(n).connected_to_parent()) << cl.node_name(n);
+  }
+
+  // Kill node0's agent (from inside the sim, as a real crash would appear):
+  // its children (nodes 2, 3) re-parent and the backplane keeps delivering.
+  engine.call_in(1_ms, [&cl] { cl.node_agent(0).shutdown(); });
+  engine.run_until(sim::TimePoint::origin() + 5_s);
+  EXPECT_GE(cl.node_agent(2).reconnects(), 1u);
+  EXPECT_TRUE(cl.node_agent(2).connected_to_parent());
+
+  ftb::FtbClient pub(cl.node_agent(3), "p");
+  ftb::FtbClient sub(cl.node_agent(4), "s");
+  sub.subscribe(ftb::Subscription{});
+  engine.spawn([](ftb::FtbClient& p) -> Task {
+    co_await p.publish(ftb::FtbEvent{"S", "HEALED", ftb::Severity::kInfo, ""});
+  }(pub));
+  engine.run_until(sim::TimePoint::origin() + 8_s);
+  auto ev = sub.poll_event();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->name, "HEALED");
+}
+
+TEST(Cluster, CreateJobPlacesRanksRoundRobinByNode) {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 3;
+  cfg.spare_nodes = 1;
+  Cluster cl(engine, cfg);
+  mpr::Job& job = cl.create_job(4, 1 << 20);
+  EXPECT_EQ(job.size(), 12);
+  EXPECT_EQ(job.node_of(0).hostname, "node0");
+  EXPECT_EQ(job.node_of(3).hostname, "node0");
+  EXPECT_EQ(job.node_of(4).hostname, "node1");
+  EXPECT_EQ(job.node_of(11).hostname, "node2");
+  for (int r = 0; r < 12; ++r) {
+    EXPECT_EQ(job.proc(r).sim_process().image().size(), 1u << 20);
+  }
+}
+
+TEST(Cluster, SecondJobIsRejected) {
+  Engine engine;
+  Cluster cl(engine, ClusterConfig{});
+  cl.create_job(1, 4096);
+  EXPECT_THROW(cl.create_job(1, 4096), ContractViolation);
+}
+
+TEST(Cluster, StartLaunchesRanksOntoNlas) {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.spare_nodes = 1;
+  Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 4, 0.05);
+  cl.create_job(2, spec.image_bytes_per_rank);
+  engine.spawn([](Cluster& c, workload::KernelSpec s) -> Task {
+    co_await c.start(workload::make_app(s));
+  }(cl, spec));
+  engine.run_until(sim::TimePoint::origin() + 60_s);
+  EXPECT_TRUE(cl.job().app_done());
+  EXPECT_EQ(cl.job_manager().nla_for_host("node0")->local_ranks(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(cl.job_manager().nla_for_host("node1")->local_ranks(), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(cl.job_manager().nla_for_host("spare0")->local_ranks().empty());
+}
+
+TEST(Cluster, CrSelectorsTargetTheRightFilesystems) {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.spare_nodes = 0;
+  Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kSP, workload::NpbClass::kTest, 4, 0.3);
+  spec.time_per_iter = 50_ms;
+  cl.create_job(2, spec.image_bytes_per_rank);
+  engine.spawn([](Cluster& c, workload::KernelSpec s) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(500_ms);
+    auto local = c.make_cr_local();
+    (void)co_await local->checkpoint_all();
+  }(cl, spec));
+  engine.run_until(sim::TimePoint::origin() + 300_s);
+  // Ranks 0,1 dumped on node0's disk; 2,3 on node1's. Nothing on PVFS.
+  EXPECT_TRUE(cl.node_env(0).scratch->exists(migration::CheckpointRestart::checkpoint_path(0)));
+  EXPECT_TRUE(cl.node_env(0).scratch->exists(migration::CheckpointRestart::checkpoint_path(1)));
+  EXPECT_TRUE(cl.node_env(1).scratch->exists(migration::CheckpointRestart::checkpoint_path(2)));
+  EXPECT_FALSE(cl.node_env(1).scratch->exists(migration::CheckpointRestart::checkpoint_path(0)));
+  EXPECT_TRUE(cl.pvfs().list().empty());
+}
+
+TEST(Cluster, BuildWithoutPvfsRefusesPvfsUse) {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.build_pvfs = false;
+  Cluster cl(engine, cfg);
+  EXPECT_THROW((void)cl.pvfs(), ContractViolation);
+  cl.create_job(1, 4096);
+  EXPECT_THROW((void)cl.make_cr_pvfs(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace jobmig::cluster

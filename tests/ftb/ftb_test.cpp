@@ -1,0 +1,200 @@
+#include "jobmig/ftb/ftb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jobmig::ftb {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+TEST(Glob, Matching) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("FTB.MPI.*", "FTB.MPI.MVAPICH2"));
+  EXPECT_FALSE(glob_match("FTB.MPI.*", "FTB.OS.LINUX"));
+  EXPECT_TRUE(glob_match("FTB_MIGRATE", "FTB_MIGRATE"));
+  EXPECT_FALSE(glob_match("FTB_MIGRATE", "FTB_MIGRATE_PIIC"));
+  EXPECT_TRUE(glob_match("FTB_MIGRATE*", "FTB_MIGRATE_PIIC"));
+  EXPECT_TRUE(glob_match("*MIGRATE*", "FTB_MIGRATE_PIIC"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXbYY"));
+}
+
+TEST(FtbEvent, EncodeDecodeRoundTrip) {
+  FtbEvent ev{"FTB.MPI.MVAPICH2", "FTB_MIGRATE", Severity::kWarning,
+              "src=node3 dst=spare0", "job_manager", 7, 42};
+  auto decoded = FtbEvent::decode(ev.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ev);
+}
+
+TEST(FtbEvent, DecodeRejectsGarbageAndTruncation) {
+  FtbEvent ev{"s", "n", Severity::kInfo, "p", "c", 1, 2};
+  sim::Bytes good = ev.encode();
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    sim::Bytes trunc(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(FtbEvent::decode(trunc).has_value()) << "cut=" << cut;
+  }
+  sim::Bytes extra = good;
+  extra.push_back(std::byte{0});
+  EXPECT_FALSE(FtbEvent::decode(extra).has_value());
+  sim::Bytes bad_sev = good;
+  bad_sev[0] = std::byte{9};
+  EXPECT_FALSE(FtbEvent::decode(bad_sev).has_value());
+}
+
+TEST(Subscription, SeverityFloorAndGlobs) {
+  Subscription sub{"FTB.MPI.*", "*", Severity::kWarning};
+  FtbEvent warn{"FTB.MPI.X", "E", Severity::kWarning, "", "", 0, 0};
+  FtbEvent info{"FTB.MPI.X", "E", Severity::kInfo, "", "", 0, 0};
+  FtbEvent other{"FTB.OS.X", "E", Severity::kFatal, "", "", 0, 0};
+  EXPECT_TRUE(sub.matches(warn));
+  EXPECT_FALSE(sub.matches(info));
+  EXPECT_FALSE(sub.matches(other));
+}
+
+/// Three-level agent tree: root <- mid <- leaf, one extra child on root.
+struct Tree {
+  Engine engine;
+  net::Network net{engine};
+  net::Host& h_root{net.add_host("root")};
+  net::Host& h_mid{net.add_host("mid")};
+  net::Host& h_leaf{net.add_host("leaf")};
+  net::Host& h_aux{net.add_host("aux")};
+  FtbAgent root{h_root};
+  FtbAgent mid{h_mid};
+  FtbAgent leaf{h_leaf};
+  FtbAgent aux{h_aux};
+
+  Tree() {
+    root.start();
+    mid.set_ancestors({{h_root.id(), FtbAgent::kDefaultPort}});
+    mid.start();
+    leaf.set_ancestors({{h_mid.id(), FtbAgent::kDefaultPort},
+                        {h_root.id(), FtbAgent::kDefaultPort}});
+    leaf.start();
+    aux.set_ancestors({{h_root.id(), FtbAgent::kDefaultPort}});
+    aux.start();
+  }
+  void settle(sim::TimePoint until) { engine.run_until(until); }
+};
+
+TEST(FtbTree, EventReachesAllSubscribersAcrossTheTree) {
+  Tree t;
+  FtbClient pub(t.aux, "job_manager");
+  FtbClient sub_root(t.root, "c_root");
+  FtbClient sub_leaf(t.leaf, "c_leaf");
+  sub_root.subscribe(Subscription{});
+  sub_leaf.subscribe(Subscription{});
+
+  t.engine.spawn([](FtbClient& p) -> Task {
+    co_await sim::sleep_for(100_ms);  // let the tree form
+    co_await p.publish(FtbEvent{"FTB.MPI", "FTB_MIGRATE", Severity::kWarning, "src=n3", "", 0, 0});
+  }(pub));
+  t.settle(sim::TimePoint::origin() + 2_s);
+
+  auto at_root = sub_root.poll_event();
+  auto at_leaf = sub_leaf.poll_event();
+  ASSERT_TRUE(at_root.has_value());
+  ASSERT_TRUE(at_leaf.has_value());
+  EXPECT_EQ(at_root->name, "FTB_MIGRATE");
+  EXPECT_EQ(at_leaf->payload, "src=n3");
+  EXPECT_EQ(at_leaf->publisher, "job_manager");
+  EXPECT_EQ(at_leaf->origin, t.h_aux.id());
+}
+
+TEST(FtbTree, PublisherReceivesOwnEventWhenSubscribed) {
+  Tree t;
+  FtbClient c(t.mid, "self");
+  c.subscribe(Subscription{});
+  t.engine.spawn([](FtbClient& cc) -> Task {
+    co_await sim::sleep_for(100_ms);
+    co_await cc.publish(FtbEvent{"S", "E", Severity::kInfo, "", "", 0, 0});
+  }(c));
+  t.settle(sim::TimePoint::origin() + 1_s);
+  EXPECT_TRUE(c.poll_event().has_value());
+}
+
+TEST(FtbTree, NonMatchingSubscribersAreNotDisturbed) {
+  Tree t;
+  FtbClient pub(t.root, "p");
+  FtbClient selective(t.leaf, "s");
+  selective.subscribe(Subscription{"FTB.MPI.*", "FTB_RESTART", Severity::kInfo});
+  t.engine.spawn([](FtbClient& p) -> Task {
+    co_await sim::sleep_for(100_ms);
+    co_await p.publish(FtbEvent{"FTB.MPI.X", "FTB_MIGRATE", Severity::kFatal, "", "", 0, 0});
+    co_await p.publish(FtbEvent{"FTB.MPI.X", "FTB_RESTART", Severity::kInfo, "", "", 0, 0});
+  }(pub));
+  t.settle(sim::TimePoint::origin() + 2_s);
+  auto ev = selective.poll_event();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->name, "FTB_RESTART");
+  EXPECT_FALSE(selective.poll_event().has_value());
+}
+
+TEST(FtbTree, SelfHealingReparentsLeafWhenMidDies) {
+  Tree t;
+  FtbClient pub(t.root, "p");
+  FtbClient sub(t.leaf, "s");
+  sub.subscribe(Subscription{});
+
+  t.engine.spawn([](Tree& tt, FtbClient& p) -> Task {
+    co_await sim::sleep_for(100_ms);
+    tt.mid.shutdown();  // kill the intermediate agent
+    co_await sim::sleep_for(500_ms);  // leaf re-parents to root
+    co_await p.publish(FtbEvent{"S", "AFTER_HEAL", Severity::kInfo, "", "", 0, 0});
+  }(t, pub));
+  t.settle(sim::TimePoint::origin() + 5_s);
+
+  EXPECT_GE(t.leaf.reconnects(), 1u);
+  EXPECT_TRUE(t.leaf.connected_to_parent());
+  auto ev = sub.poll_event();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->name, "AFTER_HEAL");
+}
+
+TEST(FtbTree, ManyEventsAllDelivered) {
+  Tree t;
+  FtbClient pub(t.leaf, "p");
+  FtbClient sub(t.aux, "s");
+  sub.subscribe(Subscription{"*", "EV_*", Severity::kInfo});
+  t.engine.spawn([](FtbClient& p) -> Task {
+    co_await sim::sleep_for(100_ms);
+    for (int i = 0; i < 50; ++i) {
+      co_await p.publish(
+          FtbEvent{"S", "EV_" + std::to_string(i), Severity::kInfo, "", "", 0, 0});
+    }
+  }(pub));
+  t.settle(sim::TimePoint::origin() + 3_s);
+  int received = 0;
+  while (sub.poll_event()) ++received;
+  EXPECT_EQ(received, 50);
+  EXPECT_EQ(sub.dropped(), 0u);
+}
+
+TEST(FtbAgent, ChildCountTracksTopology) {
+  Tree t;
+  t.settle(sim::TimePoint::origin() + 1_s);
+  EXPECT_EQ(t.root.child_count(), 2u);  // mid + aux
+  EXPECT_EQ(t.mid.child_count(), 1u);   // leaf
+  EXPECT_TRUE(t.leaf.connected_to_parent());
+}
+
+TEST(FtbAgent, ShutdownIsIdempotentAndStopsAccepting) {
+  Engine e;
+  net::Network net(e);
+  net::Host& h = net.add_host("solo");
+  FtbAgent agent(h);
+  agent.start();
+  agent.shutdown();
+  agent.shutdown();
+  EXPECT_FALSE(agent.running());
+  e.run_until(sim::TimePoint::origin() + 1_s);
+}
+
+}  // namespace
+}  // namespace jobmig::ftb

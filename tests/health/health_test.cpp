@@ -1,0 +1,142 @@
+#include "jobmig/health/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jobmig::health {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::TimePoint;
+
+TEST(SensorModel, HealthyNodeHoversAroundBaseline) {
+  SensorModel s("n0", 1, 52.0);
+  for (int i = 0; i < 100; ++i) {
+    const double t = s.temperature(TimePoint::origin() + sim::Duration::sec(i));
+    EXPECT_GT(t, 50.0);
+    EXPECT_LT(t, 54.0);
+  }
+  EXPECT_EQ(s.ecc_errors(TimePoint::origin() + 100_s), 0u);
+  EXPECT_FALSE(s.degrading());
+}
+
+TEST(SensorModel, DegradationRampsTemperatureAndEcc) {
+  SensorModel s("n0", 2, 52.0);
+  s.inject_degradation(TimePoint::origin() + 10_s, 1.0);
+  EXPECT_TRUE(s.degrading());
+  EXPECT_LT(s.temperature(TimePoint::origin() + 5_s), 54.0);   // before onset
+  EXPECT_GT(s.temperature(TimePoint::origin() + 40_s), 80.0);  // 30 s into ramp
+  EXPECT_GT(s.ecc_errors(TimePoint::origin() + 40_s), 0u);
+}
+
+TEST(HealthPredictor, AbsoluteThresholdFiresImmediately) {
+  HealthPredictor p;
+  EXPECT_FALSE(p.add_sample(TimePoint::origin(), 55.0));
+  EXPECT_TRUE(p.add_sample(TimePoint::origin() + 1_s, 70.0));
+}
+
+TEST(HealthPredictor, TrendProjectionFiresBeforeThreshold) {
+  HealthPredictor p;  // horizon 60 s, fatal 80 C
+  // 1 C/s trend from 50 C: projection hits 80 C within the horizon long
+  // before the absolute warn threshold (68 C) is reached.
+  bool fired = false;
+  for (int i = 0; i < 6 && !fired; ++i) {
+    fired = p.add_sample(TimePoint::origin() + sim::Duration::sec(i * 2),
+                         50.0 + 1.0 * static_cast<double>(i * 2));
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_NEAR(p.last_trend_celsius_per_sec(), 1.0, 0.05);
+}
+
+TEST(HealthPredictor, FlatSeriesNeverFires) {
+  HealthPredictor p;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(p.add_sample(TimePoint::origin() + sim::Duration::sec(i), 52.0));
+  }
+}
+
+TEST(HealthPredictor, CoolingTrendNeverFires) {
+  HealthPredictor p;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(p.add_sample(TimePoint::origin() + sim::Duration::sec(i),
+                              60.0 - 0.2 * static_cast<double>(i)));
+  }
+}
+
+struct PollRig {
+  Engine engine;
+  net::Network net{engine};
+  net::Host& host{net.add_host("n0")};
+  ftb::FtbAgent agent{host};
+  SensorModel sensor{"n0", 3, 52.0};
+  PollRig() { agent.start(); }
+};
+
+TEST(IpmiPoller, PublishesFailurePredictionForDegradingNode) {
+  PollRig rig;
+  ftb::FtbClient listener(rig.agent, "trigger");
+  listener.subscribe(ftb::Subscription{kHealthSpace, "*", ftb::Severity::kInfo});
+
+  IpmiPoller poller(rig.engine, rig.sensor, rig.agent, 5_s);
+  poller.start();
+  rig.sensor.inject_degradation(TimePoint::origin() + 20_s, 0.8);
+  rig.engine.run_until(TimePoint::origin() + 120_s);
+  poller.stop();
+
+  EXPECT_TRUE(poller.prediction_fired());
+  EXPECT_GT(poller.samples_taken(), 10u);
+  bool saw_prediction = false;
+  while (auto ev = listener.poll_event()) {
+    if (ev->name == kEventFailurePredicted) {
+      saw_prediction = true;
+      EXPECT_EQ(ev->payload, "n0");
+      EXPECT_EQ(ev->severity, ftb::Severity::kError);
+    }
+  }
+  EXPECT_TRUE(saw_prediction);
+}
+
+TEST(HealthPredictor, EccThreshold) {
+  HealthPredictor p;
+  EXPECT_FALSE(p.add_ecc_count(0));
+  EXPECT_FALSE(p.add_ecc_count(39));
+  EXPECT_TRUE(p.add_ecc_count(40));
+  EXPECT_TRUE(p.add_ecc_count(4000));
+}
+
+TEST(IpmiPoller, EccGrowthAlonePredictsFailure) {
+  PollRig rig;
+  ftb::FtbClient listener(rig.agent, "trigger");
+  listener.subscribe(ftb::Subscription{kHealthSpace, "*", ftb::Severity::kInfo});
+  // Very slow thermal ramp (never reaches the thresholds within the run)
+  // but ECC errors accumulate at ~2/s: threshold 40 crossed at ~+20 s.
+  IpmiPoller poller(rig.engine, rig.sensor, rig.agent, 5_s);
+  poller.start();
+  rig.sensor.inject_degradation(TimePoint::origin() + 10_s, /*celsius_per_second=*/0.01);
+  rig.engine.run_until(TimePoint::origin() + 60_s);
+  poller.stop();
+
+  EXPECT_TRUE(poller.prediction_fired());
+  bool saw_ecc_warning = false, saw_prediction = false;
+  while (auto ev = listener.poll_event()) {
+    if (ev->name == kEventEccWarning) saw_ecc_warning = true;
+    if (ev->name == kEventFailurePredicted) saw_prediction = true;
+  }
+  EXPECT_TRUE(saw_ecc_warning);
+  EXPECT_TRUE(saw_prediction);
+}
+
+TEST(IpmiPoller, HealthyNodeStaysQuiet) {
+  PollRig rig;
+  ftb::FtbClient listener(rig.agent, "trigger");
+  listener.subscribe(ftb::Subscription{kHealthSpace, "*", ftb::Severity::kInfo});
+  IpmiPoller poller(rig.engine, rig.sensor, rig.agent, 5_s);
+  poller.start();
+  rig.engine.run_until(TimePoint::origin() + 300_s);
+  poller.stop();
+  EXPECT_FALSE(poller.prediction_fired());
+  EXPECT_FALSE(listener.poll_event().has_value());
+}
+
+}  // namespace
+}  // namespace jobmig::health

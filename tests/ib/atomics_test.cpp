@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/ib/dispatcher.hpp"
+#include "jobmig/ib/verbs.hpp"
+
+namespace jobmig::ib {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+struct AtomicRig {
+  Engine engine;
+  Fabric fabric{engine};
+  Hca& a{fabric.add_node("a")};
+  Hca& b{fabric.add_node("b")};
+  CompletionQueue a_scq, a_rcq, b_scq, b_rcq;
+  std::unique_ptr<QueuePair> qa, qb;
+
+  AtomicRig() {
+    qa = a.create_qp(a_scq, a_rcq);
+    qb = b.create_qp(b_scq, b_rcq);
+    qa->connect(IbAddr{b.node(), qb->qpn()});
+    qb->connect(IbAddr{a.node(), qa->qpn()});
+  }
+};
+
+TEST(Atomics, FetchAddReturnsOldValueAndUpdatesRemote) {
+  AtomicRig rig;
+  alignas(8) std::uint64_t counter_storage = 100;
+  std::uint64_t old_value = 0;
+  rig.engine.spawn([](AtomicRig& r, std::uint64_t* remote, std::uint64_t& out) -> Task {
+    MemoryRegion* mr =
+        co_await r.b.reg_mr(reinterpret_cast<std::byte*>(remote), sizeof(std::uint64_t));
+    AtomicWr wr;
+    wr.wr_id = 1;
+    wr.result = &out;
+    wr.remote_offset = 0;
+    wr.rkey = mr->rkey();
+    wr.operand = 7;
+    r.qa->post_fetch_add(wr);
+    auto wc = co_await r.a_scq.wait();
+    JOBMIG_ASSERT(wc.ok());
+    JOBMIG_ASSERT(wc.opcode == WcOpcode::kFetchAdd);
+  }(rig, &counter_storage, old_value));
+  rig.engine.run();
+  EXPECT_EQ(old_value, 100u);
+  EXPECT_EQ(counter_storage, 107u);
+}
+
+TEST(Atomics, CompareSwapOnlySwapsOnMatch) {
+  AtomicRig rig;
+  alignas(8) std::uint64_t word = 42;
+  std::uint64_t seen1 = 0, seen2 = 0;
+  rig.engine.spawn([](AtomicRig& r, std::uint64_t* remote, std::uint64_t& s1,
+                      std::uint64_t& s2) -> Task {
+    MemoryRegion* mr =
+        co_await r.b.reg_mr(reinterpret_cast<std::byte*>(remote), sizeof(std::uint64_t));
+    AtomicWr wr;
+    wr.wr_id = 1;
+    wr.result = &s1;
+    wr.rkey = mr->rkey();
+    wr.compare = 42;   // matches -> swap to 99
+    wr.operand = 99;
+    r.qa->post_compare_swap(wr);
+    auto wc1 = co_await r.a_scq.wait();
+    JOBMIG_ASSERT(wc1.ok());
+    wr.wr_id = 2;
+    wr.result = &s2;
+    wr.compare = 42;   // no longer matches -> no swap
+    wr.operand = 1234;
+    r.qa->post_compare_swap(wr);
+    auto wc2 = co_await r.a_scq.wait();
+    JOBMIG_ASSERT(wc2.ok());
+  }(rig, &word, seen1, seen2));
+  rig.engine.run();
+  EXPECT_EQ(seen1, 42u);   // original value at first CAS
+  EXPECT_EQ(seen2, 99u);   // second CAS observed the swap...
+  EXPECT_EQ(word, 99u);    // ...and did not overwrite
+}
+
+TEST(Atomics, ConcurrentFetchAddsAreLossless) {
+  // The classic ticket-counter test: two requesters hammer one remote
+  // counter; every increment must land exactly once.
+  AtomicRig rig;
+  alignas(8) std::uint64_t counter = 0;
+  CompletionQueue extra_scq, extra_rcq;
+  auto qa2 = rig.a.create_qp(extra_scq, extra_rcq);
+  auto qb2 = rig.b.create_qp(rig.b_scq, rig.b_rcq);
+  qa2->connect(IbAddr{rig.b.node(), qb2->qpn()});
+  qb2->connect(IbAddr{rig.a.node(), qa2->qpn()});
+
+  rig.engine.spawn([](AtomicRig& r, QueuePair& q2, CompletionQueue& cq2,
+                      std::uint64_t* remote) -> Task {
+    MemoryRegion* mr =
+        co_await r.b.reg_mr(reinterpret_cast<std::byte*>(remote), sizeof(std::uint64_t));
+    sim::TaskGroup group(r.engine);
+    group.spawn([](QueuePair& qp, CompletionQueue& cq, std::uint32_t rkey) -> Task {
+      for (int i = 0; i < 50; ++i) {
+        std::uint64_t old_val;
+        AtomicWr wr;
+        wr.wr_id = static_cast<std::uint64_t>(i) + 1;
+        wr.result = &old_val;
+        wr.rkey = rkey;
+        wr.operand = 1;
+        qp.post_fetch_add(wr);
+        auto wc = co_await cq.wait();
+        JOBMIG_ASSERT(wc.ok());
+      }
+    }(*r.qa, r.a_scq, mr->rkey()));
+    group.spawn([](QueuePair& qp, CompletionQueue& cq, std::uint32_t rkey) -> Task {
+      for (int i = 0; i < 50; ++i) {
+        std::uint64_t old_val;
+        AtomicWr wr;
+        wr.wr_id = static_cast<std::uint64_t>(i) + 1;
+        wr.result = &old_val;
+        wr.rkey = rkey;
+        wr.operand = 1;
+        qp.post_fetch_add(wr);
+        auto wc = co_await cq.wait();
+        JOBMIG_ASSERT(wc.ok());
+      }
+    }(q2, cq2, mr->rkey()));
+    co_await group.wait();
+  }(rig, *qa2, extra_scq, &counter));
+  rig.engine.run();
+  EXPECT_EQ(counter, 100u);
+}
+
+TEST(Atomics, MisalignedOrUnregisteredTargetFails) {
+  AtomicRig rig;
+  alignas(8) std::uint64_t word = 0;
+  WcStatus misaligned{}, stale{};
+  rig.engine.spawn([](AtomicRig& r, std::uint64_t* remote, WcStatus& mis, WcStatus& st) -> Task {
+    MemoryRegion* mr =
+        co_await r.b.reg_mr(reinterpret_cast<std::byte*>(remote), sizeof(std::uint64_t));
+    AtomicWr wr;
+    wr.wr_id = 1;
+    wr.rkey = mr->rkey();
+    wr.remote_offset = 4;  // misaligned
+    wr.operand = 1;
+    r.qa->post_fetch_add(wr);
+    mis = (co_await r.a_scq.wait()).status;
+
+    // Fresh pair (the first error moved qa to ERROR).
+    CompletionQueue scq, rcq;
+    auto qa2 = r.a.create_qp(scq, rcq);
+    auto qb2 = r.b.create_qp(r.b_scq, r.b_rcq);
+    qa2->connect(IbAddr{r.b.node(), qb2->qpn()});
+    qb2->connect(IbAddr{r.a.node(), qa2->qpn()});
+    r.b.dereg_mr(mr);
+    AtomicWr wr2;
+    wr2.wr_id = 2;
+    wr2.rkey = 0xDEAD;
+    wr2.operand = 1;
+    qa2->post_fetch_add(wr2);
+    st = (co_await scq.wait()).status;
+  }(rig, &word, misaligned, stale));
+  rig.engine.run();
+  EXPECT_EQ(misaligned, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(stale, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(word, 0u);
+}
+
+}  // namespace
+}  // namespace jobmig::ib

@@ -1,0 +1,106 @@
+#include "jobmig/ib/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jobmig::ib {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+WorkCompletion wc_of(std::uint64_t id) {
+  return WorkCompletion{id, WcStatus::kSuccess, WcOpcode::kSend, id * 10, 0, false};
+}
+
+TEST(CompletionDispatcher, DeliversToWaiterRegisteredBeforeCompletion) {
+  Engine e;
+  CompletionQueue cq;
+  CompletionDispatcher d(cq);
+  d.start(e);
+  WorkCompletion got{};
+  e.spawn([](CompletionDispatcher& disp, WorkCompletion& out) -> Task {
+    out = co_await disp.await(7);
+  }(d, got));
+  e.call_in(5_ms, [&cq] { cq.push(wc_of(7)); });
+  e.run_until(sim::TimePoint::origin() + 1_s);
+  EXPECT_EQ(got.wr_id, 7u);
+  EXPECT_EQ(got.byte_len, 70u);
+  d.stop();
+  e.run();
+}
+
+TEST(CompletionDispatcher, DeliversToWaiterArrivingAfterCompletion) {
+  Engine e;
+  CompletionQueue cq;
+  CompletionDispatcher d(cq);
+  d.start(e);
+  WorkCompletion got{};
+  cq.push(wc_of(3));
+  e.spawn([](CompletionDispatcher& disp, WorkCompletion& out) -> Task {
+    co_await sim::sleep_for(10_ms);  // completion already buffered
+    out = co_await disp.await(3);
+  }(d, got));
+  e.run_until(sim::TimePoint::origin() + 1_s);
+  EXPECT_EQ(got.wr_id, 3u);
+  d.stop();
+  e.run();
+}
+
+TEST(CompletionDispatcher, InterleavedIdsRouteCorrectly) {
+  Engine e;
+  CompletionQueue cq;
+  CompletionDispatcher d(cq);
+  d.start(e);
+  std::map<std::uint64_t, std::uint64_t> results;
+  for (std::uint64_t id : {5u, 1u, 9u, 2u}) {
+    e.spawn([](CompletionDispatcher& disp, std::uint64_t wr,
+               std::map<std::uint64_t, std::uint64_t>& out) -> Task {
+      WorkCompletion wc = co_await disp.await(wr);
+      out[wr] = wc.byte_len;
+    }(d, id, results));
+  }
+  // Completions in a different order than the waiters registered.
+  e.call_in(1_ms, [&cq] { cq.push(wc_of(9)); });
+  e.call_in(2_ms, [&cq] { cq.push(wc_of(1)); });
+  e.call_in(3_ms, [&cq] { cq.push(wc_of(2)); });
+  e.call_in(4_ms, [&cq] { cq.push(wc_of(5)); });
+  e.run_until(sim::TimePoint::origin() + 1_s);
+  ASSERT_EQ(results.size(), 4u);
+  for (auto& [id, len] : results) EXPECT_EQ(len, id * 10);
+  d.stop();
+  e.run();
+}
+
+TEST(CompletionDispatcher, StopDrainsAndExits) {
+  Engine e;
+  CompletionQueue cq;
+  CompletionDispatcher d(cq);
+  d.start(e);
+  EXPECT_TRUE(d.running());
+  d.stop();
+  e.run();
+  EXPECT_FALSE(d.running());
+}
+
+TEST(CompletionDispatcher, AwaitingIdZeroIsRejected) {
+  Engine e;
+  CompletionQueue cq;
+  CompletionDispatcher d(cq);
+  d.start(e);
+  bool threw = false;
+  e.spawn([](CompletionDispatcher& disp, bool& out) -> Task {
+    try {
+      (void)co_await disp.await(0);
+    } catch (const ContractViolation&) {
+      out = true;
+    }
+  }(d, threw));
+  e.run_until(sim::TimePoint::origin() + 1_s);
+  EXPECT_TRUE(threw);
+  d.stop();
+  e.run();
+}
+
+}  // namespace
+}  // namespace jobmig::ib

@@ -1,0 +1,338 @@
+#include "jobmig/ib/verbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jobmig::ib {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::ByteSpan;
+using sim::Duration;
+using sim::Engine;
+using sim::pattern_fill;
+using sim::Task;
+
+Bytes make_payload(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  pattern_fill(b, seed, 0);
+  return b;
+}
+
+/// Two connected nodes with one QP pair; the common fixture for most tests.
+struct Pair {
+  Engine engine;
+  Fabric fabric{engine};
+  Hca& a{fabric.add_node("a")};
+  Hca& b{fabric.add_node("b")};
+  CompletionQueue a_scq, a_rcq, b_scq, b_rcq;
+  std::unique_ptr<QueuePair> qa, qb;
+
+  Pair() {
+    qa = a.create_qp(a_scq, a_rcq);
+    qb = b.create_qp(b_scq, b_rcq);
+    qa->connect(IbAddr{b.node(), qb->qpn()});
+    qb->connect(IbAddr{a.node(), qa->qpn()});
+  }
+};
+
+TEST(Verbs, SendRecvDeliversExactBytes) {
+  Pair p;
+  Bytes recv_buf(4096);
+  Bytes sent = make_payload(1000, 7);
+  WorkCompletion send_wc{}, recv_wc{};
+  p.engine.spawn([](Pair& pp, Bytes& buf, WorkCompletion& rwc) -> Task {
+    pp.qb->post_recv(RecvWr{1, buf.data(), buf.size()});
+    rwc = co_await pp.b_rcq.wait();
+  }(p, recv_buf, recv_wc));
+  p.engine.spawn([](Pair& pp, const Bytes& payload, WorkCompletion& swc) -> Task {
+    pp.qa->post_send(SendWr{2, payload, 0xABCD, true});
+    swc = co_await pp.a_scq.wait();
+  }(p, sent, send_wc));
+  p.engine.run();
+
+  EXPECT_TRUE(send_wc.ok());
+  EXPECT_EQ(send_wc.wr_id, 2u);
+  ASSERT_TRUE(recv_wc.ok());
+  EXPECT_EQ(recv_wc.wr_id, 1u);
+  EXPECT_EQ(recv_wc.byte_len, 1000u);
+  EXPECT_TRUE(recv_wc.has_imm);
+  EXPECT_EQ(recv_wc.imm_data, 0xABCDu);
+  EXPECT_TRUE(std::equal(sent.begin(), sent.end(), recv_buf.begin()));
+  EXPECT_EQ(p.b.bytes_in(), 1000u);
+  EXPECT_EQ(p.fabric.total_bytes(), 1000u);
+}
+
+TEST(Verbs, MessagesArriveInPostOrder) {
+  Pair p;
+  std::vector<std::uint32_t> order;
+  p.engine.spawn([](Pair& pp, std::vector<std::uint32_t>& out) -> Task {
+    Bytes buf(64_KiB);
+    for (int i = 0; i < 5; ++i) pp.qb->post_recv(RecvWr{static_cast<std::uint64_t>(i), buf.data(), buf.size()});
+    for (int i = 0; i < 5; ++i) {
+      auto wc = co_await pp.b_rcq.wait();
+      out.push_back(wc.imm_data);
+    }
+  }(p, order));
+  p.engine.spawn([](Pair& pp) -> Task {
+    // Mixed sizes: a small late message must not overtake a large early one.
+    pp.qa->post_send(SendWr{0, make_payload(32, 1), 0, true});
+    pp.qa->post_send(SendWr{1, make_payload(60000, 2), 1, true});
+    pp.qa->post_send(SendWr{2, make_payload(8, 3), 2, true});
+    pp.qa->post_send(SendWr{3, make_payload(40000, 4), 3, true});
+    pp.qa->post_send(SendWr{4, make_payload(16, 5), 4, true});
+    co_return;
+  }(p));
+  p.engine.run();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Verbs, SendBlocksUntilRecvPosted) {
+  Pair p;
+  double recv_posted_at = -1.0, send_completed_at = -1.0;
+  p.engine.spawn([](Pair& pp, double& t) -> Task {
+    pp.qa->post_send(SendWr{1, make_payload(128, 1)});
+    (void)co_await pp.a_scq.wait();
+    t = Engine::current()->now().to_seconds();
+  }(p, send_completed_at));
+  p.engine.spawn([](Pair& pp, double& t) -> Task {
+    co_await sim::sleep_for(50_ms);
+    static Bytes buf(1024);
+    pp.qb->post_recv(RecvWr{2, buf.data(), buf.size()});
+    t = Engine::current()->now().to_seconds();
+  }(p, recv_posted_at));
+  p.engine.run();
+  EXPECT_DOUBLE_EQ(recv_posted_at, 0.050);
+  EXPECT_GE(send_completed_at, recv_posted_at);
+}
+
+TEST(Verbs, OversizedPayloadFailsBothSides) {
+  Pair p;
+  WorkCompletion swc{}, rwc{};
+  p.engine.spawn([](Pair& pp, WorkCompletion& s, WorkCompletion& r) -> Task {
+    Bytes small(16);
+    pp.qb->post_recv(RecvWr{1, small.data(), small.size()});
+    pp.qa->post_send(SendWr{2, make_payload(64, 1)});
+    s = co_await pp.a_scq.wait();
+    r = co_await pp.b_rcq.wait();
+  }(p, swc, rwc));
+  p.engine.run();
+  EXPECT_EQ(swc.status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(rwc.status, WcStatus::kLocalLengthError);
+}
+
+TEST(Verbs, RdmaReadPullsRemoteMemory) {
+  Pair p;
+  Bytes remote_data = make_payload(256_KiB, 99);
+  Bytes local_buf(256_KiB);
+  WorkCompletion wc{};
+  p.engine.spawn([](Pair& pp, Bytes& remote, Bytes& local, WorkCompletion& out) -> Task {
+    MemoryRegion* mr = co_await pp.a.reg_mr(remote.data(), remote.size());
+    // Target (b) pulls from source (a) — the paper's pull-based protocol.
+    pp.qb->post_rdma_read(RdmaWr{7, local.data(), 0, mr->rkey(), local.size()});
+    out = co_await pp.b_scq.wait();
+  }(p, remote_data, local_buf, wc));
+  p.engine.run();
+  ASSERT_TRUE(wc.ok());
+  EXPECT_EQ(wc.opcode, WcOpcode::kRdmaRead);
+  EXPECT_EQ(wc.byte_len, 256_KiB);
+  EXPECT_EQ(local_buf, remote_data);
+}
+
+TEST(Verbs, RdmaReadAtOffsetWithinRegion) {
+  Pair p;
+  Bytes remote_data = make_payload(8192, 3);
+  Bytes local_buf(100);
+  p.engine.spawn([](Pair& pp, Bytes& remote, Bytes& local) -> Task {
+    MemoryRegion* mr = co_await pp.a.reg_mr(remote.data(), remote.size());
+    pp.qb->post_rdma_read(RdmaWr{1, local.data(), 4000, mr->rkey(), local.size()});
+    auto wc = co_await pp.b_scq.wait();
+    JOBMIG_ASSERT(wc.ok());
+  }(p, remote_data, local_buf));
+  p.engine.run();
+  EXPECT_TRUE(std::equal(local_buf.begin(), local_buf.end(), remote_data.begin() + 4000));
+}
+
+TEST(Verbs, RdmaWritePushesToRemoteMemory) {
+  Pair p;
+  Bytes remote_buf(4096);
+  Bytes local_data = make_payload(4096, 11);
+  p.engine.spawn([](Pair& pp, Bytes& remote, Bytes& local) -> Task {
+    MemoryRegion* mr = co_await pp.b.reg_mr(remote.data(), remote.size());
+    pp.qa->post_rdma_write(RdmaWr{1, local.data(), 0, mr->rkey(), local.size()});
+    auto wc = co_await pp.a_scq.wait();
+    JOBMIG_ASSERT(wc.ok());
+  }(p, remote_buf, local_data));
+  p.engine.run();
+  EXPECT_EQ(remote_buf, local_data);
+}
+
+TEST(Verbs, StaleRkeyFailsAfterDeregistration) {
+  Pair p;
+  Bytes remote_data(1024);
+  Bytes local_buf(1024);
+  WorkCompletion wc{};
+  p.engine.spawn([](Pair& pp, Bytes& remote, Bytes& local, WorkCompletion& out) -> Task {
+    MemoryRegion* mr = co_await pp.a.reg_mr(remote.data(), remote.size());
+    const std::uint32_t stale = mr->rkey();
+    pp.a.dereg_mr(mr);  // teardown: cached rkeys must stop working
+    pp.qb->post_rdma_read(RdmaWr{1, local.data(), 0, stale, local.size()});
+    out = co_await pp.b_scq.wait();
+  }(p, remote_data, local_buf, wc));
+  p.engine.run();
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(p.qb->state(), QpState::kError);
+}
+
+TEST(Verbs, OutOfBoundsRdmaFails) {
+  Pair p;
+  Bytes remote_data(1024);
+  Bytes local_buf(2048);
+  WorkCompletion wc{};
+  p.engine.spawn([](Pair& pp, Bytes& remote, Bytes& local, WorkCompletion& out) -> Task {
+    MemoryRegion* mr = co_await pp.a.reg_mr(remote.data(), remote.size());
+    pp.qb->post_rdma_read(RdmaWr{1, local.data(), 512, mr->rkey(), 1024});  // 512+1024 > 1024
+    out = co_await pp.b_scq.wait();
+  }(p, remote_data, local_buf, wc));
+  p.engine.run();
+  EXPECT_EQ(wc.status, WcStatus::kRemoteAccessError);
+}
+
+TEST(Verbs, SendToDestroyedQpFailsWithRetryExceeded) {
+  Pair p;
+  WorkCompletion wc{};
+  p.engine.spawn([](Pair& pp, WorkCompletion& out) -> Task {
+    pp.qb.reset();  // destroy remote endpoint
+    pp.qa->post_send(SendWr{1, make_payload(64, 1)});
+    out = co_await pp.a_scq.wait();
+  }(p, wc));
+  p.engine.run();
+  EXPECT_EQ(wc.status, WcStatus::kRetryExceeded);
+}
+
+TEST(Verbs, QpDestructionFlushesPostedRecvs) {
+  Pair p;
+  WorkCompletion wc{};
+  p.engine.spawn([](Pair& pp, WorkCompletion& out) -> Task {
+    Bytes buf(64);
+    pp.qb->post_recv(RecvWr{9, buf.data(), buf.size()});
+    pp.qb->to_error();
+    out = co_await pp.b_rcq.wait();
+    co_return;
+  }(p, wc));
+  p.engine.run();
+  EXPECT_EQ(wc.status, WcStatus::kFlushError);
+  EXPECT_EQ(wc.wr_id, 9u);
+}
+
+TEST(Verbs, PostOnErroredQpFlushes) {
+  Pair p;
+  WorkCompletion wc{};
+  p.engine.spawn([](Pair& pp, WorkCompletion& out) -> Task {
+    pp.qa->to_error();
+    pp.qa->post_send(SendWr{5, make_payload(16, 1)});
+    out = co_await pp.a_scq.wait();
+  }(p, wc));
+  p.engine.run();
+  EXPECT_EQ(wc.status, WcStatus::kFlushError);
+}
+
+TEST(Verbs, LargeTransferTimeMatchesLinkBandwidth) {
+  Pair p;
+  const std::uint64_t kBytes = 150'000'000;  // 150 MB at 1.5 GB/s -> ~0.1 s
+  double elapsed = 0.0;
+  p.engine.spawn([](Pair& pp, double& out, std::uint64_t n) -> Task {
+    Bytes remote(n), local(n);
+    MemoryRegion* mr = co_await pp.a.reg_mr(remote.data(), remote.size());
+    const double start = Engine::current()->now().to_seconds();
+    pp.qb->post_rdma_read(RdmaWr{1, local.data(), 0, mr->rkey(), n});
+    auto wc = co_await pp.b_scq.wait();
+    JOBMIG_ASSERT(wc.ok());
+    out = Engine::current()->now().to_seconds() - start;
+  }(p, elapsed, kBytes));
+  p.engine.run();
+  EXPECT_NEAR(elapsed, 0.1, 0.005);
+}
+
+TEST(Verbs, ConcurrentFlowsShareIngressBandwidth) {
+  // Two senders into the same destination node: each flow sees half the
+  // link; total time for 2x75 MB is the same as 150 MB alone.
+  Engine engine;
+  Fabric fabric(engine);
+  Hca& dst = fabric.add_node("dst");
+  Hca& s1 = fabric.add_node("s1");
+  Hca& s2 = fabric.add_node("s2");
+  CompletionQueue cqs[6];
+  auto qd1 = dst.create_qp(cqs[0], cqs[1]);
+  auto qd2 = dst.create_qp(cqs[0], cqs[1]);
+  auto q1 = s1.create_qp(cqs[2], cqs[3]);
+  auto q2 = s2.create_qp(cqs[4], cqs[5]);
+  qd1->connect(IbAddr{s1.node(), q1->qpn()});
+  q1->connect(IbAddr{dst.node(), qd1->qpn()});
+  qd2->connect(IbAddr{s2.node(), q2->qpn()});
+  q2->connect(IbAddr{dst.node(), qd2->qpn()});
+
+  const std::uint64_t kBytes = 75'000'000;
+  Bytes src1(kBytes), src2(kBytes), dst1(kBytes), dst2(kBytes);
+  double done = 0.0;
+  engine.spawn([](Hca& s, QueuePair& qd, CompletionQueue& scq, Bytes& src, Bytes& local,
+                  double& out, std::uint64_t n) -> Task {
+    MemoryRegion* mr = co_await s.reg_mr(src.data(), src.size());
+    qd.post_rdma_read(RdmaWr{1, local.data(), 0, mr->rkey(), n});
+    auto wc = co_await scq.wait();
+    JOBMIG_ASSERT(wc.ok());
+    out = std::max(out, Engine::current()->now().to_seconds());
+  }(s1, *qd1, cqs[0], src1, dst1, done, kBytes));
+  engine.spawn([](Hca& s, QueuePair& qd, CompletionQueue& scq, Bytes& src, Bytes& local,
+                  double& out, std::uint64_t n) -> Task {
+    MemoryRegion* mr = co_await s.reg_mr(src.data(), src.size());
+    qd.post_rdma_read(RdmaWr{2, local.data(), 0, mr->rkey(), n});
+    auto wc = co_await scq.wait();
+    JOBMIG_ASSERT(wc.ok());
+    out = std::max(out, Engine::current()->now().to_seconds());
+  }(s2, *qd2, cqs[0], src2, dst2, done, kBytes));
+  engine.run();
+  EXPECT_NEAR(done, 0.1, 0.005);
+  EXPECT_EQ(dst1, src1);
+  EXPECT_EQ(dst2, src2);
+}
+
+TEST(Verbs, MrRegistrationChargesPerPage) {
+  Pair p;
+  double elapsed = -1.0;
+  p.engine.spawn([](Pair& pp, double& out) -> Task {
+    Bytes buf(4096 * 1000);
+    const double start = Engine::current()->now().to_seconds();
+    MemoryRegion* mr = co_await pp.a.reg_mr(buf.data(), buf.size());
+    out = Engine::current()->now().to_seconds() - start;
+    pp.a.dereg_mr(mr);
+  }(p, elapsed));
+  p.engine.run();
+  // 1000 pages * 250 ns = 250 us.
+  EXPECT_NEAR(elapsed, 250e-6, 1e-9);
+}
+
+TEST(Verbs, CqPollIsNonBlocking) {
+  CompletionQueue cq;
+  EXPECT_FALSE(cq.poll().has_value());
+  cq.push(WorkCompletion{1, WcStatus::kSuccess, WcOpcode::kSend, 0, 0, false});
+  auto wc = cq.poll();
+  ASSERT_TRUE(wc.has_value());
+  EXPECT_EQ(wc->wr_id, 1u);
+  EXPECT_FALSE(cq.poll().has_value());
+}
+
+TEST(Verbs, FabricNodeLookup) {
+  Engine e;
+  Fabric f(e);
+  Hca& a = f.add_node("x");
+  EXPECT_EQ(f.node_count(), 1u);
+  EXPECT_EQ(f.hca(a.node()), &a);
+  EXPECT_EQ(f.hca(42), nullptr);
+  EXPECT_EQ(a.name(), "x");
+}
+
+}  // namespace
+}  // namespace jobmig::ib

@@ -1,0 +1,164 @@
+#include "jobmig/launch/launch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jobmig::launch {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+TEST(SpawnTree, KaryStructure) {
+  SpawnTree t(13, 3);
+  EXPECT_FALSE(t.parent(0).has_value());
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(3), 0u);
+  EXPECT_EQ(t.parent(4), 1u);
+  EXPECT_EQ(t.children(0), (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(t.children(1), (std::vector<std::size_t>{4, 5, 6}));
+  EXPECT_EQ(t.depth_of(0), 0u);
+  EXPECT_EQ(t.depth_of(4), 2u);
+  EXPECT_EQ(t.depth(), 2u);
+}
+
+TEST(SpawnTree, UnaryTreeIsAChain) {
+  SpawnTree t(4, 1);
+  EXPECT_EQ(t.depth(), 3u);
+  EXPECT_EQ(t.parent(3), 2u);
+}
+
+TEST(SpawnTree, ReplaceNodeRewiresChildrenAndParent) {
+  SpawnTree t(13, 3);
+  // Node 1 (children 4,5,6) fails; spare node 12 takes over.
+  t.replace_node(1, 12);
+  EXPECT_EQ(t.parent(12), 0u);
+  EXPECT_EQ(t.parent(4), 12u);
+  EXPECT_EQ(t.parent(5), 12u);
+  EXPECT_EQ(t.parent(6), 12u);
+  EXPECT_EQ(t.parent(1), 12u);  // failed node parked, tree stays connected
+  EXPECT_EQ(t.children(12), (std::vector<std::size_t>{1, 4, 5, 6}));
+}
+
+TEST(SpawnTree, ReplaceLeafNode) {
+  SpawnTree t(6, 2);
+  t.replace_node(4, 5);
+  EXPECT_EQ(t.parent(5), 1u);  // node 4's parent was node 1
+  EXPECT_EQ(t.parent(4), 5u);
+}
+
+struct LaunchRig {
+  Engine engine;
+  sim::Calibration cal{};
+  ib::Fabric fabric{engine, cal.ib};
+  net::Network net{engine, cal.eth};
+  std::vector<std::unique_ptr<storage::LocalFs>> disks;
+  std::vector<std::unique_ptr<proc::Blcr>> blcrs;
+  std::vector<std::unique_ptr<ftb::FtbAgent>> agents;
+  std::vector<mpr::NodeEnv> envs;
+  std::vector<std::unique_ptr<NodeLaunchAgent>> nlas;
+  net::Host* login_host;
+  std::unique_ptr<ftb::FtbAgent> login_agent;
+
+  explicit LaunchRig(int nodes, int spares) {
+    login_host = &net.add_host("login");
+    login_agent = std::make_unique<ftb::FtbAgent>(*login_host);
+    login_agent->start();
+    for (int n = 0; n < nodes + spares; ++n) {
+      const std::string name =
+          n < nodes ? "node" + std::to_string(n) : "spare" + std::to_string(n - nodes);
+      auto& hca = fabric.add_node(name);
+      auto& host = net.add_host(name);
+      disks.push_back(std::make_unique<storage::LocalFs>(engine, cal.disk));
+      blcrs.push_back(std::make_unique<proc::Blcr>(engine, cal.blcr));
+      auto agent = std::make_unique<ftb::FtbAgent>(host);
+      agent->set_ancestors({{login_host->id(), ftb::FtbAgent::kDefaultPort}});
+      agent->start();
+      agents.push_back(std::move(agent));
+      mpr::NodeEnv env;
+      env.engine = &engine;
+      env.hca = &hca;
+      env.eth_host = host.id();
+      env.scratch = disks.back().get();
+      env.blcr = blcrs.back().get();
+      env.cal = &cal;
+      env.hostname = name;
+      envs.push_back(env);
+    }
+    for (int n = 0; n < nodes + spares; ++n) {
+      nlas.push_back(std::make_unique<NodeLaunchAgent>(
+          envs[static_cast<std::size_t>(n)], *agents[static_cast<std::size_t>(n)],
+          n < nodes ? NlaState::kReady : NlaState::kSpare));
+    }
+  }
+};
+
+TEST(JobManager, RegistersNlasAndFindsSpare) {
+  LaunchRig rig(3, 2);
+  JobManager jm(rig.engine, *rig.login_agent);
+  for (auto& nla : rig.nlas) jm.register_nla(*nla);
+  EXPECT_EQ(jm.nla_count(), 5u);
+  NodeLaunchAgent* spare = jm.find_spare();
+  ASSERT_NE(spare, nullptr);
+  EXPECT_EQ(spare->hostname(), "spare0");
+  EXPECT_EQ(spare->state(), NlaState::kSpare);
+  EXPECT_EQ(jm.nla_for_host("node2")->hostname(), "node2");
+  EXPECT_EQ(jm.nla_for_host("absent"), nullptr);
+}
+
+TEST(JobManager, LaunchChargesTreeDepthAndAssignsRanks) {
+  LaunchRig rig(4, 1);
+  JobManager jm(rig.engine, *rig.login_agent, /*fanout=*/2);
+  for (auto& nla : rig.nlas) jm.register_nla(*nla);
+  mpr::Job job(rig.engine, rig.cal);
+  for (int r = 0; r < 8; ++r) {
+    job.add_proc(r, rig.envs[static_cast<std::size_t>(r / 2)], 4096, 1);
+  }
+  double elapsed = -1.0;
+  rig.engine.spawn([](JobManager& jmr, mpr::Job& j, double& out) -> Task {
+    const double start = Engine::current()->now().to_seconds();
+    co_await jmr.launch(j);
+    out = Engine::current()->now().to_seconds() - start;
+  }(jm, job, elapsed));
+  rig.engine.run_until(sim::TimePoint::origin() + 5_s);
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_EQ(jm.nla_for_host("node0")->local_ranks(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(jm.nla_for_host("node3")->local_ranks(), (std::vector<int>{6, 7}));
+  EXPECT_TRUE(jm.nla_for_host("spare0")->local_ranks().empty());
+}
+
+TEST(JobManager, AdoptMigrationFlipsStatesAndMovesRanks) {
+  LaunchRig rig(3, 1);
+  JobManager jm(rig.engine, *rig.login_agent);
+  for (auto& nla : rig.nlas) jm.register_nla(*nla);
+  NodeLaunchAgent& source = *jm.nla_for_host("node1");
+  NodeLaunchAgent& target = *jm.nla_for_host("spare0");
+  source.assign_rank(2);
+  source.assign_rank(3);
+
+  jm.adopt_migration(source, target, {2, 3});
+
+  EXPECT_EQ(source.state(), NlaState::kInactive);
+  EXPECT_EQ(target.state(), NlaState::kReady);
+  EXPECT_TRUE(source.local_ranks().empty());
+  EXPECT_EQ(target.local_ranks(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(jm.find_spare(), nullptr);  // the only spare is consumed
+}
+
+TEST(JobManager, AdoptMigrationRequiresSpareTarget) {
+  LaunchRig rig(2, 1);
+  JobManager jm(rig.engine, *rig.login_agent);
+  for (auto& nla : rig.nlas) jm.register_nla(*nla);
+  NodeLaunchAgent& a = *jm.nla_for_host("node0");
+  NodeLaunchAgent& b = *jm.nla_for_host("node1");
+  EXPECT_THROW(jm.adopt_migration(a, b, {0}), ContractViolation);
+}
+
+TEST(NlaState, Names) {
+  EXPECT_EQ(to_string(NlaState::kReady), "MIGRATION_READY");
+  EXPECT_EQ(to_string(NlaState::kSpare), "MIGRATION_SPARE");
+  EXPECT_EQ(to_string(NlaState::kInactive), "MIGRATION_INACTIVE");
+}
+
+}  // namespace
+}  // namespace jobmig::launch

@@ -1,0 +1,299 @@
+#include "jobmig/migration/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using namespace jobmig::sim::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Engine;
+using sim::Task;
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 3;
+  cfg.spare_nodes = 1;
+  return cfg;
+}
+
+TEST(KvCodec, RoundTrip) {
+  auto kv = decode_kv(encode_kv({{"src", "node3"}, {"dst", "spare0"}, {"n", "42"}}));
+  EXPECT_EQ(kv.at("src"), "node3");
+  EXPECT_EQ(kv.at("dst"), "spare0");
+  EXPECT_EQ(kv.at("n"), "42");
+  EXPECT_TRUE(decode_kv("").empty());
+  EXPECT_TRUE(decode_kv("garbage without equals").empty());
+}
+
+/// End-to-end: run LU (test class) on 3 nodes + 1 spare, migrate node1's
+/// ranks mid-run, and require the application to finish with every halo
+/// content check passing.
+TEST(MigrationCycle, EndToEndWithRunningApplication) {
+  Engine engine;
+  Cluster cl(engine, small_config());
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.2);
+  spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+  cl.create_job(2, spec.image_bytes_per_rank);
+
+  MigrationReport report;
+  bool migrated = false;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, MigrationReport& rep, bool& done) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(2_s);  // let the app make progress
+    rep = co_await c.migration_manager().migrate("node1");
+    done = true;
+  }(cl, spec, report, migrated));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(migrated);
+  EXPECT_TRUE(cl.job().app_done());
+
+  // Report sanity: all four phases measured, data moved equals two images+.
+  EXPECT_GT(report.stall.count_ns(), 0);
+  EXPECT_GT(report.migration.count_ns(), 0);
+  EXPECT_GT(report.restart.count_ns(), 0);
+  EXPECT_GT(report.resume.count_ns(), 0);
+  EXPECT_EQ(report.source_host, "node1");
+  EXPECT_EQ(report.target_host, "spare0");
+  EXPECT_EQ(report.migrated_ranks, (std::vector<int>{2, 3}));
+  EXPECT_GT(report.bytes_moved, 2 * spec.image_bytes_per_rank);  // images + stream framing
+
+  // Placement and NLA state machine follow-through.
+  EXPECT_EQ(cl.job().node_of(2).hostname, "spare0");
+  EXPECT_EQ(cl.job().node_of(3).hostname, "spare0");
+  EXPECT_EQ(cl.job_manager().nla_for_host("node1")->state(), launch::NlaState::kInactive);
+  EXPECT_EQ(cl.job_manager().nla_for_host("spare0")->state(), launch::NlaState::kReady);
+  EXPECT_EQ(cl.job_manager().find_spare(), nullptr);
+  EXPECT_EQ(cl.migration_manager().cycles_completed(), 1u);
+}
+
+TEST(MigrationCycle, MigratedImageContentSurvivesExactly) {
+  // No app computation after the park: the restored image CRC must equal
+  // the source image CRC at checkpoint time. Use an app that parks forever
+  // after a couple of iterations.
+  Engine engine;
+  Cluster cl(engine, small_config());
+  auto spec = workload::make_spec(workload::NpbApp::kSP, workload::NpbClass::kTest, 6, 0.05);
+  spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+  cl.create_job(2, spec.image_bytes_per_rank);
+
+  std::map<int, std::uint64_t> crc_before;
+  bool checked = false;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, std::map<int, std::uint64_t>& crcs,
+                  bool& done) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    // Snapshot the source-node images right before triggering: ranks park
+    // deterministically at iteration boundaries, so capture after parking.
+    for (int r : c.job_manager().nla_for_host("node1")->local_ranks()) {
+      c.job().proc(r).request_park();
+    }
+    for (int r : c.job_manager().nla_for_host("node1")->local_ranks()) {
+      co_await c.job().proc(r).wait_parked();
+    }
+    // CRCs frozen now; un-park so the migration protocol drives the cycle.
+    for (int r : c.job_manager().nla_for_host("node1")->local_ranks()) {
+      crcs[r] = c.job().proc(r).sim_process().image().content_crc();
+    }
+    (void)co_await c.migration_manager().migrate("node1");
+    for (auto& [r, crc] : crcs) {
+      EXPECT_EQ(c.job().proc(r).sim_process().image().content_crc(), crc) << "rank " << r;
+      EXPECT_EQ(c.job().node_of(r).hostname, "spare0");
+    }
+    done = true;
+  }(cl, spec, crc_before, checked));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  EXPECT_TRUE(checked);
+}
+
+TEST(MigrationCycle, UserTriggerDrivesMigration) {
+  Engine engine;
+  Cluster cl(engine, small_config());
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.2);
+  spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+  cl.create_job(2, spec.image_bytes_per_rank);
+
+  engine.spawn([](Cluster& c, workload::KernelSpec s) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    co_await c.user_trigger().fire("node2");
+  }(cl, spec));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  EXPECT_TRUE(cl.job().app_done());
+  EXPECT_EQ(cl.migration_manager().cycles_completed(), 1u);
+  EXPECT_EQ(cl.migration_manager().last_report().source_host, "node2");
+  EXPECT_EQ(cl.job_manager().nla_for_host("node2")->state(), launch::NlaState::kInactive);
+}
+
+TEST(MigrationCycle, HealthPredictionDrivesMigration) {
+  Engine engine;
+  Cluster cl(engine, small_config());
+  auto spec = workload::make_spec(workload::NpbApp::kBT, workload::NpbClass::kTest, 6, 0.6);
+  spec.time_per_iter = 300_ms;  // keep the app alive past the prediction
+  cl.create_job(2, spec.image_bytes_per_rank);
+  cl.enable_health_monitoring(2_s);
+
+  engine.spawn([](Cluster& c, workload::KernelSpec s) -> Task {
+    co_await c.start(workload::make_app(s));
+    // node0's cooling starts failing shortly into the run; the trend
+    // predictor should fire within a few polls.
+    c.sensor(0).inject_degradation(Engine::current()->now() + 2_s, 1.5);
+    co_return;
+  }(cl, spec));
+  engine.run_until(sim::TimePoint::origin() + 900_s);
+
+  EXPECT_TRUE(cl.job().app_done());
+  EXPECT_EQ(cl.migration_manager().cycles_completed(), 1u);
+  EXPECT_EQ(cl.migration_manager().last_report().source_host, "node0");
+  EXPECT_EQ(cl.job_manager().nla_for_host("node0")->state(), launch::NlaState::kInactive);
+}
+
+TEST(MigrationCycle, MemoryRestartModeSkipsDiskAndIsFaster) {
+  auto run_with_mode = [](RestartMode mode) {
+    Engine engine;
+    ClusterConfig cfg = small_config();
+    cfg.mig.restart_mode = mode;
+    Cluster cl(engine, cfg);
+    auto spec = workload::make_spec(workload::NpbApp::kBT, workload::NpbClass::kTest, 6, 0.2);
+    spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+    // Big enough images that Phase 3 is I/O-dominated, where the two
+    // restart strategies actually differ.
+    spec.image_bytes_per_rank = 30ull << 20;
+    cl.create_job(2, spec.image_bytes_per_rank);
+    MigrationReport report;
+    engine.spawn([](Cluster& c, workload::KernelSpec s, MigrationReport& rep) -> Task {
+      co_await c.start(workload::make_app(s));
+      co_await sim::sleep_for(1_s);
+      rep = co_await c.migration_manager().migrate("node0");
+    }(cl, spec, report));
+    engine.run_until(sim::TimePoint::origin() + 600_s);
+    EXPECT_TRUE(cl.job().app_done());
+    return report;
+  };
+  const MigrationReport file_mode = run_with_mode(RestartMode::kFile);
+  const MigrationReport mem_mode = run_with_mode(RestartMode::kMemory);
+  EXPECT_LT(mem_mode.restart.to_seconds(), file_mode.restart.to_seconds() * 0.5)
+      << "memory-based restart should collapse Phase 3";
+  EXPECT_EQ(file_mode.bytes_moved, mem_mode.bytes_moved);
+}
+
+TEST(MigrationCycle, TwoSequentialMigrationsConsumeTwoSpares) {
+  Engine engine;
+  ClusterConfig cfg = small_config();
+  cfg.spare_nodes = 2;
+  Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.45);
+  spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+  cl.create_job(2, spec.image_bytes_per_rank);
+
+  int cycles = 0;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, int& done) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    (void)co_await c.migration_manager().migrate("node0");
+    ++done;
+    co_await sim::sleep_for(1_s);
+    // node0's ranks now live on spare0; migrate them again.
+    (void)co_await c.migration_manager().migrate("spare0");
+    ++done;
+  }(cl, spec, cycles));
+  engine.run_until(sim::TimePoint::origin() + 900_s);
+
+  EXPECT_EQ(cycles, 2);
+  EXPECT_TRUE(cl.job().app_done());
+  EXPECT_EQ(cl.job().node_of(0).hostname, "spare1");
+  EXPECT_EQ(cl.job().node_of(1).hostname, "spare1");
+  EXPECT_EQ(cl.job_manager().find_spare(), nullptr);
+}
+
+TEST(MigrationCycle, RejectsWhenNoSpareAvailable) {
+  Engine engine;
+  ClusterConfig cfg = small_config();
+  cfg.spare_nodes = 0;
+  Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.1);
+  spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+  cl.create_job(2, spec.image_bytes_per_rank);
+  bool threw = false;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, bool& out) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    try {
+      (void)co_await c.migration_manager().migrate("node0");
+    } catch (const ContractViolation&) {
+      out = true;
+    }
+  }(cl, spec, threw));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  EXPECT_TRUE(threw);
+}
+
+TEST(CrBaseline, CheckpointAllToLocalDisksAndRestartVerifies) {
+  Engine engine;
+  Cluster cl(engine, small_config());
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.3);
+  spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+  cl.create_job(2, spec.image_bytes_per_rank);
+
+  CrReport report;
+  std::vector<std::uint64_t> crcs_at_checkpoint;
+  bool done = false;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, CrReport& rep,
+                  std::vector<std::uint64_t>& crcs, bool& out) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    auto cr = c.make_cr_local();
+    rep = co_await cr->checkpoint_all();
+    // Images on disk must restore to byte-identical processes.
+    sim::Duration restart_time{};
+    auto restored = co_await cr->restart_all(&restart_time);
+    rep.restart = restart_time;
+    for (auto& p : restored) crcs.push_back(p->image().content_crc());
+    out = true;
+  }(cl, spec, report, crcs_at_checkpoint, done));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(cl.job().app_done());  // job resumed and finished after the checkpoint
+  EXPECT_EQ(report.checkpoint_files, 6u);
+  EXPECT_GT(report.bytes_written, 6 * spec.image_bytes_per_rank);
+  EXPECT_GT(report.checkpoint.count_ns(), 0);
+  EXPECT_GT(report.restart.count_ns(), 0);
+  EXPECT_EQ(crcs_at_checkpoint.size(), 6u);
+}
+
+TEST(CrBaseline, PvfsCheckpointSlowerThanLocalUnderContention) {
+  auto run = [](bool pvfs) {
+    Engine engine;
+    ClusterConfig cfg;
+    cfg.compute_nodes = 4;
+    cfg.spare_nodes = 0;
+    Cluster cl(engine, cfg);
+    auto spec = workload::make_spec(workload::NpbApp::kBT, workload::NpbClass::kTest, 16, 0.3);
+  spec.time_per_iter = 100_ms;  // keep the app alive across the cycle
+    cl.create_job(4, spec.image_bytes_per_rank);
+    CrReport report;
+    engine.spawn([](Cluster& c, workload::KernelSpec s, CrReport& rep, bool use_pvfs) -> Task {
+      co_await c.start(workload::make_app(s));
+      co_await sim::sleep_for(1_s);
+      auto cr = use_pvfs ? c.make_cr_pvfs() : c.make_cr_local();
+      rep = co_await cr->full_cycle();
+    }(cl, spec, report, pvfs));
+    engine.run_until(sim::TimePoint::origin() + 900_s);
+    return report;
+  };
+  const CrReport local = run(false);
+  const CrReport pvfs = run(true);
+  // 16 concurrent writers: 4 local disks (4 writers each) vs one shared
+  // 4-server PVFS (16 contending clients) — shared storage must lose.
+  EXPECT_GT(pvfs.checkpoint.to_seconds(), local.checkpoint.to_seconds());
+}
+
+}  // namespace
+}  // namespace jobmig::migration

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using namespace jobmig::sim::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Engine;
+using sim::Task;
+
+struct RunResult {
+  MigrationReport report;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::vector<std::uint64_t> final_crcs;
+};
+
+RunResult run_full_cycle() {
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 3;
+  cfg.spare_nodes = 1;
+  Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.2);
+  spec.time_per_iter = 80_ms;
+  cl.create_job(2, spec.image_bytes_per_rank);
+  RunResult out;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, RunResult& r) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    r.report = co_await c.migration_manager().migrate("node1");
+  }(cl, spec, out));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  JOBMIG_ASSERT(cl.job().app_done());
+  out.events = engine.events_processed();
+  out.messages = cl.job().total_messages();
+  for (int r = 0; r < cl.job().size(); ++r) {
+    out.final_crcs.push_back(cl.job().proc(r).sim_process().image().content_crc());
+  }
+  return out;
+}
+
+/// The property every figure in EXPERIMENTS.md relies on: the entire stack
+/// — app, MPI runtime, FTB, RDMA pool, BLCR, restart — replays identically.
+TEST(Determinism, FullMigrationCycleIsExactlyReproducible) {
+  const RunResult a = run_full_cycle();
+  const RunResult b = run_full_cycle();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.report.stall.count_ns(), b.report.stall.count_ns());
+  EXPECT_EQ(a.report.migration.count_ns(), b.report.migration.count_ns());
+  EXPECT_EQ(a.report.restart.count_ns(), b.report.restart.count_ns());
+  EXPECT_EQ(a.report.resume.count_ns(), b.report.resume.count_ns());
+  EXPECT_EQ(a.report.bytes_moved, b.report.bytes_moved);
+  EXPECT_EQ(a.final_crcs, b.final_crcs);
+}
+
+}  // namespace
+}  // namespace jobmig::migration

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/migration/controller.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+struct WaiterRig {
+  Engine engine;
+  net::Network net{engine};
+  net::Host& host{net.add_host("h")};
+  ftb::FtbAgent agent{host};
+  WaiterRig() { agent.start(); }
+};
+
+TEST(EventWaiter, OutOfOrderConsumptionViaStash) {
+  WaiterRig rig;
+  std::vector<std::string> consumed;
+  rig.engine.spawn([](WaiterRig& r, std::vector<std::string>& out) -> Task {
+    ftb::FtbClient client(r.agent, "consumer");
+    client.subscribe(ftb::Subscription{kMigSpace, "*", ftb::Severity::kInfo});
+    ftb::FtbClient producer(r.agent, "producer");
+    // Publish A, B, C but consume C, A, B.
+    co_await producer.publish(ftb::FtbEvent{kMigSpace, "EV_A", ftb::Severity::kInfo, "1"});
+    co_await producer.publish(ftb::FtbEvent{kMigSpace, "EV_B", ftb::Severity::kInfo, "2"});
+    co_await producer.publish(ftb::FtbEvent{kMigSpace, "EV_C", ftb::Severity::kInfo, "3"});
+    EventWaiter waiter(client);
+    out.push_back((co_await waiter.await_named("EV_C")).payload);
+    out.push_back((co_await waiter.await_named("EV_A")).payload);
+    out.push_back((co_await waiter.await_named("EV_B")).payload);
+  }(rig, consumed));
+  rig.engine.run_until(sim::TimePoint::origin() + 2_s);
+  EXPECT_EQ(consumed, (std::vector<std::string>{"3", "1", "2"}));
+}
+
+TEST(EventWaiter, BlocksUntilTheNamedEventArrives) {
+  WaiterRig rig;
+  double woke_at = -1.0;
+  rig.engine.spawn([](WaiterRig& r, double& out) -> Task {
+    ftb::FtbClient client(r.agent, "consumer");
+    client.subscribe(ftb::Subscription{kMigSpace, "*", ftb::Severity::kInfo});
+    ftb::FtbClient producer(r.agent, "producer");
+    r.engine.spawn([](ftb::FtbClient* p) -> Task {
+      co_await sim::sleep_for(50_ms);
+      co_await p->publish(ftb::FtbEvent{kMigSpace, "LATE", ftb::Severity::kInfo, ""});
+    }(&producer));
+    EventWaiter waiter(client);
+    (void)co_await waiter.await_named("LATE");
+    out = sim::Engine::current()->now().to_seconds();
+  }(rig, woke_at));
+  rig.engine.run_until(sim::TimePoint::origin() + 2_s);
+  EXPECT_GE(woke_at, 0.050);
+  EXPECT_LT(woke_at, 0.060);
+}
+
+TEST(EventWaiter, DuplicateNamesAreConsumedFifo) {
+  WaiterRig rig;
+  std::vector<std::string> consumed;
+  rig.engine.spawn([](WaiterRig& r, std::vector<std::string>& out) -> Task {
+    ftb::FtbClient client(r.agent, "consumer");
+    client.subscribe(ftb::Subscription{kMigSpace, "*", ftb::Severity::kInfo});
+    ftb::FtbClient producer(r.agent, "producer");
+    for (int i = 0; i < 3; ++i) {
+      co_await producer.publish(
+          ftb::FtbEvent{kMigSpace, "DUP", ftb::Severity::kInfo, std::to_string(i)});
+    }
+    // Interleave with a non-matching event that lands in the stash.
+    co_await producer.publish(ftb::FtbEvent{kMigSpace, "OTHER", ftb::Severity::kInfo, "x"});
+    EventWaiter waiter(client);
+    out.push_back((co_await waiter.await_named("DUP")).payload);
+    out.push_back((co_await waiter.await_named("DUP")).payload);
+    out.push_back((co_await waiter.await_named("OTHER")).payload);
+    out.push_back((co_await waiter.await_named("DUP")).payload);
+  }(rig, consumed));
+  rig.engine.run_until(sim::TimePoint::origin() + 2_s);
+  EXPECT_EQ(consumed, (std::vector<std::string>{"0", "1", "x", "2"}));
+}
+
+}  // namespace
+}  // namespace jobmig::migration

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/migration/buffer_manager.hpp"
+#include "jobmig/proc/blcr.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+/// Buffer-pool geometry sweep through the full BLCR -> pool -> RDMA ->
+/// reassembly -> restart path: restored images must be byte-exact for any
+/// pool/chunk combination.
+struct PoolGeometry {
+  std::uint64_t pool;
+  std::uint64_t chunk;
+};
+
+class PoolSweep : public ::testing::TestWithParam<PoolGeometry> {};
+
+TEST_P(PoolSweep, CheckpointThroughPoolRestoresExactly) {
+  const auto geom = GetParam();
+  Engine engine;
+  ib::Fabric fabric(engine);
+  ib::Hca& src = fabric.add_node("src");
+  ib::Hca& dst = fabric.add_node("dst");
+  proc::Blcr blcr(engine);
+  bool ok = false;
+  engine.spawn([](ib::Hca& sh, ib::Hca& dh, proc::Blcr& b, PoolGeometry g, bool& out) -> Task {
+    PoolConfig cfg;
+    cfg.pool_bytes = g.pool;
+    cfg.chunk_bytes = g.chunk;
+    TargetBufferManager tmgr(dh, cfg);
+    SourceBufferManager smgr(sh, cfg);
+    ib::IbAddr taddr = co_await tmgr.open();
+    ib::IbAddr saddr = co_await smgr.open(taddr);
+    tmgr.connect_to(saddr);
+    smgr.start();
+    sim::TaskGroup serve(*sim::Engine::current());
+    serve.spawn(tmgr.serve());
+
+    std::vector<std::unique_ptr<proc::SimProcess>> procs;
+    std::vector<std::uint64_t> crcs;
+    std::vector<std::unique_ptr<proc::CheckpointSink>> sinks;
+    sim::TaskGroup group(*sim::Engine::current());
+    for (int r = 0; r < 3; ++r) {
+      procs.push_back(std::make_unique<proc::SimProcess>(
+          proc::ProcessIdentity{static_cast<std::uint32_t>(r), r, "sweep"},
+          777'000 + static_cast<std::uint64_t>(r) * 123'457, static_cast<std::uint64_t>(r)));
+      Bytes dirty(3000);
+      sim::pattern_fill(dirty, static_cast<std::uint64_t>(r) + 50, 0);
+      procs.back()->image().write(100'000, dirty);
+      crcs.push_back(procs.back()->image().content_crc());
+      sinks.push_back(smgr.make_sink(r));
+      group.spawn(b.checkpoint(*procs.back(), *sinks.back()));
+    }
+    co_await group.wait();
+    co_await smgr.finish();
+    co_await serve.wait();
+
+    out = true;
+    for (int r = 0; r < 3; ++r) {
+      proc::MemorySource source(tmgr.take_stream(r));
+      auto restored = co_await b.restart(source);
+      out = out && restored->image().content_crc() == crcs[static_cast<std::size_t>(r)];
+    }
+  }(src, dst, blcr, geom, ok));
+  engine.run();
+  EXPECT_TRUE(ok) << "pool=" << geom.pool << " chunk=" << geom.chunk;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PoolSweep,
+    ::testing::Values(PoolGeometry{64 << 10, 16 << 10}, PoolGeometry{128 << 10, 128 << 10},
+                      PoolGeometry{1 << 20, 64 << 10}, PoolGeometry{2 << 20, 1 << 20},
+                      PoolGeometry{10 << 20, 1 << 20}, PoolGeometry{4 << 20, 4 << 20}),
+    [](const auto& pinfo) {
+      return "pool" + std::to_string(pinfo.param.pool >> 10) + "k_chunk" +
+             std::to_string(pinfo.param.chunk >> 10) + "k";
+    });
+
+/// Migration works at every ranks-per-node density (the Fig. 6 axis).
+class PpnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PpnSweep, CycleCompletesAndAppFinishes) {
+  const int ppn = GetParam();
+  Engine engine;
+  cluster::ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.spare_nodes = 1;
+  cluster::Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 2 * ppn, 0.2);
+  spec.time_per_iter = 60_ms;
+  cl.create_job(ppn, spec.image_bytes_per_rank);
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    auto report = co_await c.migration_manager().migrate("node1");
+    JOBMIG_ASSERT(static_cast<int>(report.migrated_ranks.size()) ==
+                  c.job().size() / 2);
+  }(cl, spec));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  EXPECT_TRUE(cl.job().app_done()) << "ppn=" << ppn;
+  EXPECT_EQ(cl.migration_manager().cycles_completed(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, PpnSweep, ::testing::Values(1, 2, 4, 8));
+
+/// Restart-mode x trigger-time sweep: the cycle must complete regardless of
+/// where in the iteration structure the trigger lands.
+struct CyclePoint {
+  int trigger_ms;
+  RestartMode mode;
+};
+
+class TriggerTiming : public ::testing::TestWithParam<CyclePoint> {};
+
+TEST_P(TriggerTiming, CycleRobustToTriggerPhase) {
+  const auto pt = GetParam();
+  Engine engine;
+  cluster::ClusterConfig cfg;
+  cfg.compute_nodes = 3;
+  cfg.spare_nodes = 1;
+  cfg.mig.restart_mode = pt.mode;
+  cluster::Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kBT, workload::NpbClass::kTest, 6, 0.3);
+  spec.time_per_iter = 70_ms;
+  cl.create_job(2, spec.image_bytes_per_rank);
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s, int delay_ms) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(sim::Duration::ms(delay_ms));
+    (void)co_await c.migration_manager().migrate("node2");
+  }(cl, spec, pt.trigger_ms));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  EXPECT_TRUE(cl.job().app_done());
+  EXPECT_EQ(cl.migration_manager().cycles_completed(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Phases, TriggerTiming,
+    ::testing::Values(CyclePoint{311, RestartMode::kFile}, CyclePoint{477, RestartMode::kFile},
+                      CyclePoint{1003, RestartMode::kFile},
+                      CyclePoint{311, RestartMode::kMemory},
+                      CyclePoint{703, RestartMode::kMemory},
+                      CyclePoint{311, RestartMode::kPipelined},
+                      CyclePoint{919, RestartMode::kPipelined}),
+    [](const auto& pinfo) {
+      return std::string(to_string(pinfo.param.mode)) + "_t" +
+             std::to_string(pinfo.param.trigger_ms);
+    });
+
+}  // namespace
+}  // namespace jobmig::migration

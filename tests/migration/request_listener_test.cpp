@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/migration/triggers.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using namespace jobmig::sim::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  ClusterConfig cfg;
+  std::unique_ptr<Cluster> cl;
+  workload::KernelSpec spec;
+
+  explicit Rig(int spares = 1) {
+    cfg.compute_nodes = 3;
+    cfg.spare_nodes = spares;
+    cl = std::make_unique<Cluster>(engine, cfg);
+    spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.4);
+    spec.time_per_iter = 80_ms;
+    cl->create_job(2, spec.image_bytes_per_rank);
+  }
+};
+
+TEST(RequestListener, BackToBackRequestsForTheSameHostRunOnce) {
+  Rig rig;
+  rig.engine.spawn([](Rig& r) -> Task {
+    co_await r.cl->start(workload::make_app(r.spec));
+    co_await sim::sleep_for(1_s);
+    // Fire twice in quick succession (e.g. two pollers both predicting).
+    co_await r.cl->user_trigger().fire("node0");
+    co_await r.cl->user_trigger().fire("node0");
+  }(rig));
+  rig.engine.run_until(sim::TimePoint::origin() + 600_s);
+  EXPECT_TRUE(rig.cl->job().app_done());
+  // The second request is dropped: either the cycle was active, or node0 no
+  // longer hosts ranks afterwards. Never two cycles.
+  EXPECT_EQ(rig.cl->migration_manager().cycles_completed(), 1u);
+}
+
+TEST(RequestListener, RequestForRanklessHostIsIgnored) {
+  Rig rig;
+  rig.engine.spawn([](Rig& r) -> Task {
+    co_await r.cl->start(workload::make_app(r.spec));
+    co_await sim::sleep_for(1_s);
+    co_await r.cl->user_trigger().fire("spare0");   // hosts nothing
+    co_await r.cl->user_trigger().fire("unknown9"); // does not exist
+  }(rig));
+  rig.engine.run_until(sim::TimePoint::origin() + 600_s);
+  EXPECT_TRUE(rig.cl->job().app_done());
+  EXPECT_EQ(rig.cl->migration_manager().cycles_completed(), 0u);
+}
+
+TEST(RequestListener, SequentialRequestsForDifferentHostsBothRun) {
+  Rig rig(/*spares=*/2);
+  rig.engine.spawn([](Rig& r) -> Task {
+    co_await r.cl->start(workload::make_app(r.spec));
+    co_await sim::sleep_for(1_s);
+    co_await r.cl->user_trigger().fire("node0");
+    co_await sim::sleep_for(4_s);  // first cycle completes (~1-2 s at test scale)
+    co_await r.cl->user_trigger().fire("node1");
+  }(rig));
+  rig.engine.run_until(sim::TimePoint::origin() + 600_s);
+  EXPECT_TRUE(rig.cl->job().app_done());
+  EXPECT_EQ(rig.cl->migration_manager().cycles_completed(), 2u);
+  EXPECT_EQ(rig.cl->job_manager().nla_for_host("node0")->state(), launch::NlaState::kInactive);
+  EXPECT_EQ(rig.cl->job_manager().nla_for_host("node1")->state(), launch::NlaState::kInactive);
+}
+
+TEST(HealthTrigger, FiresOncePerHost) {
+  Engine engine;
+  net::Network net(engine);
+  net::Host& host = net.add_host("login");
+  ftb::FtbAgent agent(host);
+  agent.start();
+  HealthTrigger trigger(engine, agent);
+  trigger.start();
+
+  ftb::FtbClient requests(agent, "listener");
+  requests.subscribe(ftb::Subscription{kMigSpace, kEvMigrateRequest, ftb::Severity::kInfo});
+  ftb::FtbClient ipmi(agent, "ipmi:n3");
+
+  engine.spawn([](ftb::FtbClient& pub) -> Task {
+    for (int i = 0; i < 3; ++i) {  // the poller keeps re-predicting
+      co_await pub.publish(ftb::FtbEvent{health::kHealthSpace, health::kEventFailurePredicted,
+                                         ftb::Severity::kError, "n3"});
+      co_await sim::sleep_for(100_ms);
+    }
+    co_await pub.publish(ftb::FtbEvent{health::kHealthSpace, health::kEventFailurePredicted,
+                                       ftb::Severity::kError, "n7"});
+  }(ipmi));
+  engine.run_until(sim::TimePoint::origin() + 5_s);
+  trigger.stop();
+
+  int n3 = 0, n7 = 0;
+  while (auto ev = requests.poll_event()) {
+    auto kv = decode_kv(ev->payload);
+    if (kv["host"] == "n3") ++n3;
+    if (kv["host"] == "n7") ++n7;
+  }
+  EXPECT_EQ(n3, 1);  // deduplicated
+  EXPECT_EQ(n7, 1);
+  EXPECT_EQ(trigger.fired(), 2u);
+}
+
+}  // namespace
+}  // namespace jobmig::migration

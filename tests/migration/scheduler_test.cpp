@@ -1,0 +1,105 @@
+#include "jobmig/migration/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using namespace jobmig::sim::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Engine;
+using sim::Task;
+
+struct SchedRig {
+  Engine engine;
+  ClusterConfig cfg;
+  std::unique_ptr<Cluster> cl;
+  workload::KernelSpec spec;
+  std::unique_ptr<CheckpointRestart> cr;
+
+  explicit SchedRig(double app_seconds) {
+    cfg.compute_nodes = 2;
+    cfg.spare_nodes = 1;
+    cl = std::make_unique<Cluster>(engine, cfg);
+    spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 4, 1.0);
+    spec.iterations = static_cast<int>(app_seconds / 0.1);
+    spec.time_per_iter = 100_ms;
+    cl->create_job(2, spec.image_bytes_per_rank);
+    cr = cl->make_cr_local();
+  }
+};
+
+TEST(CheckpointScheduler, TakesCheckpointsAtTheConfiguredInterval) {
+  SchedRig rig(/*app_seconds=*/10.0);
+  CheckpointScheduler sched(rig.cl->job(), *rig.cr, {2_s, true});
+  rig.engine.spawn([](SchedRig& r, CheckpointScheduler& s) -> Task {
+    co_await r.cl->start(workload::make_app(r.spec));
+    s.start();
+  }(rig, sched));
+  rig.engine.run_until(sim::TimePoint::origin() + 300_s);
+  sched.stop();
+
+  EXPECT_TRUE(rig.cl->job().app_done());
+  // ~10 s of app at a 2 s cadence (checkpoints themselves add time): 3-5.
+  EXPECT_GE(sched.checkpoints_taken(), 3u);
+  EXPECT_LE(sched.checkpoints_taken(), 6u);
+  EXPECT_GT(sched.bytes_written(), 0u);
+  EXPECT_GT(sched.time_in_checkpoints().count_ns(), 0);
+}
+
+TEST(CheckpointScheduler, MigrationProlongsTheInterval) {
+  SchedRig rig(/*app_seconds=*/8.0);
+  CheckpointScheduler sched(rig.cl->job(), *rig.cr, {3_s, true});
+  std::size_t taken_at_migration = SIZE_MAX;
+  rig.engine.spawn([](SchedRig& r, CheckpointScheduler& s, std::size_t& out) -> Task {
+    co_await r.cl->start(workload::make_app(r.spec));
+    s.start();
+    // Migrate just before the first checkpoint would fire.
+    co_await sim::sleep_for(2500_ms);
+    (void)co_await r.cl->migration_manager().migrate("node1");
+    s.notify_migration();
+    out = s.checkpoints_taken();
+  }(rig, sched, taken_at_migration));
+  rig.engine.run_until(sim::TimePoint::origin() + 300_s);
+  sched.stop();
+
+  EXPECT_TRUE(rig.cl->job().app_done());
+  EXPECT_EQ(taken_at_migration, 0u);           // migration preempted checkpoint #1
+  EXPECT_GE(sched.checkpoints_avoided(), 1u);  // ...and it was counted as avoided
+}
+
+TEST(CheckpointScheduler, ProlongDisabledKeepsSchedule) {
+  SchedRig rig(/*app_seconds=*/6.0);
+  CheckpointScheduler sched(rig.cl->job(), *rig.cr, {2_s, /*prolong=*/false});
+  rig.engine.spawn([](SchedRig& r, CheckpointScheduler& s) -> Task {
+    co_await r.cl->start(workload::make_app(r.spec));
+    s.start();
+    co_await sim::sleep_for(1500_ms);
+    (void)co_await r.cl->migration_manager().migrate("node0");
+    s.notify_migration();  // must be a no-op
+  }(rig, sched));
+  rig.engine.run_until(sim::TimePoint::origin() + 300_s);
+  sched.stop();
+  EXPECT_TRUE(rig.cl->job().app_done());
+  EXPECT_EQ(sched.checkpoints_avoided(), 0u);
+  EXPECT_GE(sched.checkpoints_taken(), 2u);
+}
+
+TEST(CheckpointScheduler, StopsWhenAppFinishes) {
+  SchedRig rig(/*app_seconds=*/1.0);
+  CheckpointScheduler sched(rig.cl->job(), *rig.cr, {10_s, true});
+  rig.engine.spawn([](SchedRig& r, CheckpointScheduler& s) -> Task {
+    co_await r.cl->start(workload::make_app(r.spec));
+    s.start();
+  }(rig, sched));
+  rig.engine.run_until(sim::TimePoint::origin() + 60_s);
+  EXPECT_TRUE(rig.cl->job().app_done());
+  EXPECT_EQ(sched.checkpoints_taken(), 0u);  // app ended before the first one
+}
+
+}  // namespace
+}  // namespace jobmig::migration

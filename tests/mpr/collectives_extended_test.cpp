@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/mpr/job.hpp"
+
+namespace jobmig::mpr {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+Bytes patterned(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  sim::pattern_fill(b, seed, 0);
+  return b;
+}
+
+struct Rig {
+  Engine engine;
+  sim::Calibration cal{};
+  ib::Fabric fabric{engine, cal.ib};
+  net::Network net{engine, cal.eth};
+  std::vector<std::unique_ptr<storage::LocalFs>> disks;
+  std::vector<std::unique_ptr<proc::Blcr>> blcrs;
+  std::vector<NodeEnv> envs;
+  Job job{engine, cal};
+
+  Rig(int nodes, int ppn) {
+    for (int n = 0; n < nodes; ++n) {
+      auto& hca = fabric.add_node("n" + std::to_string(n));
+      auto& host = net.add_host("n" + std::to_string(n));
+      disks.push_back(std::make_unique<storage::LocalFs>(engine, cal.disk));
+      blcrs.push_back(std::make_unique<proc::Blcr>(engine, cal.blcr));
+      NodeEnv env;
+      env.engine = &engine;
+      env.hca = &hca;
+      env.eth_host = host.id();
+      env.scratch = disks.back().get();
+      env.blcr = blcrs.back().get();
+      env.cal = &cal;
+      env.hostname = "n" + std::to_string(n);
+      envs.push_back(env);
+    }
+    for (int r = 0; r < nodes * ppn; ++r) {
+      job.add_proc(r, envs[static_cast<std::size_t>(r / ppn)], 16 * 1024,
+                   static_cast<std::uint64_t>(r));
+    }
+  }
+};
+
+TEST(CollectivesExt, ReduceSumArrivesAtNonzeroRoot) {
+  Rig rig(2, 3);  // 6 ranks
+  std::vector<double> results(6, -1.0);
+  for (int r = 0; r < 6; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<double>& out) -> Task {
+      out[static_cast<std::size_t>(rank)] =
+          co_await job.proc(rank).reduce_sum(4, static_cast<double>(rank + 1));
+    }(rig.job, r, results));
+  }
+  rig.engine.run();
+  EXPECT_DOUBLE_EQ(results[4], 21.0);  // only the root's value is specified
+}
+
+TEST(CollectivesExt, GatherCollectsInRankOrderAtRoot) {
+  Rig rig(3, 1);
+  std::vector<std::vector<Bytes>> results(3);
+  for (int r = 0; r < 3; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<std::vector<Bytes>>& out) -> Task {
+      out[static_cast<std::size_t>(rank)] =
+          co_await job.proc(rank).gather(1, patterned(50 + static_cast<std::size_t>(rank), static_cast<std::uint64_t>(rank)));
+    }(rig.job, r, results));
+  }
+  rig.engine.run();
+  ASSERT_EQ(results[1].size(), 3u);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(results[1][static_cast<std::size_t>(s)],
+              patterned(50 + static_cast<std::size_t>(s), static_cast<std::uint64_t>(s)));
+  }
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_TRUE(results[2].empty());
+}
+
+TEST(CollectivesExt, ScatterDeliversPerRankBlocks) {
+  Rig rig(2, 2);  // 4 ranks, root 2
+  std::vector<Bytes> got(4);
+  for (int r = 0; r < 4; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<Bytes>& out) -> Task {
+      std::vector<Bytes> blocks;
+      if (rank == 2) {
+        for (int d = 0; d < 4; ++d) blocks.push_back(patterned(30, 100 + static_cast<std::uint64_t>(d)));
+      }
+      out[static_cast<std::size_t>(rank)] = co_await job.proc(rank).scatter(2, blocks);
+    }(rig.job, r, got));
+  }
+  rig.engine.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(got[static_cast<std::size_t>(r)], patterned(30, 100 + static_cast<std::uint64_t>(r))) << r;
+  }
+}
+
+TEST(CollectivesExt, AlltoallExchangesPersonalizedBlocks) {
+  Rig rig(5, 1);
+  std::vector<std::vector<Bytes>> got(5);
+  for (int r = 0; r < 5; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<std::vector<Bytes>>& out) -> Task {
+      std::vector<Bytes> to_each;
+      for (int d = 0; d < 5; ++d) {
+        to_each.push_back(patterned(20, static_cast<std::uint64_t>(rank * 10 + d)));
+      }
+      out[static_cast<std::size_t>(rank)] = co_await job.proc(rank).alltoall(to_each);
+    }(rig.job, r, got));
+  }
+  rig.engine.run();
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), 5u);
+    for (int s = 0; s < 5; ++s) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                patterned(20, static_cast<std::uint64_t>(s * 10 + r)))
+          << "rank " << r << " from " << s;
+    }
+  }
+}
+
+TEST(CollectivesExt, SendrecvPairwiseExchangeNoDeadlock) {
+  Rig rig(2, 1);
+  std::vector<Bytes> got(2);
+  for (int r = 0; r < 2; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<Bytes>& out) -> Task {
+      const int peer = 1 - rank;
+      out[static_cast<std::size_t>(rank)] = co_await job.proc(rank).sendrecv(
+          peer, peer, 9, patterned(100'000, static_cast<std::uint64_t>(rank)));  // rendezvous-sized
+    }(rig.job, r, got));
+  }
+  rig.engine.run();
+  EXPECT_EQ(got[0], patterned(100'000, 1));
+  EXPECT_EQ(got[1], patterned(100'000, 0));
+}
+
+TEST(CollectivesExt, NonblockingSendRecvOverlap) {
+  Rig rig(2, 1);
+  bool ok = false;
+  rig.engine.spawn([](Job& job, bool& out) -> Task {
+    // Rank 0 posts two isends and an irecv before any completion.
+    auto s1 = job.proc(0).isend(1, 1, patterned(500, 1));
+    auto s2 = job.proc(0).isend(1, 2, patterned(600, 2));
+    auto r0 = job.proc(0).irecv(1, 3);
+    // Rank 1 mirrors.
+    auto r1 = job.proc(1).irecv(0, 1);
+    auto r2 = job.proc(1).irecv(0, 2);
+    auto s3 = job.proc(1).isend(0, 3, patterned(700, 3));
+    (void)co_await s1->wait();
+    (void)co_await s2->wait();
+    (void)co_await s3->wait();
+    Bytes b1 = co_await r1->wait();
+    Bytes b2 = co_await r2->wait();
+    Bytes b0 = co_await r0->wait();
+    out = b1 == patterned(500, 1) && b2 == patterned(600, 2) && b0 == patterned(700, 3);
+    JOBMIG_ASSERT(r1->done() && r2->done() && r0->done());
+  }(rig.job, ok));
+  rig.engine.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(CollectivesExt, NonblockingRecvSurfacesProcKilled) {
+  Rig rig(2, 1);
+  bool threw = false;
+  rig.engine.spawn([](Job& job, bool& out) -> Task {
+    auto r = job.proc(1).irecv(0, 77);  // never satisfied
+    co_await sim::sleep_for(5_ms);
+    job.proc(1).kill();
+    try {
+      (void)co_await r->wait();
+    } catch (const ProcKilled&) {
+      out = true;
+    }
+  }(rig.job, threw));
+  rig.engine.run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace jobmig::mpr

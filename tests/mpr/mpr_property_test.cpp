@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/mpr/job.hpp"
+#include "jobmig/sim/rng.hpp"
+
+namespace jobmig::mpr {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  sim::Calibration cal{};
+  ib::Fabric fabric{engine, cal.ib};
+  net::Network net{engine, cal.eth};
+  std::vector<std::unique_ptr<storage::LocalFs>> disks;
+  std::vector<std::unique_ptr<proc::Blcr>> blcrs;
+  std::vector<NodeEnv> envs;
+  Job job{engine, cal};
+
+  Rig(int nodes, int ppn) {
+    for (int n = 0; n < nodes; ++n) {
+      auto& hca = fabric.add_node("n" + std::to_string(n));
+      auto& host = net.add_host("n" + std::to_string(n));
+      disks.push_back(std::make_unique<storage::LocalFs>(engine, cal.disk));
+      blcrs.push_back(std::make_unique<proc::Blcr>(engine, cal.blcr));
+      NodeEnv env;
+      env.engine = &engine;
+      env.hca = &hca;
+      env.eth_host = host.id();
+      env.scratch = disks.back().get();
+      env.blcr = blcrs.back().get();
+      env.cal = &cal;
+      env.hostname = "n" + std::to_string(n);
+      envs.push_back(env);
+    }
+    for (int r = 0; r < nodes * ppn; ++r) {
+      job.add_proc(r, envs[static_cast<std::size_t>(r / ppn)], 64 * 1024,
+                   static_cast<std::uint64_t>(r));
+    }
+  }
+};
+
+/// Message-size sweep across the eager/rendezvous boundary: content must
+/// survive regardless of which protocol carries it.
+class MessageSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MessageSize, RoundTripsExactly) {
+  const std::size_t len = GetParam();
+  Rig rig(2, 1);
+  Bytes received;
+  rig.engine.spawn([](Job& job, std::size_t n) -> Task {
+    Bytes payload(n);
+    sim::pattern_fill(payload, n + 1, 0);
+    co_await job.proc(0).send(1, 1, payload);
+  }(rig.job, len));
+  rig.engine.spawn([](Job& job, Bytes& out) -> Task {
+    out = co_await job.proc(1).recv(0, 1);
+  }(rig.job, received));
+  rig.engine.run();
+  Bytes expect(len);
+  sim::pattern_fill(expect, len + 1, 0);
+  EXPECT_EQ(received, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MessageSize,
+                         ::testing::Values(0, 1, 100, 8 * 1024 - 1, 8 * 1024, 8 * 1024 + 1,
+                                           100'000, 1'000'000, 5'000'000));
+
+/// Random all-pairs traffic: every (src, dst, tag) message is delivered
+/// once, intact, in order per (src, dst) pair.
+class RandomTraffic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTraffic, AllMessagesDeliveredIntact) {
+  const std::uint64_t seed = GetParam();
+  Rig rig(3, 2);  // 6 ranks
+  const int n = rig.job.size();
+  sim::Xoshiro256 rng(seed);
+
+  // Deterministic plan: per ordered pair, a queue of message payload seeds.
+  std::map<std::pair<int, int>, std::vector<std::uint32_t>> plan;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const int count = static_cast<int>(rng.below(4));
+      for (int i = 0; i < count; ++i) {
+        plan[{s, d}].push_back(static_cast<std::uint32_t>(rng.next() & 0xFFFFFF));
+      }
+    }
+  }
+
+  int verified = 0;
+  for (int r = 0; r < n; ++r) {
+    // Sender side of rank r.
+    rig.engine.spawn([](Job& job, int self, const std::map<std::pair<int, int>, std::vector<std::uint32_t>>& p) -> Task {
+      for (const auto& [pair, seeds] : p) {
+        if (pair.first != self) continue;
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+          Bytes payload(1000 + seeds[i] % 20000);
+          sim::pattern_fill(payload, seeds[i], 0);
+          co_await job.proc(self).send(pair.second, 50, payload);
+        }
+      }
+    }(rig.job, r, plan));
+    // Receiver side of rank r.
+    rig.engine.spawn([](Job& job, int self, const std::map<std::pair<int, int>, std::vector<std::uint32_t>>& p, int& count) -> Task {
+      for (const auto& [pair, seeds] : p) {
+        if (pair.second != self) continue;
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+          Bytes got = co_await job.proc(self).recv(pair.first, 50);
+          Bytes expect(1000 + seeds[i] % 20000);
+          sim::pattern_fill(expect, seeds[i], 0);
+          JOBMIG_ASSERT_MSG(got == expect, "payload mismatch");
+          ++count;
+        }
+      }
+    }(rig.job, r, plan, verified));
+  }
+  rig.engine.run();
+  int expected = 0;
+  for (const auto& [pair, seeds] : plan) expected += static_cast<int>(seeds.size());
+  EXPECT_EQ(verified, expected) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraffic, ::testing::Values(101, 202, 303, 404, 505));
+
+/// Collectives agree for every rank count, including primes and powers of 2.
+class CollectiveRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRanks, AllreduceBcastAllgatherAgree) {
+  const int n = GetParam();
+  Rig rig(1, n);
+  std::vector<double> sums(static_cast<std::size_t>(n), -1.0);
+  std::vector<Bytes> gathers_ok(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    rig.engine.spawn([](Job& job, int rank, int total, std::vector<double>& out) -> Task {
+      Proc& self = job.proc(rank);
+      out[static_cast<std::size_t>(rank)] =
+          co_await self.allreduce_sum(static_cast<double>(rank * rank));
+      Bytes data = rank == total / 2 ? Bytes(64, std::byte{0x77}) : Bytes{};
+      co_await self.bcast(total / 2, data);
+      JOBMIG_ASSERT(data == Bytes(64, std::byte{0x77}));
+      auto blocks = co_await self.allgather(Bytes(8, static_cast<std::byte>(rank)));
+      for (int s = 0; s < total; ++s) {
+        JOBMIG_ASSERT(blocks[static_cast<std::size_t>(s)] ==
+                      Bytes(8, static_cast<std::byte>(s)));
+      }
+    }(rig.job, r, n, sums));
+  }
+  rig.engine.run();
+  double expect = 0;
+  for (int r = 0; r < n; ++r) expect += static_cast<double>(r * r);
+  for (double s : sums) EXPECT_DOUBLE_EQ(s, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveRanks, ::testing::Values(1, 2, 3, 5, 8, 13, 16));
+
+}  // namespace
+}  // namespace jobmig::mpr

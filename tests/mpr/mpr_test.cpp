@@ -1,0 +1,367 @@
+#include "jobmig/mpr/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace jobmig::mpr {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+Bytes patterned(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  sim::pattern_fill(b, seed, 0);
+  return b;
+}
+
+/// Minimal multi-node rig: one NodeEnv per node, `ppn` ranks per node.
+struct Rig {
+  Engine engine;
+  sim::Calibration cal{};
+  ib::Fabric fabric{engine, cal.ib};
+  net::Network net{engine, cal.eth};
+  std::vector<std::unique_ptr<storage::LocalFs>> disks;
+  std::vector<std::unique_ptr<proc::Blcr>> blcrs;
+  std::vector<NodeEnv> envs;
+  Job job{engine, cal};
+
+  explicit Rig(int nodes, int ppn, std::uint64_t image_bytes = 256 * 1024) {
+    envs.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+      auto& hca = fabric.add_node("node" + std::to_string(n));
+      auto& host = net.add_host("node" + std::to_string(n));
+      disks.push_back(std::make_unique<storage::LocalFs>(engine, cal.disk));
+      blcrs.push_back(std::make_unique<proc::Blcr>(engine, cal.blcr));
+      NodeEnv env;
+      env.engine = &engine;
+      env.hca = &hca;
+      env.eth_host = host.id();
+      env.scratch = disks.back().get();
+      env.blcr = blcrs.back().get();
+      env.cal = &cal;
+      env.hostname = "node" + std::to_string(n);
+      envs.push_back(env);
+    }
+    for (int r = 0; r < nodes * ppn; ++r) {
+      job.add_proc(r, envs[static_cast<std::size_t>(r / ppn)], image_bytes,
+                   0xABCD0000u + static_cast<std::uint64_t>(r));
+    }
+  }
+};
+
+TEST(Mpr, EagerSendRecvRoundTrip) {
+  Rig rig(2, 1);
+  Bytes received;
+  rig.engine.spawn([](Job& job, Bytes& out) -> Task {
+    out = co_await job.proc(1).recv(0, 7);
+  }(rig.job, received));
+  rig.engine.spawn([](Job& job) -> Task {
+    co_await job.proc(0).send(1, 7, patterned(1024, 3));
+  }(rig.job));
+  rig.engine.run();
+  EXPECT_EQ(received, patterned(1024, 3));
+  EXPECT_EQ(rig.job.total_messages(), 1u);
+}
+
+TEST(Mpr, RendezvousLargeMessageRoundTrip) {
+  Rig rig(2, 1);
+  Bytes received;
+  const std::size_t kLen = 2'000'000;  // far above the 8 KiB eager threshold
+  rig.engine.spawn([](Job& job, Bytes& out, std::size_t n) -> Task {
+    out = co_await job.proc(1).recv(0, 9);
+    JOBMIG_ASSERT(out.size() == n);
+  }(rig.job, received, kLen));
+  rig.engine.spawn([](Job& job, std::size_t n) -> Task {
+    co_await job.proc(0).send(1, 9, patterned(n, 5));
+  }(rig.job, kLen));
+  rig.engine.run();
+  EXPECT_EQ(received, patterned(kLen, 5));
+  // Sender-side MR must be released after the pull completes.
+  EXPECT_EQ(rig.envs[0].hca->mr_count(), 0u);
+  EXPECT_EQ(rig.envs[1].hca->mr_count(), 0u);
+}
+
+TEST(Mpr, UnexpectedEagerMessageIsMatchedLater) {
+  Rig rig(2, 1);
+  Bytes received;
+  rig.engine.spawn([](Job& job) -> Task {
+    co_await job.proc(0).send(1, 1, patterned(100, 1));
+  }(rig.job));
+  rig.engine.spawn([](Job& job, Bytes& out) -> Task {
+    co_await sim::sleep_for(50_ms);  // message arrives before this recv
+    out = co_await job.proc(1).recv(0, 1);
+  }(rig.job, received));
+  rig.engine.run();
+  EXPECT_EQ(received, patterned(100, 1));
+}
+
+TEST(Mpr, EarlyRtsIsPulledWhenRecvArrives) {
+  Rig rig(2, 1);
+  Bytes received;
+  rig.engine.spawn([](Job& job) -> Task {
+    co_await job.proc(0).send(1, 2, patterned(100'000, 2));
+  }(rig.job));
+  rig.engine.spawn([](Job& job, Bytes& out) -> Task {
+    co_await sim::sleep_for(50_ms);
+    out = co_await job.proc(1).recv(0, 2);
+  }(rig.job, received));
+  rig.engine.run();
+  EXPECT_EQ(received, patterned(100'000, 2));
+}
+
+TEST(Mpr, MessagesWithSameTagMatchInOrder) {
+  Rig rig(2, 1);
+  std::vector<Bytes> got;
+  rig.engine.spawn([](Job& job) -> Task {
+    for (int i = 0; i < 5; ++i) {
+      co_await job.proc(0).send(1, 3, patterned(64, static_cast<std::uint64_t>(i)));
+    }
+  }(rig.job));
+  rig.engine.spawn([](Job& job, std::vector<Bytes>& out) -> Task {
+    for (int i = 0; i < 5; ++i) out.push_back(co_await job.proc(1).recv(0, 3));
+  }(rig.job, got));
+  rig.engine.run();
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], patterned(64, static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(Mpr, DifferentTagsMatchSelectively) {
+  Rig rig(2, 1);
+  Bytes a, b;
+  rig.engine.spawn([](Job& job) -> Task {
+    co_await job.proc(0).send(1, 10, patterned(32, 10));
+    co_await job.proc(0).send(1, 20, patterned(32, 20));
+  }(rig.job));
+  rig.engine.spawn([](Job& job, Bytes& oa, Bytes& ob) -> Task {
+    ob = co_await job.proc(1).recv(0, 20);  // reversed order
+    oa = co_await job.proc(1).recv(0, 10);
+  }(rig.job, a, b));
+  rig.engine.run();
+  EXPECT_EQ(a, patterned(32, 10));
+  EXPECT_EQ(b, patterned(32, 20));
+}
+
+TEST(Mpr, BarrierSynchronizesAllRanks) {
+  Rig rig(4, 2);  // 8 ranks
+  std::vector<double> exit_times(8, -1.0);
+  for (int r = 0; r < 8; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<double>& out) -> Task {
+      co_await sim::sleep_for(sim::Duration::ms(rank * 5));  // staggered arrival
+      co_await job.proc(rank).barrier();
+      out[static_cast<std::size_t>(rank)] = Engine::current()->now().to_seconds();
+    }(rig.job, r, exit_times));
+  }
+  rig.engine.run();
+  const double last_arrival = 0.035;
+  for (double t : exit_times) EXPECT_GE(t, last_arrival);
+}
+
+TEST(Mpr, BcastFromNonzeroRoot) {
+  Rig rig(3, 1);
+  std::vector<Bytes> results(3);
+  for (int r = 0; r < 3; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<Bytes>& out) -> Task {
+      Bytes data = rank == 2 ? patterned(500, 77) : Bytes{};
+      co_await job.proc(rank).bcast(2, data);
+      out[static_cast<std::size_t>(rank)] = std::move(data);
+    }(rig.job, r, results));
+  }
+  rig.engine.run();
+  for (const auto& b : results) EXPECT_EQ(b, patterned(500, 77));
+}
+
+TEST(Mpr, AllreduceSumsAcrossRanks) {
+  Rig rig(2, 3);  // 6 ranks (non power of two exercises the tree edges)
+  std::vector<double> results(6, 0.0);
+  for (int r = 0; r < 6; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<double>& out) -> Task {
+      out[static_cast<std::size_t>(rank)] =
+          co_await job.proc(rank).allreduce_sum(static_cast<double>(rank + 1));
+    }(rig.job, r, results));
+  }
+  rig.engine.run();
+  for (double v : results) EXPECT_DOUBLE_EQ(v, 21.0);  // 1+2+...+6
+}
+
+TEST(Mpr, AllgatherCollectsAllBlocks) {
+  Rig rig(5, 1);
+  std::vector<std::vector<Bytes>> results(5);
+  for (int r = 0; r < 5; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<std::vector<Bytes>>& out) -> Task {
+      out[static_cast<std::size_t>(rank)] =
+          co_await job.proc(rank).allgather(patterned(100, static_cast<std::uint64_t>(rank)));
+    }(rig.job, r, results));
+  }
+  rig.engine.run();
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_EQ(results[static_cast<std::size_t>(r)].size(), 5u);
+    for (int s = 0; s < 5; ++s) {
+      EXPECT_EQ(results[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)],
+                patterned(100, static_cast<std::uint64_t>(s)))
+          << "rank " << r << " block " << s;
+    }
+  }
+}
+
+TEST(Mpr, ComputeChargesTimeAndDirtiesImage) {
+  Rig rig(1, 2);
+  rig.engine.spawn([](Job& job) -> Task {
+    Proc& p = job.proc(0);
+    const std::size_t dirty_before = p.sim_process().image().dirty_pages();
+    const double start = Engine::current()->now().to_seconds();
+    co_await p.compute(25_ms, 64 * 1024);
+    EXPECT_NEAR(Engine::current()->now().to_seconds() - start, 0.025, 1e-6);
+    EXPECT_GT(p.sim_process().image().dirty_pages(), dirty_before);
+  }(rig.job));
+  rig.engine.run();
+}
+
+/// Full suspend/resume cycle with the app structured around check_suspend.
+TEST(Mpr, SuspendTeardownRebuildResumeCycle) {
+  Rig rig(2, 2);  // 4 ranks on 2 nodes
+  std::vector<int> iterations(4, 0);
+  rig.job.launch_app([&iterations](Proc& self) -> Task {
+    const int n = self.size();
+    for (int iter = 0; iter < 6; ++iter) {
+      co_await self.check_suspend();
+      const int right = (self.rank() + 1) % n;
+      const int left = (self.rank() - 1 + n) % n;
+      sim::TaskGroup group(*self.env().engine);
+      group.spawn(self.send(right, 100 + iter, patterned(4000, static_cast<std::uint64_t>(iter))));
+      Bytes got = co_await self.recv(left, 100 + iter);
+      JOBMIG_ASSERT(got == patterned(4000, static_cast<std::uint64_t>(iter)));
+      co_await group.wait();
+      co_await self.compute(1_ms, 0);
+      ++iterations[static_cast<std::size_t>(self.rank())];
+    }
+  });
+
+  // Controller: after 10 ms, park everyone, tear down, verify released
+  // resources, rebuild, resume.
+  rig.engine.spawn([](Rig& rr) -> Task {
+    co_await sim::sleep_for(10_ms);
+    Job& job = rr.job;
+    for (int r = 0; r < job.size(); ++r) job.proc(r).request_park();
+    for (int r = 0; r < job.size(); ++r) co_await job.proc(r).wait_parked();
+    for (int r = 0; r < job.size(); ++r) co_await job.proc(r).drain_and_teardown();
+    // All connection context released (paper Phase 1 invariant).
+    for (auto& env : rr.envs) {
+      EXPECT_EQ(env.hca->qp_count(), 0u);
+      EXPECT_EQ(env.hca->mr_count(), 0u);
+    }
+    for (int r = 0; r < job.size(); ++r) EXPECT_EQ(job.proc(r).state(), ProcState::kSuspended);
+    for (int r = 0; r < job.size(); ++r) co_await job.proc(r).rebuild_and_resume();
+  }(rig));
+
+  rig.engine.spawn([](Job& job) -> Task { co_await job.wait_app_done(); }(rig.job));
+  rig.engine.run();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(iterations[static_cast<std::size_t>(r)], 6);
+  EXPECT_TRUE(rig.job.app_done());
+}
+
+TEST(Mpr, KilledProcThrowsProcKilledOutOfBlockedRecv) {
+  Rig rig(2, 1);
+  bool saw_kill = false;
+  rig.engine.spawn([](Job& job, bool& out) -> Task {
+    try {
+      (void)co_await job.proc(1).recv(0, 5);  // never satisfied
+    } catch (const ProcKilled&) {
+      out = true;
+    }
+  }(rig.job, saw_kill));
+  rig.engine.spawn([](Job& job) -> Task {
+    co_await sim::sleep_for(20_ms);
+    job.proc(1).kill();
+  }(rig.job));
+  rig.engine.run();
+  EXPECT_TRUE(saw_kill);
+  EXPECT_EQ(rig.job.proc(1).state(), ProcState::kDead);
+}
+
+/// Hand-rolled migration of rank 1: an eager message rank 1 never received
+/// must survive checkpoint -> restart on another node, via the runtime-state
+/// capture inside the process image.
+TEST(Mpr, UnexpectedMessageSurvivesCheckpointRestartOfReceiver) {
+  Rig rig(3, 1);  // node2 acts as the spare
+  Bytes received;
+  rig.job.launch_app([](Proc& self) -> Task {
+    // Two safe points; the controller migrates rank 1 between them.
+    co_await self.check_suspend();
+    if (self.rank() == 0) {
+      co_await self.send(1, 42, patterned(512, 9));
+    }
+    co_await sim::sleep_for(5_ms);
+    co_await self.check_suspend();
+    co_await self.compute(1_ms, 0);
+  });
+
+  rig.engine.spawn([](Rig& rr, Bytes& out) -> Task {
+    Job& job = rr.job;
+    co_await sim::sleep_for(2_ms);  // park lands between the two safe points
+    for (int r = 0; r < 3; ++r) job.proc(r).request_park();
+    for (int r = 0; r < 3; ++r) co_await job.proc(r).wait_parked();
+    for (int r = 0; r < 3; ++r) co_await job.proc(r).drain_and_teardown();
+
+    // Checkpoint rank 1 and restart it on node 2 (the "spare").
+    proc::MemorySink sink;
+    co_await rr.blcrs[1]->checkpoint(job.proc(1).sim_process(), sink);
+    job.proc(1).kill();
+    proc::MemorySource source(sink.take());
+    auto restored_image = co_await rr.blcrs[2]->restart(source);
+    auto fresh = job.make_unwired_proc(1, rr.envs[2]);
+    fresh->adopt_sim_process(std::move(restored_image));
+    job.replace_proc(1, std::move(fresh));
+
+    for (int r = 0; r < 3; ++r) co_await job.proc(r).rebuild_and_resume();
+    // The restarted rank can now receive the message that had arrived
+    // before the migration.
+    out = co_await job.proc(1).recv(0, 42);
+  }(rig, received));
+  rig.engine.run();
+  EXPECT_EQ(received, patterned(512, 9));
+}
+
+TEST(Mpr, LinksAreCreatedOnDemandOnly) {
+  Rig rig(4, 1);
+  rig.engine.spawn([](Rig& rr) -> Task {
+    Job& job = rr.job;
+    co_await job.proc(0).send(1, 1, patterned(16, 1));
+    (void)co_await job.proc(1).recv(0, 1);
+    // Only the 0<->1 pair is connected; ranks 2/3 have no QPs.
+    EXPECT_EQ(rr.envs[0].hca->qp_count(), 1u);
+    EXPECT_EQ(rr.envs[1].hca->qp_count(), 1u);
+    EXPECT_EQ(rr.envs[2].hca->qp_count(), 0u);
+    EXPECT_EQ(rr.envs[3].hca->qp_count(), 0u);
+  }(rig));
+  rig.engine.run();
+}
+
+TEST(Mpr, SelfAndOutOfRangeRanksRejected) {
+  Rig rig(2, 1);
+  rig.engine.spawn([](Job& job) -> Task {
+    bool threw = false;
+    try {
+      co_await job.proc(0).send(0, 1, patterned(8, 1));
+    } catch (const ContractViolation&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+    threw = false;
+    try {
+      (void)co_await job.proc(0).recv(9, 1);
+    } catch (const ContractViolation&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  }(rig.job));
+  rig.engine.run();
+}
+
+}  // namespace
+}  // namespace jobmig::mpr

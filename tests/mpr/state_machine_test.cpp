@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/mpr/job.hpp"
+
+namespace jobmig::mpr {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+struct Rig {
+  Engine engine;
+  sim::Calibration cal{};
+  ib::Fabric fabric{engine, cal.ib};
+  net::Network net{engine, cal.eth};
+  storage::LocalFs disk{engine, cal.disk};
+  proc::Blcr blcr{engine, cal.blcr};
+  NodeEnv env;
+  Job job{engine, cal};
+
+  Rig() {
+    env.engine = &engine;
+    env.hca = &fabric.add_node("n0");
+    env.eth_host = net.add_host("n0").id();
+    env.scratch = &disk;
+    env.blcr = &blcr;
+    env.cal = &cal;
+    env.hostname = "n0";
+    job.add_proc(0, env, 4096, 1);
+    job.add_proc(1, env, 4096, 2);
+  }
+};
+
+TEST(ProcStateMachine, DrainRequiresParked) {
+  Rig rig;
+  bool threw = false;
+  rig.engine.spawn([](Job& job, bool& out) -> Task {
+    try {
+      co_await job.proc(0).drain_and_teardown();  // still kRunning
+    } catch (const ContractViolation&) {
+      out = true;
+    }
+  }(rig.job, threw));
+  rig.engine.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ProcStateMachine, RebuildRequiresSuspended) {
+  Rig rig;
+  bool threw = false;
+  rig.engine.spawn([](Job& job, bool& out) -> Task {
+    try {
+      co_await job.proc(0).rebuild_and_resume();  // still kRunning
+    } catch (const ContractViolation&) {
+      out = true;
+    }
+  }(rig.job, threw));
+  rig.engine.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(ProcStateMachine, OpsOnDeadProcThrowImmediately) {
+  Rig rig;
+  int caught = 0;
+  rig.engine.spawn([](Job& job, int& out) -> Task {
+    job.proc(0).kill();
+    try {
+      co_await job.proc(0).send(1, 1, sim::Bytes(8));
+    } catch (const ProcKilled&) {
+      ++out;
+    }
+    try {
+      (void)co_await job.proc(0).recv(1, 1);
+    } catch (const ProcKilled&) {
+      ++out;
+    }
+    try {
+      co_await job.proc(0).compute(1_ms, 0);
+    } catch (const ProcKilled&) {
+      ++out;
+    }
+    try {
+      co_await job.proc(0).check_suspend();
+    } catch (const ProcKilled&) {
+      ++out;
+    }
+  }(rig.job, caught));
+  rig.engine.run();
+  EXPECT_EQ(caught, 4);
+}
+
+TEST(ProcStateMachine, AdoptRejectsWrongRank) {
+  Rig rig;
+  auto image = std::make_unique<proc::SimProcess>(proc::ProcessIdentity{9, 1, "x"}, 4096, 1);
+  EXPECT_THROW(rig.job.proc(0).adopt_sim_process(std::move(image)), ContractViolation);
+}
+
+TEST(ProcStateMachine, ReplaceProcRequiresDeadPredecessor) {
+  Rig rig;
+  auto fresh = rig.job.make_unwired_proc(0, rig.env);
+  EXPECT_THROW(rig.job.replace_proc(0, std::move(fresh)), ContractViolation);
+}
+
+TEST(ProcStateMachine, DensityOfRankIdsEnforced) {
+  Rig rig;
+  EXPECT_THROW(rig.job.add_proc(5, rig.env, 4096, 1), ContractViolation);  // gap
+}
+
+TEST(ProcStateMachine, KillIsIdempotent) {
+  Rig rig;
+  rig.engine.spawn([](Job& job) -> Task {
+    job.proc(0).kill();
+    job.proc(0).kill();
+    EXPECT_EQ(job.proc(0).state(), ProcState::kDead);
+    co_return;
+  }(rig.job));
+  rig.engine.run();
+}
+
+}  // namespace
+}  // namespace jobmig::mpr

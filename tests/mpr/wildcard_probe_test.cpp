@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/mpr/job.hpp"
+
+namespace jobmig::mpr {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+Bytes patterned(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  sim::pattern_fill(b, seed, 0);
+  return b;
+}
+
+struct Rig {
+  Engine engine;
+  sim::Calibration cal{};
+  ib::Fabric fabric{engine, cal.ib};
+  net::Network net{engine, cal.eth};
+  std::vector<std::unique_ptr<storage::LocalFs>> disks;
+  std::vector<std::unique_ptr<proc::Blcr>> blcrs;
+  std::vector<NodeEnv> envs;
+  Job job{engine, cal};
+
+  explicit Rig(int nodes) {
+    for (int n = 0; n < nodes; ++n) {
+      auto& hca = fabric.add_node("n" + std::to_string(n));
+      auto& host = net.add_host("n" + std::to_string(n));
+      disks.push_back(std::make_unique<storage::LocalFs>(engine, cal.disk));
+      blcrs.push_back(std::make_unique<proc::Blcr>(engine, cal.blcr));
+      NodeEnv env;
+      env.engine = &engine;
+      env.hca = &hca;
+      env.eth_host = host.id();
+      env.scratch = disks.back().get();
+      env.blcr = blcrs.back().get();
+      env.cal = &cal;
+      env.hostname = "n" + std::to_string(n);
+      envs.push_back(env);
+    }
+    for (int r = 0; r < nodes; ++r) {
+      job.add_proc(r, envs[static_cast<std::size_t>(r)], 16 * 1024,
+                   static_cast<std::uint64_t>(r));
+    }
+  }
+};
+
+TEST(Wildcard, RecvAnyReportsTheActualSender) {
+  Rig rig(4);
+  std::vector<int> senders;
+  rig.engine.spawn([](Job& job, std::vector<int>& out) -> Task {
+    // Ranks 1..3 all send to rank 0 with the same tag, staggered.
+    for (int s = 1; s < 4; ++s) {
+      job.proc(0).env().engine->spawn([](Job& j, int src) -> Task {
+        co_await sim::sleep_for(sim::Duration::ms(src * 3));
+        co_await j.proc(src).send(0, 5, patterned(64, static_cast<std::uint64_t>(src)));
+      }(job, s));
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto [sender, data] = co_await job.proc(0).recv_any(5);
+      JOBMIG_ASSERT(data == patterned(64, static_cast<std::uint64_t>(sender)));
+      out.push_back(sender);
+    }
+  }(rig.job, senders));
+  rig.engine.run();
+  EXPECT_EQ(senders, (std::vector<int>{1, 2, 3}));  // staggered arrival order
+}
+
+TEST(Wildcard, RecvAnyMatchesUnexpectedMessage) {
+  Rig rig(2);
+  int sender = -1;
+  rig.engine.spawn([](Job& job, int& out) -> Task {
+    co_await job.proc(1).send(0, 9, patterned(32, 7));
+    co_await sim::sleep_for(10_ms);  // lands unexpected
+    auto [src, data] = co_await job.proc(0).recv_any(9);
+    JOBMIG_ASSERT(data == patterned(32, 7));
+    out = src;
+  }(rig.job, sender));
+  rig.engine.run();
+  EXPECT_EQ(sender, 1);
+}
+
+TEST(Wildcard, RecvAnyWorksForRendezvousSizes) {
+  Rig rig(2);
+  std::size_t got = 0;
+  rig.engine.spawn([](Job& job, std::size_t& out) -> Task {
+    job.proc(0).env().engine->spawn([](Job& j) -> Task {
+      co_await j.proc(1).send(0, 2, patterned(500'000, 3));
+    }(job));
+    auto [src, data] = co_await job.proc(0).recv_any(2);
+    JOBMIG_ASSERT(src == 1);
+    JOBMIG_ASSERT(data == patterned(500'000, 3));
+    out = data.size();
+  }(rig.job, got));
+  rig.engine.run();
+  EXPECT_EQ(got, 500'000u);
+}
+
+TEST(Probe, BlockingProbeWaitsAndDoesNotConsume) {
+  Rig rig(2);
+  int probed = -1;
+  Bytes received;
+  rig.engine.spawn([](Job& job, int& p, Bytes& out) -> Task {
+    job.proc(0).env().engine->spawn([](Job& j) -> Task {
+      co_await sim::sleep_for(20_ms);
+      co_await j.proc(1).send(0, 4, patterned(48, 2));
+    }(job));
+    p = co_await job.proc(0).probe(Proc::kAnySource, 4);
+    // The message is still there: a subsequent recv gets it.
+    out = co_await job.proc(0).recv(1, 4);
+  }(rig.job, probed, received));
+  rig.engine.run();
+  EXPECT_EQ(probed, 1);
+  EXPECT_EQ(received, patterned(48, 2));
+}
+
+TEST(Probe, IprobeIsNonBlocking) {
+  Rig rig(2);
+  struct Results {
+    bool before = true, hit_ok = false, wrong_tag = true, after = true;
+    int hit_src = -1;
+  } res;
+  rig.engine.spawn([](Job& job, Results& out) -> Task {
+    out.before = job.proc(0).iprobe(1, 3).has_value();
+    co_await job.proc(1).send(0, 3, patterned(16, 1));
+    co_await sim::sleep_for(5_ms);
+    auto hit = job.proc(0).iprobe(1, 3);
+    out.hit_ok = hit.has_value();
+    if (hit) out.hit_src = *hit;
+    out.wrong_tag = job.proc(0).iprobe(1, 99).has_value();
+    (void)co_await job.proc(0).recv(1, 3);
+    out.after = job.proc(0).iprobe(1, 3).has_value();
+  }(rig.job, res));
+  rig.engine.run();
+  EXPECT_FALSE(res.before);
+  EXPECT_TRUE(res.hit_ok);
+  EXPECT_EQ(res.hit_src, 1);
+  EXPECT_FALSE(res.wrong_tag);
+  EXPECT_FALSE(res.after);
+}
+
+TEST(Reduce, MinMaxProdOps) {
+  Rig rig(4);
+  std::vector<double> mins(4), maxs(4), prods(4);
+  for (int r = 0; r < 4; ++r) {
+    rig.engine.spawn([](Job& job, int rank, std::vector<double>& mn, std::vector<double>& mx,
+                        std::vector<double>& pr) -> Task {
+      const double v = static_cast<double>(rank + 1);  // 1..4
+      mn[static_cast<std::size_t>(rank)] = co_await job.proc(rank).allreduce(v, Proc::ReduceOp::kMin);
+      mx[static_cast<std::size_t>(rank)] = co_await job.proc(rank).allreduce(v, Proc::ReduceOp::kMax);
+      pr[static_cast<std::size_t>(rank)] = co_await job.proc(rank).allreduce(v, Proc::ReduceOp::kProd);
+    }(rig.job, r, mins, maxs, prods));
+  }
+  rig.engine.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(mins[static_cast<std::size_t>(r)], 1.0);
+    EXPECT_DOUBLE_EQ(maxs[static_cast<std::size_t>(r)], 4.0);
+    EXPECT_DOUBLE_EQ(prods[static_cast<std::size_t>(r)], 24.0);
+  }
+}
+
+}  // namespace
+}  // namespace jobmig::mpr

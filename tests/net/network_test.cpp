@@ -1,0 +1,222 @@
+#include "jobmig/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jobmig::net {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+Bytes to_bytes(const std::string& s) {
+  Bytes b;
+  for (char c : s) b.push_back(static_cast<std::byte>(c));
+  return b;
+}
+
+std::string to_string_bytes(const Bytes& b) {
+  std::string s;
+  for (std::byte x : b) s.push_back(static_cast<char>(x));
+  return s;
+}
+
+struct NetFixture {
+  Engine engine;
+  Network net{engine};
+  Host& a{net.add_host("a")};
+  Host& b{net.add_host("b")};
+};
+
+TEST(Network, ConnectAcceptExchange) {
+  NetFixture f;
+  std::string got_at_b, got_at_a;
+  f.engine.spawn([](NetFixture& ff, std::string& out) -> Task {
+    auto listener = ff.b.listen(5000);
+    auto stream = co_await listener->accept();
+    JOBMIG_ASSERT(stream != nullptr);
+    auto msg = co_await stream->recv_frame();
+    JOBMIG_ASSERT(msg.has_value());
+    out = to_string_bytes(*msg);
+    co_await stream->send_frame(to_bytes("pong"));
+  }(f, got_at_b));
+  f.engine.spawn([](NetFixture& ff, std::string& out) -> Task {
+    co_await sim::sleep_for(1_ms);
+    auto stream = co_await ff.a.connect(ff.b.id(), 5000);
+    JOBMIG_ASSERT(stream != nullptr);
+    co_await stream->send_frame(to_bytes("ping"));
+    auto reply = co_await stream->recv_frame();
+    JOBMIG_ASSERT(reply.has_value());
+    out = to_string_bytes(*reply);
+  }(f, got_at_a));
+  f.engine.run();
+  EXPECT_EQ(got_at_b, "ping");
+  EXPECT_EQ(got_at_a, "pong");
+}
+
+TEST(Network, ConnectionRefusedWithoutListener) {
+  NetFixture f;
+  bool refused = false;
+  f.engine.spawn([](NetFixture& ff, bool& out) -> Task {
+    auto stream = co_await ff.a.connect(ff.b.id(), 9999);
+    out = (stream == nullptr);
+  }(f, refused));
+  f.engine.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST(Network, ConnectToUnknownHostFails) {
+  NetFixture f;
+  bool failed = false;
+  f.engine.spawn([](NetFixture& ff, bool& out) -> Task {
+    auto stream = co_await ff.a.connect(77, 5000);
+    out = (stream == nullptr);
+  }(f, failed));
+  f.engine.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(Network, OfflineHostRefusesConnections) {
+  NetFixture f;
+  bool refused = false;
+  f.engine.spawn([](NetFixture& ff, bool& out) -> Task {
+    auto listener = ff.b.listen(5000);
+    ff.b.set_online(false);
+    auto stream = co_await ff.a.connect(ff.b.id(), 5000);
+    out = (stream == nullptr);
+  }(f, refused));
+  f.engine.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST(Network, StreamSemanticsPreserveByteOrderAcrossPartialReads) {
+  NetFixture f;
+  std::string reassembled;
+  f.engine.spawn([](NetFixture& ff, std::string& out) -> Task {
+    auto listener = ff.b.listen(5000);
+    auto stream = co_await listener->accept();
+    while (true) {
+      Bytes chunk = co_await stream->recv_some(3);  // deliberately tiny reads
+      if (chunk.empty()) break;
+      out += to_string_bytes(chunk);
+    }
+  }(f, reassembled));
+  f.engine.spawn([](NetFixture& ff) -> Task {
+    co_await sim::sleep_for(1_ms);
+    auto stream = co_await ff.a.connect(ff.b.id(), 5000);
+    co_await stream->send(to_bytes("hello "));
+    co_await stream->send(to_bytes("stream "));
+    co_await stream->send(to_bytes("world"));
+    stream->close();
+  }(f));
+  f.engine.run();
+  EXPECT_EQ(reassembled, "hello stream world");
+}
+
+TEST(Network, RecvExactFailsOnEarlyClose) {
+  NetFixture f;
+  bool ok = true;
+  f.engine.spawn([](NetFixture& ff, bool& out) -> Task {
+    auto listener = ff.b.listen(5000);
+    auto stream = co_await listener->accept();
+    Bytes buf(100);
+    out = co_await stream->recv_exact(buf);
+  }(f, ok));
+  f.engine.spawn([](NetFixture& ff) -> Task {
+    co_await sim::sleep_for(1_ms);
+    auto stream = co_await ff.a.connect(ff.b.id(), 5000);
+    co_await stream->send(to_bytes("only 13 bytes"));
+    stream->close();
+  }(f));
+  f.engine.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(Network, GigabitBandwidthGoverneTransferTime) {
+  NetFixture f;
+  double elapsed = -1.0;
+  f.engine.spawn([](NetFixture& ff, double& out) -> Task {
+    auto listener = ff.b.listen(5000);
+    auto stream = co_await listener->accept();
+    Bytes buf(11'200'000);
+    const double start = Engine::current()->now().to_seconds();
+    bool ok = co_await stream->recv_exact(buf);
+    JOBMIG_ASSERT(ok);
+    out = Engine::current()->now().to_seconds() - start;
+  }(f, elapsed));
+  f.engine.spawn([](NetFixture& ff) -> Task {
+    auto stream = co_await ff.a.connect(ff.b.id(), 5000);
+    Bytes payload(11'200'000);  // 11.2 MB at 112 MB/s -> ~0.1 s
+    co_await stream->send(payload);
+  }(f));
+  f.engine.run();
+  EXPECT_NEAR(elapsed, 0.1, 0.01);
+}
+
+TEST(Network, ListenerCloseUnblocksAccept) {
+  NetFixture f;
+  bool got_null = false;
+  f.engine.spawn([](NetFixture& ff, bool& out) -> Task {
+    auto listener = ff.b.listen(5000);
+    ff.net.engine().call_in(5_ms, [l = listener.get()] { l->close(); });
+    auto stream = co_await listener->accept();
+    out = (stream == nullptr);
+  }(f, got_null));
+  f.engine.run();
+  EXPECT_TRUE(got_null);
+}
+
+TEST(Network, PortRebindAfterListenerClose) {
+  NetFixture f;
+  f.engine.spawn([](NetFixture& ff) -> Task {
+    {
+      auto l1 = ff.b.listen(5000);
+      EXPECT_THROW((void)ff.b.listen(5000), ContractViolation);
+    }
+    auto l2 = ff.b.listen(5000);  // rebinding after close succeeds
+    EXPECT_EQ(l2->port(), 5000);
+    co_return;
+  }(f));
+  f.engine.run();
+}
+
+TEST(Network, FrameRoundTripEmptyPayload) {
+  NetFixture f;
+  bool got_empty = false;
+  f.engine.spawn([](NetFixture& ff, bool& out) -> Task {
+    auto listener = ff.b.listen(5000);
+    auto stream = co_await listener->accept();
+    auto msg = co_await stream->recv_frame();
+    out = msg.has_value() && msg->empty();
+  }(f, got_empty));
+  f.engine.spawn([](NetFixture& ff) -> Task {
+    co_await sim::sleep_for(1_ms);
+    auto stream = co_await ff.a.connect(ff.b.id(), 5000);
+    co_await stream->send_frame({});
+    co_await sim::sleep_for(100_ms);  // keep endpoint alive until delivery
+  }(f));
+  f.engine.run();
+  EXPECT_TRUE(got_empty);
+}
+
+TEST(Network, BytesAccounting) {
+  NetFixture f;
+  f.engine.spawn([](NetFixture& ff) -> Task {
+    auto listener = ff.b.listen(5000);
+    auto stream_a = co_await ff.a.connect(ff.b.id(), 5000);
+    auto stream_b = co_await listener->accept();
+    co_await stream_a->send(Bytes(1000));
+    Bytes buf(1000);
+    bool ok = co_await stream_b->recv_exact(buf);
+    JOBMIG_ASSERT(ok);
+  }(f));
+  f.engine.run();
+  EXPECT_EQ(f.b.bytes_in(), 1000u);
+  EXPECT_EQ(f.net.total_bytes(), 1000u);
+}
+
+}  // namespace
+}  // namespace jobmig::net

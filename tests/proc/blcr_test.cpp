@@ -1,0 +1,213 @@
+#include "jobmig/proc/blcr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/sim/sync.hpp"
+
+namespace jobmig::proc {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+SimProcessPtr make_proc(std::uint32_t pid, std::int32_t rank, std::uint64_t image_bytes,
+                        std::uint64_t seed) {
+  auto p = std::make_unique<SimProcess>(ProcessIdentity{pid, rank, "lu.C.64"}, image_bytes, seed);
+  // Dirty a few scattered pages so the stream mixes clean and dirty runs.
+  Bytes chunk(3000);
+  sim::pattern_fill(chunk, seed ^ 0xFF, 0);
+  if (image_bytes > 70'000) {
+    p->image().write(10'000, chunk);
+    p->image().write(50'000, chunk);
+  }
+  Bytes state;
+  sim::put_u64(state, 0xFEEDFACE0000ULL + pid);
+  p->set_app_state(state);
+  return p;
+}
+
+struct BlcrFixture {
+  Engine engine;
+  Blcr blcr{engine};
+};
+
+TEST(Blcr, CheckpointRestartRoundTripPreservesEverything) {
+  BlcrFixture f;
+  SimProcessPtr restored;
+  f.engine.spawn([](Blcr& blcr, SimProcessPtr& out) -> Task {
+    auto proc = make_proc(4242, 7, 300'000, 11);
+    const std::uint64_t crc_before = proc->image().content_crc();
+    MemorySink sink;
+    co_await blcr.checkpoint(*proc, sink);
+    MemorySource source(sink.take());
+    out = co_await blcr.restart(source);
+    JOBMIG_ASSERT(out != nullptr);
+    EXPECT_EQ(out->image().content_crc(), crc_before);
+  }(f.blcr, restored));
+  f.engine.run();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->pid(), 4242u);
+  EXPECT_EQ(restored->rank(), 7);
+  EXPECT_EQ(restored->identity().executable, "lu.C.64");
+  EXPECT_EQ(sim::get_u64(restored->app_state(), 0), 0xFEEDFACE0000ULL + 4242);
+  EXPECT_EQ(f.blcr.checkpoints_taken(), 1u);
+  EXPECT_EQ(f.blcr.restarts_done(), 1u);
+}
+
+TEST(Blcr, RestoredImageStaysLazilyBacked) {
+  BlcrFixture f;
+  f.engine.spawn([](Blcr& blcr) -> Task {
+    auto proc = make_proc(1, 0, 10'000'000, 3);
+    const std::size_t dirty_before = proc->image().dirty_pages();
+    MemorySink sink;
+    co_await blcr.checkpoint(*proc, sink);
+    MemorySource source(sink.take());
+    auto restored = co_await blcr.restart(source);
+    // Only the pages that were dirty in the original are materialized.
+    EXPECT_EQ(restored->image().dirty_pages(), dirty_before);
+    EXPECT_TRUE(restored->image().content_equals(proc->image()));
+  }(f.blcr));
+  f.engine.run();
+}
+
+TEST(Blcr, StreamSizeIsExact) {
+  BlcrFixture f;
+  f.engine.spawn([](Blcr& blcr) -> Task {
+    auto proc = make_proc(2, 1, 500'000, 5);
+    MemorySink sink;
+    co_await blcr.checkpoint(*proc, sink);
+    EXPECT_EQ(sink.data().size(), Blcr::stream_size(*proc));
+  }(f.blcr));
+  f.engine.run();
+}
+
+TEST(Blcr, CorruptedPayloadIsRejected) {
+  BlcrFixture f;
+  f.engine.spawn([](Blcr& blcr) -> Task {
+    auto proc = make_proc(3, 2, 200'000, 8);
+    MemorySink sink;
+    co_await blcr.checkpoint(*proc, sink);
+    Bytes stream = sink.take();
+    stream[stream.size() / 2] ^= std::byte{0x04};  // flip one payload bit
+    MemorySource source(std::move(stream));
+    bool threw = false;
+    try {
+      (void)co_await blcr.restart(source);
+    } catch (const CheckpointCorruption&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  }(f.blcr));
+  f.engine.run();
+}
+
+TEST(Blcr, TruncatedStreamIsRejected) {
+  BlcrFixture f;
+  f.engine.spawn([](Blcr& blcr) -> Task {
+    auto proc = make_proc(4, 3, 200'000, 9);
+    MemorySink sink;
+    co_await blcr.checkpoint(*proc, sink);
+    Bytes stream = sink.take();
+    stream.resize(stream.size() / 3);
+    MemorySource source(std::move(stream));
+    bool threw = false;
+    try {
+      (void)co_await blcr.restart(source);
+    } catch (const CheckpointCorruption&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  }(f.blcr));
+  f.engine.run();
+}
+
+TEST(Blcr, GarbageStreamIsRejected) {
+  BlcrFixture f;
+  f.engine.spawn([](Blcr& blcr) -> Task {
+    Bytes garbage(4096);
+    sim::pattern_fill(garbage, 123, 0);
+    MemorySource source(std::move(garbage));
+    bool threw = false;
+    try {
+      (void)co_await blcr.restart(source);
+    } catch (const CheckpointCorruption&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  }(f.blcr));
+  f.engine.run();
+}
+
+TEST(Blcr, FileSinkAndSourceThroughLocalFs) {
+  Engine engine;
+  Blcr blcr(engine);
+  storage::LocalFs fs(engine, sim::DiskParams{});
+  engine.spawn([](Blcr& b, storage::LocalFs& lfs) -> Task {
+    auto proc = make_proc(5, 4, 400'000, 13);
+    const std::uint64_t crc_before = proc->image().content_crc();
+    auto file = co_await lfs.create("/tmp/ckpt.5");
+    FileSink sink(file);
+    co_await b.checkpoint(*proc, sink);
+    EXPECT_EQ(lfs.file_size("/tmp/ckpt.5"), Blcr::stream_size(*proc));
+    auto in = co_await lfs.open("/tmp/ckpt.5");
+    FileSource source(in);
+    auto restored = co_await b.restart(source);
+    EXPECT_EQ(restored->image().content_crc(), crc_before);
+  }(blcr, fs));
+  engine.run();
+}
+
+TEST(Blcr, ConcurrentCheckpointsShareTheDumpBus) {
+  // Two identical checkpoints in parallel take ~2x one alone (node memory
+  // bus is the shared resource), minus fixed overheads.
+  Engine e1, e2;
+  sim::BlcrParams params;
+  params.dump_Bps_per_node = 100e6;
+  params.per_process_checkpoint_overhead = sim::Duration::zero();
+
+  double t_single = -1.0;
+  {
+    Blcr blcr(e1, params);
+    e1.spawn([](Blcr& b, double& out) -> Task {
+      auto proc = make_proc(1, 0, 10'000'000, 1);
+      MemorySink sink;
+      co_await b.checkpoint(*proc, sink);
+      out = Engine::current()->now().to_seconds();
+    }(blcr, t_single));
+    e1.run();
+  }
+
+  double t_double = -1.0;
+  {
+    Blcr blcr(e2, params);
+    for (int i = 0; i < 2; ++i) {
+      e2.spawn([](Blcr& b, double& out) -> Task {
+        auto proc = make_proc(1, 0, 10'000'000, 1);
+        MemorySink sink;
+        co_await b.checkpoint(*proc, sink);
+        out = std::max(out, Engine::current()->now().to_seconds());
+      }(blcr, t_double));
+    }
+    e2.run();
+  }
+  EXPECT_NEAR(t_double / t_single, 2.0, 0.1);
+}
+
+TEST(Blcr, ZeroSizeImageRoundTrips) {
+  BlcrFixture f;
+  f.engine.spawn([](Blcr& blcr) -> Task {
+    SimProcess proc(ProcessIdentity{9, -1, "stub"}, 0, 0);
+    MemorySink sink;
+    co_await blcr.checkpoint(proc, sink);
+    MemorySource source(sink.take());
+    auto restored = co_await blcr.restart(source);
+    EXPECT_EQ(restored->image().size(), 0u);
+    EXPECT_EQ(restored->rank(), -1);
+  }(f.blcr));
+  f.engine.run();
+}
+
+}  // namespace
+}  // namespace jobmig::proc

@@ -1,0 +1,106 @@
+#include "jobmig/proc/memory_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/sim/assert.hpp"
+
+namespace jobmig::proc {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+
+TEST(MemoryImage, CleanPagesComeFromPattern) {
+  MemoryImage img(64_KiB, 77);
+  Bytes a(1000), b(1000);
+  img.read(100, a);
+  sim::pattern_fill(b, 77, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(img.dirty_pages(), 0u);
+}
+
+TEST(MemoryImage, WriteDirtiesOnlyTouchedPages) {
+  MemoryImage img(64_KiB, 1);
+  Bytes data(100, std::byte{0xAB});
+  img.write(5000, data);  // spans pages 1 and... 5000..5100 is inside page 1
+  EXPECT_EQ(img.dirty_pages(), 1u);
+  EXPECT_TRUE(img.is_dirty_page(1));
+  EXPECT_FALSE(img.is_dirty_page(0));
+
+  img.write(4090, Bytes(10, std::byte{0xCD}));  // straddles pages 0 and 1
+  EXPECT_EQ(img.dirty_pages(), 2u);
+}
+
+TEST(MemoryImage, ReadBackMixedCleanAndDirty) {
+  MemoryImage img(32_KiB, 9);
+  Bytes payload(6000, std::byte{0x5A});
+  img.write(2000, payload);
+  Bytes out(10'000);
+  img.read(0, out);
+  // [0,2000) clean, [2000,8000) = 0x5A, [8000,10000) clean.
+  Bytes clean(10'000);
+  sim::pattern_fill(clean, 9, 0);
+  for (std::size_t i = 0; i < 2000; ++i) EXPECT_EQ(out[i], clean[i]) << i;
+  for (std::size_t i = 2000; i < 8000; ++i) ASSERT_EQ(out[i], std::byte{0x5A}) << i;
+  for (std::size_t i = 8000; i < 10'000; ++i) EXPECT_EQ(out[i], clean[i]) << i;
+}
+
+TEST(MemoryImage, PartialPageOverwritePreservesRestOfPage) {
+  MemoryImage img(8_KiB, 3);
+  img.write(100, Bytes(8, std::byte{0xFF}));
+  Bytes page(4096);
+  img.read(0, page);
+  Bytes pristine(4096);
+  sim::pattern_fill(pristine, 3, 0);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(page[i], pristine[i]);
+  for (std::size_t i = 100; i < 108; ++i) EXPECT_EQ(page[i], std::byte{0xFF});
+  for (std::size_t i = 108; i < 4096; ++i) EXPECT_EQ(page[i], pristine[i]);
+}
+
+TEST(MemoryImage, ContentCrcChangesWithWrites) {
+  MemoryImage img(128_KiB, 42);
+  const std::uint64_t before = img.content_crc();
+  EXPECT_EQ(before, MemoryImage(128_KiB, 42).content_crc());  // deterministic
+  img.write(50'000, Bytes(1, std::byte{0x01}));
+  EXPECT_NE(img.content_crc(), before);
+}
+
+TEST(MemoryImage, ContentEquals) {
+  MemoryImage a(64_KiB, 5), b(64_KiB, 5), c(64_KiB, 6);
+  EXPECT_TRUE(a.content_equals(b));
+  EXPECT_FALSE(a.content_equals(c));
+  b.write(1000, Bytes(4, std::byte{0x77}));
+  EXPECT_FALSE(a.content_equals(b));
+  a.write(1000, Bytes(4, std::byte{0x77}));
+  EXPECT_TRUE(a.content_equals(b));
+  EXPECT_FALSE(a.content_equals(MemoryImage(32_KiB, 5)));  // size mismatch
+}
+
+TEST(MemoryImage, OutOfBoundsAccessIsContractViolation) {
+  MemoryImage img(4_KiB, 1);
+  Bytes buf(100);
+  EXPECT_THROW(img.read(4000, buf), ContractViolation);
+  EXPECT_THROW(img.write(4090, Bytes(10)), ContractViolation);
+  img.read(3996, buf);  // exactly reaches EOF: legal
+}
+
+TEST(MemoryImage, NonPageAlignedSize) {
+  MemoryImage img(5000, 2);  // 1 full page + tail
+  Bytes all(5000);
+  img.read(0, all);
+  img.write(4999, Bytes(1, std::byte{0xEE}));
+  Bytes tail(1);
+  img.read(4999, tail);
+  EXPECT_EQ(tail[0], std::byte{0xEE});
+  EXPECT_EQ(img.content_crc(), img.content_crc());
+}
+
+TEST(MemoryImage, ZeroSizeImage) {
+  MemoryImage img(0, 1);
+  EXPECT_EQ(img.size(), 0u);
+  EXPECT_EQ(img.content_crc(), sim::Crc64{}.value());
+  EXPECT_TRUE(img.content_equals(MemoryImage(0, 99)));
+}
+
+}  // namespace
+}  // namespace jobmig::proc

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/ib/verbs.hpp"
+#include "jobmig/mpr/job.hpp"
+#include "jobmig/proc/blcr.hpp"
+#include "jobmig/sim/calibration.hpp"
+#include "jobmig/storage/filesystem.hpp"
+
+/// Model-scaling properties: every calibrated component must respond to its
+/// parameters the way the physical resource would, so recalibration (or a
+/// different testbed) only means editing calibration.hpp.
+namespace jobmig {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+double timed_rdma_read(double link_bw, std::uint64_t bytes) {
+  Engine engine;
+  sim::IbParams params;
+  params.link_bandwidth_Bps = link_bw;
+  ib::Fabric fabric(engine, params);
+  ib::Hca& a = fabric.add_node("a");
+  ib::Hca& b = fabric.add_node("b");
+  double elapsed = -1.0;
+  engine.spawn([](ib::Hca& ha, ib::Hca& hb, std::uint64_t n, double& out) -> Task {
+    ib::CompletionQueue scq, rcq, scq2, rcq2;
+    auto qa = ha.create_qp(scq, rcq);
+    auto qb = hb.create_qp(scq2, rcq2);
+    qa->connect(ib::IbAddr{hb.node(), qb->qpn()});
+    qb->connect(ib::IbAddr{ha.node(), qa->qpn()});
+    Bytes remote(n), local(n);
+    ib::MemoryRegion* mr = co_await hb.reg_mr(remote.data(), remote.size());
+    const double start = Engine::current()->now().to_seconds();
+    qa->post_rdma_read(ib::RdmaWr{1, local.data(), 0, mr->rkey(), n});
+    auto wc = co_await scq.wait();
+    JOBMIG_ASSERT(wc.ok());
+    out = Engine::current()->now().to_seconds() - start;
+  }(a, b, bytes, elapsed));
+  engine.run();
+  return elapsed;
+}
+
+TEST(CalibrationScaling, LinkBandwidthScalesTransferTimeLinearly) {
+  const double t_ddr = timed_rdma_read(1.5e9, 60 << 20);
+  const double t_sdr = timed_rdma_read(0.75e9, 60 << 20);  // half the rate
+  EXPECT_NEAR(t_sdr / t_ddr, 2.0, 0.05);
+  const double t_half_data = timed_rdma_read(1.5e9, 30 << 20);
+  EXPECT_NEAR(t_ddr / t_half_data, 2.0, 0.05);
+}
+
+double timed_checkpoint(double dump_Bps, std::uint64_t image_bytes) {
+  Engine engine;
+  sim::BlcrParams params;
+  params.dump_Bps_per_node = dump_Bps;
+  params.per_process_checkpoint_overhead = sim::Duration::zero();
+  proc::Blcr blcr(engine, params);
+  double elapsed = -1.0;
+  engine.spawn([](proc::Blcr& b, std::uint64_t n, double& out) -> Task {
+    proc::SimProcess p(proc::ProcessIdentity{1, 0, "x"}, n, 1);
+    proc::MemorySink sink;
+    const double start = Engine::current()->now().to_seconds();
+    co_await b.checkpoint(p, sink);
+    out = Engine::current()->now().to_seconds() - start;
+  }(blcr, image_bytes, elapsed));
+  engine.run();
+  return elapsed;
+}
+
+TEST(CalibrationScaling, BlcrDumpRateScalesCheckpointTime) {
+  const double fast = timed_checkpoint(1e9, 50 << 20);
+  const double slow = timed_checkpoint(0.25e9, 50 << 20);
+  EXPECT_NEAR(slow / fast, 4.0, 0.1);
+}
+
+double timed_fs_write(double write_Bps, double alpha, int writers) {
+  Engine engine;
+  sim::DiskParams params;
+  params.write_Bps = write_Bps;
+  params.seek_alpha = alpha;
+  storage::LocalFs fs(engine, params);
+  double done = -1.0;
+  for (int w = 0; w < writers; ++w) {
+    engine.spawn([](storage::LocalFs& f, int id, double& out) -> Task {
+      auto file = co_await f.create("/w" + std::to_string(id));
+      co_await file->pwrite(0, Bytes(8 << 20));
+      out = std::max(out, Engine::current()->now().to_seconds());
+    }(fs, w, done));
+  }
+  engine.run();
+  return done;
+}
+
+TEST(CalibrationScaling, SeekAlphaControlsConcurrencyPenalty) {
+  const double ideal = timed_fs_write(50e6, 0.0, 8);
+  const double thrashy = timed_fs_write(50e6, 0.2, 8);
+  // eff(8) = 1/(1+0.2*7) = 0.42 -> ~2.4x slower than perfect sharing.
+  EXPECT_NEAR(thrashy / ideal, 2.4, 0.15);
+}
+
+TEST(CalibrationScaling, PvfsServerCountScalesSingleStreamBandwidth) {
+  auto run = [](std::uint32_t servers) {
+    Engine engine;
+    sim::PvfsParams params;
+    params.data_servers = servers;
+    params.seek_alpha = 0.0;
+    storage::ParallelFs fs(engine, params);
+    double done = -1.0;
+    engine.spawn([](storage::ParallelFs& f, double& out) -> Task {
+      auto file = co_await f.create("/x");
+      co_await file->pwrite(0, Bytes(32 << 20));
+      out = Engine::current()->now().to_seconds();
+    }(fs, done));
+    engine.run();
+    return done;
+  };
+  const double four = run(4);
+  const double two = run(2);
+  EXPECT_NEAR(two / four, 2.0, 0.1);
+}
+
+TEST(CalibrationScaling, EagerThresholdMovesTheProtocolBoundary) {
+  // End-to-end: a 100 KB message takes the eager path (one wire message,
+  // payload inline) under a 1 MB threshold, and the rendezvous path (RTS +
+  // RDMA-read data + FIN: strictly more wire bytes) under a 1 KB threshold.
+  auto wire_bytes = [](std::uint32_t threshold) {
+    Engine engine;
+    sim::Calibration cal;
+    cal.mpi.eager_threshold = threshold;
+    ib::Fabric fabric(engine, cal.ib);
+    net::Network net(engine, cal.eth);
+    storage::LocalFs disk0(engine, cal.disk), disk1(engine, cal.disk);
+    proc::Blcr blcr0(engine, cal.blcr), blcr1(engine, cal.blcr);
+    mpr::NodeEnv e0{&engine, &fabric.add_node("a"), net.add_host("a").id(), &disk0, &blcr0,
+                    &cal, "a"};
+    mpr::NodeEnv e1{&engine, &fabric.add_node("b"), net.add_host("b").id(), &disk1, &blcr1,
+                    &cal, "b"};
+    mpr::Job job(engine, cal);
+    job.add_proc(0, e0, 4096, 1);
+    job.add_proc(1, e1, 4096, 2);
+    engine.spawn([](mpr::Job& j, mpr::NodeEnv& ea) -> Task {
+      sim::TaskGroup g(*ea.engine);
+      g.spawn(j.proc(0).send(1, 1, Bytes(100 << 10)));
+      (void)co_await j.proc(1).recv(0, 1);
+      co_await g.wait();
+    }(job, e0));
+    engine.run();
+    return fabric.total_bytes();
+  };
+  const std::uint64_t eager = wire_bytes(1u << 20);
+  const std::uint64_t rendezvous = wire_bytes(1u << 10);
+  EXPECT_EQ(eager, (100u << 10) + mpr::MsgHeader::kWireSize);
+  // RTS header + pulled payload + FIN header.
+  EXPECT_EQ(rendezvous, (100u << 10) + 2 * mpr::MsgHeader::kWireSize);
+}
+
+}  // namespace
+}  // namespace jobmig

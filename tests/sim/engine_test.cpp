@@ -1,0 +1,195 @@
+#include "jobmig/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "jobmig/sim/task.hpp"
+
+namespace jobmig::sim {
+namespace {
+
+using namespace jobmig::sim::literals;
+
+TEST(Engine, StartsAtOrigin) {
+  Engine e;
+  EXPECT_EQ(e.now(), TimePoint::origin());
+  EXPECT_TRUE(e.queue_empty());
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(Engine, RunsEmptyQueue) {
+  Engine e;
+  EXPECT_EQ(e.run(), TimePoint::origin());
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(Engine, SleepAdvancesVirtualTime) {
+  Engine e;
+  TimePoint woke{};
+  e.spawn([](Engine& eng, TimePoint& out) -> Task {
+    co_await sleep_for(5_ms);
+    out = eng.now();
+  }(e, woke));
+  e.run();
+  EXPECT_EQ(woke, TimePoint::origin() + 5_ms);
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(Engine, NestedTasksComposeDurations) {
+  Engine e;
+  auto inner = []() -> Task { co_await sleep_for(2_ms); };
+  auto outer = [&]() -> Task {
+    co_await sleep_for(1_ms);
+    co_await inner();
+    co_await inner();
+  };
+  e.spawn(outer());
+  EXPECT_EQ(e.run(), TimePoint::origin() + 5_ms);
+}
+
+TEST(Engine, ValueTaskReturnsValue) {
+  Engine e;
+  int result = 0;
+  auto child = []() -> ValueTask<int> {
+    co_await sleep_for(1_ms);
+    co_return 42;
+  };
+  e.spawn([](auto mk, int& out) -> Task { out = co_await mk(); }(child, result));
+  e.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Engine, EqualTimestampsFireInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.call_at(TimePoint::origin() + 1_ms, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.call_at(TimePoint::origin() + 10_ms, [&] { ++fired; });
+  e.call_at(TimePoint::origin() + 20_ms, [&] { ++fired; });
+  e.run_until(TimePoint::origin() + 15_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), TimePoint::origin() + 15_ms);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ExceptionInRootTaskPropagatesFromRun) {
+  Engine e;
+  e.spawn([]() -> Task {
+    co_await sleep_for(1_ms);
+    throw std::runtime_error("boom");
+  }());
+  EXPECT_THROW(e.run(), std::runtime_error);
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(Engine, ExceptionFromNestedTaskPropagates) {
+  Engine e;
+  auto inner = []() -> Task {
+    co_await sleep_for(1_ms);
+    throw std::logic_error("nested");
+  };
+  e.spawn([&]() -> Task { co_await inner(); }());
+  EXPECT_THROW(e.run(), std::logic_error);
+}
+
+TEST(Engine, SchedulingIntoThePastIsAContractViolation) {
+  Engine e;
+  e.call_at(TimePoint::origin() + 5_ms, [&] {
+    EXPECT_THROW(e.call_at(TimePoint::origin() + 1_ms, [] {}), ContractViolation);
+  });
+  e.run();
+}
+
+TEST(Engine, ManyConcurrentTasksAllComplete) {
+  Engine e;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    e.spawn([](int delay_us, int& d) -> Task {
+      co_await sleep_for(Duration::us(delay_us));
+      ++d;
+    }(i % 97, done));
+  }
+  e.run();
+  EXPECT_EQ(done, 1000);
+  EXPECT_EQ(e.live_tasks(), 0u);
+}
+
+TEST(Engine, YieldNowRunsAfterQueuedEventsAtSameTime) {
+  Engine e;
+  std::vector<int> order;
+  e.spawn([](std::vector<int>& out) -> Task {
+    out.push_back(1);
+    co_await yield_now();
+    out.push_back(3);
+  }(order));
+  e.call_at(TimePoint::origin(), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, StepProcessesExactlyOneEvent) {
+  Engine e;
+  int fired = 0;
+  e.call_at(TimePoint::origin() + 1_ms, [&] { ++fired; });
+  e.call_at(TimePoint::origin() + 2_ms, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CurrentIsSetDuringDispatchOnly) {
+  Engine e;
+  EXPECT_EQ(Engine::current(), nullptr);
+  Engine* seen = nullptr;
+  e.call_at(TimePoint::origin(), [&] { seen = Engine::current(); });
+  e.run();
+  EXPECT_EQ(seen, &e);
+  EXPECT_EQ(Engine::current(), nullptr);
+}
+
+TEST(Engine, SpawnFromWithinTask) {
+  Engine e;
+  int done = 0;
+  e.spawn([](Engine& eng, int& d) -> Task {
+    co_await sleep_for(1_ms);
+    eng.spawn([](int& dd) -> Task {
+      co_await sleep_for(1_ms);
+      ++dd;
+    }(d));
+    ++d;
+  }(e, done));
+  e.run();
+  EXPECT_EQ(done, 2);
+}
+
+TEST(Duration, ArithmeticAndConversions) {
+  EXPECT_EQ((2_ms + 500_us).count_ns(), 2'500'000);
+  EXPECT_EQ((1_s - 1_ms).count_ns(), 999'000'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(1.5).to_seconds(), 1.5);
+  EXPECT_EQ(Duration::seconds(0.5), 500_ms);
+  EXPECT_LT(1_us, 1_ms);
+  EXPECT_EQ((3 * 10_ms), 30_ms);
+  EXPECT_EQ((30_ms / 3), 10_ms);
+}
+
+TEST(TimePoint, DifferenceIsDuration) {
+  TimePoint a = TimePoint::origin() + 10_ms;
+  TimePoint b = TimePoint::origin() + 4_ms;
+  EXPECT_EQ(a - b, 6_ms);
+  EXPECT_EQ(b + 6_ms, a);
+}
+
+}  // namespace
+}  // namespace jobmig::sim

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "jobmig/sim/resource.hpp"
+#include "jobmig/sim/rng.hpp"
+#include "jobmig/sim/sync.hpp"
+
+namespace jobmig::sim {
+namespace {
+
+using namespace jobmig::sim::literals;
+
+/// Work conservation: however transfers arrive, a fair-share server at rate
+/// R with no idle gaps finishes sum(bytes) in exactly sum(bytes)/R.
+class FairShareConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairShareConservation, BusyServerFinishesAtExactAggregateTime) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  Engine engine;
+  FairShareServer server(engine, 100e6);
+  const int n = 3 + static_cast<int>(rng.below(12));
+  std::uint64_t total_bytes = 0;
+  double last_done = -1.0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t bytes = 1'000'000 + rng.below(30'000'000);
+    total_bytes += bytes;
+    engine.spawn([](FairShareServer& s, std::uint64_t b, double& out) -> Task {
+      co_await s.transfer(b);
+      out = std::max(out, Engine::current()->now().to_seconds());
+    }(server, bytes, last_done));
+  }
+  engine.run();
+  EXPECT_NEAR(last_done, static_cast<double>(total_bytes) / 100e6, 1e-4) << "seed " << seed;
+  EXPECT_EQ(server.bytes_served(), total_bytes);
+  EXPECT_EQ(server.active_streams(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareConservation, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+/// Random sleep/transfer interleavings must preserve per-transfer ordering
+/// invariants: nobody finishes before bytes/rate (the contention-free bound)
+/// and the aggregate never beats the line rate.
+class FairShareBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairShareBounds, NoTransferBeatsTheLineRate) {
+  Xoshiro256 rng(GetParam());
+  Engine engine;
+  const double rate = 50e6;
+  FairShareServer server(engine, rate);
+  struct Result {
+    double start = 0, end = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Result> results(10);
+  for (auto& r : results) {
+    const std::uint64_t delay_us = rng.below(400'000);
+    r.bytes = 500'000 + rng.below(20'000'000);
+    engine.spawn([](FairShareServer& s, std::uint64_t d, Result& out) -> Task {
+      co_await sleep_for(Duration::us(static_cast<std::int64_t>(d)));
+      out.start = Engine::current()->now().to_seconds();
+      co_await s.transfer(out.bytes);
+      out.end = Engine::current()->now().to_seconds();
+    }(server, delay_us, r));
+  }
+  engine.run();
+  for (const auto& r : results) {
+    EXPECT_GE(r.end - r.start, static_cast<double>(r.bytes) / rate - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareBounds, ::testing::Values(11, 22, 33, 44));
+
+/// Barrier generations: any number of parties, any arrival pattern — every
+/// participant leaves in the same generation it entered.
+class BarrierParties : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierParties, AllPartiesSeeEveryGeneration) {
+  const int parties = GetParam();
+  Engine engine;
+  Barrier barrier(static_cast<std::size_t>(parties));
+  constexpr int kRounds = 7;
+  std::vector<int> rounds_done(static_cast<std::size_t>(parties), 0);
+  Xoshiro256 rng(99);
+  for (int p = 0; p < parties; ++p) {
+    const std::uint64_t jitter = rng.below(5000);
+    engine.spawn([](Barrier& b, int& done, std::uint64_t j) -> Task {
+      for (int r = 0; r < kRounds; ++r) {
+        co_await sleep_for(Duration::us(static_cast<std::int64_t>(j * (static_cast<std::uint64_t>(r) + 1))));
+        co_await b.arrive_and_wait();
+        ++done;
+      }
+    }(barrier, rounds_done[static_cast<std::size_t>(p)], jitter));
+  }
+  engine.run();
+  for (int d : rounds_done) EXPECT_EQ(d, kRounds);
+  EXPECT_EQ(barrier.generation(), static_cast<std::uint64_t>(kRounds));
+}
+
+INSTANTIATE_TEST_SUITE_P(PartyCounts, BarrierParties, ::testing::Values(1, 2, 3, 8, 17, 64));
+
+/// Channel capacity sweep: producer/consumer with random burst patterns
+/// never loses, duplicates or reorders items.
+class ChannelCapacity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelCapacity, FifoUnderRandomBursts) {
+  Engine engine;
+  Channel<int> channel(GetParam());
+  constexpr int kItems = 500;
+  std::vector<int> received;
+  engine.spawn([](Channel<int>& ch) -> Task {
+    Xoshiro256 rng(7);
+    for (int i = 0; i < kItems; ++i) {
+      if (rng.below(4) == 0) co_await sleep_for(Duration::us(static_cast<std::int64_t>(rng.below(100))));
+      bool ok = co_await ch.send(i);
+      JOBMIG_ASSERT(ok);
+    }
+    ch.close();
+  }(channel));
+  engine.spawn([](Channel<int>& ch, std::vector<int>& out) -> Task {
+    Xoshiro256 rng(8);
+    while (auto v = co_await ch.recv()) {
+      out.push_back(*v);
+      if (rng.below(5) == 0) co_await sleep_for(Duration::us(static_cast<std::int64_t>(rng.below(80))));
+    }
+  }(channel, received));
+  engine.run();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ChannelCapacity, ::testing::Values(1, 2, 7, 64, SIZE_MAX));
+
+/// Determinism: identical seeds produce identical event counts and final
+/// times across repeated runs — the property every experiment relies on.
+TEST(Determinism, IdenticalRunsAreByteIdentical) {
+  auto run_once = [] {
+    Engine engine;
+    FairShareServer server(engine, 123e6);
+    Xoshiro256 rng(321);
+    double checksum = 0;
+    for (int i = 0; i < 50; ++i) {
+      engine.spawn([](FairShareServer& s, std::uint64_t b, std::uint64_t d,
+                      double& sum) -> Task {
+        co_await sleep_for(Duration::us(static_cast<std::int64_t>(d)));
+        co_await s.transfer(b);
+        sum += Engine::current()->now().to_seconds();
+      }(server, 1000 + rng.below(5'000'000), rng.below(100'000), checksum));
+    }
+    engine.run();
+    return std::pair{engine.events_processed(), checksum};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace jobmig::sim

@@ -1,0 +1,154 @@
+#include "jobmig/sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jobmig::sim {
+namespace {
+
+using namespace jobmig::sim::literals;
+
+TEST(TransferTime, RoundsUpToWholeNanoseconds) {
+  EXPECT_EQ(transfer_time(1000, 1e9), 1000_ns);
+  EXPECT_EQ(transfer_time(1, 1e9), 1_ns);
+  EXPECT_EQ(transfer_time(1, 3e9), 1_ns);  // 0.33 ns -> 1 ns
+  EXPECT_EQ(transfer_time(0, 1e9), 0_ns);
+}
+
+TEST(FairShareServer, SingleTransferTakesBytesOverRate) {
+  Engine e;
+  FairShareServer server(e, 100e6);  // 100 MB/s
+  double finished = -1.0;
+  e.spawn([](Engine& eng, FairShareServer& s, double& t) -> Task {
+    co_await s.transfer(50'000'000);  // 50 MB -> 0.5 s
+    t = eng.now().to_seconds();
+  }(e, server, finished));
+  e.run();
+  EXPECT_NEAR(finished, 0.5, 1e-6);
+  EXPECT_EQ(server.bytes_served(), 50'000'000u);
+  EXPECT_EQ(server.active_streams(), 0u);
+}
+
+TEST(FairShareServer, TwoEqualTransfersShareBandwidth) {
+  Engine e;
+  FairShareServer server(e, 100e6);
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    e.spawn([](Engine& eng, FairShareServer& s, std::vector<double>& out) -> Task {
+      co_await s.transfer(50'000'000);
+      out.push_back(eng.now().to_seconds());
+    }(e, server, done));
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both share 100 MB/s: each sees 50 MB/s, finishing at 1.0 s.
+  EXPECT_NEAR(done[0], 1.0, 1e-6);
+  EXPECT_NEAR(done[1], 1.0, 1e-6);
+}
+
+TEST(FairShareServer, LateJoinerSlowsDownEarlierTransfer) {
+  Engine e;
+  FairShareServer server(e, 100e6);
+  double first_done = -1.0;
+  double second_done = -1.0;
+  e.spawn([](Engine& eng, FairShareServer& s, double& t) -> Task {
+    co_await s.transfer(100'000'000);
+    t = eng.now().to_seconds();
+  }(e, server, first_done));
+  e.spawn([](Engine& eng, FairShareServer& s, double& t) -> Task {
+    co_await sleep_for(500_ms);
+    co_await s.transfer(25'000'000);
+    t = eng.now().to_seconds();
+  }(e, server, second_done));
+  e.run();
+  // First: 50 MB served alone in 0.5 s; then shares 50/50. Second needs 25 MB
+  // at 50 MB/s = 0.5 s -> done at 1.0 s. First's remaining 50 MB: 25 MB while
+  // sharing (0.5 s), 25 MB alone (0.25 s) -> done at 1.25 s.
+  EXPECT_NEAR(second_done, 1.0, 1e-6);
+  EXPECT_NEAR(first_done, 1.25, 1e-6);
+}
+
+TEST(FairShareServer, EfficiencyCurveDegradesAggregate) {
+  Engine e;
+  // Two streams at 50% efficiency: aggregate 50 MB/s, each 25 MB/s.
+  FairShareServer server(e, 100e6, [](std::size_t n) { return n > 1 ? 0.5 : 1.0; });
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    e.spawn([](Engine& eng, FairShareServer& s, std::vector<double>& out) -> Task {
+      co_await s.transfer(25'000'000);
+      out.push_back(eng.now().to_seconds());
+    }(e, server, done));
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-6);
+}
+
+TEST(FairShareServer, ZeroByteTransferCompletesInstantly) {
+  Engine e;
+  FairShareServer server(e, 100e6);
+  double finished = -1.0;
+  e.spawn([](Engine& eng, FairShareServer& s, double& t) -> Task {
+    co_await s.transfer(0);
+    t = eng.now().to_seconds();
+  }(e, server, finished));
+  e.run();
+  EXPECT_DOUBLE_EQ(finished, 0.0);
+}
+
+TEST(FairShareServer, ManyStreamsConserveWork) {
+  Engine e;
+  FairShareServer server(e, 1e9);
+  const int kStreams = 16;
+  const std::uint64_t kBytes = 10'000'000;
+  double last_done = -1.0;
+  for (int i = 0; i < kStreams; ++i) {
+    e.spawn([](Engine& eng, FairShareServer& s, double& t, std::uint64_t b) -> Task {
+      co_await s.transfer(b);
+      t = std::max(t, eng.now().to_seconds());
+    }(e, server, last_done, kBytes));
+  }
+  e.run();
+  // Total 160 MB through 1 GB/s = 0.16 s regardless of interleaving.
+  EXPECT_NEAR(last_done, 0.16, 1e-5);
+  EXPECT_EQ(server.bytes_served(), static_cast<std::uint64_t>(kStreams) * kBytes);
+}
+
+TEST(FairShareServer, StaggeredArrivalsConserveWork) {
+  Engine e;
+  FairShareServer server(e, 100e6);
+  double last_done = -1.0;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn([](Engine& eng, FairShareServer& s, double& t, int delay_ms) -> Task {
+      co_await sleep_for(Duration::ms(delay_ms));
+      co_await s.transfer(10'000'000);
+      t = std::max(t, eng.now().to_seconds());
+    }(e, server, last_done, i * 50));
+  }
+  e.run();
+  // 40 MB total at 100 MB/s, first arrival at 0 s; server is never idle
+  // after t=0 until all bytes served -> last completion at 0.4 s.
+  EXPECT_NEAR(last_done, 0.4, 1e-5);
+}
+
+TEST(FifoServer, SerializesTransfersWithLatency) {
+  Engine e;
+  FifoServer server(e, 100e6, 10_ms);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn([](Engine& eng, FifoServer& s, std::vector<double>& out) -> Task {
+      co_await s.transfer(10'000'000);  // 0.1 s + 0.01 s latency each
+      out.push_back(eng.now().to_seconds());
+    }(e, server, done));
+  }
+  e.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 0.11, 1e-6);
+  EXPECT_NEAR(done[1], 0.22, 1e-6);
+  EXPECT_NEAR(done[2], 0.33, 1e-6);
+  EXPECT_EQ(server.ops_served(), 3u);
+}
+
+}  // namespace
+}  // namespace jobmig::sim

@@ -1,0 +1,257 @@
+#include "jobmig/sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace jobmig::sim {
+namespace {
+
+using namespace jobmig::sim::literals;
+
+TEST(Event, WaitersBlockUntilSet) {
+  Engine e;
+  Event ev;
+  std::vector<double> wake_times;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn([](Engine& eng, Event& event, std::vector<double>& out) -> Task {
+      co_await event.wait();
+      out.push_back(eng.now().to_seconds());
+    }(e, ev, wake_times));
+  }
+  e.spawn([](Event& event) -> Task {
+    co_await sleep_for(10_ms);
+    event.set();
+  }(ev));
+  e.run();
+  ASSERT_EQ(wake_times.size(), 3u);
+  for (double t : wake_times) EXPECT_DOUBLE_EQ(t, 0.010);
+}
+
+TEST(Event, WaitOnSetEventReturnsImmediately) {
+  Engine e;
+  Event ev;
+  bool done = false;
+  e.spawn([](Event& event, bool& d) -> Task {
+    event.set();
+    co_await event.wait();
+    d = true;
+  }(ev, done));
+  e.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Event, ResetMakesSubsequentWaitsBlock) {
+  Engine e;
+  Event ev;
+  int phase = 0;
+  e.spawn([](Event& event, int& p) -> Task {
+    event.set();
+    co_await event.wait();
+    p = 1;
+    event.reset();
+    co_await event.wait();
+    p = 2;
+  }(ev, phase));
+  e.spawn([](Event& event) -> Task {
+    co_await sleep_for(5_ms);
+    event.set();
+  }(ev));
+  e.run();
+  EXPECT_EQ(phase, 2);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Engine e;
+  Semaphore sem(2);
+  int concurrent = 0;
+  int max_concurrent = 0;
+  for (int i = 0; i < 6; ++i) {
+    e.spawn([](Semaphore& s, int& c, int& mx) -> Task {
+      co_await s.acquire();
+      ++c;
+      mx = std::max(mx, c);
+      co_await sleep_for(1_ms);
+      --c;
+      s.release();
+    }(sem, concurrent, max_concurrent));
+  }
+  e.run();
+  EXPECT_EQ(max_concurrent, 2);
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+TEST(Semaphore, FifoWakeOrder) {
+  Engine e;
+  Semaphore sem(0);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn([](Semaphore& s, std::vector<int>& out, int id) -> Task {
+      co_await s.acquire();
+      out.push_back(id);
+    }(sem, order, i));
+  }
+  e.spawn([](Semaphore& s) -> Task {
+    co_await sleep_for(1_ms);
+    s.release(4);
+  }(sem));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Mutex, MutualExclusionAndRaiiUnlock) {
+  Engine e;
+  Mutex m;
+  std::string trace;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn([](Mutex& mtx, std::string& t, char tag) -> Task {
+      auto lock = co_await mtx.lock();
+      t.push_back(tag);
+      co_await sleep_for(1_ms);
+      t.push_back(tag);
+      // lock released by RAII at scope exit
+    }(m, trace, static_cast<char>('a' + i)));
+  }
+  e.run();
+  EXPECT_EQ(trace, "aabbcc");
+  EXPECT_FALSE(m.is_locked());
+}
+
+TEST(Barrier, ReleasesAllPartiesTogether) {
+  Engine e;
+  Barrier b(4);
+  std::vector<double> pass_times;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn([](Engine& eng, Barrier& bar, std::vector<double>& out, int id) -> Task {
+      co_await sleep_for(Duration::ms(id * 3));
+      co_await bar.arrive_and_wait();
+      out.push_back(eng.now().to_seconds());
+    }(e, b, pass_times, i));
+  }
+  e.run();
+  ASSERT_EQ(pass_times.size(), 4u);
+  for (double t : pass_times) EXPECT_DOUBLE_EQ(t, 0.009);  // last arrival at 9 ms
+  EXPECT_EQ(b.generation(), 1u);
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Engine e;
+  Barrier b(2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    e.spawn([](Barrier& bar, int& rounds) -> Task {
+      for (int r = 0; r < 3; ++r) {
+        co_await sleep_for(1_ms);
+        co_await bar.arrive_and_wait();
+      }
+      ++rounds;
+    }(b, rounds_done));
+  }
+  e.run();
+  EXPECT_EQ(rounds_done, 2);
+  EXPECT_EQ(b.generation(), 3u);
+}
+
+TEST(Channel, TransfersValuesInOrder) {
+  Engine e;
+  Channel<int> ch(4);
+  std::vector<int> received;
+  e.spawn([](Channel<int>& c) -> Task {
+    for (int i = 0; i < 10; ++i) {
+      bool ok = co_await c.send(i);
+      JOBMIG_ASSERT(ok);
+    }
+    c.close();
+  }(ch));
+  e.spawn([](Channel<int>& c, std::vector<int>& out) -> Task {
+    while (auto v = co_await c.recv()) out.push_back(*v);
+  }(ch, received));
+  e.run();
+  ASSERT_EQ(received.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Channel, BoundedSendBlocksUntilSpace) {
+  Engine e;
+  Channel<int> ch(1);
+  double second_send_done = -1.0;
+  e.spawn([](Engine& eng, Channel<int>& c, double& t) -> Task {
+    (void)co_await c.send(1);
+    (void)co_await c.send(2);  // blocks until receiver drains
+    t = eng.now().to_seconds();
+  }(e, ch, second_send_done));
+  e.spawn([](Channel<int>& c) -> Task {
+    co_await sleep_for(7_ms);
+    (void)co_await c.recv();
+    (void)co_await c.recv();
+  }(ch));
+  e.run();
+  EXPECT_DOUBLE_EQ(second_send_done, 0.007);
+}
+
+TEST(Channel, RecvOnClosedEmptyChannelReturnsNullopt) {
+  Engine e;
+  Channel<int> ch;
+  bool got_nullopt = false;
+  e.spawn([](Channel<int>& c, bool& out) -> Task {
+    c.close();
+    auto v = co_await c.recv();
+    out = !v.has_value();
+  }(ch, got_nullopt));
+  e.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+  Engine e;
+  Channel<int> ch;
+  bool receiver_finished = false;
+  e.spawn([](Channel<int>& c, bool& out) -> Task {
+    auto v = co_await c.recv();
+    out = !v.has_value();
+  }(ch, receiver_finished));
+  e.spawn([](Channel<int>& c) -> Task {
+    co_await sleep_for(2_ms);
+    c.close();
+  }(ch));
+  e.run();
+  EXPECT_TRUE(receiver_finished);
+}
+
+TEST(TaskGroup, WaitJoinsAllMembers) {
+  Engine e;
+  TaskGroup group(e);
+  int done = 0;
+  double join_time = -1.0;
+  e.spawn([](Engine& eng, TaskGroup& g, int& d, double& jt) -> Task {
+    for (int i = 1; i <= 3; ++i) {
+      g.spawn([](int ms, int& dd) -> Task {
+        co_await sleep_for(Duration::ms(ms));
+        ++dd;
+      }(i * 10, d));
+    }
+    co_await g.wait();
+    jt = eng.now().to_seconds();
+  }(e, group, done, join_time));
+  e.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_DOUBLE_EQ(join_time, 0.030);
+}
+
+TEST(TaskGroup, FirstExceptionRethrownFromWait) {
+  Engine e;
+  TaskGroup group(e);
+  e.spawn([](TaskGroup& g) -> Task {
+    g.spawn([]() -> Task {
+      co_await sleep_for(1_ms);
+      throw std::runtime_error("member failed");
+    }());
+    g.spawn([]() -> Task { co_await sleep_for(5_ms); }());
+    co_await g.wait();
+  }(group));
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jobmig::sim

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/sim/bytes.hpp"
+#include "jobmig/sim/log.hpp"
+#include "jobmig/sim/rng.hpp"
+#include "jobmig/sim/stats.hpp"
+
+namespace jobmig::sim {
+namespace {
+
+using namespace jobmig::sim::literals;
+
+TEST(Crc64, KnownVectorAndIncrementalEquivalence) {
+  const char* text = "123456789";
+  Bytes data;
+  for (const char* p = text; *p; ++p) data.push_back(static_cast<std::byte>(*p));
+  // CRC-64/XZ("123456789") = 0x995DC9BBDF1939FA
+  EXPECT_EQ(Crc64::of(data), 0x995DC9BBDF1939FAULL);
+
+  Crc64 inc;
+  inc.update(ByteSpan(data.data(), 4)).update(ByteSpan(data.data() + 4, 5));
+  EXPECT_EQ(inc.value(), 0x995DC9BBDF1939FAULL);
+}
+
+TEST(Crc64, DetectsSingleBitFlip) {
+  Bytes data(1024);
+  pattern_fill(data, 7, 0);
+  const std::uint64_t good = Crc64::of(data);
+  data[512] ^= std::byte{0x01};
+  EXPECT_NE(Crc64::of(data), good);
+}
+
+TEST(PatternFill, IsDeterministicAndOffsetAddressable) {
+  Bytes whole(256);
+  pattern_fill(whole, 42, 0);
+  // Regenerate the middle section independently.
+  Bytes part(64);
+  pattern_fill(part, 42, 100);
+  for (std::size_t i = 0; i < part.size(); ++i) EXPECT_EQ(part[i], whole[100 + i]);
+}
+
+TEST(PatternFill, DifferentSeedsDiffer) {
+  Bytes a(128), b(128);
+  pattern_fill(a, 1, 0);
+  pattern_fill(b, 2, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ScalarCodec, RoundTrips) {
+  Bytes buf;
+  put_u64(buf, 0x0123456789ABCDEFULL);
+  put_u32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(get_u64(buf, 0), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(get_u32(buf, 8), 0xDEADBEEFu);
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 a2(123);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Xoshiro, UniformInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const std::uint64_t k = rng.below(10);
+    EXPECT_LT(k, 10u);
+  }
+}
+
+TEST(Xoshiro, ForkGivesIndependentStream) {
+  Xoshiro256 parent(5);
+  Xoshiro256 child = parent.fork();
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) {
+    values.insert(parent.next());
+    values.insert(child.next());
+  }
+  EXPECT_EQ(values.size(), 200u);  // no collisions expected in 200 draws
+}
+
+TEST(Summary, WelfordMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(PhaseTimeline, AccumulatesPerPhase) {
+  PhaseTimeline tl;
+  tl.record("stall", TimePoint::origin(), TimePoint::origin() + 10_ms);
+  tl.record("migrate", TimePoint::origin() + 10_ms, TimePoint::origin() + 510_ms);
+  tl.record("stall", TimePoint::origin() + 600_ms, TimePoint::origin() + 605_ms);
+  EXPECT_EQ(tl.total("stall"), 15_ms);
+  EXPECT_EQ(tl.total("migrate"), 500_ms);
+  EXPECT_EQ(tl.total("absent"), 0_ms);
+  EXPECT_EQ(tl.phases(), (std::vector<std::string>{"stall", "migrate"}));
+}
+
+TEST(PhaseTimeline, BeginEndPairing) {
+  PhaseTimeline tl;
+  tl.begin("x", TimePoint::origin());
+  EXPECT_THROW(tl.begin("x", TimePoint::origin()), ContractViolation);
+  tl.end("x", TimePoint::origin() + 1_ms);
+  EXPECT_THROW(tl.end("x", TimePoint::origin() + 2_ms), ContractViolation);
+  EXPECT_EQ(tl.total("x"), 1_ms);
+}
+
+TEST(Counters, AccumulateAndQuery) {
+  Counters c;
+  c.add("bytes", 100);
+  c.add("bytes", 23);
+  c.add("ops");
+  EXPECT_EQ(c.get("bytes"), 123u);
+  EXPECT_EQ(c.get("ops"), 1u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}
+
+TEST(FormatStr, SubstitutesBraces) {
+  EXPECT_EQ(format_str("a {} b {}", 1, "x"), "a 1 b x");
+  EXPECT_EQ(format_str("no args"), "no args");
+  EXPECT_EQ(format_str("extra {} {}", 1), "extra 1 {}");
+  EXPECT_EQ(format_str("{}", 3.5), "3.5");
+}
+
+TEST(Logger, SinkCapturesRecordsAboveLevel) {
+  Logger& lg = Logger::global();
+  std::vector<Logger::Record> records;
+  lg.set_sink([&](const Logger::Record& r) { records.push_back(r); });
+  lg.set_level(LogLevel::kInfo);
+  log_debug("comp", "dropped");
+  log_info("comp", "kept {}", 1);
+  log_error("comp2", "also kept");
+  lg.set_level(LogLevel::kWarn);
+  lg.reset_sink();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].message, "kept 1");
+  EXPECT_EQ(records[0].component, "comp");
+  EXPECT_EQ(records[1].level, LogLevel::kError);
+}
+
+TEST(ByteLiterals, Sizes) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+}  // namespace
+}  // namespace jobmig::sim

@@ -1,0 +1,280 @@
+#include "jobmig/storage/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/sim/sync.hpp"
+
+namespace jobmig::storage {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+Bytes patterned(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  sim::pattern_fill(b, seed, 0);
+  return b;
+}
+
+TEST(BlockDevice, WriteTimeMatchesBandwidth) {
+  Engine e;
+  sim::DiskParams p;
+  p.write_Bps = 50e6;
+  BlockDevice dev(e, p);
+  double elapsed = -1.0;
+  e.spawn([](BlockDevice& d, double& out) -> Task {
+    const double start = Engine::current()->now().to_seconds();
+    co_await d.write(25'000'000);  // 25 MB at 50 MB/s -> 0.5 s
+    out = Engine::current()->now().to_seconds() - start;
+  }(dev, elapsed));
+  e.run();
+  EXPECT_NEAR(elapsed, 0.5, 1e-3);
+  EXPECT_EQ(dev.bytes_written(), 25'000'000u);
+}
+
+TEST(BlockDevice, ConcurrentStreamsDegradeAggregate) {
+  Engine e;
+  sim::DiskParams p;
+  p.write_Bps = 50e6;
+  p.seek_alpha = 0.1;
+  BlockDevice dev(e, p);
+  double finish = -1.0;
+  for (int i = 0; i < 8; ++i) {
+    e.spawn([](BlockDevice& d, double& out) -> Task {
+      co_await d.write(5'000'000);
+      out = std::max(out, Engine::current()->now().to_seconds());
+    }(dev, finish));
+  }
+  e.run();
+  // 40 MB total; with eff(8) = 1/1.7 the aggregate is ~29.4 MB/s -> ~1.36 s,
+  // clearly worse than the contention-free 0.8 s.
+  EXPECT_GT(finish, 1.2);
+  EXPECT_LT(finish, 1.5);
+}
+
+TEST(BlockDevice, ReadAndWriteShareTheHead) {
+  Engine e;
+  sim::DiskParams p;
+  p.write_Bps = 50e6;
+  p.read_Bps = 50e6;
+  p.seek_alpha = 0.0;
+  BlockDevice dev(e, p);
+  double finish = -1.0;
+  e.spawn([](BlockDevice& d, double& out) -> Task {
+    co_await d.write(25'000'000);
+    out = std::max(out, Engine::current()->now().to_seconds());
+  }(dev, finish));
+  e.spawn([](BlockDevice& d, double& out) -> Task {
+    co_await d.read(25'000'000);
+    out = std::max(out, Engine::current()->now().to_seconds());
+  }(dev, finish));
+  e.run();
+  // Two 0.5 s jobs sharing one head -> 1.0 s total.
+  EXPECT_NEAR(finish, 1.0, 1e-3);
+}
+
+struct LocalFixture {
+  Engine engine;
+  LocalFs fs{engine, sim::DiskParams{}, "ext3-test"};
+};
+
+TEST(LocalFs, CreateWriteReadRoundTrip) {
+  LocalFixture f;
+  Bytes readback;
+  f.engine.spawn([](LocalFs& fs, Bytes& out) -> Task {
+    auto file = co_await fs.create("/ckpt/rank0.img");
+    Bytes data = patterned(100'000, 5);
+    co_await file->pwrite(0, data);
+    EXPECT_EQ(file->size(), 100'000u);
+    out = co_await file->pread(0, 100'000);
+  }(f.fs, readback));
+  f.engine.run();
+  EXPECT_EQ(readback, patterned(100'000, 5));
+  EXPECT_TRUE(f.fs.exists("/ckpt/rank0.img"));
+  EXPECT_EQ(f.fs.file_size("/ckpt/rank0.img"), 100'000u);
+}
+
+TEST(LocalFs, AppendExtendsFile) {
+  LocalFixture f;
+  f.engine.spawn([](LocalFs& fs) -> Task {
+    auto file = co_await fs.create("/a");
+    co_await file->append(patterned(10, 1));
+    co_await file->append(patterned(20, 2));
+    EXPECT_EQ(file->size(), 30u);
+    Bytes head = co_await file->pread(0, 10);
+    Bytes tail = co_await file->pread(10, 20);
+    EXPECT_EQ(head, patterned(10, 1));
+    EXPECT_EQ(tail, patterned(20, 2));
+  }(f.fs));
+  f.engine.run();
+}
+
+TEST(LocalFs, OpenMissingReturnsNull) {
+  LocalFixture f;
+  f.engine.spawn([](LocalFs& fs) -> Task {
+    auto file = co_await fs.open("/nope");
+    EXPECT_EQ(file, nullptr);
+  }(f.fs));
+  f.engine.run();
+}
+
+TEST(LocalFs, RemoveAndRecreate) {
+  LocalFixture f;
+  f.engine.spawn([](LocalFs& fs) -> Task {
+    auto file = co_await fs.create("/x");
+    co_await file->append(patterned(100, 3));
+    EXPECT_TRUE(co_await fs.remove("/x"));
+    EXPECT_FALSE(fs.exists("/x"));
+    EXPECT_FALSE(co_await fs.remove("/x"));
+    // Open handle still reads its data (POSIX unlink semantics).
+    Bytes data = co_await file->pread(0, 100);
+    EXPECT_EQ(data.size(), 100u);
+    auto again = co_await fs.create("/x");
+    EXPECT_EQ(again->size(), 0u);
+  }(f.fs));
+  f.engine.run();
+}
+
+TEST(LocalFs, PReadBeyondEofTruncates) {
+  LocalFixture f;
+  f.engine.spawn([](LocalFs& fs) -> Task {
+    auto file = co_await fs.create("/t");
+    co_await file->append(patterned(50, 1));
+    Bytes past = co_await file->pread(100, 10);
+    EXPECT_TRUE(past.empty());
+    Bytes partial = co_await file->pread(40, 100);
+    EXPECT_EQ(partial.size(), 10u);
+  }(f.fs));
+  f.engine.run();
+}
+
+TEST(LocalFs, ListsFiles) {
+  LocalFixture f;
+  f.engine.spawn([](LocalFs& fs) -> Task {
+    (void)co_await fs.create("/b");
+    (void)co_await fs.create("/a");
+    co_return;
+  }(f.fs));
+  f.engine.run();
+  EXPECT_EQ(f.fs.list(), (std::vector<std::string>{"/a", "/b"}));
+}
+
+struct PvfsFixture {
+  Engine engine;
+  sim::PvfsParams params;
+  PvfsFixture() { params.stripe_bytes = 1_MiB; }
+};
+
+TEST(ParallelFs, RoundTripAcrossStripes) {
+  PvfsFixture f;
+  ParallelFs fs(f.engine, f.params);
+  Bytes readback;
+  f.engine.spawn([](ParallelFs& pfs, Bytes& out) -> Task {
+    auto file = co_await pfs.create("/ckpt");
+    Bytes data = patterned(3'500'000, 9);  // spans 4 stripe units
+    co_await file->pwrite(0, data);
+    out = co_await file->pread(0, data.size());
+  }(fs, readback));
+  f.engine.run();
+  EXPECT_EQ(readback, patterned(3'500'000, 9));
+}
+
+TEST(ParallelFs, StripingDistributesBytesAcrossServers) {
+  PvfsFixture f;
+  ParallelFs fs(f.engine, f.params);
+  f.engine.spawn([](ParallelFs& pfs) -> Task {
+    auto file = co_await pfs.create("/big");
+    co_await file->pwrite(0, Bytes(8_MiB));  // 8 stripes over 4 servers
+    co_return;
+  }(fs));
+  f.engine.run();
+  for (std::size_t s = 0; s < fs.server_count(); ++s) {
+    EXPECT_EQ(fs.server(s).bytes_written(), 2_MiB) << "server " << s;
+  }
+}
+
+TEST(ParallelFs, StripingBeatsSingleDiskForOneStream) {
+  // One 40 MB stream: PVFS writes it ~4x faster than one local disk of the
+  // same per-device speed, because stripes land on 4 servers concurrently.
+  Engine e1, e2;
+  sim::DiskParams one_disk;
+  one_disk.write_Bps = 50e6;
+  sim::PvfsParams pvfs_params;
+  pvfs_params.server_write_Bps = 50e6;
+  pvfs_params.stripe_bytes = 1_MiB;
+  double t_local = -1.0, t_pvfs = -1.0;
+
+  LocalFs lfs(e1, one_disk);
+  e1.spawn([](LocalFs& fs, double& out) -> Task {
+    auto file = co_await fs.create("/x");
+    co_await file->pwrite(0, Bytes(40_MiB));
+    out = Engine::current()->now().to_seconds();
+  }(lfs, t_local));
+  e1.run();
+
+  ParallelFs pfs(e2, pvfs_params);
+  e2.spawn([](ParallelFs& fs, double& out) -> Task {
+    auto file = co_await fs.create("/x");
+    co_await file->pwrite(0, Bytes(40_MiB));
+    out = Engine::current()->now().to_seconds();
+  }(pfs, t_pvfs));
+  e2.run();
+
+  EXPECT_GT(t_local / t_pvfs, 3.0);
+}
+
+TEST(ParallelFs, ManyClientsContendOnServers) {
+  // 16 concurrent 10 MB writers to distinct files: aggregate throughput is
+  // well below 4x one server due to the seek-thrash efficiency curve.
+  PvfsFixture f;
+  f.params.server_write_Bps = 50e6;
+  f.params.seek_alpha = 0.1;
+  ParallelFs fs(f.engine, f.params);
+  double finish = -1.0;
+  for (int i = 0; i < 16; ++i) {
+    f.engine.spawn([](ParallelFs& pfs, double& out, int id) -> Task {
+      auto file = co_await pfs.create("/f" + std::to_string(id));
+      co_await file->pwrite(0, Bytes(10_MiB));
+      out = std::max(out, Engine::current()->now().to_seconds());
+    }(fs, finish, i));
+  }
+  f.engine.run();
+  // 160 MiB over an ideal 200 MB/s would be ~0.84 s; contention should push
+  // it well past that.
+  EXPECT_GT(finish, 1.1);
+}
+
+TEST(ParallelFs, MdsSerializesNamespaceOps) {
+  PvfsFixture f;
+  f.params.mds_op_latency = sim::Duration::ms(3);
+  ParallelFs fs(f.engine, f.params);
+  double finish = -1.0;
+  for (int i = 0; i < 10; ++i) {
+    f.engine.spawn([](ParallelFs& pfs, double& out, int id) -> Task {
+      (void)co_await pfs.create("/meta" + std::to_string(id));
+      out = std::max(out, Engine::current()->now().to_seconds());
+    }(fs, finish, i));
+  }
+  f.engine.run();
+  EXPECT_NEAR(finish, 0.030, 1e-6);  // 10 serialized 3 ms ops
+}
+
+TEST(ParallelFs, SparseWriteAtOffset) {
+  PvfsFixture f;
+  ParallelFs fs(f.engine, f.params);
+  f.engine.spawn([](ParallelFs& pfs) -> Task {
+    auto file = co_await pfs.create("/sparse");
+    co_await file->pwrite(5'000'000, patterned(100, 4));
+    EXPECT_EQ(file->size(), 5'000'100u);
+    Bytes hole = co_await file->pread(0, 10);
+    EXPECT_EQ(hole, Bytes(10));  // zero-filled
+    Bytes data = co_await file->pread(5'000'000, 100);
+    EXPECT_EQ(data, patterned(100, 4));
+  }(fs));
+  f.engine.run();
+}
+
+}  // namespace
+}  // namespace jobmig::storage

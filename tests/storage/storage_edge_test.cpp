@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/storage/filesystem.hpp"
+
+namespace jobmig::storage {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Bytes;
+using sim::Engine;
+using sim::Task;
+
+TEST(StorageEdge, PvfsReadersAndWritersContendOnServers) {
+  Engine e;
+  sim::PvfsParams params;
+  params.server_write_Bps = 50e6;
+  params.server_read_Bps = 50e6;
+  params.seek_alpha = 0.0;
+  ParallelFs fs(e, params);
+  double finish = -1.0;
+  e.spawn([](ParallelFs& pfs, double& out) -> Task {
+    auto file = co_await pfs.create("/x");
+    co_await file->pwrite(0, Bytes(32 << 20));
+    // Reader and writer on the same servers: each 32 MiB job would take
+    // ~0.168 s alone (4 servers x 50 MB/s); overlapped they share heads.
+    const double start = sim::Engine::current()->now().to_seconds();
+    sim::TaskGroup group(*sim::Engine::current());
+    group.spawn([](FilePtr f) -> Task { co_await f->pwrite(32 << 20, Bytes(32 << 20)); }(file));
+    group.spawn([](FilePtr f) -> Task { (void)co_await f->pread(0, 32 << 20); }(file));
+    co_await group.wait();
+    out = sim::Engine::current()->now().to_seconds() - start;
+  }(fs, finish));
+  e.run();
+  EXPECT_NEAR(finish, 2 * (32.0 * (1 << 20)) / (4 * 50e6), 0.02);
+}
+
+TEST(StorageEdge, SharedHandlesObserveEachOthersWrites) {
+  Engine e;
+  LocalFs fs(e, sim::DiskParams{});
+  e.spawn([](LocalFs& lfs) -> Task {
+    auto w = co_await lfs.create("/shared");
+    auto r = co_await lfs.open("/shared");
+    EXPECT_EQ(r->size(), 0u);
+    Bytes data(100, std::byte{0x3C});
+    co_await w->pwrite(0, data);
+    EXPECT_EQ(r->size(), 100u);
+    Bytes got = co_await r->pread(0, 100);
+    EXPECT_EQ(got, data);
+  }(fs));
+  e.run();
+}
+
+TEST(StorageEdge, CreateTruncatesExistingFile) {
+  Engine e;
+  LocalFs fs(e, sim::DiskParams{});
+  e.spawn([](LocalFs& lfs) -> Task {
+    auto f1 = co_await lfs.create("/t");
+    co_await f1->pwrite(0, Bytes(500));
+    EXPECT_EQ(lfs.file_size("/t"), 500u);
+    auto f2 = co_await lfs.create("/t");
+    EXPECT_EQ(lfs.file_size("/t"), 0u);
+    EXPECT_EQ(f2->size(), 0u);
+    // The old handle's inode is detached (old data still readable there).
+    EXPECT_EQ(f1->size(), 500u);
+  }(fs));
+  e.run();
+}
+
+TEST(StorageEdge, ZeroByteIoIsFree) {
+  Engine e;
+  LocalFs fs(e, sim::DiskParams{});
+  double elapsed = -1.0;
+  e.spawn([](LocalFs& lfs, double& out) -> Task {
+    auto f = co_await lfs.create("/z");
+    const double start = sim::Engine::current()->now().to_seconds();
+    co_await f->pwrite(0, {});
+    Bytes nothing = co_await f->pread(0, 0);
+    EXPECT_TRUE(nothing.empty());
+    out = sim::Engine::current()->now().to_seconds() - start;
+  }(fs, elapsed));
+  e.run();
+  EXPECT_DOUBLE_EQ(elapsed, 0.0);
+}
+
+TEST(StorageEdge, PvfsStripeBoundaryWrites) {
+  Engine e;
+  sim::PvfsParams params;
+  params.stripe_bytes = 4096;
+  ParallelFs fs(e, params);
+  e.spawn([](ParallelFs& pfs) -> Task {
+    auto f = co_await pfs.create("/s");
+    // Write exactly one stripe, then straddle a boundary by one byte.
+    Bytes one(4096, std::byte{0x01});
+    co_await f->pwrite(0, one);
+    Bytes straddle(2, std::byte{0x02});
+    co_await f->pwrite(4095, straddle);
+    EXPECT_EQ(f->size(), 4097u);
+    Bytes got = co_await f->pread(4094, 10);  // truncated at EOF
+    JOBMIG_ASSERT(got.size() == 3u);
+    EXPECT_EQ(got[0], std::byte{0x01});
+    EXPECT_EQ(got[1], std::byte{0x02});
+    EXPECT_EQ(got[2], std::byte{0x02});
+  }(fs));
+  e.run();
+}
+
+}  // namespace
+}  // namespace jobmig::storage

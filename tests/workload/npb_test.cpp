@@ -1,0 +1,125 @@
+#include "jobmig/workload/npb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/cluster/cluster.hpp"
+
+namespace jobmig::workload {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::Engine;
+using sim::Task;
+
+TEST(Grid2D, FactorsProcessCounts) {
+  auto g64 = Grid2D::for_procs(64);
+  EXPECT_EQ(g64.px, 8);
+  EXPECT_EQ(g64.py, 8);
+  auto g6 = Grid2D::for_procs(6);
+  EXPECT_EQ(g6.px, 2);
+  EXPECT_EQ(g6.py, 3);
+  auto g7 = Grid2D::for_procs(7);  // prime: degenerate 1x7
+  EXPECT_EQ(g7.px, 1);
+  EXPECT_EQ(g7.py, 7);
+  auto g1 = Grid2D::for_procs(1);
+  EXPECT_EQ(g1.px * g1.py, 1);
+}
+
+TEST(Grid2D, PeriodicNeighborsWrap) {
+  auto g = Grid2D::for_procs(16);  // 4x4
+  EXPECT_EQ(g.rank_at(-1, 0), 3);
+  EXPECT_EQ(g.rank_at(4, 0), 0);
+  EXPECT_EQ(g.rank_at(0, -1), 12);
+  EXPECT_EQ(g.rank_at(1, 2), 9);
+  EXPECT_EQ(g.x_of(9), 1);
+  EXPECT_EQ(g.y_of(9), 2);
+}
+
+TEST(KernelSpec, CalibratedAgainstTableOne) {
+  // Table I at 64 ranks: LU 1363.2 MB, BT 2470.4 MB, SP 2425.6 MB total.
+  for (auto [app, total_mb] : {std::pair{NpbApp::kLU, 1363.2},
+                               std::pair{NpbApp::kBT, 2470.4},
+                               std::pair{NpbApp::kSP, 2425.6}}) {
+    auto spec = make_spec(app, NpbClass::kC, 64);
+    const double total = static_cast<double>(spec.image_bytes_per_rank) * 64 / 1e6;
+    EXPECT_NEAR(total, total_mb, total_mb * 0.15) << to_string(app);
+  }
+}
+
+TEST(KernelSpec, BaseRuntimesMatchFigureFive) {
+  // Fig. 5 no-migration runtimes (approximate targets; see EXPERIMENTS.md).
+  for (auto [app, seconds] : {std::pair{NpbApp::kLU, 162.0},
+                              std::pair{NpbApp::kBT, 167.0},
+                              std::pair{NpbApp::kSP, 230.0}}) {
+    auto spec = make_spec(app, NpbClass::kC, 64);
+    const double compute = spec.time_per_iter.to_seconds() * spec.iterations;
+    EXPECT_NEAR(compute, seconds, seconds * 0.05) << to_string(app);
+  }
+}
+
+TEST(KernelSpec, ImagesGrowPerRankWhenScalingDown) {
+  // Fixed problem, fewer ranks -> bigger per-rank images (Fig. 6's regime).
+  auto s8 = make_spec(NpbApp::kLU, NpbClass::kC, 8);
+  auto s64 = make_spec(NpbApp::kLU, NpbClass::kC, 64);
+  EXPECT_GT(s8.image_bytes_per_rank, 3 * s64.image_bytes_per_rank);
+  // ...but per-node totals stay the same order of magnitude.
+  EXPECT_LT(s8.image_bytes_per_rank * 1, s64.image_bytes_per_rank * 10);
+}
+
+TEST(KernelSpec, RuntimeScaleOnlyChangesIterations) {
+  auto full = make_spec(NpbApp::kBT, NpbClass::kC, 64, 1.0);
+  auto tenth = make_spec(NpbApp::kBT, NpbClass::kC, 64, 0.1);
+  EXPECT_EQ(full.image_bytes_per_rank, tenth.image_bytes_per_rank);
+  EXPECT_EQ(full.time_per_iter, tenth.time_per_iter);
+  EXPECT_NEAR(static_cast<double>(full.iterations) / tenth.iterations, 10.0, 1.0);
+}
+
+TEST(KernelSpec, Names) {
+  EXPECT_EQ(make_spec(NpbApp::kLU, NpbClass::kC, 64).name(), "LU.C.64");
+  EXPECT_EQ(make_spec(NpbApp::kSP, NpbClass::kA, 16).name(), "SP.A.16");
+  EXPECT_EQ(make_spec(NpbApp::kBT, NpbClass::kTest, 4).name(), "BT.T.4");
+}
+
+TEST(Progress, EncodeDecodeRoundTrip) {
+  Progress p;
+  p.next_iteration = 123;
+  Progress q = Progress::decode_or_fresh(p.encode());
+  EXPECT_EQ(q.next_iteration, 123u);
+  // Garbage or empty state yields a fresh start.
+  EXPECT_EQ(Progress::decode_or_fresh({}).next_iteration, 0u);
+  sim::Bytes junk(8, std::byte{0x55});
+  EXPECT_EQ(Progress::decode_or_fresh(junk).next_iteration, 0u);
+}
+
+/// The kernels must run to completion on a real cluster rig and leave the
+/// expected progress record in every image.
+class KernelRun : public ::testing::TestWithParam<NpbApp> {};
+
+TEST_P(KernelRun, CompletesAndRecordsProgress) {
+  Engine engine;
+  cluster::ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.spare_nodes = 0;
+  cluster::Cluster cl(engine, cfg);
+  auto spec = make_spec(GetParam(), NpbClass::kTest, 4, 0.1);
+  cl.create_job(2, spec.image_bytes_per_rank);
+  engine.spawn([](cluster::Cluster& c, KernelSpec s) -> Task {
+    co_await c.start(make_app(s));
+  }(cl, spec));
+  engine.run_until(sim::TimePoint::origin() + 300_s);
+
+  ASSERT_TRUE(cl.job().app_done()) << spec.name();
+  for (int r = 0; r < 4; ++r) {
+    auto progress = Progress::decode_or_fresh(cl.job().proc(r).sim_process().app_state());
+    EXPECT_EQ(progress.next_iteration, static_cast<std::uint32_t>(spec.iterations));
+    EXPECT_GT(cl.job().proc(r).sim_process().image().dirty_pages(), 0u);
+  }
+  EXPECT_GT(cl.job().total_messages(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, KernelRun,
+                         ::testing::Values(NpbApp::kLU, NpbApp::kBT, NpbApp::kSP),
+                         [](const auto& param_info) { return to_string(param_info.param); });
+
+}  // namespace
+}  // namespace jobmig::workload
