@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cr_interval.dir/ablate_cr_interval.cpp.o"
+  "CMakeFiles/ablate_cr_interval.dir/ablate_cr_interval.cpp.o.d"
+  "ablate_cr_interval"
+  "ablate_cr_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cr_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_memory_restart.dir/ablate_memory_restart.cpp.o"
+  "CMakeFiles/ablate_memory_restart.dir/ablate_memory_restart.cpp.o.d"
+  "ablate_memory_restart"
+  "ablate_memory_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_memory_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rdma_vs_tcp.dir/ablate_rdma_vs_tcp.cpp.o"
+  "CMakeFiles/ablate_rdma_vs_tcp.dir/ablate_rdma_vs_tcp.cpp.o.d"
+  "ablate_rdma_vs_tcp"
+  "ablate_rdma_vs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rdma_vs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_storage_contention.dir/ablate_storage_contention.cpp.o"
+  "CMakeFiles/ablate_storage_contention.dir/ablate_storage_contention.cpp.o.d"
+  "ablate_storage_contention"
+  "ablate_storage_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_storage_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

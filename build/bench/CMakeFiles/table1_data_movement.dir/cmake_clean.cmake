@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_data_movement.dir/table1_data_movement.cpp.o"
+  "CMakeFiles/table1_data_movement.dir/table1_data_movement.cpp.o.d"
+  "table1_data_movement"
+  "table1_data_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_data_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cr_vs_migration.dir/cr_vs_migration.cpp.o"
+  "CMakeFiles/cr_vs_migration.dir/cr_vs_migration.cpp.o.d"
+  "cr_vs_migration"
+  "cr_vs_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cr_vs_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

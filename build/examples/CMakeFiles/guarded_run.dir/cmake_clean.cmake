@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_run.dir/guarded_run.cpp.o"
+  "CMakeFiles/guarded_run.dir/guarded_run.cpp.o.d"
+  "guarded_run"
+  "guarded_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_drain.dir/maintenance_drain.cpp.o"
+  "CMakeFiles/maintenance_drain.dir/maintenance_drain.cpp.o.d"
+  "maintenance_drain"
+  "maintenance_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_failover.dir/predictive_failover.cpp.o"
+  "CMakeFiles/predictive_failover.dir/predictive_failover.cpp.o.d"
+  "predictive_failover"
+  "predictive_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

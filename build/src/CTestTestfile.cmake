@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("ib")
+subdirs("net")
+subdirs("storage")
+subdirs("proc")
+subdirs("ftb")
+subdirs("mpr")
+subdirs("launch")
+subdirs("health")
+subdirs("migration")
+subdirs("workload")
+subdirs("cluster")

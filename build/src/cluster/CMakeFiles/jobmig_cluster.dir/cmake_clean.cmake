@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/jobmig_cluster.dir/cluster.cpp.o.d"
+  "libjobmig_cluster.a"
+  "libjobmig_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

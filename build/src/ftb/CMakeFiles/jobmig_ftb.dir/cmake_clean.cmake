@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_ftb.dir/ftb.cpp.o"
+  "CMakeFiles/jobmig_ftb.dir/ftb.cpp.o.d"
+  "libjobmig_ftb.a"
+  "libjobmig_ftb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_ftb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jobmig_ftb.
+# This may be replaced when dependencies are built.

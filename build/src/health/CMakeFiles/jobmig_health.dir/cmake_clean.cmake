@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_health.dir/health.cpp.o"
+  "CMakeFiles/jobmig_health.dir/health.cpp.o.d"
+  "libjobmig_health.a"
+  "libjobmig_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

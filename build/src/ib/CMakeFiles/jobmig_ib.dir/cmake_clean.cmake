@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_ib.dir/verbs.cpp.o"
+  "CMakeFiles/jobmig_ib.dir/verbs.cpp.o.d"
+  "libjobmig_ib.a"
+  "libjobmig_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

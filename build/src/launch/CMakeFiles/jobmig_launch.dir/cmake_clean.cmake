@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_launch.dir/launch.cpp.o"
+  "CMakeFiles/jobmig_launch.dir/launch.cpp.o.d"
+  "libjobmig_launch.a"
+  "libjobmig_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

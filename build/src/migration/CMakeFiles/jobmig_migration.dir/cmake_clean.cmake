@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_migration.dir/buffer_manager.cpp.o"
+  "CMakeFiles/jobmig_migration.dir/buffer_manager.cpp.o.d"
+  "CMakeFiles/jobmig_migration.dir/controller.cpp.o"
+  "CMakeFiles/jobmig_migration.dir/controller.cpp.o.d"
+  "CMakeFiles/jobmig_migration.dir/cr_baseline.cpp.o"
+  "CMakeFiles/jobmig_migration.dir/cr_baseline.cpp.o.d"
+  "CMakeFiles/jobmig_migration.dir/scheduler.cpp.o"
+  "CMakeFiles/jobmig_migration.dir/scheduler.cpp.o.d"
+  "CMakeFiles/jobmig_migration.dir/tcp_transport.cpp.o"
+  "CMakeFiles/jobmig_migration.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/jobmig_migration.dir/triggers.cpp.o"
+  "CMakeFiles/jobmig_migration.dir/triggers.cpp.o.d"
+  "libjobmig_migration.a"
+  "libjobmig_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

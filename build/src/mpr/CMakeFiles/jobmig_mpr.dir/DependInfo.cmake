@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpr/collectives.cpp" "src/mpr/CMakeFiles/jobmig_mpr.dir/collectives.cpp.o" "gcc" "src/mpr/CMakeFiles/jobmig_mpr.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpr/job.cpp" "src/mpr/CMakeFiles/jobmig_mpr.dir/job.cpp.o" "gcc" "src/mpr/CMakeFiles/jobmig_mpr.dir/job.cpp.o.d"
+  "/root/repo/src/mpr/proc.cpp" "src/mpr/CMakeFiles/jobmig_mpr.dir/proc.cpp.o" "gcc" "src/mpr/CMakeFiles/jobmig_mpr.dir/proc.cpp.o.d"
+  "/root/repo/src/mpr/wire.cpp" "src/mpr/CMakeFiles/jobmig_mpr.dir/wire.cpp.o" "gcc" "src/mpr/CMakeFiles/jobmig_mpr.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jobmig_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/jobmig_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jobmig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/jobmig_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jobmig_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

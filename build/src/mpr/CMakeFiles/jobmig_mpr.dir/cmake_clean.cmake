@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_mpr.dir/collectives.cpp.o"
+  "CMakeFiles/jobmig_mpr.dir/collectives.cpp.o.d"
+  "CMakeFiles/jobmig_mpr.dir/job.cpp.o"
+  "CMakeFiles/jobmig_mpr.dir/job.cpp.o.d"
+  "CMakeFiles/jobmig_mpr.dir/proc.cpp.o"
+  "CMakeFiles/jobmig_mpr.dir/proc.cpp.o.d"
+  "CMakeFiles/jobmig_mpr.dir/wire.cpp.o"
+  "CMakeFiles/jobmig_mpr.dir/wire.cpp.o.d"
+  "libjobmig_mpr.a"
+  "libjobmig_mpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_mpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

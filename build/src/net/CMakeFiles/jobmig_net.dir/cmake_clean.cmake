@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_net.dir/network.cpp.o"
+  "CMakeFiles/jobmig_net.dir/network.cpp.o.d"
+  "libjobmig_net.a"
+  "libjobmig_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

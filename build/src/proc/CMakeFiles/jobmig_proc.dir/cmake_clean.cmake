@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_proc.dir/blcr.cpp.o"
+  "CMakeFiles/jobmig_proc.dir/blcr.cpp.o.d"
+  "CMakeFiles/jobmig_proc.dir/memory_image.cpp.o"
+  "CMakeFiles/jobmig_proc.dir/memory_image.cpp.o.d"
+  "libjobmig_proc.a"
+  "libjobmig_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

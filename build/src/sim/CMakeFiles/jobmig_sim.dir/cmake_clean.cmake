@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_sim.dir/bytes.cpp.o"
+  "CMakeFiles/jobmig_sim.dir/bytes.cpp.o.d"
+  "CMakeFiles/jobmig_sim.dir/engine.cpp.o"
+  "CMakeFiles/jobmig_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/jobmig_sim.dir/log.cpp.o"
+  "CMakeFiles/jobmig_sim.dir/log.cpp.o.d"
+  "CMakeFiles/jobmig_sim.dir/resource.cpp.o"
+  "CMakeFiles/jobmig_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/jobmig_sim.dir/stats.cpp.o"
+  "CMakeFiles/jobmig_sim.dir/stats.cpp.o.d"
+  "libjobmig_sim.a"
+  "libjobmig_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_storage.dir/filesystem.cpp.o"
+  "CMakeFiles/jobmig_storage.dir/filesystem.cpp.o.d"
+  "libjobmig_storage.a"
+  "libjobmig_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

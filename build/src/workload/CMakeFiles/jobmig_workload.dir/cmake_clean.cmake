@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmig_workload.dir/npb.cpp.o"
+  "CMakeFiles/jobmig_workload.dir/npb.cpp.o.d"
+  "libjobmig_workload.a"
+  "libjobmig_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmig_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

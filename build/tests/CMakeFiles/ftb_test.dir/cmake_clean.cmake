@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftb_test.dir/ftb/ftb_test.cpp.o"
+  "CMakeFiles/ftb_test.dir/ftb/ftb_test.cpp.o.d"
+  "ftb_test"
+  "ftb_test.pdb"
+  "ftb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

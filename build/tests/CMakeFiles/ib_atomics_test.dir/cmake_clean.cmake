@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_atomics_test.dir/ib/atomics_test.cpp.o"
+  "CMakeFiles/ib_atomics_test.dir/ib/atomics_test.cpp.o.d"
+  "ib_atomics_test"
+  "ib_atomics_test.pdb"
+  "ib_atomics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_atomics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

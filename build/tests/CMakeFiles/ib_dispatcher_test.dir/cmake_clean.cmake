@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_dispatcher_test.dir/ib/dispatcher_test.cpp.o"
+  "CMakeFiles/ib_dispatcher_test.dir/ib/dispatcher_test.cpp.o.d"
+  "ib_dispatcher_test"
+  "ib_dispatcher_test.pdb"
+  "ib_dispatcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_dispatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

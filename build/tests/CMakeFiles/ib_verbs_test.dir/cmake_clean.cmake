@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ib_verbs_test.dir/ib/verbs_test.cpp.o"
+  "CMakeFiles/ib_verbs_test.dir/ib/verbs_test.cpp.o.d"
+  "ib_verbs_test"
+  "ib_verbs_test.pdb"
+  "ib_verbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ib_verbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/launch/launch_test.cpp" "tests/CMakeFiles/launch_test.dir/launch/launch_test.cpp.o" "gcc" "tests/CMakeFiles/launch_test.dir/launch/launch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/launch/CMakeFiles/jobmig_launch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpr/CMakeFiles/jobmig_mpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/jobmig_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/jobmig_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/jobmig_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftb/CMakeFiles/jobmig_ftb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jobmig_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jobmig_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launch_test.dir/launch/launch_test.cpp.o"
+  "CMakeFiles/launch_test.dir/launch/launch_test.cpp.o.d"
+  "launch_test"
+  "launch_test.pdb"
+  "launch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_buffer_manager_test.dir/migration/buffer_manager_test.cpp.o"
+  "CMakeFiles/migration_buffer_manager_test.dir/migration/buffer_manager_test.cpp.o.d"
+  "migration_buffer_manager_test"
+  "migration_buffer_manager_test.pdb"
+  "migration_buffer_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_buffer_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

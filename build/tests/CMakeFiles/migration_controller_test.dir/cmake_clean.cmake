@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_controller_test.dir/migration/controller_test.cpp.o"
+  "CMakeFiles/migration_controller_test.dir/migration/controller_test.cpp.o.d"
+  "migration_controller_test"
+  "migration_controller_test.pdb"
+  "migration_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_determinism_test.dir/migration/determinism_test.cpp.o"
+  "CMakeFiles/migration_determinism_test.dir/migration/determinism_test.cpp.o.d"
+  "migration_determinism_test"
+  "migration_determinism_test.pdb"
+  "migration_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

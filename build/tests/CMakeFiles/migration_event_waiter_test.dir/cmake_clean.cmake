@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_event_waiter_test.dir/migration/event_waiter_test.cpp.o"
+  "CMakeFiles/migration_event_waiter_test.dir/migration/event_waiter_test.cpp.o.d"
+  "migration_event_waiter_test"
+  "migration_event_waiter_test.pdb"
+  "migration_event_waiter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_event_waiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

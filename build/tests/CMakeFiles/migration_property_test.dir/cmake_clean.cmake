@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_property_test.dir/migration/migration_property_test.cpp.o"
+  "CMakeFiles/migration_property_test.dir/migration/migration_property_test.cpp.o.d"
+  "migration_property_test"
+  "migration_property_test.pdb"
+  "migration_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_request_listener_test.dir/migration/request_listener_test.cpp.o"
+  "CMakeFiles/migration_request_listener_test.dir/migration/request_listener_test.cpp.o.d"
+  "migration_request_listener_test"
+  "migration_request_listener_test.pdb"
+  "migration_request_listener_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_request_listener_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

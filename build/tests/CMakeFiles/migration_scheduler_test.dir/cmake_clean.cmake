@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_scheduler_test.dir/migration/scheduler_test.cpp.o"
+  "CMakeFiles/migration_scheduler_test.dir/migration/scheduler_test.cpp.o.d"
+  "migration_scheduler_test"
+  "migration_scheduler_test.pdb"
+  "migration_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_tcp_transport_test.dir/migration/tcp_transport_test.cpp.o"
+  "CMakeFiles/migration_tcp_transport_test.dir/migration/tcp_transport_test.cpp.o.d"
+  "migration_tcp_transport_test"
+  "migration_tcp_transport_test.pdb"
+  "migration_tcp_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_tcp_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_collectives_extended_test.dir/mpr/collectives_extended_test.cpp.o"
+  "CMakeFiles/mpr_collectives_extended_test.dir/mpr/collectives_extended_test.cpp.o.d"
+  "mpr_collectives_extended_test"
+  "mpr_collectives_extended_test.pdb"
+  "mpr_collectives_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_collectives_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_property_test.dir/mpr/mpr_property_test.cpp.o"
+  "CMakeFiles/mpr_property_test.dir/mpr/mpr_property_test.cpp.o.d"
+  "mpr_property_test"
+  "mpr_property_test.pdb"
+  "mpr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_state_machine_test.dir/mpr/state_machine_test.cpp.o"
+  "CMakeFiles/mpr_state_machine_test.dir/mpr/state_machine_test.cpp.o.d"
+  "mpr_state_machine_test"
+  "mpr_state_machine_test.pdb"
+  "mpr_state_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_state_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

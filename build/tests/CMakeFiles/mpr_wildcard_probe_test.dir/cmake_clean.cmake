@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpr_wildcard_probe_test.dir/mpr/wildcard_probe_test.cpp.o"
+  "CMakeFiles/mpr_wildcard_probe_test.dir/mpr/wildcard_probe_test.cpp.o.d"
+  "mpr_wildcard_probe_test"
+  "mpr_wildcard_probe_test.pdb"
+  "mpr_wildcard_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpr_wildcard_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_blcr_test.dir/proc/blcr_test.cpp.o"
+  "CMakeFiles/proc_blcr_test.dir/proc/blcr_test.cpp.o.d"
+  "proc_blcr_test"
+  "proc_blcr_test.pdb"
+  "proc_blcr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_blcr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

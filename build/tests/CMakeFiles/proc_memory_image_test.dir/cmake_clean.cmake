@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proc_memory_image_test.dir/proc/memory_image_test.cpp.o"
+  "CMakeFiles/proc_memory_image_test.dir/proc/memory_image_test.cpp.o.d"
+  "proc_memory_image_test"
+  "proc_memory_image_test.pdb"
+  "proc_memory_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proc_memory_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_edge_test.dir/storage/storage_edge_test.cpp.o"
+  "CMakeFiles/storage_edge_test.dir/storage/storage_edge_test.cpp.o.d"
+  "storage_edge_test"
+  "storage_edge_test.pdb"
+  "storage_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_filesystem_test.dir/storage/filesystem_test.cpp.o"
+  "CMakeFiles/storage_filesystem_test.dir/storage/filesystem_test.cpp.o.d"
+  "storage_filesystem_test"
+  "storage_filesystem_test.pdb"
+  "storage_filesystem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_filesystem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

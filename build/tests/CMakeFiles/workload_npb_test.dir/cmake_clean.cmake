@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_npb_test.dir/workload/npb_test.cpp.o"
+  "CMakeFiles/workload_npb_test.dir/workload/npb_test.cpp.o.d"
+  "workload_npb_test"
+  "workload_npb_test.pdb"
+  "workload_npb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_npb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Determinism.FullMigrationCycleIsExactlyReproducible]=]  /root/repo/build/tests/migration_determinism_test [==[--gtest_filter=Determinism.FullMigrationCycleIsExactlyReproducible]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Determinism.FullMigrationCycleIsExactlyReproducible]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  migration_determinism_test_TESTS Determinism.FullMigrationCycleIsExactlyReproducible)
