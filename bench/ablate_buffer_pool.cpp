@@ -18,7 +18,9 @@ using namespace jobmig::sim::literals;
 
 /// Checkpoint 8 BT.C-sized processes through the pool; returns virtual
 /// seconds from first checkpoint write to DONE-ack.
-double run_transfer(migration::PoolConfig cfg) {
+double run_transfer(migration::PoolConfig cfg, bench::BenchReporter& reporter) {
+  reporter.begin_run("pool" + std::to_string(cfg.pool_bytes / 1000000) + "MB.chunk" +
+                     std::to_string(cfg.chunk_bytes / 1000) + "kB");
   sim::Engine engine;
   ib::Fabric fabric(engine);
   ib::Hca& src = fabric.add_node("src");
@@ -61,7 +63,8 @@ double run_transfer(migration::PoolConfig cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("ablate_buffer_pool", bench::BenchOptions::parse(argc, argv));
   bench::print_header("Ablation E6 — buffer pool / chunk size sensitivity",
                       "§IV-A: 10 MB pool, 1 MB chunks chosen; overhead insensitive to size");
   jobmig::bench::WallClock wall;
@@ -82,12 +85,16 @@ int main() {
       migration::PoolConfig cfg;
       cfg.pool_bytes = pool;
       cfg.chunk_bytes = chunk;
-      std::printf(" %12.3f", run_transfer(cfg));
+      const double seconds = run_transfer(cfg, reporter);
+      std::printf(" %12.3f", seconds);
+      reporter.add_row("pool" + std::to_string(pool / 1000000) + "MB.chunk" +
+                           std::to_string(chunk / 1000) + "kB",
+                       {{"phase2_s", seconds}});
     }
     std::printf("\n");
   }
   std::printf("\npaper shape: a flat surface — transfer is pipeline-bound, not\n"
               "pool-bound, once a couple of chunks can be in flight.\n");
   jobmig::bench::print_footer(wall, 15.0);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

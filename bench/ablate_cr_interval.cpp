@@ -81,25 +81,34 @@ Outcome run(bool with_migration, sim::Duration interval, sim::Duration failure_a
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header(
       "Ablation E10 — periodic CR alone vs CR + proactive migration (paper §VI)",
       "BT.C.64, one predicted node failure at t=50 s; checkpoints to local ext3");
   jobmig::bench::WallClock wall;
+  jobmig::bench::BenchReporter reporter("ablate_cr_interval",
+                                        jobmig::bench::BenchOptions::parse(argc, argv));
 
   std::printf("%-10s %-14s %8s %12s %12s %12s\n", "interval", "strategy", "ckpts",
               "FT I/O (MB)", "FT time (s)", "lost work (s)");
   for (int interval_s : {30, 60, 120}) {
     for (bool migrate : {false, true}) {
+      const std::string label = std::to_string(interval_s) + "s/" +
+                                (migrate ? "cr+migration" : "cr-only");
+      reporter.begin_run(label);
       Outcome o = run(migrate, sim::Duration::sec(interval_s), 50_s);
       std::printf("%8ds  %-14s %8zu %12.0f %12.1f %12.1f\n", interval_s,
                   migrate ? "CR+migration" : "CR-only", o.checkpoints, o.ft_io_mb, o.ft_time_s,
                   o.lost_work_s);
+      reporter.add_row(label, {{"checkpoints", static_cast<double>(o.checkpoints)},
+                               {"ft_io_mb", o.ft_io_mb},
+                               {"ft_time_s", o.ft_time_s},
+                               {"lost_work_s", o.lost_work_s}});
     }
   }
   std::printf("\npaper expectation: migration absorbs the failure without a job-wide\n"
               "restart, avoids re-dumps, and lets checkpoints stretch out — less\n"
               "I/O, less FT time, zero recomputation.\n");
   jobmig::bench::print_footer(wall, 600.0);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

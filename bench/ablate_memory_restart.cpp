@@ -14,7 +14,9 @@ using namespace jobmig;
 using namespace jobmig::sim::literals;
 
 migration::MigrationReport run_one(const workload::KernelSpec& spec,
-                                   migration::RestartMode mode) {
+                                   migration::RestartMode mode,
+                                   bench::BenchReporter& reporter) {
+  reporter.begin_run(spec.name() + "/" + std::string(migration::to_string(mode)));
   sim::Engine engine;
   cluster::ClusterConfig cfg = bench::paper_testbed();
   cfg.mig.restart_mode = mode;
@@ -34,7 +36,8 @@ migration::MigrationReport run_one(const workload::KernelSpec& spec,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("ablate_memory_restart", bench::BenchOptions::parse(argc, argv));
   bench::print_header(
       "Ablation E8 — restart strategies: file vs memory vs pipelined (paper §IV-A/§VI)",
       "Fig. 4 workloads; Phase 2+3 under the three restart strategies (ms)");
@@ -47,15 +50,21 @@ int main() {
   for (const auto& full_spec : jobmig::bench::paper_workloads()) {
     auto spec = full_spec;
     spec.iterations = std::max(50, spec.iterations / 4);
-    const auto file_mode = run_one(spec, migration::RestartMode::kFile);
-    const auto mem_mode = run_one(spec, migration::RestartMode::kMemory);
-    const auto pipe_mode = run_one(spec, migration::RestartMode::kPipelined);
+    const auto file_mode = run_one(spec, migration::RestartMode::kFile, reporter);
+    const auto mem_mode = run_one(spec, migration::RestartMode::kMemory, reporter);
+    const auto pipe_mode = run_one(spec, migration::RestartMode::kPipelined, reporter);
     std::printf("%-10s | %10.0f %10.0f %9.0f | %10.0f %10.0f %9.0f | %10.0f %10.0f %9.0f\n",
                 spec.name().c_str(), file_mode.migration.to_ms(), file_mode.restart.to_ms(),
                 file_mode.total().to_ms(), mem_mode.migration.to_ms(),
                 mem_mode.restart.to_ms(), mem_mode.total().to_ms(),
                 pipe_mode.migration.to_ms(), pipe_mode.restart.to_ms(),
                 pipe_mode.total().to_ms());
+    reporter.add_row(spec.name(), {{"file_restart_ms", file_mode.restart.to_ms()},
+                                   {"file_total_ms", file_mode.total().to_ms()},
+                                   {"memory_restart_ms", mem_mode.restart.to_ms()},
+                                   {"memory_total_ms", mem_mode.total().to_ms()},
+                                   {"pipelined_restart_ms", pipe_mode.restart.to_ms()},
+                                   {"pipelined_total_ms", pipe_mode.total().to_ms()}});
     sim_total += 450.0;
   }
   std::printf("\npaper expectation: the Phase-3 file I/O disappears (memory) and the\n"
@@ -63,5 +72,5 @@ int main() {
               "folds the BLCR rebuild into the transfer window, leaving Phase 3 as\n"
               "pure bookkeeping.\n");
   jobmig::bench::print_footer(wall, sim_total);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -95,15 +95,20 @@ double run_tcp(std::uint64_t image_bytes, double bandwidth_Bps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation E7 — RDMA buffer pool vs socket transports",
                       "§III-B: one node's checkpoint data (8 x BT.C images, ~309 MB)");
   jobmig::bench::WallClock wall;
+  jobmig::bench::BenchReporter reporter("ablate_rdma_vs_tcp",
+                                        jobmig::bench::BenchOptions::parse(argc, argv));
 
   auto spec = jobmig::workload::make_spec(jobmig::workload::NpbApp::kBT,
                                           jobmig::workload::NpbClass::kC, 64);
+  reporter.begin_run("rdma-pool");
   const double rdma = run_rdma(spec.image_bytes_per_rank);
+  reporter.begin_run("tcp-ipoib");
   const double ipoib = run_tcp(spec.image_bytes_per_rank, 450e6);  // IPoIB on DDR, ~450 MB/s
+  reporter.begin_run("tcp-gige");
   const double gige = run_tcp(spec.image_bytes_per_rank, 112e6);
 
   std::printf("%-22s %12s %12s\n", "transport", "seconds", "vs RDMA");
@@ -112,6 +117,9 @@ int main() {
   std::printf("%-22s %12.3f %11.2fx\n", "TCP over GigE", gige, gige / rdma);
   std::printf("\npaper shape: RDMA wins; IPoIB pays the socket memory-copy path on\n"
               "the same wire; GigE is bandwidth-starved outright.\n");
+  reporter.add_row("rdma-pool", {{"seconds", rdma}, {"vs_rdma", 1.0}});
+  reporter.add_row("tcp-ipoib", {{"seconds", ipoib}, {"vs_rdma", ipoib / rdma}});
+  reporter.add_row("tcp-gige", {{"seconds", gige}, {"vs_rdma", gige / rdma}});
   jobmig::bench::print_footer(wall, rdma + ipoib + gige);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

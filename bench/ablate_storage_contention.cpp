@@ -39,15 +39,18 @@ double aggregate_bandwidth(storage::FileSystem& fs, sim::Engine& engine, int wri
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_header("Ablation E9 — storage contention under concurrent checkpoint streams",
                       "§IV-C: aggregate write bandwidth vs writer count (MB/s)");
   jobmig::bench::WallClock wall;
+  jobmig::bench::BenchReporter reporter("ablate_storage_contention",
+                                        jobmig::bench::BenchOptions::parse(argc, argv));
 
   std::printf("%-10s %14s %16s %18s\n", "writers", "ext3 (MB/s)", "PVFS (MB/s)",
               "PVFS per-stream");
   sim::Calibration cal;
   for (int writers : {1, 2, 4, 8, 16}) {
+    reporter.begin_run(std::to_string(writers) + "writers");
     sim::Engine e1;
     storage::LocalFs ext3(e1, cal.disk);
     const double ext3_bw = aggregate_bandwidth(ext3, e1, writers, 64ull << 20);
@@ -58,10 +61,14 @@ int main() {
 
     std::printf("%-10d %14.1f %16.1f %18.1f\n", writers, ext3_bw, pvfs_bw,
                 pvfs_bw / writers);
+    reporter.add_row(std::to_string(writers) + "writers",
+                     {{"ext3_MBps", ext3_bw},
+                      {"pvfs_MBps", pvfs_bw},
+                      {"pvfs_per_stream_MBps", pvfs_bw / writers}});
   }
   std::printf("\npaper shape: a single stream enjoys PVFS striping (~4 servers), but\n"
               "aggregate bandwidth saturates and per-stream bandwidth collapses as\n"
               "checkpoint streams pile up — the CR(PVFS) penalty of Fig. 7.\n");
   jobmig::bench::print_footer(wall, 60.0);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

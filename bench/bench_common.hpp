@@ -2,10 +2,17 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "jobmig/cluster/cluster.hpp"
+#include "jobmig/telemetry/export.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 #include "jobmig/workload/npb.hpp"
 
 /// Shared scaffolding for the experiment harnesses. Each bench binary
@@ -42,6 +49,110 @@ inline void print_footer(const WallClock& wall, double sim_seconds) {
   std::printf("(simulated %.1f s of cluster time in %.1f s of wall time)\n\n", sim_seconds,
               wall.seconds());
 }
+
+/// Command-line options shared by every bench binary. Telemetry (spans +
+/// metrics) is recorded only when at least one output file is requested, so
+/// a plain run stays on the zero-cost disabled path.
+struct BenchOptions {
+  std::string json_out;   // --json-out FILE: versioned summary JSON
+  std::string trace_out;  // --trace-out FILE: Chrome trace_event JSON
+
+  bool telemetry() const { return !json_out.empty() || !trace_out.empty(); }
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opts;
+    auto take = [&](int& i, const char* flag) -> std::string {
+      const std::size_t n = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, n) == 0 && argv[i][n] == '=') return argv[i] + n + 1;
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return {};
+    };
+    for (int i = 1; i < argc; ++i) {
+      std::string v;
+      if (!(v = take(i, "--json-out")).empty()) {
+        opts.json_out = v;
+      } else if (!(v = take(i, "--trace-out")).empty()) {
+        opts.trace_out = v;
+      } else {
+        std::fprintf(stderr, "usage: %s [--json-out FILE] [--trace-out FILE]\n", argv[0]);
+        std::exit(2);
+      }
+    }
+    return opts;
+  }
+};
+
+/// Collects the bench's printed rows as machine-readable key/value fields
+/// and, when requested, writes the `jobmig-bench-v1` summary JSON and the
+/// Chrome trace. Owns the telemetry session for the whole binary.
+class BenchReporter {
+ public:
+  using Fields = std::vector<std::pair<std::string, double>>;
+
+  BenchReporter(std::string bench, BenchOptions opts)
+      : bench_(std::move(bench)), opts_(std::move(opts)) {
+    if (opts_.telemetry()) scope_.emplace(session_);
+  }
+
+  const BenchOptions& options() const { return opts_; }
+  bool telemetry_on() const { return opts_.telemetry(); }
+
+  /// Group subsequent spans under one Chrome pid (one per engine run).
+  void begin_run(const std::string& name) {
+    if (telemetry_on()) session_.trace.set_process(name);
+  }
+
+  /// One summary row; field keys mirror the printed table's columns.
+  void add_row(std::string label, Fields fields) {
+    rows_.emplace_back(std::move(label), std::move(fields));
+  }
+
+  /// Write the requested output files. Returns false if any write failed.
+  bool finish() {
+    bool ok = true;
+    if (!opts_.json_out.empty()) {
+      std::ofstream os(opts_.json_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", opts_.json_out.c_str());
+        ok = false;
+      } else {
+        telemetry::JsonWriter w(os);
+        w.begin_object();
+        w.field("format", "jobmig-bench-v1");
+        w.field("bench", bench_);
+        w.key("rows").begin_array();
+        for (const auto& [label, fields] : rows_) {
+          w.begin_object();
+          w.field("label", label);
+          for (const auto& [k, v] : fields) w.field(k, v);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("metrics");
+        telemetry::write_metrics(w, session_.metrics);
+        w.end_object();
+        std::printf("summary JSON: %s\n", opts_.json_out.c_str());
+      }
+    }
+    if (!opts_.trace_out.empty()) {
+      if (telemetry::write_chrome_trace_file(session_.trace, opts_.trace_out)) {
+        std::printf("Chrome trace: %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                    opts_.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot open %s\n", opts_.trace_out.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  BenchOptions opts_;
+  telemetry::Telemetry session_;
+  std::optional<telemetry::TelemetryScope> scope_;  // installed only when recording
+  std::vector<std::pair<std::string, Fields>> rows_;
+};
 
 /// One LU/BT/SP class-C 64-rank spec per paper workload.
 inline std::vector<workload::KernelSpec> paper_workloads(int nprocs = 64,

@@ -22,7 +22,8 @@ struct Row {
   migration::MigrationReport report;
 };
 
-Row run_one(const workload::KernelSpec& spec) {
+Row run_one(const workload::KernelSpec& spec, bench::BenchReporter& reporter) {
+  reporter.begin_run(spec.name());
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
@@ -43,7 +44,9 @@ Row run_one(const workload::KernelSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig4_migration_overhead",
+                                bench::BenchOptions::parse(argc, argv));
   bench::print_header("Fig. 4 — Process migration overhead, phase decomposition",
                       "LU/BT/SP class C, 64 procs on 8 nodes, 1 migration (times in ms)");
   WallClock wall;
@@ -57,13 +60,19 @@ int main() {
     // A short run is enough: only the migration cycle is measured.
     auto scaled = spec;
     scaled.iterations = std::max(50, spec.iterations / 4);
-    Row row = run_one(scaled);
+    Row row = run_one(scaled, reporter);
     const auto& r = row.report;
     std::printf("%-10s %10.0f %12.0f %10.0f %10.0f %10.0f   %s\n", row.app.c_str(),
                 r.stall.to_ms(), r.migration.to_ms(), r.restart.to_ms(), r.resume.to_ms(),
                 r.total().to_ms(), paper_totals[i++]);
+    reporter.add_row(row.app, {{"stall_ms", r.stall.to_ms()},
+                               {"migration_ms", r.migration.to_ms()},
+                               {"restart_ms", r.restart.to_ms()},
+                               {"resume_ms", r.resume.to_ms()},
+                               {"total_ms", r.total().to_ms()},
+                               {"bytes_moved", static_cast<double>(r.bytes_moved)}});
     sim_total += 120.0;
   }
   bench::print_footer(wall, sim_total);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -12,7 +12,9 @@ namespace {
 using namespace jobmig;
 using namespace jobmig::sim::literals;
 
-double run_app(const workload::KernelSpec& spec, bool with_migration) {
+double run_app(const workload::KernelSpec& spec, bool with_migration,
+               bench::BenchReporter& reporter) {
+  reporter.begin_run(spec.name() + (with_migration ? "/migrated" : "/baseline"));
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
@@ -37,7 +39,8 @@ double run_app(const workload::KernelSpec& spec, bool with_migration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig5_app_overhead", bench::BenchOptions::parse(argc, argv));
   bench::print_header("Fig. 5 — Application execution time, 0 vs 1 migration",
                       "LU/BT/SP class C, 64 procs on 8 nodes (times in s)");
   jobmig::bench::WallClock wall;
@@ -48,13 +51,16 @@ int main() {
   int i = 0;
   double sim_total = 0.0;
   for (const auto& spec : jobmig::bench::paper_workloads()) {
-    const double base = run_app(spec, false);
-    const double with_mig = run_app(spec, true);
+    const double base = run_app(spec, false, reporter);
+    const double with_mig = run_app(spec, true, reporter);
     const double overhead = (with_mig - base) / base * 100.0;
     std::printf("%-10s %14.1f %14.1f %9.1f%%   %s\n", spec.name().c_str(), base, with_mig,
                 overhead, paper[i++]);
+    reporter.add_row(spec.name(), {{"baseline_s", base},
+                                   {"migrated_s", with_mig},
+                                   {"overhead_pct", overhead}});
     sim_total += base + with_mig;
   }
   jobmig::bench::print_footer(wall, sim_total);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -14,8 +14,9 @@ namespace {
 using namespace jobmig;
 using namespace jobmig::sim::literals;
 
-migration::MigrationReport run_scale(int nprocs) {
+migration::MigrationReport run_scale(int nprocs, bench::BenchReporter& reporter) {
   auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kC, nprocs);
+  reporter.begin_run("lu.C." + std::to_string(nprocs));
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
   cl.create_job(nprocs / 8, spec.image_bytes_per_rank);
@@ -35,7 +36,8 @@ migration::MigrationReport run_scale(int nprocs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig6_scalability", bench::BenchOptions::parse(argc, argv));
   bench::print_header("Fig. 6 — Migration scalability (LU class C, 8 compute nodes)",
                       "8/16/32/64 ranks -> 1/2/4/8 per node; one migration (times in ms)");
   jobmig::bench::WallClock wall;
@@ -44,13 +46,19 @@ int main() {
               "restart", "resume", "total");
   double sim_total = 0.0;
   for (int nprocs : {8, 16, 32, 64}) {
-    const auto r = run_scale(nprocs);
+    const auto r = run_scale(nprocs, reporter);
     std::printf("%-14d %10.0f %12.0f %10.0f %10.0f %10.0f\n", nprocs / 8, r.stall.to_ms(),
                 r.migration.to_ms(), r.restart.to_ms(), r.resume.to_ms(), r.total().to_ms());
+    reporter.add_row(std::to_string(nprocs / 8) + "ppn",
+                     {{"stall_ms", r.stall.to_ms()},
+                      {"migration_ms", r.migration.to_ms()},
+                      {"restart_ms", r.restart.to_ms()},
+                      {"resume_ms", r.resume.to_ms()},
+                      {"total_ms", r.total().to_ms()}});
     sim_total += 200.0;
   }
   std::printf("\npaper shape: totals grow monotonically with procs/node; Phase 3\n"
               "(file-based restart) dominates and scales with the restart volume.\n");
   jobmig::bench::print_footer(wall, sim_total);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

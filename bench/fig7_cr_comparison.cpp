@@ -22,7 +22,9 @@ struct Stacks {
   migration::CrReport cr_pvfs;
 };
 
-migration::MigrationReport run_migration(const workload::KernelSpec& spec) {
+migration::MigrationReport run_migration(const workload::KernelSpec& spec,
+                                         bench::BenchReporter& reporter) {
+  reporter.begin_run(spec.name() + "/migration");
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
@@ -38,7 +40,9 @@ migration::MigrationReport run_migration(const workload::KernelSpec& spec) {
   return report;
 }
 
-migration::CrReport run_cr(const workload::KernelSpec& spec, bool pvfs) {
+migration::CrReport run_cr(const workload::KernelSpec& spec, bool pvfs,
+                           bench::BenchReporter& reporter) {
+  reporter.begin_run(spec.name() + (pvfs ? "/cr-pvfs" : "/cr-ext3"));
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
@@ -75,21 +79,30 @@ void print_stacks(const workload::KernelSpec& spec, const Stacks& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("fig7_cr_comparison", bench::BenchOptions::parse(argc, argv));
   bench::print_header("Fig. 7 — Job Migration vs Checkpoint/Restart",
                       "LU/BT/SP class C, 64 procs; CR to local ext3 and PVFS");
   jobmig::bench::WallClock wall;
   double sim_total = 0.0;
   for (const auto& spec : jobmig::bench::paper_workloads()) {
     Stacks s;
-    s.mig = run_migration(spec);
-    s.cr_ext3 = run_cr(spec, /*pvfs=*/false);
-    s.cr_pvfs = run_cr(spec, /*pvfs=*/true);
+    s.mig = run_migration(spec, reporter);
+    s.cr_ext3 = run_cr(spec, /*pvfs=*/false, reporter);
+    s.cr_pvfs = run_cr(spec, /*pvfs=*/true, reporter);
     print_stacks(spec, s);
+    reporter.add_row(spec.name(),
+                     {{"migration_total_ms", s.mig.total().to_ms()},
+                      {"cr_ext3_total_ms", s.cr_ext3.cycle_total().to_ms()},
+                      {"cr_pvfs_total_ms", s.cr_pvfs.cycle_total().to_ms()},
+                      {"speedup_vs_ext3",
+                       s.cr_ext3.cycle_total().to_seconds() / s.mig.total().to_seconds()},
+                      {"speedup_vs_pvfs",
+                       s.cr_pvfs.cycle_total().to_seconds() / s.mig.total().to_seconds()}});
     sim_total += 750.0;
   }
   std::printf("\npaper headline (LU.C.64): migration 6.3 s; CR(ext3) 12.9 s -> 2.03x;\n"
               "CR(PVFS) 28.3 s -> 4.49x.\n");
   jobmig::bench::print_footer(wall, sim_total);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

@@ -21,7 +21,8 @@ struct Row {
   double measured_migration_mb = 0.0;
 };
 
-Row run_one(const workload::KernelSpec& spec) {
+Row run_one(const workload::KernelSpec& spec, bench::BenchReporter& reporter) {
+  reporter.begin_run(spec.name());
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
@@ -48,7 +49,8 @@ Row run_one(const workload::KernelSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("table1_data_movement", bench::BenchOptions::parse(argc, argv));
   bench::print_header("Table I — Amount of data movement (MB)",
                       "migration (one node) vs CR (whole job), 64 procs on 8 nodes");
   jobmig::bench::WallClock wall;
@@ -58,11 +60,14 @@ int main() {
   const char* paper[] = {"170.4 / 1363.2", "308.8 / 2470.4", "303.2 / 2425.6"};
   int i = 0;
   for (const auto& spec : jobmig::bench::paper_workloads()) {
-    Row row = run_one(spec);
+    Row row = run_one(spec, reporter);
     std::printf("%-10s %16.1f %16.1f %18.1f   %s\n", row.app.c_str(), row.migration_mb,
                 row.cr_mb, row.measured_migration_mb, paper[i++]);
+    reporter.add_row(row.app, {{"migration_mb", row.migration_mb},
+                               {"cr_mb", row.cr_mb},
+                               {"measured_migration_mb", row.measured_migration_mb}});
   }
   std::printf("\npaper shape: migration moves ~1/8 of the CR volume (one node of eight).\n");
   jobmig::bench::print_footer(wall, 450.0);
-  return 0;
+  return reporter.finish() ? 0 : 1;
 }

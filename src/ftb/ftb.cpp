@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "jobmig/sim/log.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::ftb {
 
@@ -119,7 +120,13 @@ std::optional<FtbEvent> FtbClient::poll_event() { return inbox_.try_recv(); }
 void FtbClient::deliver(const FtbEvent& ev) {
   for (const Subscription& s : subs_) {
     if (s.matches(ev)) {
-      if (!inbox_.try_send(ev)) ++dropped_;
+      if (inbox_.try_send(ev)) {
+        telemetry::ftb_mark_deliver(ev.origin, ev.seq);
+        telemetry::count("ftb.deliveries");
+      } else {
+        ++dropped_;
+        telemetry::count("ftb.drops");
+      }
       return;  // at most one copy per client
     }
   }
@@ -173,6 +180,8 @@ void FtbAgent::unregister_client(FtbClient* c) {
 sim::Task FtbAgent::accept_local(FtbEvent ev) {
   ev.origin = host_.id();
   ev.seq = next_seq_++;
+  telemetry::ftb_mark_publish(ev.origin, ev.seq);
+  telemetry::count("ftb.publishes");
   route(ev, nullptr);
   co_return;
 }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "jobmig/sim/log.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::ib {
 
@@ -116,8 +117,16 @@ sim::ValueTask<WcStatus> deliver(EpPtr dst, sim::Bytes payload, std::uint32_t im
   co_return WcStatus::kSuccess;
 }
 
+/// Per-link traffic counter, e.g. "ib.link.0->2". Guarded by enabled() at
+/// the call sites so the string build is skipped when telemetry is off.
+void count_link_bytes(NodeId from, NodeId to, std::uint64_t len) {
+  telemetry::count("ib.link." + std::to_string(from) + "->" + std::to_string(to), len);
+}
+
 sim::Task run_send(EpPtr src, SendWr wr) {
   const sim::IbParams& p = src->hca->fabric().params();
+  sim::Engine& engine = src->hca->engine();
+  const sim::TimePoint wqe_begin = engine.now();
   const std::uint64_t len = wr.payload.size();
   WcStatus status = WcStatus::kSuccess;
   {
@@ -136,6 +145,7 @@ sim::Task run_send(EpPtr src, SendWr wr) {
       co_await dst_hca->ingress().transfer(len);
       dst_hca->add_bytes_in(len);
       src->hca->fabric().account(len);
+      if (telemetry::enabled()) count_link_bytes(src->hca->node(), src->remote.node, len);
       status = co_await deliver(std::move(dst), std::move(wr.payload), wr.imm_data, wr.has_imm);
     }
   }
@@ -143,11 +153,14 @@ sim::Task run_send(EpPtr src, SendWr wr) {
     status = WcStatus::kFlushError;  // torn down while the ACK was in flight
   }
   co_await sim::sleep_for(p.hop_latency * 2);  // ACK return path
+  telemetry::observe_ns("ib.send_ns", engine.now() - wqe_begin);
   src->complete(wr.wr_id, WcOpcode::kSend, status, len);
 }
 
 sim::Task run_rdma(EpPtr src, RdmaWr wr, bool is_read) {
   const sim::IbParams& p = src->hca->fabric().params();
+  sim::Engine& engine = src->hca->engine();
+  const sim::TimePoint wqe_begin = engine.now();
   WcStatus status = WcStatus::kSuccess;
   {
     auto lock = co_await src->tx.lock();
@@ -174,6 +187,13 @@ sim::Task run_rdma(EpPtr src, RdmaWr wr, bool is_read) {
         co_await charged.ingress().transfer(wr.length);
         charged.add_bytes_in(wr.length);
         src->hca->fabric().account(wr.length);
+        if (telemetry::enabled()) {
+          if (is_read) {
+            count_link_bytes(src->remote.node, src->hca->node(), wr.length);
+          } else {
+            count_link_bytes(src->hca->node(), src->remote.node, wr.length);
+          }
+        }
         if (wr.length > 0) {
           if (is_read) {
             std::memcpy(wr.local_addr, mr->addr() + wr.remote_offset, wr.length);
@@ -189,6 +209,8 @@ sim::Task run_rdma(EpPtr src, RdmaWr wr, bool is_read) {
     src->error_out();
   }
   co_await sim::sleep_for(p.hop_latency * 2);
+  telemetry::observe_ns(is_read ? "ib.rdma_read_ns" : "ib.rdma_write_ns",
+                        engine.now() - wqe_begin);
   src->complete(wr.wr_id, is_read ? WcOpcode::kRdmaRead : WcOpcode::kRdmaWrite, status,
                 wr.length);
 }

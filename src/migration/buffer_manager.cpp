@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "jobmig/sim/log.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::migration {
 
@@ -141,17 +142,31 @@ sim::Task TargetBufferManager::pull_one(wire::ControlMsg req) {
 
   if (req.length > 0) {
     JOBMIG_EXPECTS_MSG(req.length <= cfg_.chunk_bytes, "oversized chunk advertised");
+    telemetry::ScopedSpan chunk_span("pool.target", "pull chunk", /*async=*/true);
+    if (chunk_span.id() != telemetry::kNoSpan) {
+      chunk_span.attr("rank", std::to_string(req.rank));
+      chunk_span.attr("bytes", std::to_string(req.length));
+    }
     // Wait for a free local chunk, pull, then reassemble at the advertised
     // stream offset ("concatenated into a complete checkpoint file").
     co_await free_chunks_.acquire();
     const std::size_t local_chunk = free_list_.front();
     free_list_.pop_front();
+    if (telemetry::Telemetry* t = telemetry::current()) {
+      t->trace.counter_sample("pool.target", "free_chunks",
+                              static_cast<double>(free_list_.size()));
+      t->metrics.gauge("pool.target.free_chunks").set(static_cast<double>(free_list_.size()));
+    }
     std::byte* dst = pool_.data() + local_chunk * cfg_.chunk_bytes;
 
+    const sim::TimePoint read_begin = hca_.engine().now();
     const std::uint64_t wr = next_wr_++;
     qp_->post_rdma_read(ib::RdmaWr{wr, dst, req.pool_offset, req.rkey, req.length});
     ib::WorkCompletion wc = co_await send_dispatch_.await(wr);
     JOBMIG_ASSERT_MSG(wc.ok(), "buffer-pool RDMA read failed");
+    telemetry::observe_ns("pool.rdma_read_ns", hca_.engine().now() - read_begin);
+    telemetry::count("pool.bytes_pulled", req.length);
+    telemetry::count("pool.chunks_pulled");
     bytes_pulled_ += req.length;
 
     if (stream.size() < req.stream_offset + req.length) {
@@ -160,6 +175,11 @@ sim::Task TargetBufferManager::pull_one(wire::ControlMsg req) {
     std::memcpy(stream.data() + req.stream_offset, dst, req.length);
     free_list_.push_back(local_chunk);
     free_chunks_.release();
+    if (telemetry::Telemetry* t = telemetry::current()) {
+      t->trace.counter_sample("pool.target", "free_chunks",
+                              static_cast<double>(free_list_.size()));
+      t->metrics.gauge("pool.target.free_chunks").set(static_cast<double>(free_list_.size()));
+    }
 
     // Advance the contiguous watermark (chunks normally land in order; the
     // segment map absorbs any reordering) for on-the-fly readers.
@@ -312,6 +332,7 @@ sim::Task SourceBufferManager::release_loop() {
       free_chunks_.release();
       JOBMIG_ASSERT(in_flight_ > 0);
       --in_flight_;
+      telemetry::gauge_set("pool.source.in_flight", static_cast<double>(in_flight_));
       if (in_flight_ == 0) chunks_idle_.set();
     } else if (msg->op == wire::Op::kDoneAck) {
       done_ack_.set();
@@ -322,10 +343,17 @@ sim::Task SourceBufferManager::release_loop() {
 }
 
 sim::ValueTask<SourceBufferManager::Chunk> SourceBufferManager::acquire_chunk() {
+  const sim::TimePoint wait_begin = hca_.engine().now();
   co_await free_chunks_.acquire();
+  telemetry::observe_ns("pool.acquire_wait_ns", hca_.engine().now() - wait_begin);
   JOBMIG_ASSERT(!free_list_.empty());
   Chunk chunk{free_list_.front(), 0};
   free_list_.pop_front();
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->trace.counter_sample("pool.source", "free_chunks",
+                            static_cast<double>(free_list_.size()));
+    t->metrics.gauge("pool.source.free_chunks").set(static_cast<double>(free_list_.size()));
+  }
   co_return chunk;
 }
 
@@ -344,6 +372,9 @@ sim::Task SourceBufferManager::submit(Chunk chunk, int rank, std::uint64_t strea
   ++in_flight_;
   peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
   bytes_submitted_ += chunk.fill;
+  telemetry::count("pool.chunks_submitted");
+  telemetry::count("pool.bytes_submitted", chunk.fill);
+  telemetry::gauge_set("pool.source.in_flight", static_cast<double>(in_flight_));
   const std::uint64_t wr = next_wr_++;
   qp_->post_send(ib::SendWr{wr, req.encode()});
   ib::WorkCompletion wc = co_await send_dispatch_.await(wr);

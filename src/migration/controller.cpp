@@ -4,34 +4,11 @@
 #include <sstream>
 
 #include "jobmig/sim/log.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::migration {
 
 using namespace sim::literals;
-
-std::string encode_kv(const std::map<std::string, std::string>& kv) {
-  std::ostringstream os;
-  bool first = true;
-  for (const auto& [k, v] : kv) {
-    if (!first) os << ' ';
-    first = false;
-    os << k << '=' << v;
-  }
-  return os.str();
-}
-
-std::map<std::string, std::string> decode_kv(const std::string& payload) {
-  std::map<std::string, std::string> out;
-  std::istringstream is(payload);
-  std::string token;
-  while (is >> token) {
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos) continue;
-    out[token.substr(0, eq)] = token.substr(eq + 1);
-  }
-  return out;
-}
-
 
 namespace {
 
@@ -85,6 +62,9 @@ std::vector<int> decode_ranks(const std::string& s) {
 ftb::Subscription all_mig_events() {
   return ftb::Subscription{kMigSpace, "*", ftb::Severity::kInfo};
 }
+
+/// Telemetry track of a node's C/R daemon (one Chrome tid per node).
+std::string crd_track(const launch::NodeLaunchAgent& nla) { return "crd:" + nla.hostname(); }
 
 }  // namespace
 
@@ -143,9 +123,19 @@ sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string targ
   }
 
   // ---- Phase 1: Job Stall (per-process C/R-thread work) ----
+  telemetry::ScopedSpan stall_span(crd_track(nla_), "stall");
   for (int r : local_ranks) job_.proc(r).request_park();
-  for (int r : local_ranks) co_await job_.proc(r).wait_parked();
-  for (int r : local_ranks) co_await job_.proc(r).drain_and_teardown();
+  for (int r : local_ranks) {
+    telemetry::ScopedSpan park(crd_track(nla_), "park rank " + std::to_string(r),
+                               /*async=*/true);
+    co_await job_.proc(r).wait_parked();
+  }
+  for (int r : local_ranks) {
+    telemetry::ScopedSpan drain(crd_track(nla_), "drain rank " + std::to_string(r),
+                                /*async=*/true);
+    co_await job_.proc(r).drain_and_teardown();
+  }
+  stall_span.end();
   ftb::FtbEvent suspend_done = mig_event(kEvSuspendDone, ftb::Severity::kInfo,
                                          {{"host", nla_.hostname()}});
   co_await ftb_.publish(std::move(suspend_done));
@@ -166,6 +156,8 @@ sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string targ
 }
 
 sim::Task NodeCrDaemon::stay_routine(int rank) {
+  telemetry::ScopedSpan span(crd_track(nla_), "barrier rank " + std::to_string(rank),
+                             /*async=*/true);
   co_await job_.migration_barrier_enter();
   co_await job_.proc(rank).rebuild_and_resume();
 }
@@ -192,15 +184,22 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   smgr.start();
 
   // ---- Phase 2: checkpoint every local rank through the pool ----
+  telemetry::ScopedSpan ckpt_span(crd_track(nla_), "checkpoint");
   const std::vector<int> ranks = nla_.local_ranks();
   std::vector<std::unique_ptr<proc::CheckpointSink>> sinks;
   sim::TaskGroup group(*nla_.env().engine);
   for (int r : ranks) {
     sinks.push_back(smgr.make_sink(r));
-    group.spawn(nla_.env().blcr->checkpoint(job_.proc(r).sim_process(), *sinks.back()));
+    group.spawn([](NodeCrDaemon& self, int rank, proc::CheckpointSink& sink) -> sim::Task {
+      // Concurrent per-rank checkpoints: async spans, they overlap freely.
+      telemetry::ScopedSpan span(crd_track(self.nla_), "checkpoint rank " + std::to_string(rank),
+                                 /*async=*/true);
+      co_await self.nla_.env().blcr->checkpoint(self.job_.proc(rank).sim_process(), sink);
+    }(*this, r, *sinks.back()));
   }
   co_await group.wait();
   co_await smgr.finish();
+  ckpt_span.end();
 
   ftb::FtbEvent piic_ev = mig_event(
       kEvMigratePiic, ftb::Severity::kInfo,
@@ -235,6 +234,7 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
   // In pipelined mode the paper's §IV-A revision runs here too: BLCR
   // restarts consume each rank's stream on the fly, overlapping the
   // transfer, so Phase 3 shrinks to bookkeeping.
+  telemetry::ScopedSpan pull_span(crd_track(nla_), "pull");
   std::map<int, proc::SimProcessPtr> pipelined_images;
   if (opts_.restart_mode == RestartMode::kPipelined) {
     sim::TaskGroup pipeline(*nla_.env().engine);
@@ -257,6 +257,7 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
   } else {
     co_await target_mgr_->serve();
   }
+  pull_span.end();
 
   // ---- Phase 3: restart the migrated ranks from the transferred images ----
   ftb::FtbEvent restart_ev = co_await waiter.await_named(kEvRestart);
@@ -264,6 +265,7 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
   JOBMIG_ASSERT_MSG(rkv["dst"] == nla_.hostname(), "FTB_RESTART routed to the wrong node");
   const std::vector<int> ranks = decode_ranks(rkv["ranks"]);
 
+  telemetry::ScopedSpan restart_span(crd_track(nla_), "restart");
   if (opts_.restart_mode == RestartMode::kPipelined) {
     for (int r : ranks) {
       auto it = pipelined_images.find(r);
@@ -278,6 +280,8 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
     sim::TaskGroup group(*nla_.env().engine);
     for (int r : ranks) {
       group.spawn([](NodeCrDaemon& self, int rank, storage::BlockDevice* disk) -> sim::Task {
+        telemetry::ScopedSpan span(crd_track(self.nla_), "restart rank " + std::to_string(rank),
+                                   /*async=*/true);
         BufferedStreamSource source(self.target_mgr_->take_stream(rank), disk);
         proc::SimProcessPtr image = co_await self.nla_.env().blcr->restart(source);
         auto fresh = self.job_.make_unwired_proc(rank, self.nla_.env());
@@ -287,20 +291,25 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
     }
     co_await group.wait();
   }
+  restart_span.end();
   ftb::FtbEvent restart_done = mig_event(kEvRestartDone, ftb::Severity::kInfo,
                                          {{"host", nla_.hostname()}});
   co_await ftb_.publish(std::move(restart_done));
 
   // ---- Phase 4: re-join the job and resume ----
+  telemetry::ScopedSpan resume_span(crd_track(nla_), "resume");
   sim::TaskGroup resume_group(*nla_.env().engine);
   for (int r : ranks) {
     resume_group.spawn([](NodeCrDaemon& self, int rank) -> sim::Task {
+      telemetry::ScopedSpan span(crd_track(self.nla_), "resume rank " + std::to_string(rank),
+                                 /*async=*/true);
       co_await self.job_.migration_barrier_enter();
       co_await self.job_.proc(rank).rebuild_and_resume();
       self.job_.relaunch_app_on(rank);
     }(*this, r));
   }
   co_await resume_group.wait();
+  resume_span.end();
   ftb::FtbEvent resume_done = mig_event(kEvResumeDone, ftb::Severity::kInfo,
                                         {{"host", nla_.hostname()}});
   co_await ftb_.publish(std::move(resume_done));
@@ -342,7 +351,13 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
   report.target_host = dst->hostname();
   report.migrated_ranks = ranks;
 
+  telemetry::ScopedSpan cycle_span("migmgr", "migration cycle");
+  cycle_span.attr("src", source_host);
+  cycle_span.attr("dst", dst->hostname());
+  cycle_span.attr("ranks", encode_ranks(ranks));
+
   const sim::TimePoint t0 = jm_.engine().now();
+  telemetry::ScopedSpan stall_span("migmgr", "Stall");
   ftb::FtbEvent migrate_ev = mig_event(kEvMigrate, ftb::Severity::kWarning,
                                        {{"src", source_host}, {"dst", dst->hostname()}});
   co_await ftb_.publish(std::move(migrate_ev));
@@ -356,13 +371,18 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
   ftb::FtbEvent all_suspended = mig_event(kEvAllSuspended, ftb::Severity::kInfo, {});
   co_await ftb_.publish(std::move(all_suspended));
   const sim::TimePoint t1 = jm_.engine().now();
+  stall_span.end();
 
   // ---- Phase 2 ends with FTB_MIGRATE_PIIC from the source NLA ----
+  telemetry::ScopedSpan mig_span("migmgr", "Migration");
   ftb::FtbEvent piic = co_await waiter.await_named(kEvMigratePiic);
   report.bytes_moved = std::stoull(decode_kv(piic.payload)["bytes"]);
+  mig_span.attr("bytes", std::to_string(report.bytes_moved));
   const sim::TimePoint t2 = jm_.engine().now();
+  mig_span.end();
 
   // ---- Phase 3: adjust the spawn tree, broadcast FTB_RESTART ----
+  telemetry::ScopedSpan restart_span("migmgr", "Restart");
   jm_.adopt_migration(*src, *dst, ranks);
   ftb::FtbEvent restart_ev2 = mig_event(
       kEvRestart, ftb::Severity::kInfo,
@@ -370,8 +390,10 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
   co_await ftb_.publish(std::move(restart_ev2));
   (void)co_await waiter.await_named(kEvRestartDone);
   const sim::TimePoint t3 = jm_.engine().now();
+  restart_span.end();
 
   // ---- Phase 4 ends when every node hosting ranks has resumed ----
+  telemetry::ScopedSpan resume_span("migmgr", "Resume");
   std::set<std::string> expected_resume;
   for (int r = 0; r < job_.size(); ++r) expected_resume.insert(job_.node_of(r).hostname);
   std::set<std::string> resumed;
@@ -380,11 +402,19 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
     resumed.insert(decode_kv(ev.payload)["host"]);
   }
   const sim::TimePoint t4 = jm_.engine().now();
+  resume_span.end();
+  cycle_span.end();
 
   report.stall = t1 - t0;
   report.migration = t2 - t1;
   report.restart = t3 - t2;
   report.resume = t4 - t3;
+  telemetry::count("migration.cycles");
+  telemetry::count("migration.bytes_moved", report.bytes_moved);
+  telemetry::observe_ns("migration.stall_ns", report.stall);
+  telemetry::observe_ns("migration.migration_ns", report.migration);
+  telemetry::observe_ns("migration.restart_ns", report.restart);
+  telemetry::observe_ns("migration.resume_ns", report.resume);
   last_report_ = report;
   ++cycles_completed_;
   cycle_active_ = false;

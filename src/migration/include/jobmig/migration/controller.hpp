@@ -7,6 +7,7 @@
 #include "jobmig/ftb/ftb.hpp"
 #include "jobmig/launch/launch.hpp"
 #include "jobmig/migration/buffer_manager.hpp"
+#include "jobmig/migration/kv_codec.hpp"
 #include "jobmig/mpr/job.hpp"
 #include "jobmig/sim/stats.hpp"
 
@@ -46,10 +47,6 @@ inline constexpr const char* kEvPullConnected = "FTB_PULL_CONNECTED";
 inline constexpr const char* kEvRestartDone = "FTB_RESTART_DONE";
 inline constexpr const char* kEvResumeDone = "FTB_RESUME_DONE";
 inline constexpr const char* kEvMigrateRequest = "FTB_MIGRATE_REQUEST";
-
-/// "k=v k=v" payload codec for FTB event payloads.
-std::string encode_kv(const std::map<std::string, std::string>& kv);
-std::map<std::string, std::string> decode_kv(const std::string& payload);
 
 /// Ordered event consumption over one FTB client: awaiting a name stashes
 /// (rather than drops) every other event, so a protocol can consume events

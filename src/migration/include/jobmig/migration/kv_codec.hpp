@@ -1,0 +1,21 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+/// "k=v k=v" codec for FTB event payloads, shared by every module that
+/// round-trips `mig_event` payloads. Keys and values are percent-escaped
+/// ('%', '=', ' ' and control characters become %XX), so arbitrary strings
+/// — hostnames with spaces, values containing '=' — survive the trip
+/// losslessly. Legacy unescaped payloads decode unchanged: escaping only
+/// ever introduces '%' sequences, which plain identifiers never contain.
+namespace jobmig::migration {
+
+std::string encode_kv(const std::map<std::string, std::string>& kv);
+std::map<std::string, std::string> decode_kv(const std::string& payload);
+
+/// Escape one token (exported for tests; encode_kv applies it per key/value).
+std::string kv_escape(const std::string& raw);
+std::string kv_unescape(const std::string& escaped);
+
+}  // namespace jobmig::migration

@@ -1,0 +1,79 @@
+#include "jobmig/migration/kv_codec.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace jobmig::migration {
+
+namespace {
+
+bool needs_escape(unsigned char c) {
+  return c == '%' || c == '=' || c == ' ' || c < 0x20 || c == 0x7f;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string kv_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (needs_escape(c)) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+std::string kv_unescape(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      const int hi = hex_val(escaped[i + 1]);
+      const int lo = hex_val(escaped[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += escaped[i];  // malformed escape: keep the literal byte
+  }
+  return out;
+}
+
+std::string encode_kv(const std::map<std::string, std::string>& kv) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) os << ' ';
+    first = false;
+    os << kv_escape(k) << '=' << kv_escape(v);
+  }
+  return os.str();
+}
+
+std::map<std::string, std::string> decode_kv(const std::string& payload) {
+  std::map<std::string, std::string> out;
+  std::istringstream is(payload);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    out[kv_unescape(token.substr(0, eq))] = kv_unescape(token.substr(eq + 1));
+  }
+  return out;
+}
+
+}  // namespace jobmig::migration

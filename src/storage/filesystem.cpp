@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "jobmig/sim/sync.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::storage {
 
@@ -23,14 +24,36 @@ sim::FairShareServer::EfficiencyFn seek_curve(double alpha) {
 
 }  // namespace
 
-BlockDevice::BlockDevice(sim::Engine& engine, sim::DiskParams params)
-    : engine_(engine), params_(params) {
+BlockDevice::BlockDevice(sim::Engine& engine, sim::DiskParams params, std::string label)
+    : engine_(engine), params_(params), label_(std::move(label)) {
   // The server's unit is "microseconds of head time": 1e6 units/second.
   head_ = std::make_unique<sim::FairShareServer>(engine_, 1e6, seek_curve(params_.seek_alpha));
 }
 
 sim::Task BlockDevice::io(std::uint64_t bytes, double rate_Bps) {
+  const sim::TimePoint begin = engine_.now();
+  ++inflight_;
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->trace.counter_sample("disk." + label_, "queue_depth", static_cast<double>(inflight_));
+    t->metrics.gauge("disk." + label_ + ".queue_depth").set(static_cast<double>(inflight_));
+  }
   co_await head_->transfer(service_us(bytes, rate_Bps));
+  --inflight_;
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    t->trace.counter_sample("disk." + label_, "queue_depth", static_cast<double>(inflight_));
+    t->metrics.gauge("disk." + label_ + ".queue_depth").set(static_cast<double>(inflight_));
+    t->metrics.counter("disk." + label_ + ".bytes").add(bytes);
+    const sim::Duration elapsed = engine_.now() - begin;
+    t->metrics.histogram("disk." + label_ + ".io_ns")
+        .observe(elapsed.count_ns() > 0 ? static_cast<std::uint64_t>(elapsed.count_ns()) : 0);
+    if (elapsed.count_ns() > 0 && bytes > 0) {
+      // Achieved per-op bandwidth: below nominal under head contention.
+      const double bps = static_cast<double>(bytes) * 1e9 /
+                         static_cast<double>(elapsed.count_ns());
+      t->metrics.histogram("disk." + label_ + ".achieved_Bps")
+          .observe(static_cast<std::uint64_t>(bps));
+    }
+  }
 }
 
 sim::Task BlockDevice::write(std::uint64_t bytes) {
@@ -84,7 +107,7 @@ class LocalFile final : public File {
 }  // namespace
 
 LocalFs::LocalFs(sim::Engine& engine, sim::DiskParams params, std::string label)
-    : engine_(engine), device_(engine, params), label_(std::move(label)) {}
+    : engine_(engine), device_(engine, params, label), label_(std::move(label)) {}
 
 sim::ValueTask<FilePtr> LocalFs::create(const std::string& path) {
   co_await sim::sleep_for(device_.params().op_latency);  // dentry + journal commit
@@ -191,7 +214,8 @@ ParallelFs::ParallelFs(sim::Engine& engine, sim::PvfsParams params, std::string 
   server_disk.op_latency = params_.server_op_latency;
   server_disk.seek_alpha = params_.seek_alpha;
   for (std::uint32_t i = 0; i < params_.data_servers; ++i) {
-    servers_.push_back(std::make_unique<BlockDevice>(engine_, server_disk));
+    servers_.push_back(
+        std::make_unique<BlockDevice>(engine_, server_disk, label_ + ".s" + std::to_string(i)));
   }
   mds_ = std::make_unique<sim::FifoServer>(engine_, 1e9, params_.mds_op_latency);
 }

@@ -26,23 +26,29 @@ namespace jobmig::storage {
 /// server, with an efficiency curve modeling inter-stream seek thrash.
 class BlockDevice {
  public:
-  BlockDevice(sim::Engine& engine, sim::DiskParams params);
+  /// `label` names the device in telemetry output ("disk.<label>.*" metrics,
+  /// one counter track per device); it does not affect simulation behaviour.
+  BlockDevice(sim::Engine& engine, sim::DiskParams params, std::string label = "disk");
 
   [[nodiscard]] sim::Task write(std::uint64_t bytes);
   [[nodiscard]] sim::Task read(std::uint64_t bytes);
 
   const sim::DiskParams& params() const { return params_; }
+  const std::string& label() const { return label_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
   std::uint64_t bytes_read() const { return bytes_read_; }
+  std::size_t inflight() const { return inflight_; }
 
  private:
   [[nodiscard]] sim::Task io(std::uint64_t bytes, double rate_Bps);
 
   sim::Engine& engine_;
   sim::DiskParams params_;
+  std::string label_;
   std::unique_ptr<sim::FairShareServer> head_;  // units: microseconds of service
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
+  std::size_t inflight_ = 0;  // concurrent io() calls (device queue depth)
 };
 
 class File;

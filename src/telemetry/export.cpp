@@ -1,0 +1,163 @@
+#include "jobmig/telemetry/export.hpp"
+
+#include <fstream>
+#include <map>
+#include <utility>
+
+namespace jobmig::telemetry {
+
+namespace {
+
+double to_us(sim::TimePoint t) { return static_cast<double>(t.count_ns()) / 1000.0; }
+double to_us(sim::Duration d) { return static_cast<double>(d.count_ns()) / 1000.0; }
+
+/// Stable track -> Chrome tid assignment per process, in first-seen order.
+class TidMap {
+ public:
+  int tid(std::uint32_t process, const std::string& track) {
+    auto [it, inserted] = tids_.try_emplace({process, track}, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  const std::map<std::pair<std::uint32_t, std::string>, int>& all() const { return tids_; }
+
+ private:
+  std::map<std::pair<std::uint32_t, std::string>, int> tids_;
+  int next_ = 1;
+};
+
+void event_common(JsonWriter& w, const char* ph, const char* name, int pid, int tid,
+                  double ts_us) {
+  w.field("name", name);
+  w.field("ph", ph);
+  w.field("pid", pid);
+  w.field("tid", tid);
+  w.field("ts", ts_us);
+}
+
+void span_args(JsonWriter& w, const Span& s) {
+  if (s.attrs.empty()) return;
+  w.key("args").begin_object();
+  for (const auto& [k, v] : s.attrs) w.field(k, v);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceRecorder& trace, std::ostream& os) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  TidMap tids;
+  // Pre-walk so tids exist for the metadata pass below; also emit the data
+  // events in recording order (Chrome sorts by ts, order is cosmetic).
+  for (const Span& s : trace.spans()) {
+    const int pid = static_cast<int>(s.process) + 1;
+    const int tid = tids.tid(s.process, s.track);
+    if (s.async) {
+      // Async pair: overlapping operations on one track (chunk pulls,
+      // per-rank restarts) that must not be force-nested.
+      w.begin_object();
+      event_common(w, "b", s.name.c_str(), pid, tid, to_us(s.begin));
+      w.field("cat", "async");
+      w.field("id", s.id);
+      span_args(w, s);
+      w.end_object();
+      w.begin_object();
+      event_common(w, "e", s.name.c_str(), pid, tid, to_us(s.open ? s.begin : s.end));
+      w.field("cat", "async");
+      w.field("id", s.id);
+      w.end_object();
+    } else {
+      w.begin_object();
+      event_common(w, "X", s.name.c_str(), pid, tid, to_us(s.begin));
+      w.field("cat", "sim");
+      w.field("dur", s.open ? 0.0 : to_us(s.length()));
+      span_args(w, s);
+      w.end_object();
+    }
+  }
+  for (const InstantEvent& ev : trace.instants()) {
+    w.begin_object();
+    event_common(w, "i", ev.name.c_str(), static_cast<int>(ev.process) + 1,
+                 tids.tid(ev.process, ev.track), to_us(ev.when));
+    w.field("cat", "sim");
+    w.field("s", "t");
+    w.end_object();
+  }
+  for (const CounterSample& cs : trace.counter_samples()) {
+    w.begin_object();
+    event_common(w, "C", cs.name.c_str(), static_cast<int>(cs.process) + 1,
+                 tids.tid(cs.process, cs.track), to_us(cs.when));
+    w.key("args").begin_object().field("value", cs.value).end_object();
+    w.end_object();
+  }
+
+  // Metadata: name the pids and tids so Perfetto shows hostnames/ranks
+  // instead of bare numbers.
+  for (std::size_t p = 0; p < trace.processes().size(); ++p) {
+    w.begin_object();
+    event_common(w, "M", "process_name", static_cast<int>(p) + 1, 0, 0.0);
+    w.key("args").begin_object().field("name", trace.processes()[p]).end_object();
+    w.end_object();
+  }
+  for (const auto& [key, tid] : tids.all()) {
+    w.begin_object();
+    event_common(w, "M", "thread_name", static_cast<int>(key.first) + 1, tid, 0.0);
+    w.key("args").begin_object().field("name", key.second).end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+}
+
+bool write_chrome_trace_file(const TraceRecorder& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(trace, os);
+  return static_cast<bool>(os);
+}
+
+void write_metrics(JsonWriter& w, const MetricsRegistry& metrics) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : metrics.counters()) w.field(name, c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : metrics.gauges()) {
+    w.key(name).begin_object();
+    w.field("value", g.value());
+    w.field("low", g.low());
+    w.field("high", g.high());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : metrics.histograms()) {
+    w.key(name).begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("min", h.min());
+    w.field("max", h.max());
+    w.field("mean", h.mean());
+    if (h.count() > 0) {
+      w.field("p50", h.percentile(50.0));
+      w.field("p90", h.percentile(90.0));
+      w.field("p99", h.percentile(99.0));
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_metrics_json(const MetricsRegistry& metrics, std::ostream& os) {
+  JsonWriter w(os);
+  // write_metrics expects to emit a value; at root that is the document.
+  write_metrics(w, metrics);
+}
+
+}  // namespace jobmig::telemetry

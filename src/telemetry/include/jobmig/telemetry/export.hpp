@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "jobmig/telemetry/json.hpp"
+#include "jobmig/telemetry/metrics.hpp"
+#include "jobmig/telemetry/trace.hpp"
+
+/// Exporters.
+///
+///  - Chrome trace_event JSON: `{"traceEvents": [...]}` with complete ("X"),
+///    async ("b"/"e"), instant ("i") and counter ("C") events. Virtual time
+///    maps to microseconds; recorder processes map to Chrome pids and tracks
+///    to named tids. Open the file in chrome://tracing or ui.perfetto.dev.
+///  - Summary JSON: a compact machine-readable dump of a MetricsRegistry
+///    (counters, gauges, histogram percentiles), embedded by the bench
+///    harness in its versioned output.
+namespace jobmig::telemetry {
+
+void write_chrome_trace(const TraceRecorder& trace, std::ostream& os);
+/// Returns false (and writes nothing) if the file cannot be opened.
+bool write_chrome_trace_file(const TraceRecorder& trace, const std::string& path);
+
+/// Emit one object value: {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// The caller owns the surrounding document (a key() must be pending).
+void write_metrics(JsonWriter& w, const MetricsRegistry& metrics);
+
+/// Standalone metrics document.
+void write_metrics_json(const MetricsRegistry& metrics, std::ostream& os);
+
+}  // namespace jobmig::telemetry

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Minimal streaming JSON writer — enough for the exporters and bench
+/// summaries without pulling a JSON dependency into the image. Emits
+/// compact, valid JSON; commas and nesting are tracked by a frame stack, so
+/// misuse (value without key inside an object, unbalanced end) trips an
+/// assertion instead of producing garbage output.
+namespace jobmig::telemetry {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter();
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame { kObject, kArray };
+  void before_value();
+
+  std::ostream& os_;
+  std::vector<Frame> frames_;
+  std::vector<bool> first_in_frame_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace jobmig::telemetry

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+/// Named metrics for the migration stack: monotonically increasing counters
+/// (bytes moved, chunks submitted), gauges with low/high watermarks (pool
+/// occupancy, queue depth), and log-bucket histograms (WQE latency, chunk
+/// RDMA-read time). Histograms use power-of-two buckets — 64 buckets cover
+/// the full uint64 range in constant memory, and percentile queries
+/// interpolate inside a bucket, which is plenty for the order-of-magnitude
+/// latency breakdowns the paper's evaluation reports.
+namespace jobmig::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v);
+  void add(double delta) { set(value_ + delta); }
+  double value() const { return value_; }
+  double low() const { return low_; }
+  double high() const { return high_; }
+  bool seen() const { return seen_; }
+
+ private:
+  double value_ = 0.0;
+  double low_ = 0.0;
+  double high_ = 0.0;
+  bool seen_ = false;
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bucket 0 = value 0; bucket b = [2^(b-1), 2^b)
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const;
+  /// Approximate p-th percentile (0 < p <= 100), linearly interpolated
+  /// inside the bucket holding that rank.
+  double percentile(double p) const;
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  static int bucket_of(std::uint64_t v);
+  /// Inclusive [lower, upper] value range of a bucket.
+  static std::uint64_t bucket_lower(int b);
+  static std::uint64_t bucket_upper(int b);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace jobmig::telemetry

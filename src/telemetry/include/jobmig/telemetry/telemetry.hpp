@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "jobmig/sim/time.hpp"
+#include "jobmig/telemetry/metrics.hpp"
+#include "jobmig/telemetry/trace.hpp"
+
+/// Process-wide telemetry session and the instrumentation hooks the rest of
+/// the stack calls. Exactly one session can be installed at a time (the sim
+/// is single-threaded by construction, so a plain pointer suffices); when
+/// none is installed every hook is a null-pointer test and nothing else —
+/// instrumented code paths cost one predictable branch. Hooks never advance
+/// virtual time, so runs with and without telemetry are bit-identical in
+/// sim results (enforced by tests/telemetry/telemetry_determinism_test).
+namespace jobmig::telemetry {
+
+class Telemetry {
+ public:
+  TraceRecorder trace;
+  MetricsRegistry metrics;
+
+  /// FTB publish -> first-delivery latency, keyed by the event's (origin,
+  /// seq) identity so no wire-format change is needed.
+  void ftb_mark_publish(std::uint32_t origin, std::uint64_t seq, sim::TimePoint now);
+  void ftb_mark_deliver(std::uint32_t origin, std::uint64_t seq, sim::TimePoint now);
+
+ private:
+  std::map<std::pair<std::uint32_t, std::uint64_t>, sim::TimePoint> ftb_inflight_;
+};
+
+namespace detail {
+extern Telemetry* g_current;
+}  // namespace detail
+
+inline Telemetry* current() { return detail::g_current; }
+inline bool enabled() { return detail::g_current != nullptr; }
+void set_current(Telemetry* t);
+
+/// RAII installer; restores the previous session on destruction.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(Telemetry& t) : prev_(detail::g_current) { set_current(&t); }
+  ~TelemetryScope() { set_current(prev_); }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  Telemetry* prev_;
+};
+
+// ---- hooks -----------------------------------------------------------------
+// All hooks are no-ops (one branch) without an installed session. Callers
+// that build strings for track/attr names must guard with enabled() so the
+// string construction is skipped too.
+
+/// RAII span; safe to construct when telemetry is off (records nothing).
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(std::string track, std::string name, bool async = false) {
+    if (Telemetry* t = current()) {
+      id_ = async ? t->trace.begin_async(std::move(track), std::move(name))
+                  : t->trace.begin_span(std::move(track), std::move(name));
+    }
+  }
+  ~ScopedSpan() { end(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void attr(std::string key, std::string value) {
+    if (id_ != kNoSpan) current()->trace.attr(id_, std::move(key), std::move(value));
+  }
+  void end() {
+    if (id_ != kNoSpan) {
+      current()->trace.end_span(id_);
+      id_ = kNoSpan;
+    }
+  }
+  SpanId id() const { return id_; }
+
+ private:
+  SpanId id_ = kNoSpan;
+};
+
+inline void count(const char* name, std::uint64_t delta = 1) {
+  if (Telemetry* t = current()) t->metrics.counter(name).add(delta);
+}
+inline void count(const std::string& name, std::uint64_t delta = 1) {
+  if (Telemetry* t = current()) t->metrics.counter(name).add(delta);
+}
+inline void observe(const char* name, std::uint64_t v) {
+  if (Telemetry* t = current()) t->metrics.histogram(name).observe(v);
+}
+/// Durations land in nanosecond histograms (negative clamps to 0).
+inline void observe_ns(const char* name, sim::Duration d) {
+  if (Telemetry* t = current()) {
+    t->metrics.histogram(name).observe(
+        d.count_ns() > 0 ? static_cast<std::uint64_t>(d.count_ns()) : 0);
+  }
+}
+inline void gauge_set(const char* name, double v) {
+  if (Telemetry* t = current()) t->metrics.gauge(name).set(v);
+}
+inline void gauge_add(const char* name, double delta) {
+  if (Telemetry* t = current()) t->metrics.gauge(name).add(delta);
+}
+
+void ftb_mark_publish(std::uint32_t origin, std::uint64_t seq);
+void ftb_mark_deliver(std::uint32_t origin, std::uint64_t seq);
+
+}  // namespace jobmig::telemetry

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "jobmig/sim/time.hpp"
+
+/// Span recorder for the migration stack. Spans are stamped in *virtual*
+/// time (the discrete-event engine's clock), so a trace of a simulated
+/// migration cycle shows the same phase geometry the paper's Fig. 4 plots —
+/// and loads directly into chrome://tracing / Perfetto via the exporter.
+///
+/// Two span flavours:
+///  - synchronous spans nest on a per-track stack (LIFO begin/end), mapping
+///    onto Chrome's complete ("X") events. One track per logical actor
+///    (the migration manager, each C/R daemon, each rank).
+///  - async spans bypass the stack and export as Chrome async ("b"/"e")
+///    events, for operations that overlap freely on one track (concurrent
+///    chunk pulls, per-rank restarts in a TaskGroup).
+///
+/// Benches that drive several independent engine runs group them with
+/// set_process(): each process becomes a Chrome pid with its own tracks.
+namespace jobmig::telemetry {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;  // enclosing sync span on the same track
+  std::uint32_t process = 0;
+  std::string track;
+  std::string name;
+  sim::TimePoint begin;
+  sim::TimePoint end;
+  bool open = true;
+  bool async = false;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  sim::Duration length() const { return end - begin; }
+};
+
+struct InstantEvent {
+  std::uint32_t process = 0;
+  std::string track;
+  std::string name;
+  sim::TimePoint when;
+};
+
+/// One point of a time series (pool occupancy, queue depth); exported as a
+/// Chrome counter ("C") event.
+struct CounterSample {
+  std::uint32_t process = 0;
+  std::string track;
+  std::string name;
+  sim::TimePoint when;
+  double value = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  /// Switch the process new spans are attributed to (created on first use).
+  void set_process(const std::string& name);
+  const std::vector<std::string>& processes() const { return processes_; }
+
+  /// Begin a sync span nested under the track's innermost open sync span.
+  SpanId begin_span(std::string track, std::string name);
+  /// Begin an async (overlap-friendly) span; parent is still the track's
+  /// innermost open sync span, for context.
+  SpanId begin_async(std::string track, std::string name);
+  void end_span(SpanId id);
+
+  /// Explicit-time variants for tests and offline reconstruction.
+  SpanId begin_span_at(std::string track, std::string name, sim::TimePoint t);
+  SpanId begin_async_at(std::string track, std::string name, sim::TimePoint t);
+  void end_span_at(SpanId id, sim::TimePoint t);
+
+  void attr(SpanId id, std::string key, std::string value);
+  void instant(std::string track, std::string name);
+  void counter_sample(std::string track, std::string name, double value);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<InstantEvent>& instants() const { return instants_; }
+  const std::vector<CounterSample>& counter_samples() const { return counter_samples_; }
+
+  const Span* find(SpanId id) const;
+  /// Innermost open sync span on `track` in the current process.
+  SpanId open_top(const std::string& track) const;
+  std::size_t open_count() const;
+  void clear();
+
+ private:
+  SpanId start(std::string track, std::string name, sim::TimePoint t, bool async);
+  static sim::TimePoint now();
+
+  std::vector<Span> spans_;
+  std::vector<InstantEvent> instants_;
+  std::vector<CounterSample> counter_samples_;
+  std::vector<std::string> processes_;
+  std::uint32_t current_process_ = 0;
+  // Per-(process, track) stack of open sync spans.
+  std::map<std::pair<std::uint32_t, std::string>, std::vector<SpanId>> stacks_;
+};
+
+}  // namespace jobmig::telemetry

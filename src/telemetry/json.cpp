@@ -1,0 +1,137 @@
+#include "jobmig/telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "jobmig/sim/assert.hpp"
+
+namespace jobmig::telemetry {
+
+JsonWriter::~JsonWriter() {
+  // A writer abandoned mid-document is a bug in the exporter, but a dtor
+  // must not assert during stack unwinding; leave the stream as is.
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  JOBMIG_EXPECTS_MSG(!done_, "JsonWriter: document already complete");
+  if (frames_.empty()) return;  // root value
+  if (frames_.back() == Frame::kObject) {
+    JOBMIG_EXPECTS_MSG(key_pending_, "JsonWriter: object member needs key() first");
+    key_pending_ = false;
+    return;  // comma was emitted by key()
+  }
+  if (!first_in_frame_.back()) os_ << ',';
+  first_in_frame_.back() = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  frames_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  JOBMIG_EXPECTS_MSG(!frames_.empty() && frames_.back() == Frame::kObject && !key_pending_,
+                     "JsonWriter: unbalanced end_object()");
+  os_ << '}';
+  frames_.pop_back();
+  first_in_frame_.pop_back();
+  if (frames_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  frames_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  JOBMIG_EXPECTS_MSG(!frames_.empty() && frames_.back() == Frame::kArray,
+                     "JsonWriter: unbalanced end_array()");
+  os_ << ']';
+  frames_.pop_back();
+  first_in_frame_.pop_back();
+  if (frames_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  JOBMIG_EXPECTS_MSG(!frames_.empty() && frames_.back() == Frame::kObject && !key_pending_,
+                     "JsonWriter: key() only valid directly inside an object");
+  if (!first_in_frame_.back()) os_ << ',';
+  first_in_frame_.back() = false;
+  os_ << '"' << escape(k) << "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  os_ << '"' << escape(v) << '"';
+  if (frames_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no Inf/NaN
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    os_ << buf;
+  }
+  if (frames_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  if (frames_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  if (frames_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  if (frames_.empty()) done_ = true;
+  return *this;
+}
+
+}  // namespace jobmig::telemetry

@@ -1,0 +1,84 @@
+#include "jobmig/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "jobmig/sim/assert.hpp"
+
+namespace jobmig::telemetry {
+
+void Gauge::set(double v) {
+  value_ = v;
+  if (!seen_) {
+    low_ = high_ = v;
+    seen_ = true;
+  } else {
+    low_ = std::min(low_, v);
+    high_ = std::max(high_, v);
+  }
+}
+
+int Histogram::bucket_of(std::uint64_t v) {
+  if (v == 0) return 0;
+  return 64 - std::countl_zero(v);  // 1 -> bucket 1, 2..3 -> 2, 4..7 -> 3, ...
+}
+
+std::uint64_t Histogram::bucket_lower(int b) {
+  JOBMIG_EXPECTS(b >= 0 && b < kBuckets);
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_upper(int b) {
+  JOBMIG_EXPECTS(b >= 0 && b < kBuckets);
+  if (b == 0) return 0;
+  if (b == kBuckets - 1) return UINT64_MAX;
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::observe(std::uint64_t v) {
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  JOBMIG_EXPECTS_MSG(p > 0.0 && p <= 100.0, "percentile wants p in (0, 100]");
+  if (count_ == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Interpolate within the bucket, clamped to the observed extremes so
+      // single-bucket distributions don't report phantom spread.
+      const double lo =
+          std::max(static_cast<double>(bucket_lower(b)), static_cast<double>(min()));
+      const double hi =
+          std::min(static_cast<double>(bucket_upper(b)), static_cast<double>(max()));
+      const double frac = (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace jobmig::telemetry

@@ -1,0 +1,42 @@
+#include "jobmig/telemetry/telemetry.hpp"
+
+#include "jobmig/sim/engine.hpp"
+
+namespace jobmig::telemetry {
+
+namespace detail {
+Telemetry* g_current = nullptr;
+}  // namespace detail
+
+void set_current(Telemetry* t) { detail::g_current = t; }
+
+namespace {
+
+sim::TimePoint engine_now() {
+  sim::Engine* e = sim::Engine::current();
+  return e != nullptr ? e->now() : sim::TimePoint::origin();
+}
+
+}  // namespace
+
+void Telemetry::ftb_mark_publish(std::uint32_t origin, std::uint64_t seq, sim::TimePoint now) {
+  ftb_inflight_[{origin, seq}] = now;
+}
+
+void Telemetry::ftb_mark_deliver(std::uint32_t origin, std::uint64_t seq, sim::TimePoint now) {
+  auto it = ftb_inflight_.find({origin, seq});
+  if (it == ftb_inflight_.end()) return;  // already measured (first delivery wins)
+  metrics.histogram("ftb.route_ns")
+      .observe(static_cast<std::uint64_t>((now - it->second).count_ns()));
+  ftb_inflight_.erase(it);
+}
+
+void ftb_mark_publish(std::uint32_t origin, std::uint64_t seq) {
+  if (Telemetry* t = current()) t->ftb_mark_publish(origin, seq, engine_now());
+}
+
+void ftb_mark_deliver(std::uint32_t origin, std::uint64_t seq) {
+  if (Telemetry* t = current()) t->ftb_mark_deliver(origin, seq, engine_now());
+}
+
+}  // namespace jobmig::telemetry

@@ -1,0 +1,117 @@
+#include "jobmig/telemetry/trace.hpp"
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/sim/engine.hpp"
+
+namespace jobmig::telemetry {
+
+TraceRecorder::TraceRecorder() { processes_.push_back("sim"); }
+
+sim::TimePoint TraceRecorder::now() {
+  sim::Engine* e = sim::Engine::current();
+  return e != nullptr ? e->now() : sim::TimePoint::origin();
+}
+
+void TraceRecorder::set_process(const std::string& name) {
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i] == name) {
+      current_process_ = static_cast<std::uint32_t>(i);
+      return;
+    }
+  }
+  current_process_ = static_cast<std::uint32_t>(processes_.size());
+  processes_.push_back(name);
+}
+
+SpanId TraceRecorder::start(std::string track, std::string name, sim::TimePoint t, bool async) {
+  Span s;
+  s.id = static_cast<SpanId>(spans_.size() + 1);
+  s.process = current_process_;
+  s.begin = t;
+  s.end = t;
+  s.async = async;
+  auto& stack = stacks_[{current_process_, track}];
+  if (!stack.empty()) s.parent = stack.back();
+  if (!async) stack.push_back(s.id);
+  s.track = std::move(track);
+  s.name = std::move(name);
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+SpanId TraceRecorder::begin_span(std::string track, std::string name) {
+  return start(std::move(track), std::move(name), now(), /*async=*/false);
+}
+
+SpanId TraceRecorder::begin_async(std::string track, std::string name) {
+  return start(std::move(track), std::move(name), now(), /*async=*/true);
+}
+
+SpanId TraceRecorder::begin_span_at(std::string track, std::string name, sim::TimePoint t) {
+  return start(std::move(track), std::move(name), t, /*async=*/false);
+}
+
+SpanId TraceRecorder::begin_async_at(std::string track, std::string name, sim::TimePoint t) {
+  return start(std::move(track), std::move(name), t, /*async=*/true);
+}
+
+void TraceRecorder::end_span(SpanId id) { end_span_at(id, now()); }
+
+void TraceRecorder::end_span_at(SpanId id, sim::TimePoint t) {
+  JOBMIG_EXPECTS_MSG(id >= 1 && id <= spans_.size(), "end_span: unknown span id");
+  Span& s = spans_[id - 1];
+  JOBMIG_EXPECTS_MSG(s.open, "end_span: span already ended");
+  s.end = t;
+  s.open = false;
+  if (!s.async) {
+    auto& stack = stacks_[{s.process, s.track}];
+    JOBMIG_ASSERT_MSG(!stack.empty() && stack.back() == id,
+                      "sync spans must end LIFO per track");
+    stack.pop_back();
+  }
+}
+
+void TraceRecorder::attr(SpanId id, std::string key, std::string value) {
+  JOBMIG_EXPECTS_MSG(id >= 1 && id <= spans_.size(), "attr: unknown span id");
+  spans_[id - 1].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceRecorder::instant(std::string track, std::string name) {
+  instants_.push_back(InstantEvent{current_process_, std::move(track), std::move(name), now()});
+}
+
+void TraceRecorder::counter_sample(std::string track, std::string name, double value) {
+  counter_samples_.push_back(
+      CounterSample{current_process_, std::move(track), std::move(name), now(), value});
+}
+
+const Span* TraceRecorder::find(SpanId id) const {
+  if (id < 1 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+SpanId TraceRecorder::open_top(const std::string& track) const {
+  auto it = stacks_.find({current_process_, track});
+  if (it == stacks_.end() || it->second.empty()) return kNoSpan;
+  return it->second.back();
+}
+
+std::size_t TraceRecorder::open_count() const {
+  std::size_t n = 0;
+  for (const Span& s : spans_) {
+    if (s.open) ++n;
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  spans_.clear();
+  instants_.clear();
+  counter_samples_.clear();
+  stacks_.clear();
+  processes_.clear();
+  processes_.push_back("sim");
+  current_process_ = 0;
+}
+
+}  // namespace jobmig::telemetry

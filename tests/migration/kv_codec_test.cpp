@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "jobmig/migration/kv_codec.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using Map = std::map<std::string, std::string>;
+
+TEST(KvEscape, EscapesDelimitersAndControlBytes) {
+  EXPECT_EQ(kv_escape("plain-token_7"), "plain-token_7");
+  EXPECT_EQ(kv_escape("a b"), "a%20b");
+  EXPECT_EQ(kv_escape("k=v"), "k%3Dv");
+  EXPECT_EQ(kv_escape("50%"), "50%25");
+  EXPECT_EQ(kv_escape(std::string("\n\t") + "\x7f"), "%0A%09%7F");
+}
+
+TEST(KvEscape, UnescapeInvertsEscape) {
+  const std::string nasty = "ranks=0,1 2\thost%node \x01\x1f\x7f done";
+  EXPECT_EQ(kv_unescape(kv_escape(nasty)), nasty);
+}
+
+TEST(KvEscape, MalformedEscapesPassThroughAsLiterals) {
+  EXPECT_EQ(kv_unescape("100%"), "100%");      // trailing %
+  EXPECT_EQ(kv_unescape("%4"), "%4");          // truncated
+  EXPECT_EQ(kv_unescape("%zz"), "%zz");        // non-hex digits
+  EXPECT_EQ(kv_unescape("%%41"), "%A");        // first % literal, then %41
+}
+
+TEST(KvCodec, RoundTripsPlainIdentifiers) {
+  const Map kv{{"event", "migrate"}, {"src", "node2"}, {"ranks", "2,3"}};
+  EXPECT_EQ(decode_kv(encode_kv(kv)), kv);
+}
+
+TEST(KvCodec, RoundTripsHostileKeysAndValues) {
+  const Map kv{
+      {"host name", "spare 0"},            // spaces both sides
+      {"expr", "a=b=c"},                   // '=' in value
+      {"pct", "99% done"},                 // '%' in value
+      {"k=ey", "v"},                       // '=' in key
+      {"ctl", std::string("\x01\n\x7f")},  // control bytes
+      {"empty", ""},
+  };
+  EXPECT_EQ(decode_kv(encode_kv(kv)), kv);
+}
+
+TEST(KvCodec, DecodesLegacyUnescapedPayloads) {
+  // Payloads written before escaping existed: plain identifiers, no '%'.
+  const Map got = decode_kv("event=restart-done host=spare0 ranks=2,3");
+  EXPECT_EQ(got.at("event"), "restart-done");
+  EXPECT_EQ(got.at("host"), "spare0");
+  EXPECT_EQ(got.at("ranks"), "2,3");
+}
+
+TEST(KvCodec, SkipsTokensWithoutSeparator) {
+  const Map got = decode_kv("noise k=v also-noise");
+  EXPECT_EQ(got.size(), 1u);
+  EXPECT_EQ(got.at("k"), "v");
+}
+
+TEST(KvCodec, EmptyPayload) {
+  EXPECT_TRUE(decode_kv("").empty());
+  EXPECT_EQ(encode_kv({}), "");
+}
+
+}  // namespace
+}  // namespace jobmig::migration

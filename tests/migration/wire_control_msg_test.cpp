@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "jobmig/migration/buffer_manager.hpp"
+
+namespace jobmig::migration::wire {
+namespace {
+
+ControlMsg sample() {
+  ControlMsg m;
+  m.op = Op::kRequest;
+  m.chunk_index = 7;
+  m.rkey = 0xDEADBEEF;
+  m.pool_offset = 7ull * 512 * 1024;
+  m.length = 512 * 1024;
+  m.rank = 3;
+  m.stream_offset = 1ull << 33;
+  m.end_of_stream = false;
+  return m;
+}
+
+void expect_equal(const ControlMsg& a, const ControlMsg& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.chunk_index, b.chunk_index);
+  EXPECT_EQ(a.rkey, b.rkey);
+  EXPECT_EQ(a.pool_offset, b.pool_offset);
+  EXPECT_EQ(a.length, b.length);
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.stream_offset, b.stream_offset);
+  EXPECT_EQ(a.end_of_stream, b.end_of_stream);
+}
+
+TEST(ControlMsgWire, EncodeProducesExactWireSize) {
+  EXPECT_EQ(ControlMsg::kWireSize, 38u);
+  EXPECT_EQ(sample().encode().size(), ControlMsg::kWireSize);
+}
+
+TEST(ControlMsgWire, RoundTripsEveryOpcode) {
+  for (Op op : {Op::kRequest, Op::kRelease, Op::kDone, Op::kDoneAck}) {
+    ControlMsg m = sample();
+    m.op = op;
+    const sim::Bytes wire = m.encode();
+    const auto back = ControlMsg::decode(sim::ByteSpan(wire));
+    ASSERT_TRUE(back.has_value());
+    expect_equal(*back, m);
+  }
+}
+
+TEST(ControlMsgWire, RoundTripsBoundaryValues) {
+  ControlMsg m;
+  m.op = Op::kDoneAck;
+  m.chunk_index = UINT32_MAX;
+  m.rkey = UINT32_MAX;
+  m.pool_offset = UINT64_MAX;
+  m.length = UINT64_MAX;
+  m.rank = -1;  // the "no rank" sentinel survives the u32 cast
+  m.stream_offset = UINT64_MAX;
+  m.end_of_stream = true;
+  const sim::Bytes wire = m.encode();
+  const auto back = ControlMsg::decode(sim::ByteSpan(wire));
+  ASSERT_TRUE(back.has_value());
+  expect_equal(*back, m);
+
+  ControlMsg zero;  // all defaults
+  const sim::Bytes zwire = zero.encode();
+  const auto zback = ControlMsg::decode(sim::ByteSpan(zwire));
+  ASSERT_TRUE(zback.has_value());
+  expect_equal(*zback, zero);
+}
+
+TEST(ControlMsgWire, RoundTripsEndOfStreamBothWays) {
+  for (bool eos : {false, true}) {
+    ControlMsg m = sample();
+    m.end_of_stream = eos;
+    const auto back = ControlMsg::decode(sim::ByteSpan(m.encode()));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->end_of_stream, eos);
+  }
+}
+
+TEST(ControlMsgWire, RejectsWrongSizes) {
+  const sim::Bytes wire = sample().encode();
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, ControlMsg::kWireSize - 1}) {
+    EXPECT_FALSE(ControlMsg::decode(sim::ByteSpan(wire.data(), n)).has_value()) << n;
+  }
+  sim::Bytes longer = wire;
+  longer.push_back(std::byte{0});
+  EXPECT_FALSE(ControlMsg::decode(sim::ByteSpan(longer)).has_value());
+  sim::Bytes huge(1024, std::byte{0x2a});
+  EXPECT_FALSE(ControlMsg::decode(sim::ByteSpan(huge)).has_value());
+}
+
+TEST(ControlMsgWire, RejectsBadOpcodes) {
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{5}, std::uint8_t{27},
+                           std::uint8_t{255}}) {
+    sim::Bytes wire = sample().encode();
+    wire[0] = static_cast<std::byte>(bad);
+    EXPECT_FALSE(ControlMsg::decode(sim::ByteSpan(wire)).has_value()) << int(bad);
+  }
+}
+
+TEST(ControlMsgWire, DecodeIsPureOverTheWholeByteRange) {
+  // Fuzz-ish sweep: flipping any single byte of a valid frame either yields
+  // a decodable message (field change) or nullopt (opcode 0/5+), never UB.
+  const sim::Bytes wire = sample().encode();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (std::uint8_t v : {std::uint8_t{0x00}, std::uint8_t{0x80}, std::uint8_t{0xff}}) {
+      sim::Bytes mutant = wire;
+      mutant[i] = static_cast<std::byte>(v);
+      const auto got = ControlMsg::decode(sim::ByteSpan(mutant));
+      if (i == 0) {
+        EXPECT_EQ(got.has_value(), v >= 1 && v <= 4);
+      } else if (i == wire.size() - 1) {
+        // end_of_stream: any nonzero byte reads as true (re-encodes as 1).
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(got->end_of_stream, v != 0);
+      } else {
+        ASSERT_TRUE(got.has_value()) << "byte " << i;
+        // Re-encoding must reproduce the mutant exactly (bijective format).
+        EXPECT_EQ(got->encode(), mutant) << "byte " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jobmig::migration::wire

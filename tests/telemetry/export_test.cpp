@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "jobmig/sim/time.hpp"
+#include "jobmig/telemetry/export.hpp"
+#include "jobmig/telemetry/json.hpp"
+
+namespace jobmig::telemetry {
+namespace {
+
+using sim::TimePoint;
+
+TimePoint at(std::int64_t ns) { return TimePoint::origin() + sim::Duration::ns(ns); }
+
+/// Minimal recursive-descent JSON well-formedness checker: enough to prove
+/// the streamed output parses, without a JSON dependency in the image.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : s_(std::move(text)) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(JsonWriter, EmitsValidDocuments) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("s", "he \"quoted\"\n");
+    w.field("i", std::int64_t{-3});
+    w.field("u", std::uint64_t{18446744073709551615ull});
+    w.field("d", 1.5);
+    w.field("b", true);
+    w.key("arr").begin_array().value(1).value("two").end_array();
+    w.end_object();
+  }
+  const std::string out = os.str();
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  EXPECT_TRUE(contains(out, "\"he \\\"quoted\\\"\\n\""));
+  EXPECT_TRUE(contains(out, "18446744073709551615"));
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("nan", std::numeric_limits<double>::quiet_NaN());
+    w.field("inf", std::numeric_limits<double>::infinity());
+    w.end_object();
+  }
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+  EXPECT_TRUE(contains(os.str(), "\"nan\":null"));
+  EXPECT_TRUE(contains(os.str(), "\"inf\":null"));
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonWriter::escape("a\x01z"), "a\\u0001z");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+}
+
+TEST(ChromeTrace, ExportsCompleteAsyncCounterAndMetadata) {
+  TraceRecorder rec;
+  rec.set_process("runA");
+  const SpanId outer = rec.begin_span_at("migmgr", "cycle", at(1'000));
+  const SpanId a = rec.begin_async_at("migmgr", "pull", at(2'000));
+  rec.attr(outer, "src", "node3");
+  rec.end_span_at(a, at(5'000));
+  rec.end_span_at(outer, at(9'000));
+  rec.counter_sample("migmgr", "depth", 2.0);
+  rec.instant("migmgr", "mark");
+
+  std::ostringstream os;
+  write_chrome_trace(rec, os);
+  const std::string out = os.str();
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  // Complete event with duration in microseconds (8000 ns -> 8 us).
+  EXPECT_TRUE(contains(out, "\"ph\":\"X\""));
+  EXPECT_TRUE(contains(out, "\"dur\":8"));
+  // Async begin/end pair carrying an id.
+  EXPECT_TRUE(contains(out, "\"ph\":\"b\""));
+  EXPECT_TRUE(contains(out, "\"ph\":\"e\""));
+  // Counter and instant events.
+  EXPECT_TRUE(contains(out, "\"ph\":\"C\""));
+  EXPECT_TRUE(contains(out, "\"ph\":\"i\""));
+  // Attributes land in args; metadata names the process and the track.
+  EXPECT_TRUE(contains(out, "\"src\":\"node3\""));
+  EXPECT_TRUE(contains(out, "\"process_name\""));
+  EXPECT_TRUE(contains(out, "\"runA\""));
+  EXPECT_TRUE(contains(out, "\"thread_name\""));
+  EXPECT_TRUE(contains(out, "\"migmgr\""));
+}
+
+TEST(ChromeTrace, ProcessesBecomeDistinctPids) {
+  TraceRecorder rec;
+  rec.set_process("one");
+  const SpanId s1 = rec.begin_span_at("t", "x", at(0));
+  rec.end_span_at(s1, at(1));
+  rec.set_process("two");
+  const SpanId s2 = rec.begin_span_at("t", "x", at(0));
+  rec.end_span_at(s2, at(1));
+  std::ostringstream os;
+  write_chrome_trace(rec, os);
+  EXPECT_TRUE(contains(os.str(), "\"pid\":2"));
+  EXPECT_TRUE(contains(os.str(), "\"pid\":3"));
+}
+
+TEST(MetricsExport, SummaryShapeAndPercentiles) {
+  MetricsRegistry reg;
+  reg.counter("bytes").add(100);
+  reg.gauge("depth").set(1.0);
+  reg.gauge("depth").set(4.0);
+  for (int i = 0; i < 10; ++i) reg.histogram("lat").observe(256);
+  std::ostringstream os;
+  write_metrics_json(reg, os);
+  const std::string out = os.str();
+  EXPECT_TRUE(JsonChecker(out).valid()) << out;
+  EXPECT_TRUE(contains(out, "\"bytes\":100"));
+  EXPECT_TRUE(contains(out, "\"low\":1"));
+  EXPECT_TRUE(contains(out, "\"high\":4"));
+  EXPECT_TRUE(contains(out, "\"count\":10"));
+  EXPECT_TRUE(contains(out, "\"p50\":256"));
+  EXPECT_TRUE(contains(out, "\"p99\":256"));
+}
+
+TEST(MetricsExport, EmptyHistogramOmitsPercentiles) {
+  MetricsRegistry reg;
+  (void)reg.histogram("empty");
+  std::ostringstream os;
+  write_metrics_json(reg, os);
+  EXPECT_TRUE(JsonChecker(os.str()).valid());
+  EXPECT_FALSE(contains(os.str(), "p50"));
+}
+
+}  // namespace
+}  // namespace jobmig::telemetry

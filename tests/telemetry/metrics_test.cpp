@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "jobmig/telemetry/metrics.hpp"
+
+namespace jobmig::telemetry {
+namespace {
+
+TEST(Counter, AccumulatesDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksWatermarks) {
+  Gauge g;
+  EXPECT_FALSE(g.seen());
+  g.set(5.0);
+  EXPECT_EQ(g.low(), 5.0);
+  EXPECT_EQ(g.high(), 5.0);
+  g.set(2.0);
+  g.set(9.0);
+  g.add(-3.0);
+  EXPECT_EQ(g.value(), 6.0);
+  EXPECT_EQ(g.low(), 2.0);
+  EXPECT_EQ(g.high(), 9.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(UINT64_MAX), 64);
+  for (int b = 1; b < Histogram::kBuckets - 1; ++b) {
+    // Buckets tile the value axis: [lower, upper] then next lower = upper+1.
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lower(b)), b);
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_upper(b)), b);
+    EXPECT_EQ(Histogram::bucket_lower(b + 1), Histogram::bucket_upper(b) + 1);
+  }
+}
+
+TEST(Histogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.observe(10);
+  h.observe(30);
+  h.observe(20);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, SingleValuePercentilesCollapse) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1000);
+  // All observations identical: clamping to [min, max] must kill the
+  // phantom spread a raw bucket interpolation would report.
+  EXPECT_EQ(h.percentile(50.0), 1000.0);
+  EXPECT_EQ(h.percentile(99.0), 1000.0);
+  EXPECT_EQ(h.percentile(100.0), 1000.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1024; ++v) h.observe(v);
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev);
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 1024.0);
+    prev = q;
+  }
+  // Median of 1..1024 lands in bucket [512, 1023]; interpolation keeps it
+  // near the true value, well inside the bucket's order of magnitude.
+  EXPECT_NEAR(h.percentile(50.0), 512.0, 80.0);
+  EXPECT_EQ(h.percentile(100.0), 1024.0);
+}
+
+TEST(Histogram, ZeroOnlyObservations) {
+  Histogram h;
+  h.observe(0);
+  h.observe(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.percentile(99.9), 0.0);
+}
+
+TEST(MetricsRegistry, NamesAreStableHandles) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.counter("a").add(1);
+  reg.counter("a").add(1);
+  reg.gauge("g").set(3.0);
+  reg.histogram("h").observe(5);
+  EXPECT_FALSE(reg.empty());
+  EXPECT_EQ(reg.counters().at("a").value(), 2u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+}  // namespace
+}  // namespace jobmig::telemetry

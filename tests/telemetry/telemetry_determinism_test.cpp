@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::telemetry {
+namespace {
+
+using namespace jobmig::sim::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Engine;
+using sim::Task;
+
+struct RunResult {
+  migration::MigrationReport report;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::vector<std::uint64_t> final_crcs;
+};
+
+/// Same scenario as tests/migration/determinism_test.cpp, optionally run with
+/// a telemetry session installed. Recording must be a pure observer: every
+/// simulation-visible number has to come out identical either way.
+RunResult run_full_cycle(Telemetry* session) {
+  std::optional<TelemetryScope> scope;
+  if (session != nullptr) scope.emplace(*session);
+  Engine engine;
+  ClusterConfig cfg;
+  cfg.compute_nodes = 3;
+  cfg.spare_nodes = 1;
+  Cluster cl(engine, cfg);
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.2);
+  spec.time_per_iter = 80_ms;
+  cl.create_job(2, spec.image_bytes_per_rank);
+  RunResult out;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, RunResult& r) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(1_s);
+    r.report = co_await c.migration_manager().migrate("node1");
+  }(cl, spec, out));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  JOBMIG_ASSERT(cl.job().app_done());
+  out.events = engine.events_processed();
+  out.messages = cl.job().total_messages();
+  for (int r = 0; r < cl.job().size(); ++r) {
+    out.final_crcs.push_back(cl.job().proc(r).sim_process().image().content_crc());
+  }
+  return out;
+}
+
+const Span* find_span(const Telemetry& session, const std::string& track,
+                      const std::string& name) {
+  for (const Span& s : session.trace.spans()) {
+    if (s.name == name && s.track == track) return &s;
+  }
+  return nullptr;
+}
+
+/// The zero-cost-when-disabled claim, tested the strong way: recording a full
+/// trace must not perturb the simulation at all.
+TEST(TelemetryDeterminism, RecordingDoesNotPerturbTheSimulation) {
+  ASSERT_FALSE(enabled());
+  const RunResult off = run_full_cycle(nullptr);
+  Telemetry session;
+  const RunResult on = run_full_cycle(&session);
+  ASSERT_FALSE(enabled());
+
+  EXPECT_EQ(off.events, on.events);
+  EXPECT_EQ(off.messages, on.messages);
+  EXPECT_EQ(off.report.stall.count_ns(), on.report.stall.count_ns());
+  EXPECT_EQ(off.report.migration.count_ns(), on.report.migration.count_ns());
+  EXPECT_EQ(off.report.restart.count_ns(), on.report.restart.count_ns());
+  EXPECT_EQ(off.report.resume.count_ns(), on.report.resume.count_ns());
+  EXPECT_EQ(off.report.bytes_moved, on.report.bytes_moved);
+  EXPECT_EQ(off.final_crcs, on.final_crcs);
+
+  // The instrumented run actually recorded the migration...
+  EXPECT_FALSE(session.trace.spans().empty());
+  EXPECT_EQ(session.metrics.counters().at("migration.cycles").value(), 1u);
+
+  // ...and the recorded phase spans agree with the report to the nanosecond.
+  const Span* stall = find_span(session, "migmgr", "Stall");
+  const Span* mig = find_span(session, "migmgr", "Migration");
+  const Span* restart = find_span(session, "migmgr", "Restart");
+  const Span* resume = find_span(session, "migmgr", "Resume");
+  ASSERT_NE(stall, nullptr);
+  ASSERT_NE(mig, nullptr);
+  ASSERT_NE(restart, nullptr);
+  ASSERT_NE(resume, nullptr);
+  EXPECT_EQ(stall->length().count_ns(), on.report.stall.count_ns());
+  EXPECT_EQ(mig->length().count_ns(), on.report.migration.count_ns());
+  EXPECT_EQ(restart->length().count_ns(), on.report.restart.count_ns());
+  EXPECT_EQ(resume->length().count_ns(), on.report.resume.count_ns());
+
+  // Every span the run produced was closed before export time.
+  EXPECT_EQ(session.trace.open_count(), 0u);
+  EXPECT_TRUE(std::all_of(session.trace.spans().begin(), session.trace.spans().end(),
+                          [](const Span& s) { return !s.open; }));
+}
+
+/// With no session installed, the hooks must leave no trace anywhere — the
+/// disabled path is a handful of inline null checks.
+TEST(TelemetryDeterminism, DisabledRunRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  Telemetry before;  // a bystander session that is never installed
+  (void)run_full_cycle(nullptr);
+  EXPECT_TRUE(before.trace.spans().empty());
+  EXPECT_TRUE(before.metrics.empty());
+}
+
+}  // namespace
+}  // namespace jobmig::telemetry

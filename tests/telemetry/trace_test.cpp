@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/task.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+#include "jobmig/telemetry/trace.hpp"
+
+namespace jobmig::telemetry {
+namespace {
+
+using namespace jobmig::sim::literals;
+using sim::TimePoint;
+
+TimePoint at(std::int64_t ns) { return TimePoint::origin() + sim::Duration::ns(ns); }
+
+TEST(TraceRecorder, SyncSpansNestPerTrack) {
+  TraceRecorder rec;
+  const SpanId outer = rec.begin_span_at("t", "outer", at(10));
+  const SpanId inner = rec.begin_span_at("t", "inner", at(20));
+  EXPECT_EQ(rec.find(outer)->parent, kNoSpan);
+  EXPECT_EQ(rec.find(inner)->parent, outer);
+  EXPECT_EQ(rec.open_top("t"), inner);
+  rec.end_span_at(inner, at(30));
+  EXPECT_EQ(rec.open_top("t"), outer);
+  rec.end_span_at(outer, at(40));
+  EXPECT_EQ(rec.open_top("t"), kNoSpan);
+  EXPECT_EQ(rec.open_count(), 0u);
+  EXPECT_EQ(rec.find(inner)->length().count_ns(), 10);
+  EXPECT_EQ(rec.find(outer)->length().count_ns(), 30);
+}
+
+TEST(TraceRecorder, TracksNestIndependently) {
+  TraceRecorder rec;
+  const SpanId a = rec.begin_span_at("a", "a1", at(0));
+  const SpanId b = rec.begin_span_at("b", "b1", at(0));
+  // Not nested: different tracks.
+  EXPECT_EQ(rec.find(b)->parent, kNoSpan);
+  // Ending in non-LIFO order across tracks is fine.
+  rec.end_span_at(a, at(5));
+  rec.end_span_at(b, at(6));
+}
+
+TEST(TraceRecorder, AsyncSpansOverlapFreely) {
+  TraceRecorder rec;
+  const SpanId parent = rec.begin_span_at("t", "phase", at(0));
+  const SpanId x = rec.begin_async_at("t", "op x", at(1));
+  const SpanId y = rec.begin_async_at("t", "op y", at(2));
+  // Async spans still record the enclosing sync span as parent...
+  EXPECT_EQ(rec.find(x)->parent, parent);
+  EXPECT_EQ(rec.find(y)->parent, parent);
+  // ...but do not join the LIFO stack.
+  EXPECT_EQ(rec.open_top("t"), parent);
+  rec.end_span_at(x, at(9));  // out-of-order ends are legal for async
+  rec.end_span_at(y, at(4));
+  rec.end_span_at(parent, at(10));
+  EXPECT_TRUE(rec.find(x)->async);
+  EXPECT_FALSE(rec.find(parent)->async);
+}
+
+TEST(TraceRecorder, ProcessesPartitionTracks) {
+  TraceRecorder rec;
+  EXPECT_EQ(rec.processes().size(), 1u);  // default "sim"
+  const SpanId a = rec.begin_span_at("t", "a", at(0));
+  rec.set_process("run2");
+  const SpanId b = rec.begin_span_at("t", "b", at(0));
+  // Same track name, different process: no nesting between them.
+  EXPECT_EQ(rec.find(b)->parent, kNoSpan);
+  EXPECT_EQ(rec.find(a)->process, 0u);
+  EXPECT_EQ(rec.find(b)->process, 1u);
+  rec.set_process("run2");  // re-selecting must not duplicate
+  EXPECT_EQ(rec.processes().size(), 2u);
+  rec.end_span_at(b, at(1));
+  rec.set_process("sim");
+  rec.end_span_at(a, at(1));
+}
+
+TEST(TraceRecorder, AttrsInstantsAndCounters) {
+  TraceRecorder rec;
+  const SpanId s = rec.begin_span_at("t", "s", at(0));
+  rec.attr(s, "rank", "3");
+  rec.attr(s, "bytes", "1024");
+  rec.end_span_at(s, at(1));
+  ASSERT_EQ(rec.find(s)->attrs.size(), 2u);
+  EXPECT_EQ(rec.find(s)->attrs[0].first, "rank");
+  rec.instant("t", "marker");
+  rec.counter_sample("t", "depth", 4.0);
+  ASSERT_EQ(rec.instants().size(), 1u);
+  ASSERT_EQ(rec.counter_samples().size(), 1u);
+  EXPECT_EQ(rec.counter_samples()[0].value, 4.0);
+  rec.clear();
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_TRUE(rec.instants().empty());
+  EXPECT_EQ(rec.processes().size(), 1u);
+}
+
+TEST(TraceRecorder, StampsVirtualTimeUnderAnEngine) {
+  sim::Engine engine;
+  TraceRecorder rec;
+  engine.spawn([](TraceRecorder& r) -> sim::Task {
+    const SpanId s = r.begin_span("t", "timed");
+    co_await sim::sleep_for(5_ms);
+    r.end_span(s);
+  }(rec));
+  engine.run();
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].length().count_ns(), 5'000'000);
+}
+
+TEST(ScopedSpan, NoOpWithoutSession) {
+  ASSERT_FALSE(enabled());
+  ScopedSpan span("t", "ignored");
+  span.attr("k", "v");  // must not crash
+  EXPECT_EQ(span.id(), kNoSpan);
+}
+
+TEST(ScopedSpan, RecordsIntoInstalledSession) {
+  Telemetry session;
+  {
+    TelemetryScope scope(session);
+    ASSERT_TRUE(enabled());
+    {
+      ScopedSpan span("t", "scoped");
+      span.attr("k", "v");
+    }  // dtor ends the span
+    count("c", 2);
+    observe("h", 7);
+    gauge_set("g", 1.5);
+  }
+  EXPECT_FALSE(enabled());
+  ASSERT_EQ(session.trace.spans().size(), 1u);
+  EXPECT_EQ(session.trace.spans()[0].name, "scoped");
+  EXPECT_FALSE(session.trace.spans()[0].open);
+  EXPECT_EQ(session.metrics.counters().at("c").value(), 2u);
+  EXPECT_EQ(session.metrics.histograms().at("h").count(), 1u);
+  EXPECT_EQ(session.metrics.gauges().at("g").value(), 1.5);
+}
+
+TEST(Telemetry, FtbRouteLatencyPairsPublishAndFirstDelivery) {
+  sim::Engine engine;
+  Telemetry session;
+  TelemetryScope scope(session);
+  engine.spawn([]() -> sim::Task {
+    ftb_mark_publish(1, 42);
+    co_await sim::sleep_for(3_us);
+    ftb_mark_deliver(1, 42);
+    ftb_mark_deliver(1, 42);  // later deliveries don't re-observe
+    ftb_mark_deliver(9, 7);   // unmatched delivery is ignored
+  }());
+  engine.run();
+  const Histogram& h = session.metrics.histograms().at("ftb.route_ns");
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 3'000u);
+}
+
+}  // namespace
+}  // namespace jobmig::telemetry
