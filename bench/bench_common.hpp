@@ -56,6 +56,9 @@ inline void print_footer(const WallClock& wall, double sim_seconds) {
 struct BenchOptions {
   std::string json_out;   // --json-out FILE: versioned summary JSON
   std::string trace_out;  // --trace-out FILE: Chrome trace_event JSON
+  /// Phase-3 strategy; pipelined (on-the-fly) restart is the default, the
+  /// paper's original file-based restart is reproduced with --restart=file.
+  migration::RestartMode restart = migration::RestartMode::kPipelined;
 
   bool telemetry() const { return !json_out.empty() || !trace_out.empty(); }
 
@@ -73,8 +76,23 @@ struct BenchOptions {
         opts.json_out = v;
       } else if (!(v = take(i, "--trace-out")).empty()) {
         opts.trace_out = v;
+      } else if (!(v = take(i, "--restart")).empty()) {
+        if (v == "file") {
+          opts.restart = migration::RestartMode::kFile;
+        } else if (v == "memory") {
+          opts.restart = migration::RestartMode::kMemory;
+        } else if (v == "pipelined") {
+          opts.restart = migration::RestartMode::kPipelined;
+        } else {
+          std::fprintf(stderr, "unknown --restart mode '%s' (file|memory|pipelined)\n",
+                       v.c_str());
+          std::exit(2);
+        }
       } else {
-        std::fprintf(stderr, "usage: %s [--json-out FILE] [--trace-out FILE]\n", argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [--json-out FILE] [--trace-out FILE]"
+                     " [--restart file|memory|pipelined]\n",
+                     argv[0]);
         std::exit(2);
       }
     }
@@ -82,9 +100,22 @@ struct BenchOptions {
   }
 };
 
+/// Testbed with the bench's command-line restart mode applied.
+inline cluster::ClusterConfig paper_testbed(const BenchOptions& opts, int compute_nodes = 8,
+                                            int spare_nodes = 1) {
+  cluster::ClusterConfig cfg = paper_testbed(compute_nodes, spare_nodes);
+  cfg.mig.restart_mode = opts.restart;
+  return cfg;
+}
+
 /// Collects the bench's printed rows as machine-readable key/value fields
-/// and, when requested, writes the `jobmig-bench-v1` summary JSON and the
+/// and, when requested, writes the `jobmig-bench-v2` summary JSON and the
 /// Chrome trace. Owns the telemetry session for the whole binary.
+///
+/// v2 adds `restart_mode` at the top level and a `trace_id` per row (0 when
+/// the row was produced untraced), so `jobmig-trace` can join a summary row
+/// to its causal DAG in the matching --trace-out file. v1 files (no
+/// trace_id, no restart_mode) are still read by `jobmig-trace diff`.
 class BenchReporter {
  public:
   using Fields = std::vector<std::pair<std::string, double>>;
@@ -103,8 +134,10 @@ class BenchReporter {
   }
 
   /// One summary row; field keys mirror the printed table's columns.
-  void add_row(std::string label, Fields fields) {
-    rows_.emplace_back(std::move(label), std::move(fields));
+  /// `trace_id` is the causal-trace id of the migration cycle the row
+  /// measures, when there is one.
+  void add_row(std::string label, Fields fields, std::uint64_t trace_id = 0) {
+    rows_.push_back(Row{std::move(label), std::move(fields), trace_id});
   }
 
   /// Write the requested output files. Returns false if any write failed.
@@ -118,13 +151,15 @@ class BenchReporter {
       } else {
         telemetry::JsonWriter w(os);
         w.begin_object();
-        w.field("format", "jobmig-bench-v1");
+        w.field("format", "jobmig-bench-v2");
         w.field("bench", bench_);
+        w.field("restart_mode", migration::to_string(opts_.restart));
         w.key("rows").begin_array();
-        for (const auto& [label, fields] : rows_) {
+        for (const auto& row : rows_) {
           w.begin_object();
-          w.field("label", label);
-          for (const auto& [k, v] : fields) w.field(k, v);
+          w.field("label", row.label);
+          w.field("trace_id", row.trace_id);
+          for (const auto& [k, v] : row.fields) w.field(k, v);
           w.end_object();
         }
         w.end_array();
@@ -147,11 +182,17 @@ class BenchReporter {
   }
 
  private:
+  struct Row {
+    std::string label;
+    Fields fields;
+    std::uint64_t trace_id = 0;
+  };
+
   std::string bench_;
   BenchOptions opts_;
   telemetry::Telemetry session_;
   std::optional<telemetry::TelemetryScope> scope_;  // installed only when recording
-  std::vector<std::pair<std::string, Fields>> rows_;
+  std::vector<Row> rows_;
 };
 
 /// One LU/BT/SP class-C 64-rank spec per paper workload.

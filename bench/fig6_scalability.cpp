@@ -18,7 +18,7 @@ migration::MigrationReport run_scale(int nprocs, bench::BenchReporter& reporter)
   auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kC, nprocs);
   reporter.begin_run("lu.C." + std::to_string(nprocs));
   sim::Engine engine;
-  cluster::Cluster cl(engine, bench::paper_testbed());
+  cluster::Cluster cl(engine, bench::paper_testbed(reporter.options()));
   cl.create_job(nprocs / 8, spec.image_bytes_per_rank);
 
   migration::MigrationReport report;
@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
                       {"migration_ms", r.migration.to_ms()},
                       {"restart_ms", r.restart.to_ms()},
                       {"resume_ms", r.resume.to_ms()},
-                      {"total_ms", r.total().to_ms()}});
+                      {"total_ms", r.total().to_ms()}},
+                     r.trace_id);
     sim_total += 200.0;
   }
   std::printf("\npaper shape: totals grow monotonically with procs/node; Phase 3\n"

@@ -24,7 +24,7 @@ struct Row {
 Row run_one(const workload::KernelSpec& spec, bench::BenchReporter& reporter) {
   reporter.begin_run(spec.name());
   sim::Engine engine;
-  cluster::Cluster cl(engine, bench::paper_testbed());
+  cluster::Cluster cl(engine, bench::paper_testbed(reporter.options()));
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
 
   Row row;

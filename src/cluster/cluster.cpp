@@ -1,5 +1,8 @@
 #include "jobmig/cluster/cluster.hpp"
 
+#include "jobmig/telemetry/flight_recorder.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+
 namespace jobmig::cluster {
 
 Cluster::Cluster(sim::Engine& engine, ClusterConfig cfg) : engine_(engine), cfg_(cfg) {
@@ -133,6 +136,22 @@ migration::MigrationManager& Cluster::migration_manager() {
 }
 
 migration::UserTrigger& Cluster::user_trigger() { return *user_trigger_; }
+
+sim::Task Cluster::inject_node_death(int idx) {
+  const std::string name = node_name(idx);
+  telemetry::flight_note("failure", "node death injected: " + name);
+  telemetry::count("cluster.node_deaths");
+  // Fail-stop: the node's FTB agent drops every link (children re-parent
+  // via their ancestor fallbacks; the node's daemons go silent).
+  agents_[static_cast<std::size_t>(idx)]->shutdown();
+  // The death announcement reaches the backplane from the login side — in
+  // a real deployment the IPMI/health path notices the silence; the sim
+  // collapses that detection latency to a direct publish.
+  ftb::FtbClient reporter(*login_agent_, "death_reporter");
+  ftb::FtbEvent ev(migration::kMigSpace, migration::kEvNodeDead, ftb::Severity::kFatal,
+                   migration::encode_kv({{"host", name}}));
+  co_await reporter.publish(std::move(ev));
+}
 
 void Cluster::enable_health_monitoring(sim::Duration poll_interval) {
   JOBMIG_EXPECTS_MSG(pollers_.empty(), "health monitoring already enabled");

@@ -71,6 +71,10 @@ class Cluster {
   // ---- Fault-tolerance machinery ----------------------------------------
   migration::MigrationManager& migration_manager();
   migration::UserTrigger& user_trigger();
+  /// Simulate a fail-stop node death: the node's FTB agent drops all links
+  /// and FTB_NODE_DEAD is broadcast from the login agent, aborting any
+  /// in-flight migration cycle (which dumps the flight recorder).
+  [[nodiscard]] sim::Task inject_node_death(int idx);
   /// Start IPMI pollers on every compute node plus the health trigger.
   void enable_health_monitoring(sim::Duration poll_interval = sim::Duration::sec(5));
   /// Stop the pollers and the health trigger (e.g. at job end).

@@ -45,6 +45,8 @@ sim::Bytes FtbEvent::encode() const {
   out.push_back(static_cast<std::byte>(severity));
   sim::put_u32(out, origin);
   sim::put_u64(out, seq);
+  sim::put_u64(out, ctx.trace_id);
+  sim::put_u64(out, ctx.span_id);
   put_str(out, space);
   put_str(out, name);
   put_str(out, payload);
@@ -53,14 +55,16 @@ sim::Bytes FtbEvent::encode() const {
 }
 
 std::optional<FtbEvent> FtbEvent::decode(sim::ByteSpan data) {
-  if (data.size() < 13) return std::nullopt;
+  if (data.size() < 29) return std::nullopt;
   FtbEvent ev;
   const auto sev = static_cast<std::uint8_t>(data[0]);
   if (sev > static_cast<std::uint8_t>(Severity::kFatal)) return std::nullopt;
   ev.severity = static_cast<Severity>(sev);
   ev.origin = sim::get_u32(data, 1);
   ev.seq = sim::get_u64(data, 5);
-  std::size_t pos = 13;
+  ev.ctx.trace_id = sim::get_u64(data, 13);
+  ev.ctx.span_id = sim::get_u64(data, 21);
+  std::size_t pos = 29;
   if (!get_str(data, pos, ev.space)) return std::nullopt;
   if (!get_str(data, pos, ev.name)) return std::nullopt;
   if (!get_str(data, pos, ev.payload)) return std::nullopt;

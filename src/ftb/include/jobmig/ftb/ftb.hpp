@@ -8,6 +8,7 @@
 #include "jobmig/net/network.hpp"
 #include "jobmig/sim/sync.hpp"
 #include "jobmig/sim/task.hpp"
+#include "jobmig/telemetry/trace.hpp"
 
 /// Fault Tolerance Backplane (CIFTS FTB) — the publish/subscribe messaging
 /// substrate the paper's migration framework uses for all fault-related
@@ -35,6 +36,10 @@ struct FtbEvent {
   std::string publisher;  // client name
   net::HostId origin = 0;
   std::uint64_t seq = 0;  // unique per origin agent
+  /// Causal context of the span that published this event; rides the wire
+  /// (two u64s, zero when untraced) so a subscriber can link the work the
+  /// event triggers back to the publisher's span across nodes.
+  telemetry::TraceContext ctx{};
 
   // User-declared special members: FtbEvent crosses coroutine boundaries by
   // value, and GCC 12 miscompiles non-trivial aggregates there (see

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "jobmig/telemetry/telemetry.hpp"
+
 namespace jobmig::launch {
 
 std::string_view to_string(NlaState s) {
@@ -117,7 +119,16 @@ sim::Task JobManager::launch(mpr::Job& job) {
   // Staged launch: each tree level starts in parallel after its parent
   // level (ScELA's scalable bootstrap), then ranks spawn on their nodes.
   const std::size_t levels = tree_->depth();
-  co_await sim::sleep_for(kPerLevelLaunchCost * static_cast<std::int64_t>(levels));
+  telemetry::ScopedSpan span("launcher", "launch job");
+  if (telemetry::enabled()) {
+    span.attr("levels", std::to_string(levels));
+    span.attr("ranks", std::to_string(job.size()));
+    telemetry::count("launch.tree_levels", levels);
+  }
+  for (std::size_t lvl = 0; lvl < levels; ++lvl) {
+    telemetry::ScopedSpan level_span("launcher", "spawn level " + std::to_string(lvl + 1));
+    co_await sim::sleep_for(kPerLevelLaunchCost);
+  }
   std::size_t max_ranks_per_node = 0;
   for (int r = 0; r < job.size(); ++r) {
     NodeLaunchAgent* nla = nla_for_host(job.node_of(r).hostname);
@@ -126,6 +137,11 @@ sim::Task JobManager::launch(mpr::Job& job) {
   }
   for (NodeLaunchAgent* nla : nlas_) {
     max_ranks_per_node = std::max(max_ranks_per_node, nla->local_ranks().size());
+  }
+  telemetry::ScopedSpan rank_span("launcher", "spawn ranks");
+  if (telemetry::enabled()) {
+    rank_span.attr("max_ranks_per_node", std::to_string(max_ranks_per_node));
+    telemetry::count("launch.ranks_spawned", static_cast<std::uint64_t>(job.size()));
   }
   co_await sim::sleep_for(kPerRankSpawnCost * static_cast<std::int64_t>(max_ranks_per_node));
 }

@@ -23,6 +23,8 @@ sim::Bytes ControlMsg::encode() const {
   sim::put_u32(out, static_cast<std::uint32_t>(rank));
   sim::put_u64(out, stream_offset);
   out.push_back(static_cast<std::byte>(end_of_stream ? 1 : 0));
+  sim::put_u64(out, ctx.trace_id);
+  sim::put_u64(out, ctx.span_id);
   return out;
 }
 
@@ -39,6 +41,8 @@ std::optional<ControlMsg> ControlMsg::decode(sim::ByteSpan data) {
   m.rank = static_cast<std::int32_t>(sim::get_u32(data, 25));
   m.stream_offset = sim::get_u64(data, 29);
   m.end_of_stream = data[37] != std::byte{0};
+  m.ctx.trace_id = sim::get_u64(data, 38);
+  m.ctx.span_id = sim::get_u64(data, 46);
   return m;
 }
 
@@ -117,6 +121,7 @@ sim::Task TargetBufferManager::serve() {
   }
   wire::ControlMsg ack;
   ack.op = wire::Op::kDoneAck;
+  ack.ctx = ctx_;
   const std::uint64_t wr = next_wr_++;
   qp_->post_send(ib::SendWr{wr, ack.encode()});
   ib::WorkCompletion wc = co_await send_dispatch_.await(wr);
@@ -143,6 +148,9 @@ sim::Task TargetBufferManager::pull_one(wire::ControlMsg req) {
   if (req.length > 0) {
     JOBMIG_EXPECTS_MSG(req.length <= cfg_.chunk_bytes, "oversized chunk advertised");
     telemetry::ScopedSpan chunk_span("pool.target", "pull chunk", /*async=*/true);
+    // Link to the source-side checkpoint span whose submit advertised this
+    // chunk (cross-node edge), falling back to the local pull phase.
+    chunk_span.link_from(req.ctx.valid() ? req.ctx : ctx_);
     if (chunk_span.id() != telemetry::kNoSpan) {
       chunk_span.attr("rank", std::to_string(req.rank));
       chunk_span.attr("bytes", std::to_string(req.length));
@@ -197,6 +205,7 @@ sim::Task TargetBufferManager::pull_one(wire::ControlMsg req) {
     wire::ControlMsg release;
     release.op = wire::Op::kRelease;
     release.chunk_index = req.chunk_index;
+    release.ctx = chunk_span.context();
     const std::uint64_t rel_wr = next_wr_++;
     qp_->post_send(ib::SendWr{rel_wr, release.encode()});
     ib::WorkCompletion rel_wc = co_await send_dispatch_.await(rel_wr);
@@ -368,6 +377,7 @@ sim::Task SourceBufferManager::submit(Chunk chunk, int rank, std::uint64_t strea
   req.rank = rank;
   req.stream_offset = stream_offset;
   req.end_of_stream = end_of_stream;
+  req.ctx = ctx_;
 
   ++in_flight_;
   peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
@@ -441,7 +451,8 @@ std::unique_ptr<proc::CheckpointSink> SourceBufferManager::make_sink(int rank) {
   return std::make_unique<PoolSink>(*this, rank);
 }
 
-sim::Task SourceBufferManager::send_marker(const wire::ControlMsg& msg) {
+sim::Task SourceBufferManager::send_marker(wire::ControlMsg msg) {
+  msg.ctx = ctx_;
   const std::uint64_t wr = next_wr_++;
   qp_->post_send(ib::SendWr{wr, msg.encode()});
   ib::WorkCompletion wc = co_await send_dispatch_.await(wr);

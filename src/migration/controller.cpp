@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "jobmig/sim/log.hpp"
+#include "jobmig/telemetry/flight_recorder.hpp"
 #include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::migration {
@@ -23,7 +24,23 @@ ftb::FtbEvent mig_event(const char* name, ftb::Severity sev,
 
 }  // namespace
 
+namespace {
+
+[[noreturn]] void throw_aborted(const ftb::FtbEvent& ev) {
+  auto kv = decode_kv(ev.payload);
+  std::string reason = ev.name;
+  if (kv.contains("host")) reason += " on " + kv["host"];
+  throw MigrationAborted(reason);
+}
+
+}  // namespace
+
 sim::ValueTask<ftb::FtbEvent> EventWaiter::await_named(std::string name) {
+  if (!abort_on_.empty()) {
+    for (const ftb::FtbEvent& ev : stash_) {
+      if (ev.name == abort_on_) throw_aborted(ev);
+    }
+  }
   for (auto it = stash_.begin(); it != stash_.end(); ++it) {
     if (it->name == name) {
       ftb::FtbEvent ev = std::move(*it);
@@ -33,6 +50,7 @@ sim::ValueTask<ftb::FtbEvent> EventWaiter::await_named(std::string name) {
   }
   while (true) {
     ftb::FtbEvent ev = co_await client_.next_event();
+    if (!abort_on_.empty() && ev.name == abort_on_) throw_aborted(ev);
     if (ev.name == name) co_return ev;
     stash_.push_back(std::move(ev));
   }
@@ -90,12 +108,15 @@ sim::Task NodeCrDaemon::event_loop() {
   while (running_) {
     ftb::FtbEvent ev = co_await ftb_.next_event();
     if (!running_) break;
-    auto kv = decode_kv(ev.payload);
-    co_await handle_migrate(kv["src"], kv["dst"]);
+    co_await handle_migrate(std::move(ev));
   }
 }
 
-sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string target_host) {
+sim::Task NodeCrDaemon::handle_migrate(ftb::FtbEvent migrate_ev) {
+  auto mig_kv = decode_kv(migrate_ev.payload);
+  const std::string source_host = mig_kv["src"];
+  const std::string target_host = mig_kv["dst"];
+  const telemetry::TraceContext cycle_ctx = migrate_ev.ctx;
   const bool is_source = nla_.hostname() == source_host;
   const bool is_target = nla_.hostname() == target_host;
 
@@ -108,7 +129,7 @@ sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string targ
   if (is_target) {
     // The spare's duties span phases 2-4 and run concurrently with the
     // stall phase on the hosting nodes.
-    nla_.env().engine->spawn(target_routine(source_host));
+    nla_.env().engine->spawn(target_routine(source_host, cycle_ctx));
   }
 
   const std::vector<int> local_ranks = nla_.local_ranks();
@@ -124,6 +145,13 @@ sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string targ
 
   // ---- Phase 1: Job Stall (per-process C/R-thread work) ----
   telemetry::ScopedSpan stall_span(crd_track(nla_), "stall");
+  stall_span.link_from(cycle_ctx);
+  telemetry::flight_note("crd", nla_.hostname() + ": stall begin", cycle_ctx.trace_id,
+                         stall_span.id());
+  // Ranks stamp this node's stall context into their park-agreement and
+  // drain traffic, so cross-rank mpr messages join the cycle's DAG.
+  const telemetry::TraceContext stall_ctx_early = stall_span.context();
+  for (int r : local_ranks) job_.proc(r).set_trace_context(stall_ctx_early);
   for (int r : local_ranks) job_.proc(r).request_park();
   for (int r : local_ranks) {
     telemetry::ScopedSpan park(crd_track(nla_), "park rank " + std::to_string(r),
@@ -135,9 +163,11 @@ sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string targ
                                 /*async=*/true);
     co_await job_.proc(r).drain_and_teardown();
   }
+  const telemetry::TraceContext stall_ctx = stall_span.context();
   stall_span.end();
   ftb::FtbEvent suspend_done = mig_event(kEvSuspendDone, ftb::Severity::kInfo,
                                          {{"host", nla_.hostname()}});
+  suspend_done.ctx = stall_ctx;
   co_await ftb_.publish(std::move(suspend_done));
 
   if (is_source) {
@@ -146,19 +176,31 @@ sim::Task NodeCrDaemon::handle_migrate(std::string source_host, std::string targ
     // Ranks staying put enter the migration barrier and rebuild once the
     // restarted ranks re-join (paper: "enter a migration barrier and
     // remain stalled").
+    telemetry::ScopedSpan resume_span(crd_track(nla_), "resume");
+    resume_span.link_from(stall_ctx);
     sim::TaskGroup group(*nla_.env().engine);
-    for (int r : local_ranks) group.spawn(stay_routine(r));
+    for (int r : local_ranks) group.spawn(stay_routine(r, stall_ctx));
     co_await group.wait();
+    // The barrier released because the restarted ranks re-joined: link that
+    // edge so the resume leg of the DAG runs through the target node.
+    resume_span.link_from(job_.barrier_release_ctx());
+    for (int r : local_ranks) job_.proc(r).set_trace_context({});
+    const telemetry::TraceContext resume_ctx = resume_span.context();
+    resume_span.end();
     ftb::FtbEvent resume_done = mig_event(kEvResumeDone, ftb::Severity::kInfo,
                                           {{"host", nla_.hostname()}});
+    resume_done.ctx = resume_ctx;
     co_await ftb_.publish(std::move(resume_done));
   }
 }
 
-sim::Task NodeCrDaemon::stay_routine(int rank) {
+sim::Task NodeCrDaemon::stay_routine(int rank, telemetry::TraceContext cycle_ctx) {
   telemetry::ScopedSpan span(crd_track(nla_), "barrier rank " + std::to_string(rank),
                              /*async=*/true);
+  span.link_from(cycle_ctx);
+  job_.note_barrier_entry(span.context());
   co_await job_.migration_barrier_enter();
+  span.link_from(job_.barrier_release_ctx());
   co_await job_.proc(rank).rebuild_and_resume();
 }
 
@@ -166,10 +208,13 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   (void)target_host;
   EventWaiter waiter(cycle_client);
   // Wait for global consistency before checkpointing (end of Phase 1).
-  (void)co_await waiter.await_named(kEvAllSuspended);
+  ftb::FtbEvent all_susp = co_await waiter.await_named(kEvAllSuspended);
 
   // Pull-channel handshake with the target's buffer manager.
+  telemetry::ScopedSpan setup_span(crd_track(nla_), "pull setup");
+  setup_span.link_from(all_susp.ctx);
   ftb::FtbEvent ready = co_await waiter.await_named(kEvPullReady);
+  setup_span.link_from(ready.ctx);
   auto rkv = decode_kv(ready.payload);
   ib::IbAddr target_addr{static_cast<ib::NodeId>(std::stoul(rkv["node"])),
                          static_cast<ib::QpNum>(std::stoul(rkv["qpn"]))};
@@ -179,12 +224,22 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   ftb::FtbEvent src_ready_ev = mig_event(
       kEvPullSrcReady, ftb::Severity::kInfo,
       {{"node", std::to_string(my_addr.node)}, {"qpn", std::to_string(my_addr.qpn)}});
+  src_ready_ev.ctx = setup_span.context();
   co_await ftb_.publish(std::move(src_ready_ev));
-  (void)co_await waiter.await_named(kEvPullConnected);
+  ftb::FtbEvent connected = co_await waiter.await_named(kEvPullConnected);
+  const telemetry::TraceContext setup_ctx = setup_span.context();
+  setup_span.end();
   smgr.start();
 
   // ---- Phase 2: checkpoint every local rank through the pool ----
   telemetry::ScopedSpan ckpt_span(crd_track(nla_), "checkpoint");
+  ckpt_span.link_from(setup_ctx);
+  // The target's FTB_PULL_CONNECTED reply lands here, in the successor
+  // span, not back in "pull setup" which seeded it (2-cycle otherwise).
+  ckpt_span.link_from(connected.ctx);
+  telemetry::flight_note("crd", nla_.hostname() + ": checkpoint begin",
+                         setup_ctx.trace_id, ckpt_span.id());
+  smgr.set_trace_context(ckpt_span.context());
   const std::vector<int> ranks = nla_.local_ranks();
   std::vector<std::unique_ptr<proc::CheckpointSink>> sinks;
   sim::TaskGroup group(*nla_.env().engine);
@@ -199,18 +254,20 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   }
   co_await group.wait();
   co_await smgr.finish();
+  const telemetry::TraceContext ckpt_ctx = ckpt_span.context();
   ckpt_span.end();
 
   ftb::FtbEvent piic_ev = mig_event(
       kEvMigratePiic, ftb::Severity::kInfo,
       {{"host", nla_.hostname()}, {"bytes", std::to_string(smgr.bytes_submitted())}});
+  piic_ev.ctx = ckpt_ctx;
   co_await ftb_.publish(std::move(piic_ev));
 
   // The node is drained: terminate the local (now stale) processes.
   for (int r : ranks) job_.proc(r).kill();
 }
 
-sim::Task NodeCrDaemon::target_routine(std::string source_host) {
+sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::TraceContext cycle_ctx) {
   (void)source_host;
   // Own cycle client: opened before any counterpart can publish (their
   // events need at least one network hop to reach this agent).
@@ -218,16 +275,30 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
   cycle_client.subscribe(all_mig_events());
   EventWaiter waiter(cycle_client);
   target_mgr_ = std::make_unique<TargetBufferManager>(*nla_.env().hca, opts_.pool);
+  telemetry::ScopedSpan setup_span(crd_track(nla_), "pull setup");
+  setup_span.link_from(cycle_ctx);
   ib::IbAddr addr = co_await target_mgr_->open();
   ftb::FtbEvent pull_ready_ev = mig_event(
       kEvPullReady, ftb::Severity::kInfo,
       {{"node", std::to_string(addr.node)}, {"qpn", std::to_string(addr.qpn)}});
+  pull_ready_ev.ctx = setup_span.context();
+  const telemetry::TraceContext setup_ctx = setup_span.context();
+  setup_span.end();
   co_await ftb_.publish(std::move(pull_ready_ev));
+  // The source's FTB_PULL_SRC_READY reply lands in a fresh "connect" span
+  // (not back in "pull setup", which seeded it — that would be a 2-cycle),
+  // so the handshake traces as ready -> src-ready -> connect -> connected.
   ftb::FtbEvent src_ready = co_await waiter.await_named(kEvPullSrcReady);
+  telemetry::ScopedSpan connect_span(crd_track(nla_), "connect");
+  connect_span.link_from(setup_ctx);
+  connect_span.link_from(src_ready.ctx);
   auto skv = decode_kv(src_ready.payload);
   target_mgr_->connect_to(ib::IbAddr{static_cast<ib::NodeId>(std::stoul(skv["node"])),
                                      static_cast<ib::QpNum>(std::stoul(skv["qpn"]))});
   ftb::FtbEvent connected_ev = mig_event(kEvPullConnected, ftb::Severity::kInfo, {});
+  connected_ev.ctx = connect_span.context();
+  const telemetry::TraceContext connect_ctx = connect_span.context();
+  connect_span.end();
   co_await ftb_.publish(std::move(connected_ev));
 
   // ---- Phase 2 (target side): pull chunks until the source is done ----
@@ -235,6 +306,10 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
   // restarts consume each rank's stream on the fly, overlapping the
   // transfer, so Phase 3 shrinks to bookkeeping.
   telemetry::ScopedSpan pull_span(crd_track(nla_), "pull");
+  pull_span.link_from(connect_ctx);
+  telemetry::flight_note("crd", nla_.hostname() + ": pull begin", connect_ctx.trace_id,
+                         pull_span.id());
+  target_mgr_->set_trace_context(pull_span.context());
   std::map<int, proc::SimProcessPtr> pipelined_images;
   if (opts_.restart_mode == RestartMode::kPipelined) {
     sim::TaskGroup pipeline(*nla_.env().engine);
@@ -266,6 +341,9 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
   const std::vector<int> ranks = decode_ranks(rkv["ranks"]);
 
   telemetry::ScopedSpan restart_span(crd_track(nla_), "restart");
+  restart_span.link_from(restart_ev.ctx);
+  telemetry::flight_note("crd", nla_.hostname() + ": restart begin", restart_ev.ctx.trace_id,
+                         restart_span.id());
   if (opts_.restart_mode == RestartMode::kPipelined) {
     for (int r : ranks) {
       auto it = pipelined_images.find(r);
@@ -291,27 +369,38 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host) {
     }
     co_await group.wait();
   }
+  const telemetry::TraceContext restart_ctx = restart_span.context();
   restart_span.end();
   ftb::FtbEvent restart_done = mig_event(kEvRestartDone, ftb::Severity::kInfo,
                                          {{"host", nla_.hostname()}});
+  restart_done.ctx = restart_ctx;
   co_await ftb_.publish(std::move(restart_done));
 
   // ---- Phase 4: re-join the job and resume ----
   telemetry::ScopedSpan resume_span(crd_track(nla_), "resume");
+  resume_span.link_from(restart_ctx);
+  const telemetry::TraceContext resume_seed = resume_span.context();
   sim::TaskGroup resume_group(*nla_.env().engine);
   for (int r : ranks) {
-    resume_group.spawn([](NodeCrDaemon& self, int rank) -> sim::Task {
+    resume_group.spawn([](NodeCrDaemon& self, int rank,
+                          telemetry::TraceContext seed) -> sim::Task {
       telemetry::ScopedSpan span(crd_track(self.nla_), "resume rank " + std::to_string(rank),
                                  /*async=*/true);
+      span.link_from(seed);
+      // A re-joining rank may be the barrier's releaser; stamp its context
+      // so every waiting rank links the release back to it.
+      self.job_.note_barrier_entry(span.context());
       co_await self.job_.migration_barrier_enter();
       co_await self.job_.proc(rank).rebuild_and_resume();
       self.job_.relaunch_app_on(rank);
-    }(*this, r));
+    }(*this, r, resume_seed));
   }
   co_await resume_group.wait();
+  const telemetry::TraceContext resume_ctx = resume_span.context();
   resume_span.end();
   ftb::FtbEvent resume_done = mig_event(kEvResumeDone, ftb::Severity::kInfo,
                                         {{"host", nla_.hostname()}});
+  resume_done.ctx = resume_ctx;
   co_await ftb_.publish(std::move(resume_done));
   target_mgr_.reset();
   target_done_.set();
@@ -346,69 +435,132 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
   ftb::FtbClient cycle_client(ftb_agent_, "migmgr_cycle");
   cycle_client.subscribe(all_mig_events());
   EventWaiter waiter(cycle_client);
+  waiter.abort_on(kEvNodeDead);
   MigrationReport report;
   report.source_host = source_host;
   report.target_host = dst->hostname();
   report.migrated_ranks = ranks;
 
   telemetry::ScopedSpan cycle_span("migmgr", "migration cycle");
+  if (telemetry::Telemetry* t = telemetry::current()) {
+    report.trace_id = t->new_trace_id();
+    cycle_span.set_trace(report.trace_id);
+  }
   cycle_span.attr("src", source_host);
   cycle_span.attr("dst", dst->hostname());
   cycle_span.attr("ranks", encode_ranks(ranks));
+  telemetry::flight_note("mig", "cycle begin " + source_host + " -> " + dst->hostname(),
+                         report.trace_id, cycle_span.id());
 
   const sim::TimePoint t0 = jm_.engine().now();
-  telemetry::ScopedSpan stall_span("migmgr", "Stall");
-  ftb::FtbEvent migrate_ev = mig_event(kEvMigrate, ftb::Severity::kWarning,
-                                       {{"src", source_host}, {"dst", dst->hostname()}});
-  co_await ftb_.publish(std::move(migrate_ev));
+  sim::TimePoint t1 = t0, t2 = t0, t3 = t0, t4 = t0;
+  // Context the next phase links from (the previous phase's last span), so
+  // the four phases chain into one causal backbone. Completion replies land
+  // in nested "await ..." collect spans rather than the phase span that
+  // seeded the work — linking a reply back into its own seed would put a
+  // 2-cycle in the span DAG and break critical-path extraction.
+  telemetry::TraceContext backbone{};
+  try {
+    {
+      // ---- Phase 1 ends when every hosting node reports drained ----
+      telemetry::ScopedSpan stall_span("migmgr", "Stall");
+      stall_span.set_trace(report.trace_id);
+      ftb::FtbEvent migrate_ev = mig_event(kEvMigrate, ftb::Severity::kWarning,
+                                           {{"src", source_host}, {"dst", dst->hostname()}});
+      migrate_ev.ctx = stall_span.context();
+      co_await ftb_.publish(std::move(migrate_ev));
 
-  // ---- Phase 1 ends when every hosting node reports drained ----
-  std::set<std::string> suspended;
-  while (suspended.size() < hosting.size()) {
-    ftb::FtbEvent ev = co_await waiter.await_named(kEvSuspendDone);
-    suspended.insert(decode_kv(ev.payload)["host"]);
+      telemetry::ScopedSpan collect_span("migmgr", "await suspend-done");
+      collect_span.set_trace(report.trace_id);
+      std::set<std::string> suspended;
+      while (suspended.size() < hosting.size()) {
+        ftb::FtbEvent ev = co_await waiter.await_named(kEvSuspendDone);
+        collect_span.link_from(ev.ctx);
+        suspended.insert(decode_kv(ev.payload)["host"]);
+      }
+      ftb::FtbEvent all_suspended = mig_event(kEvAllSuspended, ftb::Severity::kInfo, {});
+      all_suspended.ctx = collect_span.context();
+      backbone = collect_span.context();
+      co_await ftb_.publish(std::move(all_suspended));
+      t1 = jm_.engine().now();
+    }
+
+    {
+      // ---- Phase 2 ends with FTB_MIGRATE_PIIC from the source NLA ----
+      telemetry::ScopedSpan mig_span("migmgr", "Migration");
+      mig_span.set_trace(report.trace_id);
+      mig_span.link_from(backbone);
+      ftb::FtbEvent piic = co_await waiter.await_named(kEvMigratePiic);
+      mig_span.link_from(piic.ctx);
+      report.bytes_moved = std::stoull(decode_kv(piic.payload)["bytes"]);
+      mig_span.attr("bytes", std::to_string(report.bytes_moved));
+      backbone = mig_span.context();
+      t2 = jm_.engine().now();
+    }
+
+    {
+      // ---- Phase 3: adjust the spawn tree, broadcast FTB_RESTART ----
+      telemetry::ScopedSpan restart_span("migmgr", "Restart");
+      restart_span.set_trace(report.trace_id);
+      restart_span.link_from(backbone);
+      jm_.adopt_migration(*src, *dst, ranks);
+      ftb::FtbEvent restart_ev2 = mig_event(
+          kEvRestart, ftb::Severity::kInfo,
+          {{"dst", dst->hostname()}, {"ranks", encode_ranks(ranks)}});
+      restart_ev2.ctx = restart_span.context();
+      co_await ftb_.publish(std::move(restart_ev2));
+      telemetry::ScopedSpan collect_span("migmgr", "await restart-done");
+      collect_span.set_trace(report.trace_id);
+      ftb::FtbEvent restart_done = co_await waiter.await_named(kEvRestartDone);
+      collect_span.link_from(restart_done.ctx);
+      backbone = collect_span.context();
+      t3 = jm_.engine().now();
+    }
+
+    {
+      // ---- Phase 4 ends when every node hosting ranks has resumed ----
+      telemetry::ScopedSpan resume_span("migmgr", "Resume");
+      resume_span.set_trace(report.trace_id);
+      resume_span.link_from(backbone);
+      std::set<std::string> expected_resume;
+      for (int r = 0; r < job_.size(); ++r) expected_resume.insert(job_.node_of(r).hostname);
+      std::set<std::string> resumed;
+      while (resumed.size() < expected_resume.size()) {
+        ftb::FtbEvent ev = co_await waiter.await_named(kEvResumeDone);
+        resume_span.link_from(ev.ctx);
+        resumed.insert(decode_kv(ev.payload)["host"]);
+      }
+      t4 = jm_.engine().now();
+    }
+  } catch (const MigrationAborted& ab) {
+    // Fail-stop node death mid-cycle: record what completed, dump the
+    // flight recorder for forensics, and hand back an aborted report.
+    report.aborted = true;
+    report.abort_reason = ab.what();
+    report.stall = t1 - t0;
+    report.migration = t2 > t1 ? t2 - t1 : sim::Duration::zero();
+    report.restart = t3 > t2 ? t3 - t2 : sim::Duration::zero();
+    report.resume = sim::Duration::zero();
+    cycle_span.attr("aborted", ab.what());
+    telemetry::count("migration.aborts");
+    telemetry::flight_note("mig", std::string("cycle aborted: ") + ab.what(),
+                           report.trace_id, cycle_span.id());
+    telemetry::FlightRecorder::instance().dump_on_incident(
+        std::string("migration aborted: ") + ab.what());
+    sim::log_warn("migration", "cycle {} -> {} aborted: {}", source_host, dst->hostname(),
+                  ab.what());
+    last_report_ = report;
+    cycle_active_ = false;
+    co_return report;
   }
-  ftb::FtbEvent all_suspended = mig_event(kEvAllSuspended, ftb::Severity::kInfo, {});
-  co_await ftb_.publish(std::move(all_suspended));
-  const sim::TimePoint t1 = jm_.engine().now();
-  stall_span.end();
-
-  // ---- Phase 2 ends with FTB_MIGRATE_PIIC from the source NLA ----
-  telemetry::ScopedSpan mig_span("migmgr", "Migration");
-  ftb::FtbEvent piic = co_await waiter.await_named(kEvMigratePiic);
-  report.bytes_moved = std::stoull(decode_kv(piic.payload)["bytes"]);
-  mig_span.attr("bytes", std::to_string(report.bytes_moved));
-  const sim::TimePoint t2 = jm_.engine().now();
-  mig_span.end();
-
-  // ---- Phase 3: adjust the spawn tree, broadcast FTB_RESTART ----
-  telemetry::ScopedSpan restart_span("migmgr", "Restart");
-  jm_.adopt_migration(*src, *dst, ranks);
-  ftb::FtbEvent restart_ev2 = mig_event(
-      kEvRestart, ftb::Severity::kInfo,
-      {{"dst", dst->hostname()}, {"ranks", encode_ranks(ranks)}});
-  co_await ftb_.publish(std::move(restart_ev2));
-  (void)co_await waiter.await_named(kEvRestartDone);
-  const sim::TimePoint t3 = jm_.engine().now();
-  restart_span.end();
-
-  // ---- Phase 4 ends when every node hosting ranks has resumed ----
-  telemetry::ScopedSpan resume_span("migmgr", "Resume");
-  std::set<std::string> expected_resume;
-  for (int r = 0; r < job_.size(); ++r) expected_resume.insert(job_.node_of(r).hostname);
-  std::set<std::string> resumed;
-  while (resumed.size() < expected_resume.size()) {
-    ftb::FtbEvent ev = co_await waiter.await_named(kEvResumeDone);
-    resumed.insert(decode_kv(ev.payload)["host"]);
-  }
-  const sim::TimePoint t4 = jm_.engine().now();
-  resume_span.end();
   cycle_span.end();
 
   report.stall = t1 - t0;
   report.migration = t2 - t1;
   report.restart = t3 - t2;
   report.resume = t4 - t3;
+  telemetry::flight_note("mig", "cycle done " + source_host + " -> " + dst->hostname(),
+                         report.trace_id);
   telemetry::count("migration.cycles");
   telemetry::count("migration.bytes_moved", report.bytes_moved);
   telemetry::observe_ns("migration.stall_ns", report.stall);

@@ -10,6 +10,7 @@
 #include "jobmig/ib/verbs.hpp"
 #include "jobmig/proc/blcr.hpp"
 #include "jobmig/storage/filesystem.hpp"
+#include "jobmig/telemetry/trace.hpp"
 
 /// The paper's §III-B RDMA-based process-migration engine.
 ///
@@ -58,10 +59,15 @@ struct ControlMsg {
   std::int32_t rank = -1;
   std::uint64_t stream_offset = 0;
   bool end_of_stream = false;
+  /// Causal context of the span that produced this message (the checkpoint
+  /// writer for requests/DONE, the chunk pull for releases); always on the
+  /// wire — zeros when untraced — so traced and untraced runs move the same
+  /// bytes.
+  telemetry::TraceContext ctx{};
 
   sim::Bytes encode() const;
   static std::optional<ControlMsg> decode(sim::ByteSpan data);
-  static constexpr std::size_t kWireSize = 1 + 4 + 4 + 8 + 8 + 4 + 8 + 1;
+  static constexpr std::size_t kWireSize = 1 + 4 + 4 + 8 + 8 + 4 + 8 + 1 + 8 + 8;
 };
 }  // namespace wire
 
@@ -83,6 +89,10 @@ class TargetBufferManager {
 
   /// Serve pull requests until the source's DONE arrives; then ack.
   [[nodiscard]] sim::Task serve();
+
+  /// Causal context of the enclosing pull phase: linked into chunk-pull
+  /// spans and stamped into outgoing release/ack control messages.
+  void set_trace_context(telemetry::TraceContext ctx) { ctx_ = ctx; }
 
   /// Reassembled checkpoint stream of `rank` (valid after serve()).
   const sim::Bytes& stream_of(int rank) const;
@@ -133,6 +143,7 @@ class TargetBufferManager {
   sim::Event rank_announced_;
   std::uint64_t bytes_pulled_ = 0;
   std::uint64_t next_wr_ = 1;
+  telemetry::TraceContext ctx_{};
   bool done_seen_ = false;
   std::size_t active_pulls_ = 0;
   sim::Event pulls_idle_;
@@ -153,6 +164,12 @@ class SourceBufferManager {
 
   /// Start consuming release replies (spawned alongside checkpointing).
   void start();
+
+  /// Causal context of the enclosing checkpoint phase: stamped into every
+  /// outgoing chunk request / eos marker / DONE so the target's pulls link
+  /// back to the source's checkpoint span.
+  void set_trace_context(telemetry::TraceContext ctx) { ctx_ = ctx; }
+  telemetry::TraceContext trace_context() const { return ctx_; }
 
   /// Build a BLCR sink that funnels one process's checkpoint stream
   /// through the pool as rank `rank`.
@@ -176,8 +193,9 @@ class SourceBufferManager {
   /// Hand a (partially) filled chunk to the wire.
   [[nodiscard]] sim::Task submit(Chunk chunk, int rank, std::uint64_t stream_offset,
                                  bool end_of_stream);
-  /// Send a payload-free control message (eos marker, DONE).
-  [[nodiscard]] sim::Task send_marker(const wire::ControlMsg& msg);
+  /// Send a payload-free control message (eos marker, DONE); stamps the
+  /// manager's trace context before it hits the wire.
+  [[nodiscard]] sim::Task send_marker(wire::ControlMsg msg);
   std::byte* chunk_data(std::size_t index) {
     return pool_.data() + index * cfg_.chunk_bytes;
   }
@@ -200,6 +218,7 @@ class SourceBufferManager {
   std::size_t peak_in_flight_ = 0;
   std::uint64_t bytes_submitted_ = 0;
   std::uint64_t next_wr_ = 1;
+  telemetry::TraceContext ctx_{};
   sim::Event done_ack_;
   bool running_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "jobmig/ftb/ftb.hpp"
@@ -10,6 +11,7 @@
 #include "jobmig/migration/kv_codec.hpp"
 #include "jobmig/mpr/job.hpp"
 #include "jobmig/sim/stats.hpp"
+#include "jobmig/telemetry/trace.hpp"
 
 /// The paper's Job Migration procedure (§III-A, Fig. 2): a four-phase cycle
 /// coordinated entirely through FTB events.
@@ -47,6 +49,15 @@ inline constexpr const char* kEvPullConnected = "FTB_PULL_CONNECTED";
 inline constexpr const char* kEvRestartDone = "FTB_RESTART_DONE";
 inline constexpr const char* kEvResumeDone = "FTB_RESUME_DONE";
 inline constexpr const char* kEvMigrateRequest = "FTB_MIGRATE_REQUEST";
+inline constexpr const char* kEvNodeDead = "FTB_NODE_DEAD";
+
+/// Thrown through a migration cycle when completing it became impossible
+/// (fail-stop node death announced via FTB_NODE_DEAD). The manager converts
+/// it into an aborted MigrationReport and dumps the flight recorder.
+class MigrationAborted : public std::runtime_error {
+ public:
+  explicit MigrationAborted(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Ordered event consumption over one FTB client: awaiting a name stashes
 /// (rather than drops) every other event, so a protocol can consume events
@@ -57,14 +68,23 @@ class EventWaiter {
 
   [[nodiscard]] sim::ValueTask<ftb::FtbEvent> await_named(std::string name);
 
+  /// Arm abort handling: if `name` is ever pulled (stashed or live) while
+  /// awaiting, await_named throws MigrationAborted instead of stashing it.
+  void abort_on(std::string name) { abort_on_ = std::move(name); }
+
  private:
   ftb::FtbClient& client_;
   std::deque<ftb::FtbEvent> stash_;
+  std::string abort_on_;
 };
 
 struct MigrationOptions {
   PoolConfig pool;
-  RestartMode restart_mode = RestartMode::kFile;
+  /// Pipelined (on-the-fly) restart is the default: §IV-A's revision makes
+  /// Phase 3 all but disappear, and nothing depends on the tmp files. The
+  /// paper's original file-based restart stays available (benches accept
+  /// --restart=file) for reproducing the published Fig. 4 totals.
+  RestartMode restart_mode = RestartMode::kPipelined;
 };
 
 /// Result of one migration cycle, decomposed as in the paper's Fig. 4.
@@ -78,6 +98,12 @@ struct MigrationReport {
   std::string source_host;
   std::string target_host;
   std::vector<int> migrated_ranks;
+  /// Causal-trace id of the cycle (0 when telemetry was off).
+  std::uint64_t trace_id = 0;
+  /// Set when the cycle was abandoned (node death); phase durations then
+  /// cover only the completed prefix.
+  bool aborted = false;
+  std::string abort_reason;
 };
 
 /// Per-node migration daemon: the C/R-thread role of the paper, plus the
@@ -96,15 +122,16 @@ class NodeCrDaemon {
 
  private:
   sim::Task event_loop();
-  /// Phase-1 work for every node hosting ranks.
-  sim::Task handle_migrate(std::string source_host, std::string target_host);
+  /// Phase-1 work for every node hosting ranks. Takes the FTB_MIGRATE event
+  /// so the node's spans link back to the manager's (causal tracing).
+  sim::Task handle_migrate(ftb::FtbEvent migrate_ev);
   /// Per-rank C/R-thread routine for ranks staying put: drain, barrier,
   /// rebuild (the barrier releases once migrated ranks re-join).
-  sim::Task stay_routine(int rank);
+  sim::Task stay_routine(int rank, telemetry::TraceContext cycle_ctx);
   /// Source-node Phase 2: checkpoint local ranks into the buffer pool.
   sim::Task source_routine(std::string target_host, ftb::FtbClient& cycle_client);
   /// Target-node role across Phases 2-4: pull, restart, re-join.
-  sim::Task target_routine(std::string source_host);
+  sim::Task target_routine(std::string source_host, telemetry::TraceContext cycle_ctx);
 
   launch::NodeLaunchAgent& nla_;
   mpr::Job& job_;

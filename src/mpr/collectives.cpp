@@ -3,6 +3,7 @@
 
 #include "jobmig/mpr/job.hpp"
 #include "jobmig/mpr/proc.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::mpr {
 
@@ -39,6 +40,9 @@ sim::Task Proc::barrier() {
   const std::uint64_t seq = collective_seq_++;
   const int n = size();
   if (n <= 1) co_return;
+  telemetry::ScopedSpan span(trace_track(), "barrier");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   static const sim::Bytes kToken{std::byte{0x42}};
   // Dissemination barrier: log2(n) rounds of paired token exchange.
   int round = 0;
@@ -56,6 +60,9 @@ sim::Task Proc::bcast(int root, sim::Bytes& data) {
   const std::uint64_t seq = collective_seq_++;
   const int n = size();
   if (n <= 1) co_return;
+  telemetry::ScopedSpan span(trace_track(), "bcast");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 0);
   const int vrank = (rank_ - root + n) % n;
   // Binomial tree: receive from the parent, then fan out to children.
@@ -95,6 +102,9 @@ sim::ValueTask<double> Proc::allreduce(double value, ReduceOp op) {
   const std::uint64_t seq = collective_seq_++;
   const int n = size();
   if (n <= 1) co_return value;
+  telemetry::ScopedSpan span(trace_track(), "allreduce");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 1);
   // Binomial reduction to rank 0 ...
   double acc = value;
@@ -124,6 +134,9 @@ sim::ValueTask<std::vector<sim::Bytes>> Proc::allgather(sim::ByteSpan mine) {
   std::vector<sim::Bytes> blocks(static_cast<std::size_t>(n));
   blocks[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
   if (n <= 1) co_return blocks;
+  telemetry::ScopedSpan span(trace_track(), "allgather");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   // Ring allgather: n-1 steps, each forwarding the block received last.
   const int to = (rank_ + 1) % n;
   const int from = (rank_ - 1 + n) % n;
@@ -144,6 +157,9 @@ sim::ValueTask<double> Proc::reduce_sum(int root, double value) {
   const std::uint64_t seq = collective_seq_++;
   const int n = size();
   if (n <= 1) co_return value;
+  telemetry::ScopedSpan span(trace_track(), "reduce");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 2);
   const int vrank = (rank_ - root + n) % n;
   double acc = value;
@@ -167,6 +183,9 @@ sim::ValueTask<double> Proc::reduce_sum(int root, double value) {
 sim::ValueTask<std::vector<sim::Bytes>> Proc::gather(int root, sim::ByteSpan mine) {
   const std::uint64_t seq = collective_seq_++;
   const int n = size();
+  telemetry::ScopedSpan span(trace_track(), "gather");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 3);
   std::vector<sim::Bytes> blocks;
   if (rank_ == root) {
@@ -185,6 +204,9 @@ sim::ValueTask<std::vector<sim::Bytes>> Proc::gather(int root, sim::ByteSpan min
 sim::ValueTask<sim::Bytes> Proc::scatter(int root, const std::vector<sim::Bytes>& blocks) {
   const std::uint64_t seq = collective_seq_++;
   const int n = size();
+  telemetry::ScopedSpan span(trace_track(), "scatter");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 4);
   if (rank_ == root) {
     JOBMIG_EXPECTS_MSG(static_cast<int>(blocks.size()) == n,
@@ -205,6 +227,9 @@ sim::ValueTask<std::vector<sim::Bytes>> Proc::alltoall(const std::vector<sim::By
   const int n = size();
   JOBMIG_EXPECTS_MSG(static_cast<int>(to_each.size()) == n,
                      "alltoall needs one block per rank");
+  telemetry::ScopedSpan span(trace_track(), "alltoall");
+  span.link_from(trace_ctx_);
+  telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 5);
   std::vector<sim::Bytes> from_each(static_cast<std::size_t>(n));
   from_each[static_cast<std::size_t>(rank_)] = to_each[static_cast<std::size_t>(rank_)];

@@ -57,6 +57,13 @@ class Job {
   [[nodiscard]] sim::Task migration_barrier_enter();
   void configure_migration_barrier();  // arm for the current job size
 
+  /// Causal-trace support for the barrier release: every enterer stamps its
+  /// span context just before arriving, so after the release the last
+  /// stamp is the releaser's (a restarted rank re-joining). Waiters link
+  /// from it — the resume edge of the migration DAG.
+  void note_barrier_entry(telemetry::TraceContext ctx) { barrier_release_ctx_ = ctx; }
+  telemetry::TraceContext barrier_release_ctx() const { return barrier_release_ctx_; }
+
   /// Aggregate counters for experiments.
   std::uint64_t total_messages() const { return total_messages_; }
   void count_message() { ++total_messages_; }
@@ -79,6 +86,7 @@ class Job {
   std::size_t finished_ranks_ = 0;
   sim::Event app_done_;
   std::unique_ptr<sim::Barrier> migration_barrier_;
+  telemetry::TraceContext barrier_release_ctx_{};
   std::map<std::pair<int, int>, std::unique_ptr<sim::Mutex>> connect_mutexes_;
   sim::Mutex ft_mutex_;
   std::uint64_t total_messages_ = 0;

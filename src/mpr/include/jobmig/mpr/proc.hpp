@@ -15,6 +15,7 @@
 #include "jobmig/proc/process.hpp"
 #include "jobmig/sim/calibration.hpp"
 #include "jobmig/sim/sync.hpp"
+#include "jobmig/telemetry/trace.hpp"
 
 /// The message-passing runtime ("mini-MVAPICH2"): rank processes with
 /// eager + rendezvous point-to-point over IB queue pairs, collectives, and
@@ -168,6 +169,14 @@ class Proc {
   /// Mark dead: blocked and future app calls throw ProcKilled.
   void kill();
 
+  /// Causal context of an in-flight migration cycle, stamped by the node's
+  /// CR daemon for the stall..resume window (and cleared after). Every
+  /// operation span this rank opens while it is set links from it, so the
+  /// drain-era traffic (park-agreement allreduce, pending sends) joins the
+  /// migration's trace DAG.
+  void set_trace_context(telemetry::TraceContext ctx) { trace_ctx_ = ctx; }
+  telemetry::TraceContext trace_context() const { return trace_ctx_; }
+
   /// Peers this process holds connections to (rebuilt after migration).
   std::vector<int> connected_peers() const;
   std::size_t outstanding_app_ops() const { return outstanding_ops_; }
@@ -189,6 +198,7 @@ class Proc {
     int actual_src = -1;  // sender that matched
     sim::Bytes data;
     bool rendezvous_running = false;
+    telemetry::TraceContext sender_ctx{};  // from the matched header
     sim::Event done;
   };
   struct UnexpectedMsg {
@@ -226,6 +236,7 @@ class Proc {
 
   std::shared_ptr<PendingRecv> match_pending(int src, std::int32_t tag);
   std::optional<UnexpectedMsg> take_unexpected(int src, std::int32_t tag);
+  std::string trace_track() const;
   void pack_runtime_state();
   void unpack_runtime_state();
 
@@ -256,6 +267,7 @@ class Proc {
   std::uint64_t active_pulls_ = 0;
   std::uint64_t collective_seq_ = 0;
   std::uint64_t compute_epoch_ = 0;
+  telemetry::TraceContext trace_ctx_{};
   bool progress_running_ = false;
   bool dispatch_running_ = false;
 

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "jobmig/sim/bytes.hpp"
+#include "jobmig/telemetry/trace.hpp"
 
 namespace jobmig::mpr {
 
@@ -22,8 +23,11 @@ struct MsgHeader {
   std::uint64_t payload_len = 0;  // eager: inline bytes; rts: pinned bytes
   std::uint64_t rdvz_id = 0;      // rts/fin: rendezvous operation id
   std::uint32_t rkey = 0;         // rts: sender-side MR key
+  /// Causal context of the sending rank's operation; always on the wire
+  /// (zeros when untraced) so traced and untraced runs are byte-identical.
+  telemetry::TraceContext ctx{};
 
-  static constexpr std::size_t kWireSize = 1 + 4 + 4 + 8 + 8 + 4;
+  static constexpr std::size_t kWireSize = 1 + 4 + 4 + 8 + 8 + 4 + 8 + 8;
 
   void encode_to(sim::Bytes& out) const;
   static std::optional<MsgHeader> decode(sim::ByteSpan data);

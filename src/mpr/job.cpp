@@ -94,6 +94,7 @@ std::unique_ptr<Proc> Job::make_unwired_proc(int rank, NodeEnv& env) {
 
 void Job::configure_migration_barrier() {
   migration_barrier_ = std::make_unique<sim::Barrier>(static_cast<std::size_t>(size()));
+  barrier_release_ctx_ = {};
 }
 
 sim::Task Job::migration_barrier_enter() {

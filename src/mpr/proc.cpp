@@ -5,6 +5,7 @@
 
 #include "jobmig/mpr/job.hpp"
 #include "jobmig/sim/log.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::mpr {
 
@@ -319,12 +320,15 @@ sim::Task Proc::progress_loop() {
   progress_running_ = false;
 }
 
+std::string Proc::trace_track() const { return "rank" + std::to_string(rank_); }
+
 void Proc::handle_message(int peer, const MsgHeader& h, sim::ByteSpan payload) {
   switch (h.kind) {
     case MsgKind::kEager: {
       if (auto pending = match_pending(peer, h.tag)) {
         pending->actual_src = peer;
         pending->data.assign(payload.begin(), payload.end());
+        pending->sender_ctx = h.ctx;
         pending->done.set();
       } else {
         unexpected_.push_back(UnexpectedMsg{h, sim::Bytes(payload.begin(), payload.end())});
@@ -335,6 +339,7 @@ void Proc::handle_message(int peer, const MsgHeader& h, sim::ByteSpan payload) {
     case MsgKind::kRts: {
       if (auto pending = match_pending(peer, h.tag)) {
         pending->actual_src = peer;
+        pending->sender_ctx = h.ctx;
         env_->engine->spawn(run_rendezvous_pull(peer, h, std::move(pending)));
       } else {
         unexpected_.push_back(UnexpectedMsg{h, {}});
@@ -354,6 +359,8 @@ void Proc::handle_message(int peer, const MsgHeader& h, sim::ByteSpan payload) {
 sim::Task Proc::run_rendezvous_pull(int peer, MsgHeader rts,
                                     std::shared_ptr<PendingRecv> pending) {
   ++active_pulls_;
+  telemetry::ScopedSpan span(trace_track(), "rdvz pull", /*async=*/true);
+  span.link_from(rts.ctx);
   sim::Bytes dst(rts.payload_len);
   ib::MemoryRegion* mr = co_await env_->hca->reg_mr(dst.data(), dst.size());
   auto it = links_.find(peer);
@@ -368,6 +375,10 @@ sim::Task Proc::run_rendezvous_pull(int peer, MsgHeader rts,
   fin.src_rank = static_cast<std::uint32_t>(rank_);
   fin.tag = rts.tag;
   fin.rdvz_id = rts.rdvz_id;
+  // The sender does NOT link from this context (pull already links from the
+  // RTS; a back-link would put a 2-cycle in the flow DAG), but it is on the
+  // wire for offline consumers.
+  fin.ctx = span.context();
   co_await send_control(peer, fin, {});
   if (state_ != ProcState::kDead) {
     pending->data = std::move(dst);
@@ -396,21 +407,32 @@ sim::Task Proc::send(int dst, std::int32_t tag, sim::Bytes payload) {
   JOBMIG_EXPECTS_MSG(dst >= 0 && dst < size() && dst != rank_, "bad destination rank");
   co_await enter_op();
   OpGuard guard(outstanding_ops_, ops_drained_);
+  telemetry::ScopedSpan span(trace_track(), "send", /*async=*/true);
+  span.link_from(trace_ctx_);
+  if (telemetry::enabled()) {
+    span.attr("dst", std::to_string(dst));
+    span.attr("bytes", std::to_string(payload.size()));
+    telemetry::count("mpr.p2p.msgs");
+    telemetry::observe("mpr.p2p.bytes", payload.size());
+  }
   co_await sim::sleep_for(env_->cal->mpi.per_call_overhead);
   co_await job_.ensure_connected(rank_, dst);
 
   if (payload.size() <= env_->cal->mpi.eager_threshold) {
+    telemetry::count("mpr.p2p.eager_msgs");
     MsgHeader h;
     h.kind = MsgKind::kEager;
     h.src_rank = static_cast<std::uint32_t>(rank_);
     h.tag = tag;
     h.payload_len = payload.size();
+    h.ctx = span.context();
     co_await send_control(dst, h, payload);
     job_.count_message();
     co_return;
   }
 
   // Rendezvous: pin the payload, advertise it, wait for the receiver's pull.
+  telemetry::count("mpr.p2p.rdvz_msgs");
   const std::uint64_t id = ++rdvz_seq_;
   RdvzSend& op = rdvz_sends_[id];
   op.pinned = std::move(payload);
@@ -422,6 +444,7 @@ sim::Task Proc::send(int dst, std::int32_t tag, sim::Bytes payload) {
   rts.payload_len = op.pinned.size();
   rts.rdvz_id = id;
   rts.rkey = op.mr->rkey();
+  rts.ctx = span.context();
   co_await send_control(dst, rts, {});
   co_await op.fin.wait();
   if (state_ == ProcState::kDead) throw ProcKilled{};
@@ -432,10 +455,13 @@ sim::Task Proc::send(int dst, std::int32_t tag, sim::Bytes payload) {
 sim::ValueTask<std::pair<int, sim::Bytes>> Proc::recv_impl(int src, std::int32_t tag) {
   co_await enter_op();
   OpGuard guard(outstanding_ops_, ops_drained_);
+  telemetry::ScopedSpan span(trace_track(), "recv", /*async=*/true);
+  span.link_from(trace_ctx_);
   co_await sim::sleep_for(env_->cal->mpi.per_call_overhead);
 
   if (auto um = take_unexpected(src, tag)) {
     const int sender = static_cast<int>(um->header.src_rank);
+    span.link_from(um->header.ctx);
     if (um->header.kind == MsgKind::kEager) {
       co_return std::pair<int, sim::Bytes>(sender, std::move(um->payload));
     }
@@ -456,6 +482,7 @@ sim::ValueTask<std::pair<int, sim::Bytes>> Proc::recv_impl(int src, std::int32_t
   pending_recvs_.push_back(pending);
   co_await pending->done.wait();
   if (state_ == ProcState::kDead) throw ProcKilled{};
+  span.link_from(pending->sender_ctx);
   co_return std::pair<int, sim::Bytes>(pending->actual_src, std::move(pending->data));
 }
 

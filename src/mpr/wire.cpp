@@ -9,6 +9,8 @@ void MsgHeader::encode_to(sim::Bytes& out) const {
   sim::put_u64(out, payload_len);
   sim::put_u64(out, rdvz_id);
   sim::put_u32(out, rkey);
+  sim::put_u64(out, ctx.trace_id);
+  sim::put_u64(out, ctx.span_id);
 }
 
 std::optional<MsgHeader> MsgHeader::decode(sim::ByteSpan data) {
@@ -22,6 +24,8 @@ std::optional<MsgHeader> MsgHeader::decode(sim::ByteSpan data) {
   h.payload_len = sim::get_u64(data, 9);
   h.rdvz_id = sim::get_u64(data, 17);
   h.rkey = sim::get_u32(data, 25);
+  h.ctx.trace_id = sim::get_u64(data, 29);
+  h.ctx.span_id = sim::get_u64(data, 37);
   return h;
 }
 

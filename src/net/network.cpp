@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "jobmig/telemetry/telemetry.hpp"
+
 namespace jobmig::net {
 
 Stream::Stream(Network& net, std::shared_ptr<detail::StreamCore> core, int side)
@@ -21,6 +23,14 @@ sim::Task Stream::send(sim::ByteSpan data) {
   if (pipe.closed) co_return;  // torn down while in flight: bytes are lost
   dst->add_bytes_in(data.size());
   net_.account(data.size());
+  // Per-stream byte counters mirroring the ib.link.* fabric counters, so the
+  // --json-out metrics show GigE control traffic next to the IB data path.
+  if (telemetry::enabled()) {
+    Host* src = net_.host(core_->hosts[side_]);
+    telemetry::count("net.tcp." + src->name() + "->" + dst->name(), data.size());
+    telemetry::count("net.tcp.bytes", data.size());
+    telemetry::count("net.tcp.msgs");
+  }
   pipe.data.insert(pipe.data.end(), data.begin(), data.end());
   pipe.readable.set();
 }

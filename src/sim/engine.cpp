@@ -123,8 +123,20 @@ CurrentEngineGuard::~CurrentEngineGuard() { g_current_engine = prev_; }
 }  // namespace jobmig::sim
 
 namespace jobmig::detail {
+
+namespace {
+ContractFailHook g_contract_fail_hook = nullptr;
+}  // namespace
+
+ContractFailHook set_contract_fail_hook(ContractFailHook hook) {
+  ContractFailHook prev = g_contract_fail_hook;
+  g_contract_fail_hook = hook;
+  return prev;
+}
+
 [[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
                                 const std::string& msg) {
+  if (g_contract_fail_hook != nullptr) g_contract_fail_hook(kind, expr, file, line, msg);
   std::ostringstream os;
   os << kind << " failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;

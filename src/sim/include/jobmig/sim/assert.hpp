@@ -15,6 +15,14 @@ class ContractViolation : public std::logic_error {
 namespace detail {
 [[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
                                 const std::string& msg);
+
+/// Observer invoked before the throw on every contract failure. Installed by
+/// the telemetry flight recorder (which sim cannot link against) so forensic
+/// state is captured even when a test swallows the violation. Must not throw.
+/// Returns the previously installed hook.
+using ContractFailHook = void (*)(const char* kind, const char* expr, const char* file, int line,
+                                  const std::string& msg);
+ContractFailHook set_contract_fail_hook(ContractFailHook hook);
 }  // namespace detail
 
 }  // namespace jobmig

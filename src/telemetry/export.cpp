@@ -36,8 +36,13 @@ void event_common(JsonWriter& w, const char* ph, const char* name, int pid, int 
 }
 
 void span_args(JsonWriter& w, const Span& s) {
-  if (s.attrs.empty()) return;
+  // span_id always rides along so offline tools (jobmig-trace) can rebuild
+  // the causal DAG from the exported file alone; link_parent/trace_id only
+  // when the span is part of one.
   w.key("args").begin_object();
+  w.field("span_id", s.id);
+  if (s.link_parent != kNoSpan) w.field("link_parent", s.link_parent);
+  if (s.trace_id != 0) w.field("trace_id", s.trace_id);
   for (const auto& [k, v] : s.attrs) w.field(k, v);
   w.end_object();
 }
@@ -92,6 +97,37 @@ void write_chrome_trace(const TraceRecorder& trace, std::ostream& os) {
     event_common(w, "C", cs.name.c_str(), static_cast<int>(cs.process) + 1,
                  tids.tid(cs.process, cs.track), to_us(cs.when));
     w.key("args").begin_object().field("value", cs.value).end_object();
+    w.end_object();
+  }
+  // Causal edges as Chrome flow pairs: "s" anchored inside the causing span,
+  // "f" (bp:"e") anchored at the link (consumption) time inside the caused
+  // span, so Perfetto draws the arrows of the migration DAG across
+  // rank/daemon tracks. The args carry the endpoints and the edge time so
+  // jobmig-trace can rebuild the timestamped DAG from the file alone.
+  for (const FlowEdge& f : trace.flows()) {
+    const Span* from = trace.find(f.from);
+    const Span* to = trace.find(f.to);
+    if (from == nullptr || to == nullptr) continue;
+    w.begin_object();
+    event_common(w, "s", "flow", static_cast<int>(from->process) + 1,
+                 tids.tid(from->process, from->track), to_us(from->begin));
+    w.field("cat", "flow");
+    w.field("id", f.id);
+    w.key("args").begin_object();
+    w.field("from_span", f.from);
+    w.field("to_span", f.to);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    event_common(w, "f", "flow", static_cast<int>(to->process) + 1,
+                 tids.tid(to->process, to->track), to_us(f.at));
+    w.field("cat", "flow");
+    w.field("id", f.id);
+    w.field("bp", "e");
+    w.key("args").begin_object();
+    w.field("from_span", f.from);
+    w.field("to_span", f.to);
+    w.end_object();
     w.end_object();
   }
 

@@ -1,0 +1,118 @@
+#include "jobmig/telemetry/flight_recorder.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/telemetry/json.hpp"
+
+namespace jobmig::telemetry {
+
+namespace {
+
+void on_contract_fail(const char* kind, const char* expr, const char* file, int line,
+                      const std::string& msg) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  std::string text = std::string(kind) + " (" + expr + ") at " + file + ":" + std::to_string(line);
+  if (!msg.empty()) text += " — " + msg;
+  fr.note("assert", text);
+  fr.dump_on_incident(text);
+}
+
+std::int64_t virtual_now_ns() {
+  sim::Engine* e = sim::Engine::current();
+  return e != nullptr ? e->now().count_ns() : 0;
+}
+
+void copy_trunc(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() {
+  if (const char* path = std::getenv("JOBMIG_FLIGHT_DUMP")) dump_path_ = path;
+  jobmig::detail::set_contract_fail_hook(&on_contract_fail);
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder fr;
+  return fr;
+}
+
+void FlightRecorder::note(std::string_view category, std::string_view text,
+                          std::uint64_t trace_id, std::uint64_t span_id) {
+  Entry& e = ring_[next_seq_ % kCapacity];
+  e.seq = next_seq_++;
+  e.t_ns = virtual_now_ns();
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  copy_trunc(e.category, kCategoryBytes, category);
+  copy_trunc(e.text, kTextBytes, text);
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  const std::uint64_t n = next_seq_ < kCapacity ? next_seq_ : kCapacity;
+  std::vector<Entry> out;
+  out.reserve(n);
+  for (std::uint64_t s = next_seq_ - n; s < next_seq_; ++s) out.push_back(ring_[s % kCapacity]);
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  return next_seq_ < kCapacity ? static_cast<std::size_t>(next_seq_) : kCapacity;
+}
+
+void FlightRecorder::clear() {
+  ring_.fill(Entry{});
+  next_seq_ = 0;
+}
+
+void FlightRecorder::dump(std::ostream& os, std::string_view reason) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("format", "jobmig-flight-v1");
+  w.field("reason", reason);
+  w.field("total_recorded", next_seq_);
+  w.field("capacity", static_cast<std::uint64_t>(kCapacity));
+  w.field("dropped", next_seq_ > kCapacity ? next_seq_ - kCapacity : std::uint64_t{0});
+  w.key("entries").begin_array();
+  for (const Entry& e : snapshot()) {
+    w.begin_object();
+    w.field("seq", e.seq);
+    w.field("t_ns", e.t_ns);
+    if (e.trace_id != 0) w.field("trace_id", e.trace_id);
+    if (e.span_id != 0) w.field("span_id", e.span_id);
+    w.field("category", static_cast<const char*>(e.category));
+    w.field("text", static_cast<const char*>(e.text));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path, std::string_view reason) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  dump(os, reason);
+  os << "\n";
+  return static_cast<bool>(os);
+}
+
+bool FlightRecorder::dump_on_incident(std::string_view reason) {
+  if (dump_path_.empty()) return false;
+  return dump_to_file(dump_path_, reason);
+}
+
+void flight_note(std::string_view category, std::string_view text, std::uint64_t trace_id,
+                 std::uint64_t span_id) {
+  FlightRecorder::instance().note(category, text, trace_id, span_id);
+}
+
+}  // namespace jobmig::telemetry

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Always-on forensic flight recorder: a fixed-size ring buffer of the last
+/// N noteworthy events (migration phase transitions, FTB publishes, node
+/// deaths, contract failures), kept even when the opt-in Telemetry session
+/// is not installed. The forensic complement to full tracing — when a run
+/// dies, the ring holds the events leading up to the failure.
+///
+/// Cost model: note() copies two short strings into preallocated fixed-width
+/// slots — no heap allocation, no locks (the sim is single-threaded by
+/// construction), no virtual-time effect — so it is safe to leave on in
+/// benches and determinism tests.
+///
+/// Dumps: dump_on_incident() is called on JOBMIG_ASSERT failure (via the
+/// sim contract-fail hook), on an aborted migration, and on simulated node
+/// death; it writes jobmig-flight-v1 JSON to the configured path. With no
+/// path configured (the default) incidents record nothing on disk, so tests
+/// that intentionally trip contract violations stay silent. The
+/// JOBMIG_FLIGHT_DUMP environment variable seeds the path at startup.
+namespace jobmig::telemetry {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+  static constexpr std::size_t kCategoryBytes = 16;
+  static constexpr std::size_t kTextBytes = 112;
+
+  struct Entry {
+    std::uint64_t seq = 0;       // monotonically increasing, never wraps
+    std::int64_t t_ns = 0;       // virtual time when noted (0 outside a run)
+    std::uint64_t trace_id = 0;  // migration trace, when known
+    std::uint64_t span_id = 0;
+    char category[kCategoryBytes] = {};  // NUL-terminated, truncated to fit
+    char text[kTextBytes] = {};
+  };
+
+  /// Process-wide instance; the first call installs the contract-fail hook.
+  static FlightRecorder& instance();
+
+  /// Record one event (truncating category/text to the slot widths).
+  void note(std::string_view category, std::string_view text, std::uint64_t trace_id = 0,
+            std::uint64_t span_id = 0);
+
+  /// Surviving entries, oldest first.
+  std::vector<Entry> snapshot() const;
+  /// Events ever noted, including ones the ring has since overwritten.
+  std::uint64_t total_recorded() const { return next_seq_; }
+  std::size_t size() const;
+  /// Drop all entries (keeps the dump path); tests isolate with this.
+  void clear();
+
+  /// Where incident dumps go; empty (the default) disables them.
+  void set_dump_path(std::string path) { dump_path_ = std::move(path); }
+  const std::string& dump_path() const { return dump_path_; }
+
+  /// Serialise the ring as jobmig-flight-v1 JSON.
+  void dump(std::ostream& os, std::string_view reason) const;
+  bool dump_to_file(const std::string& path, std::string_view reason) const;
+
+  /// Incident entry point (assert failure, aborted migration, node death):
+  /// dumps to dump_path() when one is configured. Returns whether a file
+  /// was written.
+  bool dump_on_incident(std::string_view reason);
+
+ private:
+  FlightRecorder();
+
+  std::array<Entry, kCapacity> ring_{};
+  std::uint64_t next_seq_ = 0;
+  std::string dump_path_;
+};
+
+/// Shorthand for FlightRecorder::instance().note(...).
+void flight_note(std::string_view category, std::string_view text, std::uint64_t trace_id = 0,
+                 std::uint64_t span_id = 0);
+
+}  // namespace jobmig::telemetry

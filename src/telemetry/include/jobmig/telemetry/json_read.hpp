@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Minimal recursive-descent JSON reader — the counterpart of JsonWriter,
+/// for the offline tools (jobmig-trace) and tests that consume the exported
+/// Chrome traces, bench summaries and flight dumps without a JSON
+/// dependency. Parses the full document into a small DOM; numbers keep
+/// their source lexeme so 64-bit ids survive untouched (no double
+/// round-trip).
+namespace jobmig::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  /// String payload, or the verbatim number lexeme for Type::kNumber.
+  std::string text;
+  std::vector<JsonValue> items;     // Type::kArray
+  std::vector<Member> members;      // Type::kObject, in document order
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(std::string_view key) const;
+
+  double as_double(double fallback = 0.0) const;
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  std::int64_t as_i64(std::int64_t fallback = 0) const;
+  /// String payload ("" for non-strings).
+  const std::string& as_string() const;
+
+  /// Convenience: member `key` as a scalar, with fallback when missing.
+  double num(std::string_view key, double fallback = 0.0) const;
+  std::uint64_t u64(std::string_view key, std::uint64_t fallback = 0) const;
+  std::string str(std::string_view key, std::string fallback = {}) const;
+};
+
+/// Parse one JSON document. On failure returns nullopt and, when `error` is
+/// given, a message with the byte offset of the problem.
+std::optional<JsonValue> parse_json(std::string_view src, std::string* error = nullptr);
+
+/// Read and parse a whole file; nullopt on I/O or parse failure.
+std::optional<JsonValue> parse_json_file(const std::string& path, std::string* error = nullptr);
+
+}  // namespace jobmig::telemetry

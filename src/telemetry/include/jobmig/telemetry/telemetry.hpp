@@ -23,6 +23,9 @@ class Telemetry {
   TraceRecorder trace;
   MetricsRegistry metrics;
 
+  /// Allocate a fresh causal-trace id (one per migration cycle).
+  std::uint64_t new_trace_id() { return next_trace_id_++; }
+
   /// FTB publish -> first-delivery latency, keyed by the event's (origin,
   /// seq) identity so no wire-format change is needed.
   void ftb_mark_publish(std::uint32_t origin, std::uint64_t seq, sim::TimePoint now);
@@ -30,6 +33,7 @@ class Telemetry {
 
  private:
   std::map<std::pair<std::uint32_t, std::uint64_t>, sim::TimePoint> ftb_inflight_;
+  std::uint64_t next_trace_id_ = 1;
 };
 
 namespace detail {
@@ -73,6 +77,19 @@ class ScopedSpan {
 
   void attr(std::string key, std::string value) {
     if (id_ != kNoSpan) current()->trace.attr(id_, std::move(key), std::move(value));
+  }
+  /// Stamp this span with a migration trace id.
+  void set_trace(std::uint64_t trace_id) {
+    if (id_ != kNoSpan) current()->trace.set_trace(id_, trace_id);
+  }
+  /// Record that `from` (a context received in a message) caused this span.
+  void link_from(const TraceContext& from) {
+    if (id_ != kNoSpan) current()->trace.link(from, id_);
+  }
+  /// Context to stamp into outgoing messages; zero when telemetry is off.
+  TraceContext context() const {
+    if (id_ == kNoSpan) return {};
+    return current()->trace.context_of(id_);
   }
   void end() {
     if (id_ != kNoSpan) {

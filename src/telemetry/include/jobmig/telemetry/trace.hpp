@@ -28,9 +28,27 @@ namespace jobmig::telemetry {
 using SpanId = std::uint64_t;
 inline constexpr SpanId kNoSpan = 0;
 
+/// Causal trace context, Dapper-style: a per-migration trace id plus the id
+/// of the span that caused the current operation. Contexts ride inside wire
+/// messages (FTB events, mpr channel headers, buffer-pool control messages)
+/// as two fixed u64 fields, so a receiver can link its spans to the sender's
+/// across ranks. A zero context means "not part of any traced operation"
+/// (telemetry off, or traffic outside a migration cycle).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  SpanId span_id = kNoSpan;
+
+  bool valid() const { return trace_id != 0 && span_id != kNoSpan; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
 struct Span {
   SpanId id = kNoSpan;
   SpanId parent = kNoSpan;  // enclosing sync span on the same track
+  /// Causal parent: the span (often on another track/rank) whose message or
+  /// event caused this one. Set via link(); kNoSpan when uncaused.
+  SpanId link_parent = kNoSpan;
+  std::uint64_t trace_id = 0;  // migration cycle this span belongs to
   std::uint32_t process = 0;
   std::string track;
   std::string name;
@@ -40,6 +58,19 @@ struct Span {
   bool async = false;
   std::vector<std::pair<std::string, std::string>> attrs;
   sim::Duration length() const { return end - begin; }
+};
+
+/// One causal edge of the migration DAG: the operation recorded as span
+/// `from` (e.g. an FTB publish, a chunk advertisement) caused span `to`
+/// (its delivery / the chunk pull). Exported as a Chrome flow ("s"/"f")
+/// event pair so Perfetto draws the arrows.
+struct FlowEdge {
+  std::uint64_t id = 0;
+  SpanId from = kNoSpan;
+  SpanId to = kNoSpan;
+  /// Virtual time the link was recorded — i.e. when the receiving span
+  /// consumed the message. Critical-path hops are measured between these.
+  sim::TimePoint at;
 };
 
 struct InstantEvent {
@@ -83,9 +114,19 @@ class TraceRecorder {
   void instant(std::string track, std::string name);
   void counter_sample(std::string track, std::string name, double value);
 
+  /// Stamp the migration trace a span belongs to.
+  void set_trace(SpanId id, std::uint64_t trace_id);
+  /// Record the causal edge from.span_id -> to: sets to's link_parent (first
+  /// link wins), inherits the trace id if unset, and emits a flow edge.
+  /// No-op unless `from` is valid and refers to a recorded span.
+  void link(const TraceContext& from, SpanId to);
+  /// Context of a recorded span (zero context for kNoSpan/unknown ids).
+  TraceContext context_of(SpanId id) const;
+
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<InstantEvent>& instants() const { return instants_; }
   const std::vector<CounterSample>& counter_samples() const { return counter_samples_; }
+  const std::vector<FlowEdge>& flows() const { return flows_; }
 
   const Span* find(SpanId id) const;
   /// Innermost open sync span on `track` in the current process.
@@ -100,6 +141,8 @@ class TraceRecorder {
   std::vector<Span> spans_;
   std::vector<InstantEvent> instants_;
   std::vector<CounterSample> counter_samples_;
+  std::vector<FlowEdge> flows_;
+  std::uint64_t next_flow_ = 1;
   std::vector<std::string> processes_;
   std::uint32_t current_process_ = 0;
   // Per-(process, track) stack of open sync spans.

@@ -1,0 +1,279 @@
+#include "jobmig/telemetry/json_read.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace jobmig::telemetry {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const Member& m : members) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+double JsonValue::as_double(double fallback) const {
+  if (type != Type::kNumber) return type == Type::kBool ? (boolean ? 1.0 : 0.0) : fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  return (end == text.c_str() || errno == ERANGE) ? fallback : v;
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (type != Type::kNumber) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) return fallback;
+  // Fractional/exponent lexemes (1e3, 2.5) fall back to the double path.
+  if (*end != '\0') return static_cast<std::uint64_t>(as_double(static_cast<double>(fallback)));
+  return v;
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (type != Type::kNumber) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) return fallback;
+  if (*end != '\0') return static_cast<std::int64_t>(as_double(static_cast<double>(fallback)));
+  return v;
+}
+
+const std::string& JsonValue::as_string() const {
+  static const std::string empty;
+  return type == Type::kString ? text : empty;
+}
+
+double JsonValue::num(std::string_view key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr ? v->as_double(fallback) : fallback;
+}
+
+std::uint64_t JsonValue::u64(std::string_view key, std::uint64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr ? v->as_u64(fallback) : fallback;
+}
+
+std::string JsonValue::str(std::string_view key, std::string fallback) const {
+  const JsonValue* v = get(key);
+  return v != nullptr && v->is_string() ? v->text : std::move(fallback);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue v;
+    if (!parse_value(v)) {
+      if (error != nullptr) {
+        *error = err_.empty() ? "malformed JSON" : err_;
+        *error += " at byte " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != src_.size()) {
+      if (error != nullptr) *error = "trailing data at byte " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (err_.empty()) err_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (src_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) break;
+      const char esc = src_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > src_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = src_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not used
+          // by our writers; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '-') ++pos_;
+    while (pos_ < src_.size() && (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                                  src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+                                  src_[pos_] == '+' || src_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    out.type = JsonValue::Type::kNumber;
+    out.text.assign(src_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= src_.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (src_[pos_]) {
+      case '{': ok = parse_object(out); break;
+      case '[': ok = parse_array(out); break;
+      case '"':
+        out.type = JsonValue::Type::kString;
+        ok = parse_string(out.text);
+        break;
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        ok = literal("true");
+        break;
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        ok = literal("false");
+        break;
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        ok = literal("null");
+        break;
+      default: ok = parse_number(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue val;
+      if (!parse_value(val)) return false;
+      out.members.emplace_back(std::move(key), std::move(val));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue val;
+      if (!parse_value(val)) return false;
+      out.items.push_back(std::move(val));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view src, std::string* error) {
+  return Parser(src).run(error);
+}
+
+std::optional<JsonValue> parse_json_file(const std::string& path, std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  return parse_json(text, error);
+}
+
+}  // namespace jobmig::telemetry

@@ -76,6 +76,26 @@ void TraceRecorder::attr(SpanId id, std::string key, std::string value) {
   spans_[id - 1].attrs.emplace_back(std::move(key), std::move(value));
 }
 
+void TraceRecorder::set_trace(SpanId id, std::uint64_t trace_id) {
+  JOBMIG_EXPECTS_MSG(id >= 1 && id <= spans_.size(), "set_trace: unknown span id");
+  spans_[id - 1].trace_id = trace_id;
+}
+
+void TraceRecorder::link(const TraceContext& from, SpanId to) {
+  if (!from.valid() || to < 1 || to > spans_.size()) return;
+  if (from.span_id < 1 || from.span_id > spans_.size()) return;
+  if (from.span_id == to) return;  // self-edges would put cycles in the DAG
+  Span& dst = spans_[to - 1];
+  if (dst.link_parent == kNoSpan) dst.link_parent = from.span_id;
+  if (dst.trace_id == 0) dst.trace_id = from.trace_id;
+  flows_.push_back(FlowEdge{next_flow_++, from.span_id, to, now()});
+}
+
+TraceContext TraceRecorder::context_of(SpanId id) const {
+  if (id < 1 || id > spans_.size()) return {};
+  return TraceContext{spans_[id - 1].trace_id, id};
+}
+
 void TraceRecorder::instant(std::string track, std::string name) {
   instants_.push_back(InstantEvent{current_process_, std::move(track), std::move(name), now()});
 }
@@ -108,6 +128,8 @@ void TraceRecorder::clear() {
   spans_.clear();
   instants_.clear();
   counter_samples_.clear();
+  flows_.clear();
+  next_flow_ = 1;
   stacks_.clear();
   processes_.clear();
   processes_.push_back("sim");

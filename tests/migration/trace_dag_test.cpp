@@ -1,0 +1,192 @@
+/// Causal-tracing integration tests: run real migration cycles and check
+/// that the recorded span graph is a well-formed DAG — the property the
+/// offline critical-path extraction (tools/jobmig-trace) depends on — and
+/// that an aborted cycle leaves a parseable flight-recorder dump behind.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/migration/controller.hpp"
+#include "jobmig/telemetry/flight_recorder.hpp"
+#include "jobmig/telemetry/json_read.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::migration {
+namespace {
+
+using namespace jobmig::sim::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using sim::Engine;
+using sim::Task;
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 3;
+  cfg.spare_nodes = 1;
+  return cfg;
+}
+
+MigrationReport run_traced_cycle(telemetry::Telemetry& session) {
+  telemetry::TelemetryScope scope(session);
+  Engine engine;
+  Cluster cl(engine, small_config());
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.2);
+  spec.time_per_iter = 100_ms;
+  cl.create_job(2, spec.image_bytes_per_rank);
+
+  MigrationReport report;
+  engine.spawn([](Cluster& c, workload::KernelSpec s, MigrationReport& rep) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(2_s);
+    rep = co_await c.migration_manager().migrate("node1");
+  }(cl, spec, report));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  return report;
+}
+
+TEST(MigrationTraceDag, CycleRecordsAWellFormedDag) {
+  telemetry::Telemetry session;
+  const MigrationReport report = run_traced_cycle(session);
+  ASSERT_FALSE(report.aborted);
+  ASSERT_NE(report.trace_id, 0u);
+
+  const auto& trace = session.trace;
+  // Every span of the cycle closed, with sane interval and a resolvable
+  // causal parent that is not itself.
+  std::set<telemetry::SpanId> traced;
+  for (const auto& s : trace.spans()) {
+    if (s.trace_id != report.trace_id) continue;
+    traced.insert(s.id);
+    EXPECT_FALSE(s.open) << s.track << "/" << s.name;
+    EXPECT_GE(s.end.count_ns(), s.begin.count_ns());
+    if (s.link_parent != telemetry::kNoSpan) {
+      EXPECT_NE(s.link_parent, s.id);
+      EXPECT_NE(trace.find(s.link_parent), nullptr) << "orphan link_parent in " << s.name;
+    }
+    if (s.parent != telemetry::kNoSpan) {
+      EXPECT_NE(trace.find(s.parent), nullptr) << "orphan sync parent in " << s.name;
+    }
+  }
+  ASSERT_FALSE(traced.empty());
+
+  // The manager's four phase spans all belong to the cycle's trace.
+  std::set<std::string> migmgr_names;
+  for (const auto& s : trace.spans()) {
+    if (s.trace_id == report.trace_id && s.track == "migmgr") migmgr_names.insert(s.name);
+  }
+  for (const char* phase : {"Stall", "Migration", "Restart", "Resume"}) {
+    EXPECT_TRUE(migmgr_names.contains(phase)) << "missing phase span " << phase;
+  }
+
+  // Flow edges: endpoints recorded, consumption time inside the receiving
+  // span and not before the causing span began.
+  std::map<telemetry::SpanId, std::vector<telemetry::SpanId>> out;
+  std::map<telemetry::SpanId, int> indegree;
+  std::size_t cycle_edges = 0;
+  bool cross_track = false;
+  for (const auto& f : trace.flows()) {
+    const auto* from = trace.find(f.from);
+    const auto* to = trace.find(f.to);
+    ASSERT_NE(from, nullptr);
+    ASSERT_NE(to, nullptr);
+    EXPECT_NE(f.from, f.to) << "self-edge on " << to->name;
+    if (to->trace_id != report.trace_id) continue;
+    ++cycle_edges;
+    EXPECT_GE(f.at.count_ns(), to->begin.count_ns()) << to->name;
+    EXPECT_LE(f.at.count_ns(), to->end.count_ns()) << to->name;
+    EXPECT_GE(f.at.count_ns(), from->begin.count_ns()) << from->name << " -> " << to->name;
+    out[f.from].push_back(f.to);
+    ++indegree[f.to];
+    if (from->track != to->track) cross_track = true;
+  }
+  ASSERT_GT(cycle_edges, 0u);
+  EXPECT_TRUE(cross_track) << "no cross-track causal edge recorded";
+
+  // Acyclicity (Kahn): every span involved in a flow must drain.
+  std::set<telemetry::SpanId> nodes;
+  for (const auto& [from, tos] : out) {
+    nodes.insert(from);
+    nodes.insert(tos.begin(), tos.end());
+  }
+  for (const auto& [to, deg] : indegree) nodes.insert(to);
+  std::vector<telemetry::SpanId> ready;
+  for (auto id : nodes) {
+    if (indegree[id] == 0) ready.push_back(id);
+  }
+  std::size_t drained = 0;
+  while (!ready.empty()) {
+    const auto id = ready.back();
+    ready.pop_back();
+    ++drained;
+    for (auto next : out[id]) {
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  EXPECT_EQ(drained, nodes.size()) << "span DAG contains a cycle";
+}
+
+TEST(MigrationTraceDag, NodeDeathAbortsCycleAndDumpsFlightRecorder) {
+  const std::string dump_path = ::testing::TempDir() + "jobmig_flight_abort.json";
+  std::remove(dump_path.c_str());
+  auto& fr = telemetry::FlightRecorder::instance();
+  fr.clear();
+  fr.set_dump_path(dump_path);
+
+  Engine engine;
+  Cluster cl(engine, small_config());
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 6, 0.2);
+  spec.time_per_iter = 100_ms;
+  cl.create_job(2, spec.image_bytes_per_rank);
+
+  MigrationReport report;
+  bool returned = false;
+  // Kill a bystander node 10 ms into the stall phase: its FTB_SUSPEND_DONE
+  // never arrives and FTB_NODE_DEAD aborts the cycle.
+  engine.spawn([](Engine& eng, Cluster& c, workload::KernelSpec s, MigrationReport& rep,
+                  bool& done) -> Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(2_s);
+    eng.spawn([](Cluster& cc, MigrationReport& r, bool& d) -> Task {
+      r = co_await cc.migration_manager().migrate("node1");
+      d = true;
+    }(c, rep, done));
+    co_await sim::sleep_for(10_ms);
+    co_await c.inject_node_death(2);
+  }(engine, cl, spec, report, returned));
+  engine.run_until(sim::TimePoint::origin() + 120_s);
+
+  ASSERT_TRUE(returned);
+  EXPECT_TRUE(report.aborted);
+  EXPECT_NE(report.abort_reason.find(kEvNodeDead), std::string::npos);
+  EXPECT_EQ(cl.migration_manager().cycles_completed(), 0u);
+
+  // The incident dump exists, parses, and holds the trail of events.
+  std::string err;
+  auto dump = telemetry::parse_json_file(dump_path, &err);
+  ASSERT_TRUE(dump.has_value()) << err;
+  EXPECT_EQ(dump->str("format"), "jobmig-flight-v1");
+  EXPECT_NE(dump->str("reason").find("aborted"), std::string::npos);
+  const auto* entries = dump->get("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_TRUE(entries->is_array());
+  EXPECT_FALSE(entries->items.empty());
+  bool saw_death = false;
+  for (const auto& e : entries->items) {
+    if (e.str("category") == "failure") saw_death = true;
+  }
+  EXPECT_TRUE(saw_death) << "node-death note missing from the dump";
+
+  fr.set_dump_path("");
+  fr.clear();
+  std::remove(dump_path.c_str());
+}
+
+}  // namespace
+}  // namespace jobmig::migration

@@ -18,8 +18,13 @@ ControlMsg sample() {
   m.rank = 3;
   m.stream_offset = 1ull << 33;
   m.end_of_stream = false;
+  m.ctx = telemetry::TraceContext{0x123456789abull, 42};
   return m;
 }
+
+// Offset of the end_of_stream flag (the only non-bijective byte: any nonzero
+// value re-encodes as 1). The trailing 16 bytes are the trace context.
+constexpr std::size_t kEosOffset = ControlMsg::kWireSize - 17;
 
 void expect_equal(const ControlMsg& a, const ControlMsg& b) {
   EXPECT_EQ(a.op, b.op);
@@ -30,10 +35,11 @@ void expect_equal(const ControlMsg& a, const ControlMsg& b) {
   EXPECT_EQ(a.rank, b.rank);
   EXPECT_EQ(a.stream_offset, b.stream_offset);
   EXPECT_EQ(a.end_of_stream, b.end_of_stream);
+  EXPECT_EQ(a.ctx, b.ctx);
 }
 
 TEST(ControlMsgWire, EncodeProducesExactWireSize) {
-  EXPECT_EQ(ControlMsg::kWireSize, 38u);
+  EXPECT_EQ(ControlMsg::kWireSize, 54u);
   EXPECT_EQ(sample().encode().size(), ControlMsg::kWireSize);
 }
 
@@ -58,6 +64,7 @@ TEST(ControlMsgWire, RoundTripsBoundaryValues) {
   m.rank = -1;  // the "no rank" sentinel survives the u32 cast
   m.stream_offset = UINT64_MAX;
   m.end_of_stream = true;
+  m.ctx = telemetry::TraceContext{UINT64_MAX, UINT64_MAX};
   const sim::Bytes wire = m.encode();
   const auto back = ControlMsg::decode(sim::ByteSpan(wire));
   ASSERT_TRUE(back.has_value());
@@ -112,7 +119,7 @@ TEST(ControlMsgWire, DecodeIsPureOverTheWholeByteRange) {
       const auto got = ControlMsg::decode(sim::ByteSpan(mutant));
       if (i == 0) {
         EXPECT_EQ(got.has_value(), v >= 1 && v <= 4);
-      } else if (i == wire.size() - 1) {
+      } else if (i == kEosOffset) {
         // end_of_stream: any nonzero byte reads as true (re-encodes as 1).
         ASSERT_TRUE(got.has_value());
         EXPECT_EQ(got->end_of_stream, v != 0);

@@ -1,0 +1,123 @@
+#include "jobmig/telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "jobmig/telemetry/json_read.hpp"
+
+namespace jobmig::telemetry {
+namespace {
+
+/// The recorder is a process-wide singleton; every test starts from a
+/// cleared ring and restores the empty dump path.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::instance().clear();
+    FlightRecorder::instance().set_dump_path("");
+  }
+  void TearDown() override {
+    FlightRecorder::instance().clear();
+    FlightRecorder::instance().set_dump_path("");
+  }
+};
+
+TEST_F(FlightRecorderTest, KeepsInsertionOrderBelowCapacity) {
+  auto& fr = FlightRecorder::instance();
+  for (int i = 0; i < 10; ++i) fr.note("cat", "event " + std::to_string(i), 7, 100 + i);
+  EXPECT_EQ(fr.size(), 10u);
+  EXPECT_EQ(fr.total_recorded(), 10u);
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 10u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, i);
+    EXPECT_EQ(std::string(snap[i].text), "event " + std::to_string(i));
+    EXPECT_EQ(snap[i].trace_id, 7u);
+    EXPECT_EQ(snap[i].span_id, 100 + i);
+  }
+}
+
+TEST_F(FlightRecorderTest, OverflowWrapsAndKeepsTheNewestEntries) {
+  auto& fr = FlightRecorder::instance();
+  const std::size_t n = FlightRecorder::kCapacity + 137;
+  for (std::size_t i = 0; i < n; ++i) fr.note("wrap", "e" + std::to_string(i));
+  EXPECT_EQ(fr.size(), FlightRecorder::kCapacity);
+  EXPECT_EQ(fr.total_recorded(), n);
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), FlightRecorder::kCapacity);
+  // Oldest surviving entry is exactly the first not yet overwritten; seqs
+  // stay strictly consecutive across the wrap point.
+  EXPECT_EQ(snap.front().seq, n - FlightRecorder::kCapacity);
+  EXPECT_EQ(snap.back().seq, n - 1);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, snap[i - 1].seq + 1);
+  }
+  EXPECT_EQ(std::string(snap.back().text), "e" + std::to_string(n - 1));
+}
+
+TEST_F(FlightRecorderTest, TruncatesOversizedFieldsWithoutOverrun) {
+  auto& fr = FlightRecorder::instance();
+  const std::string long_cat(200, 'c');
+  const std::string long_text(500, 't');
+  fr.note(long_cat, long_text);
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(std::string(snap[0].category), std::string(FlightRecorder::kCategoryBytes - 1, 'c'));
+  EXPECT_EQ(std::string(snap[0].text), std::string(FlightRecorder::kTextBytes - 1, 't'));
+}
+
+TEST_F(FlightRecorderTest, DumpIsParseableAndCountsDroppedEntries) {
+  auto& fr = FlightRecorder::instance();
+  const std::size_t n = FlightRecorder::kCapacity + 25;
+  for (std::size_t i = 0; i < n; ++i) fr.note("dump", "entry", i % 3, i);
+  std::ostringstream os;
+  fr.dump(os, "unit test \"incident\"");
+
+  std::string err;
+  auto doc = parse_json(os.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->str("format"), "jobmig-flight-v1");
+  EXPECT_EQ(doc->str("reason"), "unit test \"incident\"");
+  EXPECT_EQ(doc->u64("total_recorded"), n);
+  EXPECT_EQ(doc->u64("capacity"), FlightRecorder::kCapacity);
+  EXPECT_EQ(doc->u64("dropped"), 25u);
+  const auto* entries = doc->get("entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_EQ(entries->items.size(), FlightRecorder::kCapacity);
+}
+
+TEST_F(FlightRecorderTest, IncidentDumpDisabledWithoutAPath) {
+  auto& fr = FlightRecorder::instance();
+  fr.note("x", "y");
+  EXPECT_FALSE(fr.dump_on_incident("nothing configured"));
+}
+
+TEST_F(FlightRecorderTest, IncidentDumpWritesTheConfiguredFile) {
+  const std::string path = ::testing::TempDir() + "jobmig_flight_unit.json";
+  std::remove(path.c_str());
+  auto& fr = FlightRecorder::instance();
+  fr.note("mig", "phase done", 3, 42);
+  fr.set_dump_path(path);
+  EXPECT_TRUE(fr.dump_on_incident("configured"));
+  auto doc = parse_json_file(path);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str("reason"), "configured");
+  ASSERT_EQ(doc->get("entries")->items.size(), 1u);
+  EXPECT_EQ(doc->get("entries")->items[0].u64("trace_id"), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, ClearEmptiesTheRing) {
+  auto& fr = FlightRecorder::instance();
+  for (int i = 0; i < 5; ++i) fr.note("c", "t");
+  fr.clear();
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.total_recorded(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+}  // namespace
+}  // namespace jobmig::telemetry

@@ -1,0 +1,87 @@
+#include "jobmig/telemetry/json_read.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "jobmig/telemetry/json.hpp"
+
+namespace jobmig::telemetry {
+namespace {
+
+TEST(JsonRead, ParsesScalarsArraysAndObjects) {
+  auto doc = parse_json(R"({"a": 1, "b": -2.5, "c": "hi", "d": true, "e": null,
+                            "f": [1, 2, 3], "g": {"nested": "yes"}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->u64("a"), 1u);
+  EXPECT_DOUBLE_EQ(doc->num("b"), -2.5);
+  EXPECT_EQ(doc->str("c"), "hi");
+  EXPECT_TRUE(doc->get("d")->boolean);
+  EXPECT_TRUE(doc->get("e")->is_null());
+  ASSERT_TRUE(doc->get("f")->is_array());
+  EXPECT_EQ(doc->get("f")->items.size(), 3u);
+  EXPECT_EQ(doc->get("g")->str("nested"), "yes");
+  EXPECT_EQ(doc->get("missing"), nullptr);
+}
+
+TEST(JsonRead, PreservesFull64BitIntegers) {
+  // Values above 2^53 are exactly representable only as integers — the
+  // lexeme-keeping reader must not round-trip them through double.
+  auto doc = parse_json(R"({"id": 18446744073709551615, "neg": -9223372036854775807})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->u64("id"), 18446744073709551615ull);
+  EXPECT_EQ(doc->get("neg")->as_i64(), -9223372036854775807ll);
+}
+
+TEST(JsonRead, DecodesEscapes) {
+  auto doc = parse_json(R"({"s": "a\"b\\c\nd\teAé"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str("s"), "a\"b\\c\nd\teA\xC3\xA9");
+}
+
+TEST(JsonRead, RoundTripsJsonWriterOutput) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("format", "jobmig-bench-v2");
+    w.field("pi", 3.25);
+    w.field("big", std::uint64_t{1234567890123456789ull});
+    w.field("quoted", "say \"hi\"\n");
+    w.key("rows").begin_array();
+    w.begin_object().field("label", "LU.C.64").field("total_ms", 1510.0).end_object();
+    w.end_array();
+    w.end_object();
+  }
+  auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->str("format"), "jobmig-bench-v2");
+  EXPECT_DOUBLE_EQ(doc->num("pi"), 3.25);
+  EXPECT_EQ(doc->u64("big"), 1234567890123456789ull);
+  EXPECT_EQ(doc->str("quoted"), "say \"hi\"\n");
+  const auto* rows = doc->get("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items.size(), 1u);
+  EXPECT_EQ(rows->items[0].str("label"), "LU.C.64");
+  EXPECT_DOUBLE_EQ(rows->items[0].num("total_ms"), 1510.0);
+}
+
+TEST(JsonRead, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse_json("{", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_json(R"({"a": 1} trailing)").has_value());
+  EXPECT_FALSE(parse_json(R"({"a" 1})").has_value());
+  EXPECT_FALSE(parse_json(R"(["unterminated)").has_value());
+  EXPECT_FALSE(parse_json("", &err).has_value());
+  EXPECT_FALSE(parse_json("nul", &err).has_value());
+}
+
+TEST(JsonRead, MissingFileReportsAnError) {
+  std::string err;
+  EXPECT_FALSE(parse_json_file("/nonexistent/jobmig.json", &err).has_value());
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jobmig::telemetry

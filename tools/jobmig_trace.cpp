@@ -1,0 +1,577 @@
+/// jobmig-trace — offline analysis of the migration stack's telemetry files.
+///
+/// Subcommands:
+///   phases PATH         per-phase / per-track breakdown of a --trace-out file
+///   critical-path PATH  extract the causal critical path through the span DAG
+///   diff OLD NEW        compare two --json-out bench summaries (CI gate)
+///   flight PATH         pretty-print a flight-recorder incident dump
+///
+/// All inputs are files this repo's own exporters wrote: Chrome trace_event
+/// JSON (write_chrome_trace), jobmig-bench-v1/v2 summaries (BenchReporter)
+/// and jobmig-flight-v1 dumps (FlightRecorder). Nothing here links the sim:
+/// the tool reconstructs the DAG purely from the exported args
+/// (span_id / from_span / to_span / trace_id), so it works on traces from
+/// any build — and `diff` still accepts v1 summaries, which lack
+/// restart_mode and per-row trace ids.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "jobmig/telemetry/json_read.hpp"
+
+namespace {
+
+using jobmig::telemetry::JsonValue;
+using jobmig::telemetry::parse_json_file;
+
+// ---- Chrome-trace model -----------------------------------------------------
+
+/// One reconstructed span. Times are in microseconds of virtual time, as the
+/// exporter wrote them ("ts"/"dur" fields).
+struct TSpan {
+  std::uint64_t id = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t link_parent = 0;
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  double length_us() const { return end_us - begin_us; }
+};
+
+/// One causal edge, with the link (consumption) time the exporter anchored
+/// the "f" event at.
+struct TFlow {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  double at_us = 0.0;
+};
+
+struct TraceFile {
+  std::vector<TSpan> spans;
+  std::vector<TFlow> flows;
+  std::map<int, std::string> process_names;              // pid -> name
+  std::map<std::pair<int, int>, std::string> tracks;     // (pid, tid) -> name
+
+  const TSpan* find(std::uint64_t id) const {
+    auto it = by_id.find(id);
+    return it == by_id.end() ? nullptr : &spans[it->second];
+  }
+  std::string track_of(const TSpan& s) const {
+    auto it = tracks.find({s.pid, s.tid});
+    return it != tracks.end() ? it->second : "tid" + std::to_string(s.tid);
+  }
+  std::string process_of(const TSpan& s) const {
+    auto it = process_names.find(s.pid);
+    return it != process_names.end() ? it->second : "pid" + std::to_string(s.pid);
+  }
+  void index() {
+    by_id.clear();
+    for (std::size_t i = 0; i < spans.size(); ++i) by_id[spans[i].id] = i;
+  }
+
+ private:
+  std::map<std::uint64_t, std::size_t> by_id;
+};
+
+std::optional<TraceFile> load_trace(const std::string& path) {
+  std::string err;
+  auto doc = parse_json_file(path, &err);
+  if (!doc) {
+    std::fprintf(stderr, "jobmig-trace: %s: %s\n", path.c_str(), err.c_str());
+    return std::nullopt;
+  }
+  const JsonValue* events = doc->get("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "jobmig-trace: %s: no traceEvents array\n", path.c_str());
+    return std::nullopt;
+  }
+
+  TraceFile tf;
+  std::map<std::uint64_t, TSpan> open_async;  // async "b" awaiting its "e"
+  std::map<std::uint64_t, TFlow> open_flow;   // "s" awaiting its "f"
+  for (const JsonValue& ev : events->items) {
+    if (!ev.is_object()) continue;
+    const std::string ph = ev.str("ph");
+    const JsonValue* args = ev.get("args");
+    if (ph == "M") {
+      const int pid = static_cast<int>(ev.num("pid"));
+      const std::string what = ev.str("name");
+      const std::string name = args != nullptr ? args->str("name") : "";
+      if (what == "process_name") tf.process_names[pid] = name;
+      if (what == "thread_name") tf.tracks[{pid, static_cast<int>(ev.num("tid"))}] = name;
+      continue;
+    }
+    if (ph == "X" || ph == "b") {
+      TSpan s;
+      s.name = ev.str("name");
+      s.pid = static_cast<int>(ev.num("pid"));
+      s.tid = static_cast<int>(ev.num("tid"));
+      s.begin_us = ev.num("ts");
+      if (args != nullptr) {
+        s.id = args->u64("span_id");
+        s.trace_id = args->u64("trace_id");
+        s.link_parent = args->u64("link_parent");
+      }
+      if (ph == "X") {
+        s.end_us = s.begin_us + ev.num("dur");
+        tf.spans.push_back(std::move(s));
+      } else {
+        open_async[ev.u64("id")] = std::move(s);
+      }
+      continue;
+    }
+    if (ph == "e") {
+      auto it = open_async.find(ev.u64("id"));
+      if (it == open_async.end()) continue;
+      it->second.end_us = ev.num("ts");
+      tf.spans.push_back(std::move(it->second));
+      open_async.erase(it);
+      continue;
+    }
+    if (ph == "s" || ph == "f") {
+      const std::uint64_t id = ev.u64("id");
+      TFlow& f = open_flow[id];
+      if (args != nullptr) {
+        if (const JsonValue* v = args->get("from_span")) f.from = v->as_u64();
+        if (const JsonValue* v = args->get("to_span")) f.to = v->as_u64();
+      }
+      if (ph == "f") {
+        f.at_us = ev.num("ts");
+        if (f.from != 0 && f.to != 0) tf.flows.push_back(f);
+        open_flow.erase(id);
+      }
+      continue;
+    }
+  }
+  tf.index();
+  return tf;
+}
+
+/// Most-populated trace id in the file (files usually hold one cycle; bench
+/// runs with several pick the biggest unless --trace-id narrows it).
+std::uint64_t default_trace_id(const TraceFile& tf) {
+  std::map<std::uint64_t, int> votes;
+  for (const TSpan& s : tf.spans) {
+    if (s.trace_id != 0) ++votes[s.trace_id];
+  }
+  std::uint64_t best = 0;
+  int best_votes = 0;
+  for (const auto& [id, n] : votes) {
+    if (n > best_votes) {
+      best = id;
+      best_votes = n;
+    }
+  }
+  return best;
+}
+
+// ---- phases -----------------------------------------------------------------
+
+/// Busy time of a set of intervals clipped to [lo, hi): union, no double
+/// counting of nested/overlapping spans.
+double busy_us(std::vector<std::pair<double, double>> iv, double lo, double hi) {
+  std::sort(iv.begin(), iv.end());
+  double total = 0.0;
+  double cur_lo = 0.0, cur_hi = -1.0;
+  for (auto [b, e] : iv) {
+    b = std::max(b, lo);
+    e = std::min(e, hi);
+    if (e <= b) continue;
+    if (cur_hi < b) {
+      total += cur_hi - cur_lo;
+      cur_lo = b;
+      cur_hi = e;
+    } else {
+      cur_hi = std::max(cur_hi, e);
+    }
+  }
+  if (cur_hi > cur_lo) total += cur_hi - cur_lo;
+  return total;
+}
+
+const char* const kPhaseNames[] = {"Stall", "Migration", "Restart", "Resume"};
+
+/// The manager's four phase spans for one cycle, in order; empty entries for
+/// phases the trace does not contain (aborted cycles).
+std::vector<const TSpan*> phase_spans(const TraceFile& tf, std::uint64_t trace_id) {
+  std::vector<const TSpan*> out(4, nullptr);
+  for (const TSpan& s : tf.spans) {
+    if (s.trace_id != trace_id || tf.track_of(s) != "migmgr") continue;
+    for (int p = 0; p < 4; ++p) {
+      if (s.name == kPhaseNames[p] && out[p] == nullptr) out[p] = &s;
+    }
+  }
+  return out;
+}
+
+int cmd_phases(const std::string& path, std::uint64_t want_trace) {
+  auto tf = load_trace(path);
+  if (!tf) return 1;
+  const std::uint64_t trace_id = want_trace != 0 ? want_trace : default_trace_id(*tf);
+  if (trace_id == 0) {
+    std::fprintf(stderr, "jobmig-trace: no traced migration cycle in %s\n", path.c_str());
+    return 1;
+  }
+  const auto phases = phase_spans(*tf, trace_id);
+  std::printf("trace %llu — migration phases\n", static_cast<unsigned long long>(trace_id));
+  std::printf("%-12s %12s %12s %12s\n", "phase", "begin-ms", "end-ms", "dur-ms");
+  for (int p = 0; p < 4; ++p) {
+    if (phases[p] == nullptr) {
+      std::printf("%-12s %12s %12s %12s\n", kPhaseNames[p], "-", "-", "-");
+      continue;
+    }
+    std::printf("%-12s %12.3f %12.3f %12.3f\n", kPhaseNames[p], phases[p]->begin_us / 1000.0,
+                phases[p]->end_us / 1000.0, phases[p]->length_us() / 1000.0);
+  }
+
+  // Per-track busy time within each phase window (interval union per track,
+  // so nested sync spans and overlapping async spans count once).
+  std::map<std::string, std::vector<std::pair<double, double>>> by_track;
+  for (const TSpan& s : tf->spans) {
+    if (s.trace_id != trace_id) continue;
+    by_track[tf->process_of(s) + "/" + tf->track_of(s)].emplace_back(s.begin_us, s.end_us);
+  }
+  std::printf("\nper-track busy time (ms) within each phase window\n");
+  std::printf("%-28s %10s %10s %10s %10s\n", "track", "stall", "migration", "restart", "resume");
+  for (const auto& [track, iv] : by_track) {
+    std::printf("%-28s", track.c_str());
+    for (int p = 0; p < 4; ++p) {
+      if (phases[p] == nullptr) {
+        std::printf(" %10s", "-");
+        continue;
+      }
+      std::printf(" %10.3f", busy_us(iv, phases[p]->begin_us, phases[p]->end_us) / 1000.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// ---- critical-path ----------------------------------------------------------
+
+struct Hop {
+  const TSpan* span = nullptr;
+  double enter_us = 0.0;  // when causality entered this span (link time)
+  double exit_us = 0.0;   // when it left (next hop's link time / path end)
+};
+
+/// Walk the timestamped flow DAG backwards from the cycle's final span: at
+/// each step follow the latest in-edge consumed no later than the current
+/// point. Hop durations telescope, so they sum to exactly the span of time
+/// between the first span's entry and the final span's end.
+std::vector<Hop> critical_path(const TraceFile& tf, std::uint64_t trace_id) {
+  // In-edges per span, for this trace only.
+  std::map<std::uint64_t, std::vector<const TFlow*>> in;
+  std::set<std::uint64_t> has_out;
+  for (const TFlow& f : tf.flows) {
+    const TSpan* to = tf.find(f.to);
+    const TSpan* from = tf.find(f.from);
+    if (to == nullptr || from == nullptr || to->trace_id != trace_id) continue;
+    in[f.to].push_back(&f);
+    has_out.insert(f.from);
+  }
+
+  // Final span: latest-ending linked span that causes nothing itself —
+  // normally the manager's "Resume" phase. Ties (several spans ending at
+  // the barrier release) resolve to the latest beginning.
+  const TSpan* final_span = nullptr;
+  for (const TSpan& s : tf.spans) {
+    if (s.trace_id != trace_id || in.find(s.id) == in.end()) continue;
+    if (has_out.contains(s.id)) continue;
+    if (final_span == nullptr || s.end_us > final_span->end_us ||
+        (s.end_us == final_span->end_us && s.begin_us > final_span->begin_us)) {
+      final_span = &s;
+    }
+  }
+  if (final_span == nullptr) return {};
+
+  std::vector<Hop> rpath;
+  const TSpan* cur = final_span;
+  double cur_t = final_span->end_us;
+  // Bounded walk: times never increase, and an edge is only taken when it
+  // moves strictly earlier or to a new span, so flows.size() bounds it.
+  for (std::size_t step = 0; step <= tf.flows.size(); ++step) {
+    const TFlow* best = nullptr;
+    auto it = in.find(cur->id);
+    if (it != in.end()) {
+      for (const TFlow* f : it->second) {
+        if (f->at_us > cur_t || f->from == cur->id) continue;
+        if (best == nullptr || f->at_us > best->at_us) best = f;
+      }
+    }
+    if (best == nullptr) {
+      rpath.push_back(Hop{cur, cur->begin_us, cur_t});
+      break;
+    }
+    rpath.push_back(Hop{cur, best->at_us, cur_t});
+    cur = tf.find(best->from);
+    cur_t = best->at_us;
+  }
+  std::reverse(rpath.begin(), rpath.end());
+  return rpath;
+}
+
+int cmd_critical_path(const std::string& path, std::uint64_t want_trace) {
+  auto tf = load_trace(path);
+  if (!tf) return 1;
+  const std::uint64_t trace_id = want_trace != 0 ? want_trace : default_trace_id(*tf);
+  if (trace_id == 0) {
+    std::fprintf(stderr, "jobmig-trace: no traced migration cycle in %s\n", path.c_str());
+    return 1;
+  }
+  const auto hops = critical_path(*tf, trace_id);
+  if (hops.empty()) {
+    std::fprintf(stderr, "jobmig-trace: no causal path found for trace %llu\n",
+                 static_cast<unsigned long long>(trace_id));
+    return 1;
+  }
+
+  std::printf("trace %llu — critical path (%zu hops)\n",
+              static_cast<unsigned long long>(trace_id), hops.size());
+  std::printf("%12s %10s  %-24s %s\n", "enter-ms", "hop-ms", "track", "span");
+  double total_us = 0.0;
+  std::set<std::string> phases_seen;
+  for (const Hop& h : hops) {
+    const double hop_us = h.exit_us - h.enter_us;
+    total_us += hop_us;
+    const std::string track = tf->track_of(*h.span);
+    std::printf("%12.3f %10.3f  %-24s %s\n", h.enter_us / 1000.0, hop_us / 1000.0,
+                track.c_str(), h.span->name.c_str());
+    for (const char* p : kPhaseNames) {
+      if (track == "migmgr" && h.span->name == p) phases_seen.insert(p);
+    }
+  }
+
+  std::printf("----\n");
+  std::printf("critical path: %.3f ms over %zu hops\n", total_us / 1000.0, hops.size());
+  // Cross-check against the manager's own cycle span when present.
+  for (const TSpan& s : tf->spans) {
+    if (s.trace_id == trace_id && s.name == "migration cycle") {
+      const double cyc = s.length_us();
+      const double dev = cyc > 0.0 ? (total_us - cyc) / cyc * 100.0 : 0.0;
+      std::printf("cycle span:    %.3f ms (path covers %+.2f%%)\n", cyc / 1000.0, dev);
+      break;
+    }
+  }
+  std::printf("phases on path:");
+  for (const char* p : kPhaseNames) {
+    std::printf(" %s=%s", p, phases_seen.contains(p) ? "yes" : "no");
+  }
+  std::printf("\n");
+  return 0;
+}
+
+// ---- diff -------------------------------------------------------------------
+
+struct SummaryRow {
+  std::string label;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+struct Summary {
+  std::string format;
+  std::string bench;
+  std::string restart_mode;  // empty in v1 files
+  std::vector<SummaryRow> rows;
+};
+
+std::optional<Summary> load_summary(const std::string& path) {
+  std::string err;
+  auto doc = parse_json_file(path, &err);
+  if (!doc) {
+    std::fprintf(stderr, "jobmig-trace: %s: %s\n", path.c_str(), err.c_str());
+    return std::nullopt;
+  }
+  Summary s;
+  s.format = doc->str("format");
+  if (s.format != "jobmig-bench-v1" && s.format != "jobmig-bench-v2") {
+    std::fprintf(stderr, "jobmig-trace: %s: not a jobmig-bench summary (format '%s')\n",
+                 path.c_str(), s.format.c_str());
+    return std::nullopt;
+  }
+  s.bench = doc->str("bench");
+  s.restart_mode = doc->str("restart_mode");  // absent in v1 -> ""
+  const JsonValue* rows = doc->get("rows");
+  if (rows != nullptr && rows->is_array()) {
+    for (const JsonValue& r : rows->items) {
+      if (!r.is_object()) continue;
+      SummaryRow row;
+      row.label = r.str("label");
+      for (const auto& [k, v] : r.members) {
+        // trace_id is an identifier, not a measurement.
+        if (k == "label" || k == "trace_id" || !v.is_number()) continue;
+        row.fields.emplace_back(k, v.as_double());
+      }
+      s.rows.push_back(std::move(row));
+    }
+  }
+  return s;
+}
+
+int cmd_diff(const std::string& old_path, const std::string& new_path, double max_regress_pct) {
+  auto olds = load_summary(old_path);
+  auto news = load_summary(new_path);
+  if (!olds || !news) return 1;
+  if (!olds->bench.empty() && !news->bench.empty() && olds->bench != news->bench) {
+    std::fprintf(stderr, "jobmig-trace: comparing different benches (%s vs %s)\n",
+                 olds->bench.c_str(), news->bench.c_str());
+  }
+  if (!olds->restart_mode.empty() && !news->restart_mode.empty() &&
+      olds->restart_mode != news->restart_mode) {
+    std::printf("note: restart_mode differs (%s -> %s); timing shifts are expected\n",
+                olds->restart_mode.c_str(), news->restart_mode.c_str());
+  }
+
+  std::printf("%s: %s (%s) vs %s (%s), gate %.1f%% on *_ms fields\n",
+              olds->bench.empty() ? "bench" : olds->bench.c_str(), old_path.c_str(),
+              olds->format.c_str(), new_path.c_str(), news->format.c_str(), max_regress_pct);
+  std::printf("%-16s %-16s %14s %14s %9s\n", "row", "field", "old", "new", "delta");
+
+  // Durations below this are pure scheduling noise; don't gate on them.
+  constexpr double kMinGateMs = 1.0;
+  int regressions = 0;
+  bool any_row = false;
+  for (const SummaryRow& orow : olds->rows) {
+    const SummaryRow* nrow = nullptr;
+    for (const SummaryRow& cand : news->rows) {
+      if (cand.label == orow.label) {
+        nrow = &cand;
+        break;
+      }
+    }
+    if (nrow == nullptr) {
+      std::printf("%-16s row missing from %s\n", orow.label.c_str(), new_path.c_str());
+      ++regressions;
+      continue;
+    }
+    for (const auto& [key, old_v] : orow.fields) {
+      const auto it = std::find_if(nrow->fields.begin(), nrow->fields.end(),
+                                   [&](const auto& f) { return f.first == key; });
+      if (it == nrow->fields.end()) continue;
+      const double new_v = it->second;
+      const double pct = old_v != 0.0 ? (new_v - old_v) / old_v * 100.0
+                                      : (new_v != 0.0 ? 100.0 : 0.0);
+      const bool gated = key.size() > 3 && key.compare(key.size() - 3, 3, "_ms") == 0;
+      const bool regressed = gated && pct > max_regress_pct && old_v >= kMinGateMs;
+      if (regressed) ++regressions;
+      any_row = true;
+      std::printf("%-16s %-16s %14.3f %14.3f %+8.2f%%%s\n", orow.label.c_str(), key.c_str(),
+                  old_v, new_v, pct, regressed ? "  <-- REGRESSION" : "");
+    }
+  }
+  if (!any_row) {
+    std::fprintf(stderr, "jobmig-trace: no comparable rows\n");
+    return 1;
+  }
+  if (regressions > 0) {
+    std::printf("----\n%d regression%s beyond %.1f%%\n", regressions,
+                regressions == 1 ? "" : "s", max_regress_pct);
+    return 1;
+  }
+  std::printf("----\nno regressions beyond %.1f%%\n", max_regress_pct);
+  return 0;
+}
+
+// ---- flight -----------------------------------------------------------------
+
+int cmd_flight(const std::string& path) {
+  std::string err;
+  auto doc = parse_json_file(path, &err);
+  if (!doc) {
+    std::fprintf(stderr, "jobmig-trace: %s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+  if (doc->str("format") != "jobmig-flight-v1") {
+    std::fprintf(stderr, "jobmig-trace: %s: not a jobmig-flight-v1 dump\n", path.c_str());
+    return 1;
+  }
+  std::printf("flight recorder dump — %s\n", doc->str("reason", "(no reason)").c_str());
+  const std::uint64_t total = doc->u64("total_recorded");
+  const std::uint64_t dropped = doc->u64("dropped");
+  std::printf("%llu events recorded, %llu dropped by the ring\n",
+              static_cast<unsigned long long>(total), static_cast<unsigned long long>(dropped));
+  const JsonValue* entries = doc->get("entries");
+  if (entries == nullptr || !entries->is_array()) return 0;
+  std::printf("%8s %14s %-10s %-8s %s\n", "seq", "t-ms", "category", "trace", "text");
+  for (const JsonValue& e : entries->items) {
+    if (!e.is_object()) continue;
+    const double t_ms = static_cast<double>(e.get("t_ns") != nullptr
+                                                ? e.get("t_ns")->as_i64()
+                                                : 0) / 1e6;
+    const std::uint64_t trace = e.u64("trace_id");
+    char trace_buf[24];
+    if (trace != 0) {
+      std::snprintf(trace_buf, sizeof trace_buf, "%llu", static_cast<unsigned long long>(trace));
+    } else {
+      std::snprintf(trace_buf, sizeof trace_buf, "-");
+    }
+    std::printf("%8llu %14.3f %-10s %-8s %s\n",
+                static_cast<unsigned long long>(e.u64("seq")), t_ms,
+                e.str("category").c_str(), trace_buf, e.str("text").c_str());
+  }
+  return 0;
+}
+
+// ---- main -------------------------------------------------------------------
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <command> [args]\n"
+               "  phases TRACE.json [--trace-id N]\n"
+               "      per-phase and per-track breakdown of a --trace-out file\n"
+               "  critical-path TRACE.json [--trace-id N]\n"
+               "      causal critical path through the migration DAG\n"
+               "  diff OLD.json NEW.json [--max-regress PCT]\n"
+               "      compare --json-out summaries; exit 1 on *_ms regressions\n"
+               "      beyond PCT (default 10); reads v1 and v2 files\n"
+               "  flight DUMP.json\n"
+               "      pretty-print a flight-recorder incident dump\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+
+  std::vector<std::string> paths;
+  std::uint64_t trace_id = 0;
+  double max_regress = 10.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto take = [&](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      if (a.compare(0, n, flag) == 0 && a.size() > n && a[n] == '=') return a.c_str() + n + 1;
+      if (a == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = take("--trace-id")) {
+      trace_id = std::strtoull(v, nullptr, 10);
+    } else if (const char* w = take("--max-regress")) {
+      max_regress = std::strtod(w, nullptr);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "jobmig-trace: unknown option %s\n", a.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(a);
+    }
+  }
+
+  if (cmd == "phases" && paths.size() == 1) return cmd_phases(paths[0], trace_id);
+  if (cmd == "critical-path" && paths.size() == 1) return cmd_critical_path(paths[0], trace_id);
+  if (cmd == "diff" && paths.size() == 2) return cmd_diff(paths[0], paths[1], max_regress);
+  if (cmd == "flight" && paths.size() == 1) return cmd_flight(paths[0]);
+  return usage(argv[0]);
+}
