@@ -58,6 +58,7 @@ double run_transfer(migration::PoolConfig cfg, bench::BenchReporter& reporter) {
   }(src, dst, blcr, cfg, spec.image_bytes_per_rank, elapsed));
   engine.run();
   JOBMIG_ASSERT(elapsed > 0.0);
+  reporter.record_engine(engine);
   return elapsed;
 }
 

@@ -30,7 +30,8 @@ struct Outcome {
 
 /// Both strategies share this rig: BT.C.64 on 8 nodes + spare, periodic
 /// checkpoints to local disks, failure predicted at t = `failure_at`.
-Outcome run(bool with_migration, sim::Duration interval, sim::Duration failure_at) {
+Outcome run(bool with_migration, sim::Duration interval, sim::Duration failure_at,
+            bench::BenchReporter& reporter) {
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
   auto spec = workload::make_spec(workload::NpbApp::kBT, workload::NpbClass::kC, 64, 0.6);
@@ -76,6 +77,7 @@ Outcome run(bool with_migration, sim::Duration interval, sim::Duration failure_a
   out.checkpoints = scheduler.checkpoints_taken();
   out.ft_io_mb += static_cast<double>(scheduler.bytes_written()) / 1e6;
   out.ft_time_s += scheduler.time_in_checkpoints().to_seconds();
+  reporter.record_engine(engine);
   return out;
 }
 
@@ -96,7 +98,7 @@ int main(int argc, char** argv) {
       const std::string label = std::to_string(interval_s) + "s/" +
                                 (migrate ? "cr+migration" : "cr-only");
       reporter.begin_run(label);
-      Outcome o = run(migrate, sim::Duration::sec(interval_s), 50_s);
+      Outcome o = run(migrate, sim::Duration::sec(interval_s), 50_s, reporter);
       std::printf("%8ds  %-14s %8zu %12.0f %12.1f %12.1f\n", interval_s,
                   migrate ? "CR+migration" : "CR-only", o.checkpoints, o.ft_io_mb, o.ft_time_s,
                   o.lost_work_s);

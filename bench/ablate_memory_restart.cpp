@@ -31,6 +31,7 @@ migration::MigrationReport run_one(const workload::KernelSpec& spec,
   }(cl, spec, report));
   engine.run_until(sim::TimePoint::origin() + 150_s);
   JOBMIG_ASSERT(cl.migration_manager().cycles_completed() == 1);
+  reporter.record_engine(engine);
   return report;
 }
 

@@ -18,7 +18,7 @@ namespace {
 using namespace jobmig;
 using namespace jobmig::sim::literals;
 
-double run_rdma(std::uint64_t image_bytes) {
+double run_rdma(std::uint64_t image_bytes, bench::BenchReporter& reporter) {
   sim::Engine engine;
   ib::Fabric fabric(engine);
   ib::Hca& src = fabric.add_node("src");
@@ -53,10 +53,12 @@ double run_rdma(std::uint64_t image_bytes) {
     out = sim::Engine::current()->now().to_seconds() - start;
   }(src, dst, blcr, image_bytes, elapsed));
   engine.run();
+  reporter.record_engine(engine);
   return elapsed;
 }
 
-double run_tcp(std::uint64_t image_bytes, double bandwidth_Bps) {
+double run_tcp(std::uint64_t image_bytes, double bandwidth_Bps,
+               bench::BenchReporter& reporter) {
   sim::Engine engine;
   sim::EthParams eth;
   eth.bandwidth_Bps = bandwidth_Bps;
@@ -90,6 +92,7 @@ double run_tcp(std::uint64_t image_bytes, double bandwidth_Bps) {
     out = sim::Engine::current()->now().to_seconds() - start;
   }(src, dst, blcr, image_bytes, elapsed));
   engine.run();
+  reporter.record_engine(engine);
   return elapsed;
 }
 
@@ -105,11 +108,12 @@ int main(int argc, char** argv) {
   auto spec = jobmig::workload::make_spec(jobmig::workload::NpbApp::kBT,
                                           jobmig::workload::NpbClass::kC, 64);
   reporter.begin_run("rdma-pool");
-  const double rdma = run_rdma(spec.image_bytes_per_rank);
+  const double rdma = run_rdma(spec.image_bytes_per_rank, reporter);
   reporter.begin_run("tcp-ipoib");
-  const double ipoib = run_tcp(spec.image_bytes_per_rank, 450e6);  // IPoIB on DDR, ~450 MB/s
+  // IPoIB on DDR, ~450 MB/s
+  const double ipoib = run_tcp(spec.image_bytes_per_rank, 450e6, reporter);
   reporter.begin_run("tcp-gige");
-  const double gige = run_tcp(spec.image_bytes_per_rank, 112e6);
+  const double gige = run_tcp(spec.image_bytes_per_rank, 112e6, reporter);
 
   std::printf("%-22s %12s %12s\n", "transport", "seconds", "vs RDMA");
   std::printf("%-22s %12.3f %12s\n", "RDMA pool (DDR IB)", rdma, "1.00x");

@@ -54,10 +54,12 @@ int main(int argc, char** argv) {
     sim::Engine e1;
     storage::LocalFs ext3(e1, cal.disk);
     const double ext3_bw = aggregate_bandwidth(ext3, e1, writers, 64ull << 20);
+    reporter.record_engine(e1);
 
     sim::Engine e2;
     storage::ParallelFs pvfs(e2, cal.pvfs);
     const double pvfs_bw = aggregate_bandwidth(pvfs, e2, writers, 64ull << 20);
+    reporter.record_engine(e2);
 
     std::printf("%-10d %14.1f %16.1f %18.1f\n", writers, ext3_bw, pvfs_bw,
                 pvfs_bw / writers);

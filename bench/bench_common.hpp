@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "jobmig/cluster/cluster.hpp"
+#include "jobmig/sim/engine.hpp"
 #include "jobmig/telemetry/export.hpp"
 #include "jobmig/telemetry/telemetry.hpp"
 #include "jobmig/workload/npb.hpp"
@@ -59,6 +60,9 @@ struct BenchOptions {
   /// Phase-3 strategy; pipelined (on-the-fly) restart is the default, the
   /// paper's original file-based restart is reproduced with --restart=file.
   migration::RestartMode restart = migration::RestartMode::kPipelined;
+  /// --quick: benches that support it run a reduced configuration (CI smoke
+  /// runs); rows keep their labels so diffs against a quick baseline line up.
+  bool quick = false;
 
   bool telemetry() const { return !json_out.empty() || !trace_out.empty(); }
 
@@ -72,7 +76,9 @@ struct BenchOptions {
     };
     for (int i = 1; i < argc; ++i) {
       std::string v;
-      if (!(v = take(i, "--json-out")).empty()) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        opts.quick = true;
+      } else if (!(v = take(i, "--json-out")).empty()) {
         opts.json_out = v;
       } else if (!(v = take(i, "--trace-out")).empty()) {
         opts.trace_out = v;
@@ -91,7 +97,7 @@ struct BenchOptions {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--json-out FILE] [--trace-out FILE]"
-                     " [--restart file|memory|pipelined]\n",
+                     " [--restart file|memory|pipelined] [--quick]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -131,6 +137,20 @@ class BenchReporter {
   /// Group subsequent spans under one Chrome pid (one per engine run).
   void begin_run(const std::string& name) {
     if (telemetry_on()) session_.trace.set_process(name);
+  }
+
+  /// Publish the engine's scheduler internals into the summary metrics so
+  /// future scheduler regressions show up in --json-out without a profiler.
+  /// Counters accumulate across runs; the peak queue depth is a gauge whose
+  /// high watermark is the max over all runs.
+  void record_engine(const sim::Engine& e) {
+    if (!telemetry_on()) return;
+    auto& m = session_.metrics;
+    m.counter("sim.engine.events_processed").add(e.events_processed());
+    m.counter("sim.engine.frames_spawned").add(e.frames_spawned());
+    m.counter("sim.engine.wheel_scheduled").add(e.wheel_scheduled());
+    m.counter("sim.engine.overflow_scheduled").add(e.overflow_scheduled());
+    m.gauge("sim.engine.peak_queue_depth").set(static_cast<double>(e.peak_queue_depth()));
   }
 
   /// One summary row; field keys mirror the printed table's columns.

@@ -43,6 +43,7 @@ Row run_one(const workload::KernelSpec& spec, bench::BenchReporter& reporter) {
   engine.run_until(sim::TimePoint::origin() + 120_s);
   JOBMIG_ASSERT_MSG(cl.migration_manager().cycles_completed() == 1,
                     "migration cycle did not complete");
+  reporter.record_engine(engine);
   return row;
 }
 

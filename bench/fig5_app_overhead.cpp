@@ -34,6 +34,7 @@ double run_app(const workload::KernelSpec& spec, bool with_migration,
   }(cl, done_at));
   engine.run_until(sim::TimePoint::origin() + sim::Duration::sec(1200));
   JOBMIG_ASSERT_MSG(done_at > 0.0, "application did not finish");
+  reporter.record_engine(engine);
   return done_at;
 }
 

@@ -31,6 +31,7 @@ migration::MigrationReport run_scale(int nprocs, bench::BenchReporter& reporter)
   engine.run_until(sim::TimePoint::origin() + 200_s);
   JOBMIG_ASSERT_MSG(cl.migration_manager().cycles_completed() == 1,
                     "migration cycle did not complete");
+  reporter.record_engine(engine);
   return report;
 }
 
@@ -45,7 +46,10 @@ int main(int argc, char** argv) {
   std::printf("%-14s %10s %12s %10s %10s %10s\n", "procs-per-node", "job-stall", "migration",
               "restart", "resume", "total");
   double sim_total = 0.0;
-  for (int nprocs : {8, 16, 32, 64}) {
+  // --quick drops the two largest configurations (CI smoke run).
+  std::vector<int> configs = {8, 16, 32, 64};
+  if (reporter.options().quick) configs = {8, 16};
+  for (int nprocs : configs) {
     const auto r = run_scale(nprocs, reporter);
     std::printf("%-14d %10.0f %12.0f %10.0f %10.0f %10.0f\n", nprocs / 8, r.stall.to_ms(),
                 r.migration.to_ms(), r.restart.to_ms(), r.resume.to_ms(), r.total().to_ms());

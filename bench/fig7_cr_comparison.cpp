@@ -37,6 +37,7 @@ migration::MigrationReport run_migration(const workload::KernelSpec& spec,
   }(cl, spec, report));
   engine.run_until(sim::TimePoint::origin() + 150_s);
   JOBMIG_ASSERT(cl.migration_manager().cycles_completed() == 1);
+  reporter.record_engine(engine);
   return report;
 }
 
@@ -56,6 +57,7 @@ migration::CrReport run_cr(const workload::KernelSpec& spec, bool pvfs,
   }(cl, spec, pvfs, report));
   engine.run_until(sim::TimePoint::origin() + 300_s);
   JOBMIG_ASSERT_MSG(report.checkpoint_files > 0, "CR cycle did not complete");
+  reporter.record_engine(engine);
   return report;
 }
 

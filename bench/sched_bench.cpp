@@ -1,0 +1,180 @@
+/// Scheduler fast-path microbench. Exercises the engine's hot paths in
+/// isolation — timer-wheel churn, the cancel/supersede pattern, the
+/// far-future overflow heap, and the per-QP batched WQE/CQ pipeline — and
+/// reports both deterministic virtual-time rows (gated by `jobmig-trace
+/// diff` against bench/baseline_sched.json: any change in event count or
+/// simulated duration is a scheduler semantics change, not noise) and
+/// wall-clock throughput fields (informational; wall time is not gated).
+
+#include "bench_common.hpp"
+
+#include "jobmig/ib/verbs.hpp"
+
+namespace {
+
+using namespace jobmig;
+using namespace jobmig::sim::literals;
+
+struct RunStats {
+  double virtual_ms = 0.0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+};
+
+void report(bench::BenchReporter& reporter, const std::string& label, const RunStats& s) {
+  std::printf("%-14s %14llu %14.3f %10.3f %14.0f\n", label.c_str(),
+              static_cast<unsigned long long>(s.events), s.virtual_ms, s.wall_s,
+              static_cast<double>(s.events) / s.wall_s);
+  reporter.add_row(label, {{"virtual_ms", s.virtual_ms},
+                           {"events", static_cast<double>(s.events)},
+                           {"wall_s", s.wall_s}});
+}
+
+/// Self-rescheduling callback chains: the pure wheel insert/pour/dispatch
+/// cycle with zero steady-state allocations (same shape the FairShareServer
+/// and per-WQE sleeps put on the engine).
+RunStats timer_churn(bench::BenchReporter& reporter, int chains, int steps) {
+  reporter.begin_run("timer-churn");
+  sim::Engine engine;
+  bench::WallClock wall;
+  struct Chain {
+    sim::Engine* e = nullptr;
+    std::uint64_t lcg = 0;
+    int remaining = 0;
+    void pump() {
+      if (remaining-- <= 0) return;
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const auto d = static_cast<std::int64_t>(lcg >> 44) + 1;  // up to ~1 ms
+      e->call_in(sim::Duration::ns(d), [this] { pump(); });
+    }
+  };
+  std::vector<Chain> cs(static_cast<std::size_t>(chains));
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    cs[i] = Chain{&engine, 0x9e3779b97f4a7c15ull + i, steps};
+    cs[i].pump();
+  }
+  engine.run();
+  reporter.record_engine(engine);
+  return {engine.now().to_seconds() * 1e3, engine.events_processed(), wall.seconds()};
+}
+
+/// The cancel/supersede pattern: a driver tick retargets one of many pending
+/// timers per step, so cancelled slots continually fire as no-ops — the
+/// bandwidth-server reconfiguration load.
+RunStats cancel_storm(bench::BenchReporter& reporter, int slots, int steps) {
+  reporter.begin_run("cancel-storm");
+  sim::Engine engine;
+  bench::WallClock wall;
+  struct Storm {
+    sim::Engine* e = nullptr;
+    std::uint64_t lcg = 0;
+    int remaining = 0;
+    std::vector<sim::Engine::TimerHandle> pending;
+    void tick() {
+      if (remaining-- <= 0) return;
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      auto& slot = pending[lcg % pending.size()];
+      e->cancel(slot);
+      slot = e->call_in(sim::Duration::ns(static_cast<std::int64_t>(lcg >> 44) + 1000), [] {});
+      e->call_in(sim::Duration::ns(200), [this] { tick(); });
+    }
+  };
+  Storm storm{&engine, 0xabcdef0123456789ull, steps, {}};
+  storm.pending.resize(static_cast<std::size_t>(slots));
+  storm.tick();
+  engine.run();
+  reporter.record_engine(engine);
+  return {engine.now().to_seconds() * 1e3, engine.events_processed(), wall.seconds()};
+}
+
+/// Timers beyond the wheel span (2^40 ns): exercises the overflow min-heap
+/// and its promotion/re-anchor path.
+RunStats far_horizon(bench::BenchReporter& reporter, int count) {
+  reporter.begin_run("far-horizon");
+  sim::Engine engine;
+  bench::WallClock wall;
+  std::uint64_t lcg = 0x123456789abcdef1ull;
+  for (int i = 0; i < count; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const auto when = static_cast<std::int64_t>(lcg % (3ull << 40));  // 0..~55 min
+    engine.call_at(sim::TimePoint::from_ns(when), [] {});
+  }
+  engine.run();
+  reporter.record_engine(engine);
+  return {engine.now().to_seconds() * 1e3, engine.events_processed(), wall.seconds()};
+}
+
+/// One RC QP pair moving a burst of small messages: the per-QP submission
+/// queue, the long-lived drain coroutine, and the batched CQ reap.
+RunStats qp_burst(bench::BenchReporter& reporter, int messages, std::size_t msg_bytes) {
+  reporter.begin_run("qp-burst");
+  sim::Engine engine;
+  bench::WallClock wall;
+  ib::Fabric fabric(engine);
+  ib::Hca& a = fabric.add_node("a");
+  ib::Hca& b = fabric.add_node("b");
+  ib::CompletionQueue a_scq, a_rcq, b_scq, b_rcq;
+  auto qa = a.create_qp(a_scq, a_rcq);
+  auto qb = b.create_qp(b_scq, b_rcq);
+  qa->connect(ib::IbAddr{b.node(), qb->qpn()});
+  qb->connect(ib::IbAddr{a.node(), qa->qpn()});
+
+  engine.spawn([](ib::QueuePair& dst_qp, ib::CompletionQueue& rcq, int n,
+                  std::size_t bytes) -> sim::Task {
+    sim::Bytes buf(bytes);
+    for (int i = 0; i < n; ++i) {
+      dst_qp.post_recv(ib::RecvWr{static_cast<std::uint64_t>(i), buf.data(), buf.size()});
+    }
+    std::vector<ib::WorkCompletion> batch;
+    int seen = 0;
+    while (seen < n) {
+      co_await rcq.wait_batch(batch);
+      seen += static_cast<int>(batch.size());
+    }
+  }(*qb, b_rcq, messages, msg_bytes));
+  engine.spawn([](ib::QueuePair& src_qp, ib::CompletionQueue& scq, int n,
+                  std::size_t bytes) -> sim::Task {
+    sim::Bytes payload(bytes);
+    sim::pattern_fill(payload, 42, 0);
+    for (int i = 0; i < n; ++i) {
+      src_qp.post_send(ib::SendWr{static_cast<std::uint64_t>(i), payload});
+    }
+    std::vector<ib::WorkCompletion> batch;
+    int seen = 0;
+    while (seen < n) {
+      co_await scq.wait_batch(batch);
+      seen += static_cast<int>(batch.size());
+    }
+  }(*qa, a_scq, messages, msg_bytes));
+  engine.run();
+  reporter.record_engine(engine);
+  return {engine.now().to_seconds() * 1e3, engine.events_processed(), wall.seconds()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("sched_bench", bench::BenchOptions::parse(argc, argv));
+  bench::print_header("Scheduler microbench — timer wheel + batched WQE/CQ fast path",
+                      "deterministic event counts/virtual times; wall-clock informational");
+  jobmig::bench::WallClock wall;
+
+  std::printf("%-14s %14s %14s %10s %14s\n", "scenario", "events", "virtual-ms", "wall-s",
+              "events/s");
+  double sim_total = 0.0;
+  const RunStats churn = timer_churn(reporter, 64, 20000);
+  report(reporter, "timer-churn", churn);
+  sim_total += churn.virtual_ms / 1e3;
+  const RunStats storm = cancel_storm(reporter, 512, 200000);
+  report(reporter, "cancel-storm", storm);
+  sim_total += storm.virtual_ms / 1e3;
+  const RunStats far = far_horizon(reporter, 200000);
+  report(reporter, "far-horizon", far);
+  sim_total += far.virtual_ms / 1e3;
+  const RunStats burst = qp_burst(reporter, 20000, 4096);
+  report(reporter, "qp-burst", burst);
+  sim_total += burst.virtual_ms / 1e3;
+
+  jobmig::bench::print_footer(wall, sim_total);
+  return reporter.finish() ? 0 : 1;
+}

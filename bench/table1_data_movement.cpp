@@ -44,6 +44,7 @@ Row run_one(const workload::KernelSpec& spec, bench::BenchReporter& reporter) {
     out.measured_migration_mb = static_cast<double>(report.bytes_moved) / 1e6;
   }(cl, spec, row));
   engine.run_until(sim::TimePoint::origin() + 150_s);
+  reporter.record_engine(engine);
   return row;
 }
 

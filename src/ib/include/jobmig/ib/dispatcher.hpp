@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "jobmig/ib/verbs.hpp"
 #include "jobmig/sim/sync.hpp"
@@ -45,12 +46,19 @@ class CompletionDispatcher {
 
  private:
   sim::Task loop() {
-    while (true) {
-      WorkCompletion wc = co_await cq_.wait();
-      if (wc.wr_id == 0) break;
-      results_[wc.wr_id] = wc;
-      auto it = waiters_.find(wc.wr_id);
-      if (it != waiters_.end()) it->second->set();
+    std::vector<WorkCompletion> batch;  // reused across wakes
+    bool stop = false;
+    while (!stop) {
+      co_await cq_.wait_batch(batch);
+      for (const WorkCompletion& wc : batch) {
+        if (wc.wr_id == 0) {
+          stop = true;
+          break;
+        }
+        results_[wc.wr_id] = wc;
+        auto it = waiters_.find(wc.wr_id);
+        if (it != waiters_.end()) it->second->set();
+      }
     }
     running_ = false;
   }

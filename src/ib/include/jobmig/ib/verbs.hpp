@@ -88,6 +88,14 @@ class CompletionQueue {
   [[nodiscard]] sim::ValueTask<WorkCompletion> wait();
   /// Non-blocking poll.
   std::optional<WorkCompletion> poll();
+  /// Drain up to `max` queued completions into `out` (appended) without
+  /// waiting; returns how many were reaped.
+  std::size_t poll_batch(std::vector<WorkCompletion>& out, std::size_t max = SIZE_MAX);
+  /// Block until at least one completion is available, then drain up to
+  /// `max` of them into `out` (cleared first); returns the batch size.
+  /// Progress loops use this to reap a burst per wake instead of one WC.
+  [[nodiscard]] sim::ValueTask<std::size_t> wait_batch(std::vector<WorkCompletion>& out,
+                                                       std::size_t max = SIZE_MAX);
   void push(WorkCompletion wc);
   std::size_t depth() const { return queue_.size(); }
 

@@ -25,6 +25,10 @@ sim::ValueTask<WorkCompletion> CompletionQueue::wait() {
   }
   WorkCompletion wc = queue_.front();
   queue_.pop_front();
+  // Keep the availability latch truthful after consuming: if completions
+  // remain, leave the event signalled so a second waiter parked on the same
+  // CQ is not stranded (its wake raced with our pop + reset above).
+  if (!queue_.empty()) avail_.set();
   co_return wc;
 }
 
@@ -35,12 +39,65 @@ std::optional<WorkCompletion> CompletionQueue::poll() {
   return wc;
 }
 
+std::size_t CompletionQueue::poll_batch(std::vector<WorkCompletion>& out, std::size_t max) {
+  std::size_t n = 0;
+  while (!queue_.empty() && n < max) {
+    out.push_back(queue_.front());
+    queue_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+sim::ValueTask<std::size_t> CompletionQueue::wait_batch(std::vector<WorkCompletion>& out,
+                                                        std::size_t max) {
+  out.clear();
+  while (queue_.empty()) {
+    co_await avail_.wait();
+    avail_.reset();
+  }
+  const std::size_t n = poll_batch(out, max);
+  if (!queue_.empty()) avail_.set();  // same latch invariant as wait()
+  co_return n;
+}
+
 void CompletionQueue::push(WorkCompletion wc) {
   queue_.push_back(wc);
   avail_.set();
 }
 
 namespace detail {
+
+/// A posted work request parked on the endpoint's submission queue until the
+/// drain coroutine reaches it. User-declared special members for the same
+/// GCC 12 by-value-coroutine-parameter reason as SendWr.
+struct PendingWr {
+  enum class Kind { kSend, kRdmaRead, kRdmaWrite, kFetchAdd, kCompareSwap };
+  Kind kind = Kind::kSend;
+  sim::TimePoint posted{};  // wqe_begin for the latency histograms
+  SendWr send;
+  RdmaWr rdma;
+  AtomicWr atomic;
+
+  PendingWr() = default;
+  PendingWr(const PendingWr&) = default;
+  PendingWr(PendingWr&&) = default;
+  PendingWr& operator=(const PendingWr&) = default;
+  PendingWr& operator=(PendingWr&&) = default;
+};
+
+/// A finished byte phase whose ACK is still on the return path. Due times
+/// are monotonic per endpoint (byte phases are serialized), so the completer
+/// coroutine just sleeps front-to-back.
+struct TailCompletion {
+  sim::TimePoint due{};
+  sim::TimePoint wqe_begin{};
+  std::uint64_t wr_id = 0;
+  WcOpcode op = WcOpcode::kSend;
+  WcStatus status = WcStatus::kSuccess;
+  std::uint64_t len = 0;
+  telemetry::InternedHistogram* latency = nullptr;  // null: op is not timed
+};
 
 struct QpEndpoint {
   Hca* hca = nullptr;
@@ -49,10 +106,23 @@ struct QpEndpoint {
   IbAddr remote{};
   CompletionQueue* send_cq = nullptr;
   CompletionQueue* recv_cq = nullptr;
-  sim::Mutex tx;  // serializes the byte phase: RC ordering + RNR HOL blocking
   std::deque<RecvWr> recvs;
   sim::Event recv_posted;
   std::size_t outstanding = 0;
+
+  // Submission queue: posts append here; one long-lived drain coroutine per
+  // endpoint serializes the byte phases (RC ordering + RNR HOL blocking, the
+  // role the old per-WQE tx mutex played) — one frame per QP, not per WQE.
+  std::deque<PendingWr> sq;
+  bool drain_running = false;
+  // ACK tails pipelined behind the byte phases, reaped by one completer.
+  std::deque<TailCompletion> tails;
+  bool completer_running = false;
+
+  // Interned per-link byte counters, named at connect() time so the per-WQE
+  // hot path never builds a metric-name string.
+  telemetry::InternedCounter link_tx_bytes;  // data flowing local -> remote
+  telemetry::InternedCounter link_rx_bytes;  // remote -> local (RDMA READ)
 
   /// Move to ERROR, flushing posted receives to the recv CQ (if attached).
   void error_out() {
@@ -117,89 +187,100 @@ sim::ValueTask<WcStatus> deliver(EpPtr dst, sim::Bytes payload, std::uint32_t im
   co_return WcStatus::kSuccess;
 }
 
-/// Per-link traffic counter, e.g. "ib.link.0->2". Guarded by enabled() at
-/// the call sites so the string build is skipped when telemetry is off.
-void count_link_bytes(NodeId from, NodeId to, std::uint64_t len) {
-  telemetry::count("ib.link." + std::to_string(from) + "->" + std::to_string(to), len);
+// Latency histograms for the timed verbs. Interned: the per-WQE path does
+// an epoch check and a pointer bump, never a map lookup or string build.
+telemetry::InternedHistogram g_send_ns{"ib.send_ns"};
+telemetry::InternedHistogram g_rdma_read_ns{"ib.rdma_read_ns"};
+telemetry::InternedHistogram g_rdma_write_ns{"ib.rdma_write_ns"};
+
+sim::Task run_completer(EpPtr ep);
+
+/// Queue an ACK-tail completion and make sure a completer is reaping them.
+/// The drain moves on to the next WR immediately — the 2-hop ACK return is
+/// pipelined behind the next byte phase, exactly like the old per-WQE model
+/// which released the tx mutex before its ACK sleep.
+void enqueue_tail(const EpPtr& ep, TailCompletion t) {
+  ep->tails.push_back(t);
+  if (!ep->completer_running) {
+    ep->completer_running = true;
+    ep->hca->engine().spawn(run_completer(ep));
+  }
 }
 
-sim::Task run_send(EpPtr src, SendWr wr) {
+sim::Task run_completer(EpPtr ep) {
+  while (!ep->tails.empty()) {
+    const TailCompletion t = ep->tails.front();
+    ep->tails.pop_front();
+    co_await sim::sleep_until(t.due);
+    if (t.latency != nullptr) t.latency->observe_ns(t.due - t.wqe_begin);
+    ep->complete(t.wr_id, t.op, t.status, t.len);
+  }
+  ep->completer_running = false;
+}
+
+sim::ValueTask<void> process_send(EpPtr src, PendingWr pw) {
+  const std::uint64_t len = pw.send.payload.size();
+  if (src->state != QpState::kRts) {
+    src->complete(pw.send.wr_id, WcOpcode::kSend, WcStatus::kFlushError, len);
+    co_return;
+  }
   const sim::IbParams& p = src->hca->fabric().params();
-  sim::Engine& engine = src->hca->engine();
-  const sim::TimePoint wqe_begin = engine.now();
-  const std::uint64_t len = wr.payload.size();
+  co_await sim::sleep_for(p.per_wqe_overhead);
   WcStatus status = WcStatus::kSuccess;
-  {
-    auto lock = co_await src->tx.lock();
-    if (src->state != QpState::kRts) {
-      src->complete(wr.wr_id, WcOpcode::kSend, WcStatus::kFlushError, len);
-      co_return;
-    }
-    co_await sim::sleep_for(p.per_wqe_overhead);
-    Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
-    EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
-    if (!dst || dst->state != QpState::kRts) {
-      status = WcStatus::kRetryExceeded;
-    } else {
-      co_await sim::sleep_for(p.hop_latency * 2);
-      co_await dst_hca->ingress().transfer(len);
-      dst_hca->add_bytes_in(len);
-      src->hca->fabric().account(len);
-      if (telemetry::enabled()) count_link_bytes(src->hca->node(), src->remote.node, len);
-      status = co_await deliver(std::move(dst), std::move(wr.payload), wr.imm_data, wr.has_imm);
-    }
+  Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
+  EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
+  if (!dst || dst->state != QpState::kRts) {
+    status = WcStatus::kRetryExceeded;
+  } else {
+    co_await sim::sleep_for(p.hop_latency * 2);
+    co_await dst_hca->ingress().transfer(len);
+    dst_hca->add_bytes_in(len);
+    src->hca->fabric().account(len);
+    src->link_tx_bytes.add(len);
+    status = co_await deliver(std::move(dst), std::move(pw.send.payload), pw.send.imm_data,
+                              pw.send.has_imm);
   }
   if (status == WcStatus::kSuccess && src->state != QpState::kRts) {
-    status = WcStatus::kFlushError;  // torn down while the ACK was in flight
+    status = WcStatus::kFlushError;  // torn down while the byte phase ran
   }
-  co_await sim::sleep_for(p.hop_latency * 2);  // ACK return path
-  telemetry::observe_ns("ib.send_ns", engine.now() - wqe_begin);
-  src->complete(wr.wr_id, WcOpcode::kSend, status, len);
+  enqueue_tail(src, TailCompletion{src->hca->engine().now() + p.hop_latency * 2, pw.posted,
+                                   pw.send.wr_id, WcOpcode::kSend, status, len, &g_send_ns});
 }
 
-sim::Task run_rdma(EpPtr src, RdmaWr wr, bool is_read) {
+sim::ValueTask<void> process_rdma(EpPtr src, PendingWr pw) {
+  const bool is_read = pw.kind == PendingWr::Kind::kRdmaRead;
+  const RdmaWr wr = pw.rdma;
+  const WcOpcode op = is_read ? WcOpcode::kRdmaRead : WcOpcode::kRdmaWrite;
+  if (src->state != QpState::kRts) {
+    src->complete(wr.wr_id, op, WcStatus::kFlushError, wr.length);
+    co_return;
+  }
   const sim::IbParams& p = src->hca->fabric().params();
-  sim::Engine& engine = src->hca->engine();
-  const sim::TimePoint wqe_begin = engine.now();
+  co_await sim::sleep_for(p.per_wqe_overhead);
   WcStatus status = WcStatus::kSuccess;
-  {
-    auto lock = co_await src->tx.lock();
-    if (src->state != QpState::kRts) {
-      src->complete(wr.wr_id, is_read ? WcOpcode::kRdmaRead : WcOpcode::kRdmaWrite,
-                    WcStatus::kFlushError, wr.length);
-      co_return;
-    }
-    co_await sim::sleep_for(p.per_wqe_overhead);
-    Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
-    EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
-    if (!dst || dst->state != QpState::kRts) {
-      status = WcStatus::kRetryExceeded;
+  Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
+  EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
+  if (!dst || dst->state != QpState::kRts) {
+    status = WcStatus::kRetryExceeded;
+  } else {
+    co_await sim::sleep_for(p.hop_latency * 2 +
+                            (is_read ? p.rdma_read_turnaround : sim::Duration::zero()));
+    MemoryRegion* mr = dst_hca->lookup_rkey(wr.rkey);
+    if (mr == nullptr || !mr->contains(wr.remote_offset, wr.length)) {
+      status = WcStatus::kRemoteAccessError;
     } else {
-      co_await sim::sleep_for(p.hop_latency * 2 +
-                              (is_read ? p.rdma_read_turnaround : sim::Duration::zero()));
-      MemoryRegion* mr = dst_hca->lookup_rkey(wr.rkey);
-      if (mr == nullptr || !mr->contains(wr.remote_offset, wr.length)) {
-        status = WcStatus::kRemoteAccessError;
-      } else {
-        // READ data flows responder->requester (charge requester ingress);
-        // WRITE flows requester->responder (charge responder ingress).
-        Hca& charged = is_read ? *src->hca : *dst_hca;
-        co_await charged.ingress().transfer(wr.length);
-        charged.add_bytes_in(wr.length);
-        src->hca->fabric().account(wr.length);
-        if (telemetry::enabled()) {
-          if (is_read) {
-            count_link_bytes(src->remote.node, src->hca->node(), wr.length);
-          } else {
-            count_link_bytes(src->hca->node(), src->remote.node, wr.length);
-          }
-        }
-        if (wr.length > 0) {
-          if (is_read) {
-            std::memcpy(wr.local_addr, mr->addr() + wr.remote_offset, wr.length);
-          } else {
-            std::memcpy(mr->addr() + wr.remote_offset, wr.local_addr, wr.length);
-          }
+      // READ data flows responder->requester (charge requester ingress);
+      // WRITE flows requester->responder (charge responder ingress).
+      Hca& charged = is_read ? *src->hca : *dst_hca;
+      co_await charged.ingress().transfer(wr.length);
+      charged.add_bytes_in(wr.length);
+      src->hca->fabric().account(wr.length);
+      (is_read ? src->link_rx_bytes : src->link_tx_bytes).add(wr.length);
+      if (wr.length > 0) {
+        if (is_read) {
+          std::memcpy(wr.local_addr, mr->addr() + wr.remote_offset, wr.length);
+        } else {
+          std::memcpy(mr->addr() + wr.remote_offset, wr.local_addr, wr.length);
         }
       }
     }
@@ -208,53 +289,85 @@ sim::Task run_rdma(EpPtr src, RdmaWr wr, bool is_read) {
     // Access faults are fatal to an RC connection.
     src->error_out();
   }
-  co_await sim::sleep_for(p.hop_latency * 2);
-  telemetry::observe_ns(is_read ? "ib.rdma_read_ns" : "ib.rdma_write_ns",
-                        engine.now() - wqe_begin);
-  src->complete(wr.wr_id, is_read ? WcOpcode::kRdmaRead : WcOpcode::kRdmaWrite, status,
-                wr.length);
+  enqueue_tail(src, TailCompletion{src->hca->engine().now() + p.hop_latency * 2, pw.posted,
+                                   wr.wr_id, op, status, wr.length,
+                                   is_read ? &g_rdma_read_ns : &g_rdma_write_ns});
 }
 
-sim::Task run_atomic(EpPtr src, AtomicWr wr, bool is_fetch_add) {
-  const sim::IbParams& p = src->hca->fabric().params();
+sim::ValueTask<void> process_atomic(EpPtr src, PendingWr pw) {
+  const bool is_fetch_add = pw.kind == PendingWr::Kind::kFetchAdd;
+  const AtomicWr wr = pw.atomic;
   const WcOpcode op = is_fetch_add ? WcOpcode::kFetchAdd : WcOpcode::kCompareSwap;
+  if (src->state != QpState::kRts) {
+    src->complete(wr.wr_id, op, WcStatus::kFlushError, 8);
+    co_return;
+  }
+  const sim::IbParams& p = src->hca->fabric().params();
+  co_await sim::sleep_for(p.per_wqe_overhead);
   WcStatus status = WcStatus::kSuccess;
-  {
-    auto lock = co_await src->tx.lock();
-    if (src->state != QpState::kRts) {
-      src->complete(wr.wr_id, op, WcStatus::kFlushError, 8);
-      co_return;
-    }
-    co_await sim::sleep_for(p.per_wqe_overhead);
-    Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
-    EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
-    if (!dst || dst->state != QpState::kRts) {
-      status = WcStatus::kRetryExceeded;
+  Hca* dst_hca = src->hca->fabric().hca(src->remote.node);
+  EpPtr dst = dst_hca ? dst_hca->lookup_qp(src->remote.qpn) : nullptr;
+  if (!dst || dst->state != QpState::kRts) {
+    status = WcStatus::kRetryExceeded;
+  } else {
+    // Round trip plus responder-side execution (atomics are handled by
+    // the remote HCA's processing unit, serialized per endpoint).
+    co_await sim::sleep_for(p.hop_latency * 2 + p.rdma_read_turnaround);
+    MemoryRegion* mr = dst_hca->lookup_rkey(wr.rkey);
+    if (mr == nullptr || wr.remote_offset % 8 != 0 || !mr->contains(wr.remote_offset, 8)) {
+      status = WcStatus::kRemoteAccessError;
     } else {
-      // Round trip plus responder-side execution (atomics are handled by
-      // the remote HCA's processing unit, serialized per endpoint).
-      co_await sim::sleep_for(p.hop_latency * 2 + p.rdma_read_turnaround);
-      MemoryRegion* mr = dst_hca->lookup_rkey(wr.rkey);
-      if (mr == nullptr || wr.remote_offset % 8 != 0 || !mr->contains(wr.remote_offset, 8)) {
-        status = WcStatus::kRemoteAccessError;
-      } else {
-        std::uint64_t current;
-        std::memcpy(&current, mr->addr() + wr.remote_offset, 8);
-        std::uint64_t updated = current;
-        if (is_fetch_add) {
-          updated = current + wr.operand;
-        } else if (current == wr.compare) {
-          updated = wr.operand;
-        }
-        std::memcpy(mr->addr() + wr.remote_offset, &updated, 8);
-        if (wr.result != nullptr) *wr.result = current;
-        src->hca->fabric().account(8);
+      std::uint64_t current;
+      std::memcpy(&current, mr->addr() + wr.remote_offset, 8);
+      std::uint64_t updated = current;
+      if (is_fetch_add) {
+        updated = current + wr.operand;
+      } else if (current == wr.compare) {
+        updated = wr.operand;
       }
+      std::memcpy(mr->addr() + wr.remote_offset, &updated, 8);
+      if (wr.result != nullptr) *wr.result = current;
+      src->hca->fabric().account(8);
     }
   }
   if (status == WcStatus::kRemoteAccessError) src->error_out();
-  co_await sim::sleep_for(p.hop_latency * 2);
-  src->complete(wr.wr_id, op, status, 8);
+  enqueue_tail(src, TailCompletion{src->hca->engine().now() + p.hop_latency * 2, pw.posted,
+                                   wr.wr_id, op, status, 8, nullptr});
+}
+
+/// The per-endpoint submission-queue drain: byte phases run strictly in post
+/// order, one in flight at a time, while ACK tails complete asynchronously
+/// via the completer. One coroutine frame per endpoint, reused for every WR.
+sim::Task run_drain(EpPtr ep) {
+  while (!ep->sq.empty()) {
+    PendingWr wr = std::move(ep->sq.front());
+    ep->sq.pop_front();
+    switch (wr.kind) {
+      case PendingWr::Kind::kSend:
+        co_await process_send(ep, std::move(wr));
+        break;
+      case PendingWr::Kind::kRdmaRead:
+      case PendingWr::Kind::kRdmaWrite:
+        co_await process_rdma(ep, std::move(wr));
+        break;
+      case PendingWr::Kind::kFetchAdd:
+      case PendingWr::Kind::kCompareSwap:
+        co_await process_atomic(ep, std::move(wr));
+        break;
+    }
+  }
+  ep->drain_running = false;
+}
+
+/// Append to the submission queue; start the drain if it is parked.
+void submit(const std::shared_ptr<QpEndpoint>& ep, PendingWr wr) {
+  ++ep->outstanding;
+  wr.posted = ep->hca->engine().now();
+  ep->sq.push_back(std::move(wr));
+  if (!ep->drain_running) {
+    ep->drain_running = true;
+    ep->hca->engine().spawn(run_drain(ep));
+  }
 }
 
 }  // namespace
@@ -277,11 +390,19 @@ void QueuePair::connect(IbAddr remote) {
   JOBMIG_EXPECTS_MSG(ep_->state == QpState::kReset, "connect() requires RESET state");
   ep_->remote = remote;
   ep_->state = QpState::kRts;
+  // Intern the per-link counter names once; every WQE afterwards is a
+  // pointer bump (e.g. "ib.link.0->2" — same keys the summaries always had).
+  const std::string local = std::to_string(ep_->hca->node());
+  const std::string peer = std::to_string(remote.node);
+  ep_->link_tx_bytes.rename("ib.link." + local + "->" + peer);
+  ep_->link_rx_bytes.rename("ib.link." + peer + "->" + local);
 }
 
 void QueuePair::post_send(SendWr wr) {
-  ++ep_->outstanding;
-  ep_->hca->engine().spawn(detail::run_send(ep_, std::move(wr)));
+  detail::PendingWr pw;
+  pw.kind = detail::PendingWr::Kind::kSend;
+  pw.send = std::move(wr);
+  detail::submit(ep_, std::move(pw));
 }
 
 void QueuePair::post_recv(RecvWr wr) {
@@ -298,24 +419,32 @@ void QueuePair::post_recv(RecvWr wr) {
 
 void QueuePair::post_rdma_read(RdmaWr wr) {
   JOBMIG_EXPECTS_MSG(wr.local_addr != nullptr || wr.length == 0, "local buffer required");
-  ++ep_->outstanding;
-  ep_->hca->engine().spawn(detail::run_rdma(ep_, wr, /*is_read=*/true));
+  detail::PendingWr pw;
+  pw.kind = detail::PendingWr::Kind::kRdmaRead;
+  pw.rdma = wr;
+  detail::submit(ep_, std::move(pw));
 }
 
 void QueuePair::post_rdma_write(RdmaWr wr) {
   JOBMIG_EXPECTS_MSG(wr.local_addr != nullptr || wr.length == 0, "local buffer required");
-  ++ep_->outstanding;
-  ep_->hca->engine().spawn(detail::run_rdma(ep_, wr, /*is_read=*/false));
+  detail::PendingWr pw;
+  pw.kind = detail::PendingWr::Kind::kRdmaWrite;
+  pw.rdma = wr;
+  detail::submit(ep_, std::move(pw));
 }
 
 void QueuePair::post_fetch_add(AtomicWr wr) {
-  ++ep_->outstanding;
-  ep_->hca->engine().spawn(detail::run_atomic(ep_, wr, /*is_fetch_add=*/true));
+  detail::PendingWr pw;
+  pw.kind = detail::PendingWr::Kind::kFetchAdd;
+  pw.atomic = wr;
+  detail::submit(ep_, std::move(pw));
 }
 
 void QueuePair::post_compare_swap(AtomicWr wr) {
-  ++ep_->outstanding;
-  ep_->hca->engine().spawn(detail::run_atomic(ep_, wr, /*is_fetch_add=*/false));
+  detail::PendingWr pw;
+  pw.kind = detail::PendingWr::Kind::kCompareSwap;
+  pw.atomic = wr;
+  detail::submit(ep_, std::move(pw));
 }
 
 void QueuePair::to_error() { ep_->error_out(); }

@@ -96,20 +96,23 @@ void TargetBufferManager::connect_to(ib::IbAddr source_control) {
 sim::Task TargetBufferManager::serve() {
   JOBMIG_EXPECTS_MSG(qp_ != nullptr && qp_->state() == ib::QpState::kRts,
                      "serve() before open()/connect_to()");
-  while (true) {
-    ib::WorkCompletion wc = co_await recv_cq_.wait();
-    if (!wc.ok()) continue;
-    const std::size_t slot = static_cast<std::size_t>(wc.wr_id - 1000);
-    auto msg = wire::ControlMsg::decode(sim::ByteSpan(ring_[slot].data(), wc.byte_len));
-    repost_control_slot(*qp_, ring_, wc.wr_id);
-    JOBMIG_ASSERT_MSG(msg.has_value(), "undecodable buffer-manager control message");
-    if (msg->op == wire::Op::kRequest) {
-      ++active_pulls_;
-      hca_.engine().spawn(pull_one(*msg));
-    } else if (msg->op == wire::Op::kDone) {
-      done_seen_ = true;
-      rank_announced_.set();  // unblock next_announced_rank() consumers
-      break;
+  std::vector<ib::WorkCompletion> batch;  // reused across wakes
+  while (!done_seen_) {
+    co_await recv_cq_.wait_batch(batch);
+    for (const ib::WorkCompletion& wc : batch) {
+      if (!wc.ok()) continue;
+      const std::size_t slot = static_cast<std::size_t>(wc.wr_id - 1000);
+      auto msg = wire::ControlMsg::decode(sim::ByteSpan(ring_[slot].data(), wc.byte_len));
+      repost_control_slot(*qp_, ring_, wc.wr_id);
+      JOBMIG_ASSERT_MSG(msg.has_value(), "undecodable buffer-manager control message");
+      if (msg->op == wire::Op::kRequest) {
+        ++active_pulls_;
+        hca_.engine().spawn(pull_one(*msg));
+      } else if (msg->op == wire::Op::kDone) {
+        done_seen_ = true;
+        rank_announced_.set();  // unblock next_announced_rank() consumers
+        break;
+      }
     }
   }
   while (active_pulls_ > 0) {
@@ -329,23 +332,28 @@ void SourceBufferManager::start() {
 }
 
 sim::Task SourceBufferManager::release_loop() {
-  while (true) {
-    ib::WorkCompletion wc = co_await recv_cq_.wait();
-    if (!wc.ok()) continue;
-    const std::size_t slot = static_cast<std::size_t>(wc.wr_id - 1000);
-    auto msg = wire::ControlMsg::decode(sim::ByteSpan(ring_[slot].data(), wc.byte_len));
-    repost_control_slot(*qp_, ring_, wc.wr_id);
-    JOBMIG_ASSERT(msg.has_value());
-    if (msg->op == wire::Op::kRelease) {
-      free_list_.push_back(msg->chunk_index);
-      free_chunks_.release();
-      JOBMIG_ASSERT(in_flight_ > 0);
-      --in_flight_;
-      telemetry::gauge_set("pool.source.in_flight", static_cast<double>(in_flight_));
-      if (in_flight_ == 0) chunks_idle_.set();
-    } else if (msg->op == wire::Op::kDoneAck) {
-      done_ack_.set();
-      break;
+  std::vector<ib::WorkCompletion> batch;  // reused across wakes
+  bool stop = false;
+  while (!stop) {
+    co_await recv_cq_.wait_batch(batch);
+    for (const ib::WorkCompletion& wc : batch) {
+      if (!wc.ok()) continue;
+      const std::size_t slot = static_cast<std::size_t>(wc.wr_id - 1000);
+      auto msg = wire::ControlMsg::decode(sim::ByteSpan(ring_[slot].data(), wc.byte_len));
+      repost_control_slot(*qp_, ring_, wc.wr_id);
+      JOBMIG_ASSERT(msg.has_value());
+      if (msg->op == wire::Op::kRelease) {
+        free_list_.push_back(msg->chunk_index);
+        free_chunks_.release();
+        JOBMIG_ASSERT(in_flight_ > 0);
+        --in_flight_;
+        telemetry::gauge_set("pool.source.in_flight", static_cast<double>(in_flight_));
+        if (in_flight_ == 0) chunks_idle_.set();
+      } else if (msg->op == wire::Op::kDoneAck) {
+        done_ack_.set();
+        stop = true;
+        break;
+      }
     }
   }
   running_ = false;

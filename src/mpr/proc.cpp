@@ -274,12 +274,19 @@ void Proc::post_ring_slot(int peer, std::size_t slot) {
 // ---- Service loops ----------------------------------------------------------
 
 sim::Task Proc::send_dispatch_loop() {
-  while (true) {
-    ib::WorkCompletion wc = co_await send_cq_.wait();
-    if (wc.wr_id == kStopWr) break;
-    wr_results_[wc.wr_id] = wc;
-    auto it = wr_waiters_.find(wc.wr_id);
-    if (it != wr_waiters_.end()) it->second->set();
+  std::vector<ib::WorkCompletion> batch;  // lives in the loop frame, reused
+  bool stop = false;
+  while (!stop) {
+    co_await send_cq_.wait_batch(batch);
+    for (const ib::WorkCompletion& wc : batch) {
+      if (wc.wr_id == kStopWr) {
+        stop = true;
+        break;
+      }
+      wr_results_[wc.wr_id] = wc;
+      auto it = wr_waiters_.find(wc.wr_id);
+      if (it != wr_waiters_.end()) it->second->set();
+    }
   }
   dispatch_running_ = false;
 }
@@ -299,23 +306,30 @@ sim::ValueTask<ib::WorkCompletion> Proc::await_wr(std::uint64_t wr_id) {
 }
 
 sim::Task Proc::progress_loop() {
-  while (true) {
-    ib::WorkCompletion wc = co_await recv_cq_.wait();
-    if (wc.wr_id == kStopWr) break;
-    if (!wc.ok()) continue;  // flushed ring slot during teardown
-    const int peer = static_cast<int>((wc.wr_id >> 8) & 0xFFFFFFFFu);
-    const std::size_t slot = static_cast<std::size_t>(wc.wr_id & 0xFF);
-    auto it = links_.find(peer);
-    if (it == links_.end()) continue;
-    const sim::Bytes& buf = it->second.ring[slot];
-    auto header = MsgHeader::decode(sim::ByteSpan(buf.data(), wc.byte_len));
-    JOBMIG_ASSERT_MSG(header.has_value(), "undecodable channel message");
-    const std::size_t inline_len =
-        header->kind == MsgKind::kEager ? static_cast<std::size_t>(header->payload_len) : 0;
-    sim::Bytes payload(buf.begin() + MsgHeader::kWireSize,
-                       buf.begin() + static_cast<std::ptrdiff_t>(MsgHeader::kWireSize + inline_len));
-    handle_message(peer, *header, payload);
-    post_ring_slot(peer, slot);
+  std::vector<ib::WorkCompletion> batch;  // lives in the loop frame, reused
+  bool stop = false;
+  while (!stop) {
+    co_await recv_cq_.wait_batch(batch);
+    for (const ib::WorkCompletion& wc : batch) {
+      if (wc.wr_id == kStopWr) {
+        stop = true;
+        break;
+      }
+      if (!wc.ok()) continue;  // flushed ring slot during teardown
+      const int peer = static_cast<int>((wc.wr_id >> 8) & 0xFFFFFFFFu);
+      const std::size_t slot = static_cast<std::size_t>(wc.wr_id & 0xFF);
+      auto it = links_.find(peer);
+      if (it == links_.end()) continue;
+      const sim::Bytes& buf = it->second.ring[slot];
+      auto header = MsgHeader::decode(sim::ByteSpan(buf.data(), wc.byte_len));
+      JOBMIG_ASSERT_MSG(header.has_value(), "undecodable channel message");
+      const std::size_t inline_len =
+          header->kind == MsgKind::kEager ? static_cast<std::size_t>(header->payload_len) : 0;
+      sim::Bytes payload(buf.begin() + MsgHeader::kWireSize,
+                         buf.begin() + static_cast<std::ptrdiff_t>(MsgHeader::kWireSize + inline_len));
+      handle_message(peer, *header, payload);
+      post_ring_slot(peer, slot);
+    }
   }
   progress_running_ = false;
 }

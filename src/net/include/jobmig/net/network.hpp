@@ -14,6 +14,7 @@
 #include "jobmig/sim/resource.hpp"
 #include "jobmig/sim/sync.hpp"
 #include "jobmig/sim/task.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
 
 /// Switched-Ethernet + TCP-like stream model: the cluster's GigE maintenance
 /// network. The FTB backplane runs over it (as in the paper's testbed), and
@@ -80,6 +81,9 @@ class Stream {
   Network& net_;
   std::shared_ptr<detail::StreamCore> core_;
   int side_;
+  // Per-stream byte counter, named once at construction so send() never
+  // builds a metric-name string on the per-message path.
+  telemetry::InternedCounter tx_bytes_;
 };
 
 using StreamPtr = std::unique_ptr<Stream>;

@@ -6,8 +6,21 @@
 
 namespace jobmig::net {
 
+namespace {
+// Fabric-wide tallies shared by every stream; interned so the per-message
+// hit is a pointer bump, not a registry lookup.
+telemetry::InternedCounter g_tcp_bytes{"net.tcp.bytes"};
+telemetry::InternedCounter g_tcp_msgs{"net.tcp.msgs"};
+}  // namespace
+
 Stream::Stream(Network& net, std::shared_ptr<detail::StreamCore> core, int side)
-    : net_(net), core_(std::move(core)), side_(side) {}
+    : net_(net), core_(std::move(core)), side_(side) {
+  Host* src = net_.host(core_->hosts[side_]);
+  Host* dst = net_.host(core_->hosts[1 - side_]);
+  if (src != nullptr && dst != nullptr) {
+    tx_bytes_.rename("net.tcp." + src->name() + "->" + dst->name());
+  }
+}
 
 Stream::~Stream() { close(); }
 
@@ -25,12 +38,10 @@ sim::Task Stream::send(sim::ByteSpan data) {
   net_.account(data.size());
   // Per-stream byte counters mirroring the ib.link.* fabric counters, so the
   // --json-out metrics show GigE control traffic next to the IB data path.
-  if (telemetry::enabled()) {
-    Host* src = net_.host(core_->hosts[side_]);
-    telemetry::count("net.tcp." + src->name() + "->" + dst->name(), data.size());
-    telemetry::count("net.tcp.bytes", data.size());
-    telemetry::count("net.tcp.msgs");
-  }
+  // Interned handles: each hit is a branch + pointer bump, no string build.
+  tx_bytes_.add(data.size());
+  g_tcp_bytes.add(data.size());
+  g_tcp_msgs.add();
   pipe.data.insert(pipe.data.end(), data.begin(), data.end());
   pipe.readable.set();
 }

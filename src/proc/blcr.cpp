@@ -227,7 +227,6 @@ sim::ValueTask<SimProcessPtr> Blcr::restart(RestartSource& source) {
   proc->set_runtime_state(std::move(runtime_state));
 
   // Sections until the end marker.
-  sim::Bytes expected;
   while (true) {
     if (!co_await reader.ensure(1 + 8 + 8)) corrupt("truncated section header");
     sim::ByteSpan sh = reader.peek(1 + 8 + 8);
@@ -248,9 +247,7 @@ sim::ValueTask<SimProcessPtr> Blcr::restart(RestartSource& source) {
       } else {
         // Clean content travelled in full; verify it against the pattern the
         // lazily-backed image will regenerate, instead of storing it.
-        expected.resize(run);
-        sim::pattern_fill(expected, image_seed, offset + pos);
-        if (!std::equal(body.begin(), body.end(), expected.begin())) {
+        if (!sim::pattern_check(body, image_seed, offset + pos)) {
           corrupt("clean section content mismatch");
         }
       }

@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 
 #include "jobmig/sim/bytes.hpp"
 
@@ -36,11 +36,12 @@ class MemoryImage {
   bool content_equals(const MemoryImage& other) const;
 
  private:
-  void read_page(std::uint64_t page_index, std::uint64_t within, sim::MutableByteSpan out) const;
-
   std::uint64_t size_;
   std::uint64_t seed_;
-  std::map<std::uint64_t, sim::Bytes> dirty_;  // page index -> full page
+  // Page index -> full page. Hash map, not ordered: the write path does one
+  // point lookup per touched page (the compute loop's dominant cost) and
+  // nothing iterates the table, so ordering buys nothing.
+  std::unordered_map<std::uint64_t, sim::Bytes> dirty_;
 };
 
 }  // namespace jobmig::proc

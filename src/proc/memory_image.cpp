@@ -9,17 +9,6 @@ namespace jobmig::proc {
 MemoryImage::MemoryImage(std::uint64_t size_bytes, std::uint64_t content_seed)
     : size_(size_bytes), seed_(content_seed) {}
 
-void MemoryImage::read_page(std::uint64_t page_index, std::uint64_t within,
-                            sim::MutableByteSpan out) const {
-  JOBMIG_ASSERT(within + out.size() <= kPageSize);
-  auto it = dirty_.find(page_index);
-  if (it != dirty_.end()) {
-    std::copy_n(it->second.begin() + static_cast<std::ptrdiff_t>(within), out.size(), out.begin());
-  } else {
-    sim::pattern_fill(out, seed_, page_index * kPageSize + within);
-  }
-}
-
 void MemoryImage::read(std::uint64_t offset, sim::MutableByteSpan out) const {
   JOBMIG_EXPECTS_MSG(offset + out.size() <= size_, "image read out of bounds");
   std::uint64_t pos = 0;
@@ -28,8 +17,22 @@ void MemoryImage::read(std::uint64_t offset, sim::MutableByteSpan out) const {
     const std::uint64_t page = abs / kPageSize;
     const std::uint64_t within = abs % kPageSize;
     const std::uint64_t run = std::min<std::uint64_t>(out.size() - pos, kPageSize - within);
-    read_page(page, within, out.subspan(pos, run));
-    pos += run;
+    auto it = dirty_.find(page);
+    if (it != dirty_.end()) {
+      std::copy_n(it->second.begin() + static_cast<std::ptrdiff_t>(within),
+                  static_cast<std::ptrdiff_t>(run), out.begin() + static_cast<std::ptrdiff_t>(pos));
+      pos += run;
+      continue;
+    }
+    // Clean page: extend over the whole run of consecutive clean pages and
+    // regenerate it with one pattern_fill (checkpoint streams read mostly
+    // clean images, so this is the bulk of the traffic).
+    std::uint64_t end = pos + run;
+    while (end < out.size() && !dirty_.contains((offset + end) / kPageSize)) {
+      end += std::min<std::uint64_t>(out.size() - end, kPageSize);
+    }
+    sim::pattern_fill(out.subspan(pos, end - pos), seed_, abs);
+    pos = end;
   }
 }
 
@@ -43,6 +46,10 @@ void MemoryImage::write(std::uint64_t offset, sim::ByteSpan data) {
     const std::uint64_t run = std::min<std::uint64_t>(data.size() - pos, kPageSize - within);
     auto it = dirty_.find(page);
     if (it == dirty_.end()) {
+      // Size the table for the whole image up front: the compute loop's
+      // rotating dirty window eventually touches every page, and growing
+      // incrementally would rehash log(pages) times along the way.
+      if (dirty_.empty()) dirty_.reserve(static_cast<std::size_t>(size_ / kPageSize + 1));
       sim::Bytes page_bytes(kPageSize);
       if (run < kPageSize) {
         // Partial overwrite: materialize the page content first.

@@ -1,13 +1,29 @@
 #include "jobmig/sim/engine.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <sstream>
+#include <utility>
 
 #include "jobmig/sim/task.hpp"
 
 namespace jobmig::sim {
 
 namespace {
+
 Engine* g_current_engine = nullptr;
+
+/// First set bit index >= `from` in a 256-bit bitmap, or -1 if none.
+int find_set_from(const std::array<std::uint64_t, 4>& bm, std::uint32_t from) {
+  std::uint32_t w = from >> 6;
+  std::uint64_t word = bm[w] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (word != 0) return static_cast<int>(w * 64 + std::countr_zero(word));
+    if (++w >= bm.size()) return -1;
+    word = bm[w];
+  }
+}
+
 }  // namespace
 
 namespace detail2 {
@@ -42,11 +58,209 @@ Detached run_root(Task t) { co_await std::move(t); }
 
 }  // namespace detail2
 
+Engine::Engine() {
+  for (Level& lv : levels_) lv.head.fill(kNoNode);
+  slab_.reserve(256);
+  ready_.reserve(64);
+}
+
 Engine::~Engine() = default;
+
+// ---------------------------------------------------------------------------
+// Node slab / freelist
+
+std::uint32_t Engine::acquire_node(TimePoint t, std::coroutine_handle<> h,
+                                   std::function<void()> fn) {
+  std::uint32_t idx;
+  if (free_head_ != kNoNode) {
+    idx = free_head_;
+    free_head_ = slab_[idx].next;
+  } else {
+    idx = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Node& n = slab_[idx];
+  n.when_ns = t.count_ns();
+  n.seq = next_seq_++;
+  n.next = kNoNode;
+  n.cancelled = false;
+  n.handle = h;
+  n.callback = std::move(fn);
+  ++live_events_;
+  peak_queue_depth_ = std::max(peak_queue_depth_, live_events_);
+  return idx;
+}
+
+void Engine::release_node(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  ++n.gen;  // invalidate any outstanding TimerHandle
+  n.handle = {};
+  n.callback = nullptr;
+  n.cancelled = false;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier scheduler: wheel + overflow heap + per-tick ready heap
+//
+// Level assignment uses aligned blocks: level l holds exactly the pending
+// events whose tick shares the cursor's aligned 256^(l+1) block but not its
+// 256^l block (lowest level wins). Cascading a level-l slot therefore
+// redistributes strictly into levels < l, and slot scans never wrap: within
+// one aligned block the slot index field compares like the tick itself.
+
+void Engine::insert(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  const std::int64_t t = n.when_ns >> kTickBits;
+  if (t == poured_tick_) {
+    // The slot for this tick has already been poured into the ready heap
+    // (common case: zero-delay wakeups scheduled while dispatching).
+    push_ready(idx);
+    ++wheel_scheduled_;
+    return;
+  }
+  const std::int64_t c = cursor_tick_;
+  for (int l = 0; l < kLevels; ++l) {
+    const int block_shift = kSlotBits * (l + 1);
+    if ((t >> block_shift) == (c >> block_shift)) {
+      const auto slot =
+          static_cast<std::uint32_t>((t >> (kSlotBits * l)) & (kSlots - 1));
+      Level& lv = levels_[l];
+      n.next = lv.head[slot];
+      lv.head[slot] = idx;
+      lv.bitmap[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+      ++wheel_live_;
+      ++wheel_scheduled_;
+      return;
+    }
+  }
+  push_overflow(idx);
+  ++overflow_scheduled_;
+}
+
+void Engine::push_ready(std::uint32_t idx) {
+  const Node& n = slab_[idx];
+  ready_.push_back(ReadyEntry{n.when_ns, n.seq, idx});
+  std::push_heap(ready_.begin(), ready_.end(),
+                 [](const ReadyEntry& a, const ReadyEntry& b) {
+                   return a.when_ns != b.when_ns ? a.when_ns > b.when_ns
+                                                 : a.seq > b.seq;
+                 });
+}
+
+void Engine::push_overflow(std::uint32_t idx) {
+  overflow_.push_back(idx);
+  std::push_heap(overflow_.begin(), overflow_.end(),
+                 [this](std::uint32_t a, std::uint32_t b) {
+                   const Node& na = slab_[a];
+                   const Node& nb = slab_[b];
+                   return na.when_ns != nb.when_ns ? na.when_ns > nb.when_ns
+                                                   : na.seq > nb.seq;
+                 });
+}
+
+std::uint32_t Engine::pop_overflow() {
+  std::pop_heap(overflow_.begin(), overflow_.end(),
+                [this](std::uint32_t a, std::uint32_t b) {
+                  const Node& na = slab_[a];
+                  const Node& nb = slab_[b];
+                  return na.when_ns != nb.when_ns ? na.when_ns > nb.when_ns
+                                                  : na.seq > nb.seq;
+                });
+  const std::uint32_t idx = overflow_.back();
+  overflow_.pop_back();
+  return idx;
+}
+
+void Engine::promote_due_overflow() {
+  const int span_shift = kSlotBits * kLevels;
+  while (!overflow_.empty()) {
+    const std::uint32_t top = overflow_.front();
+    const std::int64_t t = slab_[top].when_ns >> kTickBits;
+    if ((t >> span_shift) != (cursor_tick_ >> span_shift)) break;
+    pop_overflow();
+    insert(top);  // re-files into the wheel (also bumps wheel_scheduled_)
+  }
+}
+
+void Engine::pour_slot(int level, std::uint32_t slot) {
+  Level& lv = levels_[level];
+  std::uint32_t node = lv.head[slot];
+  lv.head[slot] = kNoNode;
+  lv.bitmap[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (node != kNoNode) {
+    const std::uint32_t next = slab_[node].next;
+    --wheel_live_;
+    push_ready(node);
+    node = next;
+  }
+}
+
+bool Engine::ensure_ready() {
+  while (ready_.empty()) {
+    if (wheel_live_ == 0) {
+      if (overflow_.empty()) return false;
+      // Wheel drained: re-anchor the cursor at the earliest far-future event
+      // and pull its whole top-level block in.
+      cursor_tick_ = slab_[overflow_.front()].when_ns >> kTickBits;
+      promote_due_overflow();
+      continue;
+    }
+    promote_due_overflow();
+
+    // Level 0: pour the first occupied slot in the cursor's 256-tick block.
+    {
+      const auto from = static_cast<std::uint32_t>(cursor_tick_ & (kSlots - 1));
+      const int i = find_set_from(levels_[0].bitmap, from);
+      if (i >= 0) {
+        cursor_tick_ = (cursor_tick_ & ~static_cast<std::int64_t>(kSlots - 1)) | i;
+        poured_tick_ = cursor_tick_;
+        pour_slot(0, static_cast<std::uint32_t>(i));
+        continue;
+      }
+    }
+
+    // Level 0 exhausted: cascade the earliest occupied slot of the lowest
+    // non-empty level. Lower levels hold strictly earlier aligned blocks, so
+    // scanning levels in order finds the next event in time order.
+    bool cascaded = false;
+    for (int l = 1; l < kLevels; ++l) {
+      Level& lv = levels_[l];
+      const int shift = kSlotBits * l;
+      const auto from =
+          static_cast<std::uint32_t>((cursor_tick_ >> shift) & (kSlots - 1));
+      const int j = find_set_from(lv.bitmap, from);
+      if (j < 0) continue;
+      const int block_shift = shift + kSlotBits;
+      const std::int64_t block_base =
+          (cursor_tick_ >> block_shift) << block_shift;
+      const std::int64_t slot_start =
+          block_base | (static_cast<std::int64_t>(j) << shift);
+      if (slot_start > cursor_tick_) cursor_tick_ = slot_start;
+      std::uint32_t node = lv.head[j];
+      lv.head[j] = kNoNode;
+      lv.bitmap[j >> 6] &= ~(std::uint64_t{1} << (j & 63));
+      while (node != kNoNode) {
+        const std::uint32_t next = slab_[node].next;
+        --wheel_live_;
+        insert(node);
+        node = next;
+      }
+      cascaded = true;
+      break;
+    }
+    JOBMIG_ASSERT_MSG(cascaded, "wheel count positive but no occupied slot");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Public scheduling API
 
 void Engine::schedule_at(TimePoint t, std::coroutine_handle<> h) {
   JOBMIG_EXPECTS_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(QueueItem{t, next_seq_++, h, nullptr});
+  insert(acquire_node(t, h, nullptr));
 }
 
 void Engine::schedule_in(Duration d, std::coroutine_handle<> h) {
@@ -54,14 +268,25 @@ void Engine::schedule_in(Duration d, std::coroutine_handle<> h) {
   schedule_at(now_ + d, h);
 }
 
-void Engine::call_at(TimePoint t, std::function<void()> fn) {
+Engine::TimerHandle Engine::call_at(TimePoint t, std::function<void()> fn) {
   JOBMIG_EXPECTS_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(QueueItem{t, next_seq_++, nullptr, std::move(fn)});
+  const std::uint32_t idx = acquire_node(t, nullptr, std::move(fn));
+  const TimerHandle h{idx, slab_[idx].gen};
+  insert(idx);
+  return h;
 }
 
-void Engine::call_in(Duration d, std::function<void()> fn) {
+Engine::TimerHandle Engine::call_in(Duration d, std::function<void()> fn) {
   JOBMIG_EXPECTS_MSG(d >= Duration::zero(), "negative delay");
-  call_at(now_ + d, std::move(fn));
+  return call_at(now_ + d, std::move(fn));
+}
+
+void Engine::cancel(TimerHandle h) {
+  if (!h.valid() || h.node >= slab_.size()) return;
+  Node& n = slab_[h.node];
+  if (n.gen != h.gen) return;  // already fired/freed and possibly recycled
+  n.cancelled = true;
+  n.callback = nullptr;  // destroy captured state now; the slot fires as a no-op
 }
 
 void Engine::spawn(Task t) {
@@ -69,15 +294,19 @@ void Engine::spawn(Task t) {
   detail2::Detached d = detail2::run_root(std::move(t));
   d.handle.promise().engine = this;
   ++live_tasks_;
+  ++frames_spawned_;
   schedule_at(now_, d.handle);
 }
+
+// ---------------------------------------------------------------------------
+// Run loop
 
 TimePoint Engine::run() { return run_until(TimePoint::max()); }
 
 TimePoint Engine::run_until(TimePoint deadline) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.top().when > deadline) break;
+  while (!stop_requested_ && ensure_ready()) {
+    if (ready_.front().when_ns > deadline.count_ns()) break;
     step();
     if (pending_exception_) {
       auto e = std::exchange(pending_exception_, nullptr);
@@ -89,22 +318,36 @@ TimePoint Engine::run_until(TimePoint deadline) {
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  QueueItem item = queue_.top();
-  queue_.pop();
-  JOBMIG_ASSERT(item.when >= now_);
-  now_ = item.when;
+  if (!ensure_ready()) return false;
+  std::pop_heap(ready_.begin(), ready_.end(),
+                [](const ReadyEntry& a, const ReadyEntry& b) {
+                  return a.when_ns != b.when_ns ? a.when_ns > b.when_ns
+                                                : a.seq > b.seq;
+                });
+  const ReadyEntry e = ready_.back();
+  ready_.pop_back();
+  JOBMIG_ASSERT(e.when_ns >= now_.count_ns());
+  now_ = TimePoint::from_ns(e.when_ns);
   ++events_processed_;
-  dispatch(item);
+  --live_events_;
+  sequence_hash_ =
+      (sequence_hash_ ^ static_cast<std::uint64_t>(e.when_ns)) * 0x100000001b3ull;
+  dispatch(e.node);
   return true;
 }
 
-void Engine::dispatch(QueueItem& item) {
+void Engine::dispatch(std::uint32_t idx) {
+  // Move the payload out and recycle the node *before* running it: the
+  // callback/coroutine may schedule new events and reuse this very node.
+  Node& n = slab_[idx];
+  const std::coroutine_handle<> h = n.handle;
+  std::function<void()> cb = std::move(n.callback);
+  release_node(idx);
   CurrentEngineGuard guard(this);
-  if (item.handle) {
-    item.handle.resume();
-  } else if (item.callback) {
-    item.callback();
+  if (h) {
+    h.resume();
+  } else if (cb) {  // cancelled timers have a null callback: fire as a no-op
+    cb();
   }
 }
 

@@ -32,6 +32,11 @@ class Crc64 {
 /// and verified after transfer without keeping a second copy.
 void pattern_fill(MutableByteSpan out, std::uint64_t seed, std::uint64_t offset);
 
+/// True iff `data` equals the (seed, offset) pattern byte for byte, without
+/// materializing an expected buffer (streaming compare; the verify-side
+/// counterpart of pattern_fill).
+bool pattern_check(ByteSpan data, std::uint64_t seed, std::uint64_t offset);
+
 /// Little-endian scalar codecs for wire/stream headers.
 void put_u64(Bytes& out, std::uint64_t v);
 void put_u32(Bytes& out, std::uint32_t v);

@@ -1,10 +1,10 @@
 #pragma once
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "jobmig/sim/assert.hpp"
@@ -20,12 +20,32 @@ using Task = ValueTask<void>;
 /// entities are coroutines resumed from this loop, so there is no data-race
 /// surface (CppCoreGuidelines CP.2 by construction). Events at equal
 /// timestamps fire in insertion order, making runs exactly reproducible.
+///
+/// Scheduling internals (see DESIGN.md §7): a hierarchical bucketed timer
+/// wheel (4 levels × 256 slots, 256 ns base tick) absorbs the near-horizon
+/// events that dominate the workload (per-WQE overheads, hop latencies,
+/// bandwidth-server wake-ups), backed by an overflow min-heap for timers
+/// beyond the wheel span (~18 simulated minutes). Event state lives in a
+/// slab of nodes recycled through an intrusive freelist, so steady-state
+/// scheduling performs zero allocations; the wheel/heaps hold only small
+/// POD entries (time, sequence, node index) — callbacks and coroutine
+/// handles never move during heap sifts. Exact (time, insertion-seq) fire
+/// order is preserved: each due wheel slot is poured into a small ready
+/// min-heap keyed (time, seq) before dispatch.
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
+
+  /// Cancellation handle for call_at/call_in timers. Default-constructed
+  /// handles are inert; cancel() on a fired or superseded handle is a no-op.
+  struct TimerHandle {
+    std::uint32_t node = UINT32_MAX;
+    std::uint64_t gen = 0;
+    bool valid() const { return node != UINT32_MAX; }
+  };
 
   /// Current virtual time.
   TimePoint now() const { return now_; }
@@ -35,8 +55,15 @@ class Engine {
   /// Schedule a coroutine to be resumed after `d` (>= 0).
   void schedule_in(Duration d, std::coroutine_handle<> h);
   /// Schedule a plain callback (used by timers that may be superseded).
-  void call_at(TimePoint t, std::function<void()> fn);
-  void call_in(Duration d, std::function<void()> fn);
+  TimerHandle call_at(TimePoint t, std::function<void()> fn);
+  TimerHandle call_in(Duration d, std::function<void()> fn);
+
+  /// Cancel a pending timer: its callback is destroyed immediately and will
+  /// not run. The timeline is unchanged — the cancelled slot still advances
+  /// virtual time as a no-op when due, so replacing a timer via
+  /// cancel-and-reschedule is event-count- and time-identical to the old
+  /// generation-check pattern (a determinism invariant; see DESIGN.md §7).
+  void cancel(TimerHandle h);
 
   /// Launch a root task. The engine owns the coroutine frame until it
   /// completes; an exception escaping a root task is rethrown from run().
@@ -53,7 +80,23 @@ class Engine {
   std::uint64_t events_processed() const { return events_processed_; }
   /// Number of spawned root tasks that have not yet completed.
   std::size_t live_tasks() const { return live_tasks_; }
-  bool queue_empty() const { return queue_.empty(); }
+  bool queue_empty() const { return live_events_ == 0; }
+
+  // ---- scheduler introspection (surfaced as sim.engine.* bench metrics) ----
+  /// Pending events right now / the high-water mark over the run.
+  std::size_t queue_depth() const { return live_events_; }
+  std::size_t peak_queue_depth() const { return peak_queue_depth_; }
+  /// Cumulative filings into the wheel/ready heap vs the far-future overflow
+  /// heap. Both only grow; a promoted overflow event is counted again by
+  /// wheel_scheduled() when it is re-filed, so the overflow count keeps
+  /// recording how much traffic ever hit the far-future path.
+  std::uint64_t wheel_scheduled() const { return wheel_scheduled_; }
+  std::uint64_t overflow_scheduled() const { return overflow_scheduled_; }
+  /// Root coroutine frames created via spawn().
+  std::uint64_t frames_spawned() const { return frames_spawned_; }
+  /// FNV-1a over every dispatched event's timestamp: two runs of the same
+  /// workload must produce identical hashes (golden determinism tests).
+  std::uint64_t sequence_hash() const { return sequence_hash_; }
 
   /// The engine whose loop is currently executing (set around every event
   /// dispatch). Awaitables use this to find their engine; valid only while
@@ -68,25 +111,68 @@ class Engine {
   void on_root_task_exception(std::exception_ptr e);
 
  private:
-  struct QueueItem {
-    TimePoint when;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;      // exactly one of handle/callback set
+  static constexpr int kTickBits = 8;    // base tick: 256 ns
+  static constexpr int kSlotBits = 8;    // 256 slots per level
+  static constexpr int kLevels = 4;      // wheel span: 2^40 ns ≈ 18.3 min
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;
+  static constexpr std::uint32_t kNoNode = UINT32_MAX;
+
+  /// Event state slab entry. The wheel slot chains link through `next`;
+  /// freed nodes link through `next` on the freelist. `gen` is bumped on
+  /// every free so stale TimerHandles can never cancel a recycled node.
+  struct Node {
+    std::int64_t when_ns = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t gen = 0;
+    std::uint32_t next = kNoNode;
+    bool cancelled = false;
+    std::coroutine_handle<> handle;       // exactly one of handle/callback set
     std::function<void()> callback;
   };
-  struct ItemOrder {
-    bool operator()(const QueueItem& a, const QueueItem& b) const {
-      if (a.when != b.when) return a.when > b.when;  // min-heap
-      return a.seq > b.seq;
-    }
+
+  /// Small POD heap entry: ordering state only, node payload stays put.
+  struct ReadyEntry {
+    std::int64_t when_ns;
+    std::uint64_t seq;
+    std::uint32_t node;
   };
 
-  void dispatch(QueueItem& item);
+  struct Level {
+    std::array<std::uint32_t, kSlots> head;
+    std::array<std::uint64_t, kSlots / 64> bitmap{};
+  };
 
-  std::priority_queue<QueueItem, std::vector<QueueItem>, ItemOrder> queue_;
+  std::uint32_t acquire_node(TimePoint t, std::coroutine_handle<> h,
+                             std::function<void()> fn);
+  void release_node(std::uint32_t idx);
+  void insert(std::uint32_t idx);
+  void push_ready(std::uint32_t idx);
+  void push_overflow(std::uint32_t idx);
+  std::uint32_t pop_overflow();
+  /// Advance the wheel until the ready heap holds the next due events.
+  bool ensure_ready();
+  void pour_slot(int level, std::uint32_t slot);
+  void promote_due_overflow();
+  void dispatch(std::uint32_t idx);
+
+  std::vector<Node> slab_;
+  std::uint32_t free_head_ = kNoNode;
+  std::array<Level, kLevels> levels_;
+  std::vector<ReadyEntry> ready_;        // min-heap on (when_ns, seq)
+  std::vector<std::uint32_t> overflow_;  // min-heap on slab (when_ns, seq)
+  std::int64_t cursor_tick_ = 0;         // every pending event's tick >= this
+  std::int64_t poured_tick_ = -1;        // tick currently draining via ready_
+  std::size_t wheel_live_ = 0;           // nodes currently resident in levels_
+
   TimePoint now_{};
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t sequence_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  std::size_t live_events_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  std::uint64_t wheel_scheduled_ = 0;
+  std::uint64_t overflow_scheduled_ = 0;
+  std::uint64_t frames_spawned_ = 0;
   std::size_t live_tasks_ = 0;
   std::exception_ptr pending_exception_;
   bool stop_requested_ = false;

@@ -54,7 +54,7 @@ class FairShareServer {
   std::map<std::uint64_t, Job> jobs_;  // node-stable: waiters hold Event refs
   std::uint64_t next_id_ = 0;
   TimePoint last_update_{};
-  std::uint64_t timer_generation_ = 0;
+  Engine::TimerHandle timer_;
   std::uint64_t bytes_served_ = 0;
 };
 

@@ -35,17 +35,17 @@ void FairShareServer::settle() {
 }
 
 void FairShareServer::reschedule() {
-  ++timer_generation_;
+  // Cancelled timers still fire as engine no-ops at their original time, so
+  // this supersede is timeline-identical to the old generation-check pattern.
+  engine_.cancel(timer_);
+  timer_ = {};
   if (jobs_.empty()) return;
   double min_remaining = jobs_.begin()->second.remaining;
   for (const auto& [id, job] : jobs_) min_remaining = std::min(min_remaining, job.remaining);
   if (min_remaining < 0.0) min_remaining = 0.0;
   const double sec = min_remaining / per_job_rate();
   const Duration dt = Duration::ns(static_cast<std::int64_t>(std::ceil(sec * 1e9)));
-  const std::uint64_t gen = timer_generation_;
-  engine_.call_in(dt, [this, gen] {
-    if (gen == timer_generation_) on_timer();
-  });
+  timer_ = engine_.call_in(dt, [this] { on_timer(); });
 }
 
 void FairShareServer::on_timer() {

@@ -38,6 +38,9 @@ class Telemetry {
 
 namespace detail {
 extern Telemetry* g_current;
+/// Session epoch, bumped on every set_current(); interned metric handles
+/// compare it to decide whether their cached pointer is still valid.
+extern std::uint64_t g_epoch;
 }  // namespace detail
 
 inline Telemetry* current() { return detail::g_current; }
@@ -128,5 +131,71 @@ inline void gauge_add(const char* name, double delta) {
 
 void ftb_mark_publish(std::uint32_t origin, std::uint64_t seq);
 void ftb_mark_deliver(std::uint32_t origin, std::uint64_t seq);
+
+// ---- interned metric handles ----------------------------------------------
+// For per-event hot paths (per-WQE link accounting, per-message stream
+// counters): the name is built once at setup, and each hit is a null test,
+// an epoch compare, and a pointer bump — no map lookup and no std::string
+// construction. Handles survive TelemetryScope changes (the epoch bump in
+// set_current forces a re-resolve) and registry growth (std::map nodes are
+// address-stable).
+
+class InternedCounter {
+ public:
+  InternedCounter() = default;
+  explicit InternedCounter(std::string name) : name_(std::move(name)) {}
+
+  /// Re-point the handle at a different metric (drops the cached pointer).
+  void rename(std::string name) {
+    name_ = std::move(name);
+    epoch_ = 0;
+  }
+  const std::string& name() const { return name_; }
+
+  void add(std::uint64_t delta = 1) {
+    Telemetry* t = current();
+    if (t == nullptr) return;
+    if (epoch_ != detail::g_epoch) {
+      cached_ = &t->metrics.counter(name_);
+      epoch_ = detail::g_epoch;
+    }
+    cached_->add(delta);
+  }
+
+ private:
+  std::string name_;
+  Counter* cached_ = nullptr;
+  std::uint64_t epoch_ = 0;  // 0 = never resolved (g_epoch starts at 1)
+};
+
+class InternedHistogram {
+ public:
+  InternedHistogram() = default;
+  explicit InternedHistogram(std::string name) : name_(std::move(name)) {}
+
+  void rename(std::string name) {
+    name_ = std::move(name);
+    epoch_ = 0;
+  }
+  const std::string& name() const { return name_; }
+
+  void observe(std::uint64_t v) {
+    Telemetry* t = current();
+    if (t == nullptr) return;
+    if (epoch_ != detail::g_epoch) {
+      cached_ = &t->metrics.histogram(name_);
+      epoch_ = detail::g_epoch;
+    }
+    cached_->observe(v);
+  }
+  void observe_ns(sim::Duration d) {
+    observe(d.count_ns() > 0 ? static_cast<std::uint64_t>(d.count_ns()) : 0);
+  }
+
+ private:
+  std::string name_;
+  Histogram* cached_ = nullptr;
+  std::uint64_t epoch_ = 0;
+};
 
 }  // namespace jobmig::telemetry

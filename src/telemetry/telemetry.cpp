@@ -6,9 +6,13 @@ namespace jobmig::telemetry {
 
 namespace detail {
 Telemetry* g_current = nullptr;
+std::uint64_t g_epoch = 1;  // starts above the interned-handle sentinel of 0
 }  // namespace detail
 
-void set_current(Telemetry* t) { detail::g_current = t; }
+void set_current(Telemetry* t) {
+  detail::g_current = t;
+  ++detail::g_epoch;  // invalidate every interned metric handle
+}
 
 namespace {
 

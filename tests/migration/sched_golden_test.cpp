@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/task.hpp"
+#include "jobmig/workload/npb.hpp"
+
+// Golden determinism pins for the scheduler rework: the fig4 LU.C.64
+// migration scenario must (a) replay bit-identically — same event-sequence
+// hash, same event count, same report — and (b) reproduce the exact virtual
+// times the pre-rework priority-queue engine produced (values below are the
+// seed fig4_migration_overhead rows). Any change to event ordering, timer
+// cancellation semantics, or the wheel's pour order shows up here first.
+namespace jobmig {
+namespace {
+
+using namespace jobmig::sim::literals;
+
+struct GoldenRun {
+  migration::MigrationReport report;
+  std::uint64_t sequence_hash = 0;
+  std::uint64_t events_processed = 0;
+  sim::TimePoint end{};
+};
+
+GoldenRun run_fig4_lu() {
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kC, 64);
+  spec.iterations = std::max(50, spec.iterations / 4);  // as bench/fig4 does
+
+  sim::Engine engine;
+  cluster::Cluster cl(engine, cluster::ClusterConfig{});  // paper testbed defaults
+  cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
+
+  GoldenRun out;
+  engine.spawn([](cluster::Cluster& c, workload::KernelSpec s,
+                  migration::MigrationReport& rep) -> sim::Task {
+    co_await c.start(workload::make_app(s));
+    co_await sim::sleep_for(20_s);
+    rep = co_await c.migration_manager().migrate("node3");
+  }(cl, spec, out.report));
+  out.end = engine.run_until(sim::TimePoint::origin() + 120_s);
+  EXPECT_EQ(cl.migration_manager().cycles_completed(), 1u);
+  out.sequence_hash = engine.sequence_hash();
+  out.events_processed = engine.events_processed();
+  return out;
+}
+
+TEST(SchedGolden, Fig4LuReplaysBitIdentically) {
+  const GoldenRun a = run_fig4_lu();
+  const GoldenRun b = run_fig4_lu();
+  EXPECT_EQ(a.sequence_hash, b.sequence_hash);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.end, b.end);
+  // Bitwise-identical virtual durations, not just approximately equal.
+  EXPECT_EQ(a.report.stall.count_ns(), b.report.stall.count_ns());
+  EXPECT_EQ(a.report.migration.count_ns(), b.report.migration.count_ns());
+  EXPECT_EQ(a.report.restart.count_ns(), b.report.restart.count_ns());
+  EXPECT_EQ(a.report.resume.count_ns(), b.report.resume.count_ns());
+  EXPECT_EQ(a.report.bytes_moved, b.report.bytes_moved);
+}
+
+TEST(SchedGolden, Fig4LuMatchesSeedTimings) {
+  const GoldenRun g = run_fig4_lu();
+  // Seed fig4_migration_overhead LU.C.64 row (restart_mode=pipelined),
+  // captured from the pre-rework engine. Tolerance is one JSON print ulp.
+  EXPECT_NEAR(g.report.stall.to_ms(), 118.317158, 1e-5);
+  EXPECT_NEAR(g.report.migration.to_ms(), 366.201248, 1e-5);
+  EXPECT_NEAR(g.report.restart.to_ms(), 3.05408, 1e-5);
+  EXPECT_NEAR(g.report.resume.to_ms(), 1022.53997, 1e-4);
+  EXPECT_NEAR(g.report.total().to_ms(), 1510.11246, 1e-4);
+  EXPECT_EQ(g.report.bytes_moved, 170376816u);
+}
+
+}  // namespace
+}  // namespace jobmig

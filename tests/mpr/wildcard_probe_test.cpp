@@ -28,8 +28,12 @@ struct Rig {
 
   explicit Rig(int nodes) {
     for (int n = 0; n < nodes; ++n) {
-      auto& hca = fabric.add_node("n" + std::to_string(n));
-      auto& host = net.add_host("n" + std::to_string(n));
+      // Built via append: "n" + std::to_string(n) trips a GCC 12 -Wrestrict
+      // false positive (PR105651) when the insert path gets inlined here.
+      std::string name("n");
+      name += std::to_string(n);
+      auto& hca = fabric.add_node(name);
+      auto& host = net.add_host(name);
       disks.push_back(std::make_unique<storage::LocalFs>(engine, cal.disk));
       blcrs.push_back(std::make_unique<proc::Blcr>(engine, cal.blcr));
       NodeEnv env;
@@ -39,7 +43,7 @@ struct Rig {
       env.scratch = disks.back().get();
       env.blcr = blcrs.back().get();
       env.cal = &cal;
-      env.hostname = "n" + std::to_string(n);
+      env.hostname = name;
       envs.push_back(env);
     }
     for (int r = 0; r < nodes; ++r) {
