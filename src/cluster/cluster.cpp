@@ -83,6 +83,10 @@ Cluster::Cluster(sim::Engine& engine, ClusterConfig cfg) : engine_(engine), cfg_
 Cluster::~Cluster() {
   for (auto& d : daemons_) d->shutdown();
   if (mm_) mm_->shutdown();
+  for (auto& mj : managed_) {
+    for (auto& d : mj->daemons) d->shutdown();
+    if (mj->mm) mj->mm->shutdown();
+  }
   if (health_trigger_) health_trigger_->stop();
   for (auto& p : pollers_) p->stop();
 }
@@ -105,6 +109,7 @@ storage::ParallelFs& Cluster::pvfs() {
 
 mpr::Job& Cluster::create_job(int ranks_per_node, std::uint64_t image_bytes_per_rank) {
   JOBMIG_EXPECTS_MSG(job_ == nullptr, "one job per cluster");
+  JOBMIG_EXPECTS_MSG(managed_.empty(), "create_job and add_job are mutually exclusive");
   JOBMIG_EXPECTS(ranks_per_node >= 1);
   job_ = std::make_unique<mpr::Job>(engine_, cfg_.cal);
   const int ranks = cfg_.compute_nodes * ranks_per_node;
@@ -128,6 +133,72 @@ sim::Task Cluster::start(mpr::Job::AppMain main) {
   for (auto& d : daemons_) d->start();
   mm_->start_request_listener();
   job_->launch_app(std::move(main));
+}
+
+ManagedJob& Cluster::add_job(std::string name, std::vector<int> compute_idxs,
+                             int ranks_per_node, std::uint64_t image_bytes_per_rank) {
+  JOBMIG_EXPECTS_MSG(job_ == nullptr, "create_job and add_job are mutually exclusive");
+  JOBMIG_EXPECTS(ranks_per_node >= 1);
+  JOBMIG_EXPECTS_MSG(!compute_idxs.empty(), "a job needs at least one compute node");
+  for (int idx : compute_idxs) {
+    JOBMIG_EXPECTS_MSG(idx >= 0 && idx < cfg_.compute_nodes,
+                       "add_job: index is not a compute node");
+    for (const auto& other : managed_) {
+      for (int used : other->compute_nodes) {
+        JOBMIG_EXPECTS_MSG(used != idx, "add_job: compute node already owned by another job");
+      }
+    }
+  }
+
+  auto mj = std::make_unique<ManagedJob>();
+  mj->job_id = next_job_id_++;
+  mj->name = std::move(name);
+  mj->compute_nodes = compute_idxs;
+  mj->job = std::make_unique<mpr::Job>(engine_, cfg_.cal);
+  mj->job->set_job_id(mj->job_id);
+  mj->job->set_name(mj->name);
+
+  const int ranks = static_cast<int>(compute_idxs.size()) * ranks_per_node;
+  for (int r = 0; r < ranks; ++r) {
+    const std::size_t node = static_cast<std::size_t>(compute_idxs[static_cast<std::size_t>(
+        r / ranks_per_node)]);
+    mj->job->add_proc(r, envs_[node], image_bytes_per_rank,
+                      (static_cast<std::uint64_t>(mj->job_id) << 32) | 0xA11CE000u |
+                          static_cast<std::uint64_t>(r));
+  }
+
+  // Private launcher machinery: the job's compute nodes first, then every
+  // spare (any of them can be adopted in Phase 3; the orchestrator's
+  // placement engine decides which one actually is).
+  mj->jm = std::make_unique<launch::JobManager>(engine_, *login_agent_, cfg_.launch_fanout);
+  std::vector<int> node_idxs = compute_idxs;
+  for (int s = cfg_.compute_nodes; s < node_count(); ++s) node_idxs.push_back(s);
+  for (int idx : node_idxs) {
+    const auto i = static_cast<std::size_t>(idx);
+    mj->nlas.push_back(std::make_unique<launch::NodeLaunchAgent>(
+        envs_[i], *agents_[i],
+        idx < cfg_.compute_nodes ? launch::NlaState::kReady : launch::NlaState::kSpare));
+    mj->jm->register_nla(*mj->nlas.back());
+    mj->daemons.push_back(std::make_unique<migration::NodeCrDaemon>(
+        *mj->nlas.back(), *mj->job, *agents_[i], cfg_.mig));
+  }
+  mj->mm = std::make_unique<migration::MigrationManager>(*mj->jm, *mj->job, *login_agent_,
+                                                         cfg_.mig);
+  managed_.push_back(std::move(mj));
+  return *managed_.back();
+}
+
+sim::Task Cluster::start_managed(ManagedJob& mj, mpr::Job::AppMain main) {
+  co_await mj.jm->launch(*mj.job);
+  for (auto& d : mj.daemons) d->start();
+  mj.job->launch_app(std::move(main));
+}
+
+ManagedJob* Cluster::managed_job(int job_id) {
+  for (auto& mj : managed_) {
+    if (mj->job_id == job_id) return mj.get();
+  }
+  return nullptr;
 }
 
 migration::MigrationManager& Cluster::migration_manager() {

@@ -34,6 +34,24 @@ struct ClusterConfig {
   migration::MigrationOptions mig{};
 };
 
+/// One orchestrator-managed job plus its private copy of the launch and
+/// migration machinery. Managed jobs occupy disjoint compute-node sets and
+/// share the cluster's spare pool: each job registers every spare in its own
+/// JobManager (so Phase 3 can adopt any of them), while the orchestrator's
+/// placement engine is the single authority for which spare is actually
+/// free. Job ids start at 1; id 0 stays reserved for the legacy single-job
+/// mode, whose telemetry tracks and FTB spaces are pinned by golden tests.
+struct ManagedJob {
+  int job_id = 0;
+  std::string name;
+  std::vector<int> compute_nodes;  // cluster node indices hosting ranks
+  std::unique_ptr<mpr::Job> job;
+  std::unique_ptr<launch::JobManager> jm;
+  std::vector<std::unique_ptr<launch::NodeLaunchAgent>> nlas;
+  std::vector<std::unique_ptr<migration::NodeCrDaemon>> daemons;
+  std::unique_ptr<migration::MigrationManager> mm;
+};
+
 class Cluster {
  public:
   Cluster(sim::Engine& engine, ClusterConfig cfg = {});
@@ -67,6 +85,20 @@ class Cluster {
   /// Launch the job through the spawn tree, start the per-node migration
   /// daemons and the migration manager, and run `main` on every rank.
   [[nodiscard]] sim::Task start(mpr::Job::AppMain main);
+
+  // ---- Multi-job (orchestrator) mode -------------------------------------
+  /// Add a managed job on an explicit, disjoint set of compute-node indices
+  /// (`ranks_per_node` ranks on each). Mutually exclusive with create_job():
+  /// the legacy path keeps its single-job invariants bit-identical.
+  ManagedJob& add_job(std::string name, std::vector<int> compute_idxs, int ranks_per_node,
+                      std::uint64_t image_bytes_per_rank);
+  /// Launch a managed job and start its migration daemons. The migration
+  /// manager's request listener is NOT started: the orchestrator drives
+  /// cycles directly with granted leases.
+  [[nodiscard]] sim::Task start_managed(ManagedJob& mj, mpr::Job::AppMain main);
+  const std::vector<std::unique_ptr<ManagedJob>>& managed_jobs() const { return managed_; }
+  /// Managed job by id (nullptr if unknown).
+  ManagedJob* managed_job(int job_id);
 
   // ---- Fault-tolerance machinery ----------------------------------------
   migration::MigrationManager& migration_manager();
@@ -105,6 +137,8 @@ class Cluster {
   std::unique_ptr<mpr::Job> job_;
   std::vector<std::unique_ptr<migration::NodeCrDaemon>> daemons_;
   std::unique_ptr<migration::MigrationManager> mm_;
+  std::vector<std::unique_ptr<ManagedJob>> managed_;
+  int next_job_id_ = 1;
 };
 
 }  // namespace jobmig::cluster

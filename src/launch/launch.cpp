@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "jobmig/telemetry/flight_recorder.hpp"
 #include "jobmig/telemetry/telemetry.hpp"
 
 namespace jobmig::launch {
+
+namespace {
+
+/// Job 0 keeps the historical "launcher" track; orchestrated jobs get a
+/// job-qualified one so multi-job traces stay separable.
+std::string launch_track(int job_id) {
+  return job_id == 0 ? "launcher" : "j" + std::to_string(job_id) + ":launcher";
+}
+
+}  // namespace
 
 std::string_view to_string(NlaState s) {
   switch (s) {
@@ -119,14 +130,18 @@ sim::Task JobManager::launch(mpr::Job& job) {
   // Staged launch: each tree level starts in parallel after its parent
   // level (ScELA's scalable bootstrap), then ranks spawn on their nodes.
   const std::size_t levels = tree_->depth();
-  telemetry::ScopedSpan span("launcher", "launch job");
+  const std::string track = launch_track(job.job_id());
+  telemetry::ScopedSpan span(track, "launch job");
+  span.set_job(job.job_id());
   if (telemetry::enabled()) {
     span.attr("levels", std::to_string(levels));
     span.attr("ranks", std::to_string(job.size()));
+    span.attr("nodes", std::to_string(nlas_.size()));
     telemetry::count("launch.tree_levels", levels);
   }
   for (std::size_t lvl = 0; lvl < levels; ++lvl) {
-    telemetry::ScopedSpan level_span("launcher", "spawn level " + std::to_string(lvl + 1));
+    telemetry::ScopedSpan level_span(track, "spawn level " + std::to_string(lvl + 1));
+    level_span.set_job(job.job_id());
     co_await sim::sleep_for(kPerLevelLaunchCost);
   }
   std::size_t max_ranks_per_node = 0;
@@ -138,7 +153,8 @@ sim::Task JobManager::launch(mpr::Job& job) {
   for (NodeLaunchAgent* nla : nlas_) {
     max_ranks_per_node = std::max(max_ranks_per_node, nla->local_ranks().size());
   }
-  telemetry::ScopedSpan rank_span("launcher", "spawn ranks");
+  telemetry::ScopedSpan rank_span(track, "spawn ranks");
+  rank_span.set_job(job.job_id());
   if (telemetry::enabled()) {
     rank_span.attr("max_ranks_per_node", std::to_string(max_ranks_per_node));
     telemetry::count("launch.ranks_spawned", static_cast<std::uint64_t>(job.size()));
@@ -149,6 +165,10 @@ sim::Task JobManager::launch(mpr::Job& job) {
 void JobManager::adopt_migration(NodeLaunchAgent& source, NodeLaunchAgent& target,
                                  const std::vector<int>& ranks) {
   JOBMIG_EXPECTS_MSG(target.state() == NlaState::kSpare, "migration target must be a spare");
+  telemetry::count("launch.migrations_adopted");
+  telemetry::flight_note("launch", "adopt_migration " + source.hostname() + " -> " +
+                                       target.hostname() + " (" + std::to_string(ranks.size()) +
+                                       " ranks)");
   for (int r : ranks) {
     source.remove_rank(r);
     target.assign_rank(r);

@@ -13,13 +13,20 @@ using namespace sim::literals;
 
 namespace {
 
-/// Builds a migration-space event. Kept out of co_await expressions: GCC 12
-/// rejects initializer_list temporaries inside awaited full-expressions
-/// ("array used as initializer"), so callers hoist event construction into
-/// a plain statement first.
-ftb::FtbEvent mig_event(const char* name, ftb::Severity sev,
+/// Builds an event in the given job's migration space. Kept out of co_await
+/// expressions: GCC 12 rejects initializer_list temporaries inside awaited
+/// full-expressions ("array used as initializer"), so callers hoist event
+/// construction into a plain statement first.
+ftb::FtbEvent mig_event(const std::string& space, const char* name, ftb::Severity sev,
                         std::map<std::string, std::string> kv) {
-  return ftb::FtbEvent{kMigSpace, name, sev, encode_kv(kv)};
+  return ftb::FtbEvent{space, name, sev, encode_kv(kv)};
+}
+
+/// FTB client names stay byte-identical for job 0; orchestrated jobs get
+/// job-qualified names so per-node clients of different jobs don't collide.
+std::string job_name(int job_id, std::string base) {
+  if (job_id == 0) return base;
+  return "j" + std::to_string(job_id) + ":" + std::move(base);
 }
 
 }  // namespace
@@ -77,12 +84,9 @@ std::vector<int> decode_ranks(const std::string& s) {
   return out;
 }
 
-ftb::Subscription all_mig_events() {
-  return ftb::Subscription{kMigSpace, "*", ftb::Severity::kInfo};
+ftb::Subscription all_mig_events(const std::string& space) {
+  return ftb::Subscription{space, "*", ftb::Severity::kInfo};
 }
-
-/// Telemetry track of a node's C/R daemon (one Chrome tid per node).
-std::string crd_track(const launch::NodeLaunchAgent& nla) { return "crd:" + nla.hostname(); }
 
 }  // namespace
 
@@ -90,12 +94,14 @@ std::string crd_track(const launch::NodeLaunchAgent& nla) { return "crd:" + nla.
 
 NodeCrDaemon::NodeCrDaemon(launch::NodeLaunchAgent& nla, mpr::Job& job,
                            ftb::FtbAgent& ftb_agent, MigrationOptions opts)
-    : nla_(nla), job_(job), ftb_agent_(ftb_agent), ftb_(ftb_agent, "crd:" + nla.hostname()),
-      opts_(opts) {
-  // The daemon client only consumes FTB_MIGRATE; each cycle opens its own
-  // client for the cycle's event exchange, so no two coroutines ever share
-  // one inbox.
-  ftb_.subscribe(ftb::Subscription{kMigSpace, kEvMigrate, ftb::Severity::kInfo});
+    : nla_(nla), job_(job), ftb_agent_(ftb_agent),
+      ftb_(ftb_agent, job_name(job.job_id(), "crd:" + nla.hostname())),
+      space_(mig_space_for(job.job_id())),
+      track_(job_name(job.job_id(), "crd:" + nla.hostname())), opts_(opts) {
+  // The daemon client only consumes FTB_MIGRATE of its own job's space; each
+  // cycle opens its own client for the cycle's event exchange, so no two
+  // coroutines ever share one inbox — and no two jobs share a protocol.
+  ftb_.subscribe(ftb::Subscription{space_, kEvMigrate, ftb::Severity::kInfo});
 }
 
 void NodeCrDaemon::start() {
@@ -123,8 +129,8 @@ sim::Task NodeCrDaemon::handle_migrate(ftb::FtbEvent migrate_ev) {
   // Cycle-scoped client: subscribed now, at FTB_MIGRATE receipt, so every
   // later event of this cycle (which needs at least one network hop to get
   // here) is guaranteed to be captured.
-  ftb::FtbClient cycle_client(ftb_agent_, "cyc:" + nla_.hostname());
-  cycle_client.subscribe(all_mig_events());
+  ftb::FtbClient cycle_client(ftb_agent_, job_name(job_.job_id(), "cyc:" + nla_.hostname()));
+  cycle_client.subscribe(all_mig_events(space_));
 
   if (is_target) {
     // The spare's duties span phases 2-4 and run concurrently with the
@@ -144,28 +150,29 @@ sim::Task NodeCrDaemon::handle_migrate(ftb::FtbEvent migrate_ev) {
   }
 
   // ---- Phase 1: Job Stall (per-process C/R-thread work) ----
-  telemetry::ScopedSpan stall_span(crd_track(nla_), "stall");
+  telemetry::ScopedSpan stall_span(track_, "stall");
   stall_span.link_from(cycle_ctx);
+  stall_span.set_job(job_.job_id());
   telemetry::flight_note("crd", nla_.hostname() + ": stall begin", cycle_ctx.trace_id,
-                         stall_span.id());
+                         stall_span.id(), job_.job_id());
   // Ranks stamp this node's stall context into their park-agreement and
   // drain traffic, so cross-rank mpr messages join the cycle's DAG.
   const telemetry::TraceContext stall_ctx_early = stall_span.context();
   for (int r : local_ranks) job_.proc(r).set_trace_context(stall_ctx_early);
   for (int r : local_ranks) job_.proc(r).request_park();
   for (int r : local_ranks) {
-    telemetry::ScopedSpan park(crd_track(nla_), "park rank " + std::to_string(r),
+    telemetry::ScopedSpan park(track_, "park rank " + std::to_string(r),
                                /*async=*/true);
     co_await job_.proc(r).wait_parked();
   }
   for (int r : local_ranks) {
-    telemetry::ScopedSpan drain(crd_track(nla_), "drain rank " + std::to_string(r),
+    telemetry::ScopedSpan drain(track_, "drain rank " + std::to_string(r),
                                 /*async=*/true);
     co_await job_.proc(r).drain_and_teardown();
   }
   const telemetry::TraceContext stall_ctx = stall_span.context();
   stall_span.end();
-  ftb::FtbEvent suspend_done = mig_event(kEvSuspendDone, ftb::Severity::kInfo,
+  ftb::FtbEvent suspend_done = mig_event(space_, kEvSuspendDone, ftb::Severity::kInfo,
                                          {{"host", nla_.hostname()}});
   suspend_done.ctx = stall_ctx;
   co_await ftb_.publish(std::move(suspend_done));
@@ -176,8 +183,9 @@ sim::Task NodeCrDaemon::handle_migrate(ftb::FtbEvent migrate_ev) {
     // Ranks staying put enter the migration barrier and rebuild once the
     // restarted ranks re-join (paper: "enter a migration barrier and
     // remain stalled").
-    telemetry::ScopedSpan resume_span(crd_track(nla_), "resume");
+    telemetry::ScopedSpan resume_span(track_, "resume");
     resume_span.link_from(stall_ctx);
+    resume_span.set_job(job_.job_id());
     sim::TaskGroup group(*nla_.env().engine);
     for (int r : local_ranks) group.spawn(stay_routine(r, stall_ctx));
     co_await group.wait();
@@ -187,7 +195,7 @@ sim::Task NodeCrDaemon::handle_migrate(ftb::FtbEvent migrate_ev) {
     for (int r : local_ranks) job_.proc(r).set_trace_context({});
     const telemetry::TraceContext resume_ctx = resume_span.context();
     resume_span.end();
-    ftb::FtbEvent resume_done = mig_event(kEvResumeDone, ftb::Severity::kInfo,
+    ftb::FtbEvent resume_done = mig_event(space_, kEvResumeDone, ftb::Severity::kInfo,
                                           {{"host", nla_.hostname()}});
     resume_done.ctx = resume_ctx;
     co_await ftb_.publish(std::move(resume_done));
@@ -195,7 +203,7 @@ sim::Task NodeCrDaemon::handle_migrate(ftb::FtbEvent migrate_ev) {
 }
 
 sim::Task NodeCrDaemon::stay_routine(int rank, telemetry::TraceContext cycle_ctx) {
-  telemetry::ScopedSpan span(crd_track(nla_), "barrier rank " + std::to_string(rank),
+  telemetry::ScopedSpan span(track_, "barrier rank " + std::to_string(rank),
                              /*async=*/true);
   span.link_from(cycle_ctx);
   job_.note_barrier_entry(span.context());
@@ -211,7 +219,7 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   ftb::FtbEvent all_susp = co_await waiter.await_named(kEvAllSuspended);
 
   // Pull-channel handshake with the target's buffer manager.
-  telemetry::ScopedSpan setup_span(crd_track(nla_), "pull setup");
+  telemetry::ScopedSpan setup_span(track_, "pull setup");
   setup_span.link_from(all_susp.ctx);
   ftb::FtbEvent ready = co_await waiter.await_named(kEvPullReady);
   setup_span.link_from(ready.ctx);
@@ -222,7 +230,7 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   SourceBufferManager smgr(*nla_.env().hca, opts_.pool);
   ib::IbAddr my_addr = co_await smgr.open(target_addr);
   ftb::FtbEvent src_ready_ev = mig_event(
-      kEvPullSrcReady, ftb::Severity::kInfo,
+      space_, kEvPullSrcReady, ftb::Severity::kInfo,
       {{"node", std::to_string(my_addr.node)}, {"qpn", std::to_string(my_addr.qpn)}});
   src_ready_ev.ctx = setup_span.context();
   co_await ftb_.publish(std::move(src_ready_ev));
@@ -232,13 +240,14 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   smgr.start();
 
   // ---- Phase 2: checkpoint every local rank through the pool ----
-  telemetry::ScopedSpan ckpt_span(crd_track(nla_), "checkpoint");
+  telemetry::ScopedSpan ckpt_span(track_, "checkpoint");
   ckpt_span.link_from(setup_ctx);
+  ckpt_span.set_job(job_.job_id());
   // The target's FTB_PULL_CONNECTED reply lands here, in the successor
   // span, not back in "pull setup" which seeded it (2-cycle otherwise).
   ckpt_span.link_from(connected.ctx);
   telemetry::flight_note("crd", nla_.hostname() + ": checkpoint begin",
-                         setup_ctx.trace_id, ckpt_span.id());
+                         setup_ctx.trace_id, ckpt_span.id(), job_.job_id());
   smgr.set_trace_context(ckpt_span.context());
   const std::vector<int> ranks = nla_.local_ranks();
   std::vector<std::unique_ptr<proc::CheckpointSink>> sinks;
@@ -247,7 +256,7 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
     sinks.push_back(smgr.make_sink(r));
     group.spawn([](NodeCrDaemon& self, int rank, proc::CheckpointSink& sink) -> sim::Task {
       // Concurrent per-rank checkpoints: async spans, they overlap freely.
-      telemetry::ScopedSpan span(crd_track(self.nla_), "checkpoint rank " + std::to_string(rank),
+      telemetry::ScopedSpan span(self.track_, "checkpoint rank " + std::to_string(rank),
                                  /*async=*/true);
       co_await self.nla_.env().blcr->checkpoint(self.job_.proc(rank).sim_process(), sink);
     }(*this, r, *sinks.back()));
@@ -258,7 +267,7 @@ sim::Task NodeCrDaemon::source_routine(std::string target_host, ftb::FtbClient& 
   ckpt_span.end();
 
   ftb::FtbEvent piic_ev = mig_event(
-      kEvMigratePiic, ftb::Severity::kInfo,
+      space_, kEvMigratePiic, ftb::Severity::kInfo,
       {{"host", nla_.hostname()}, {"bytes", std::to_string(smgr.bytes_submitted())}});
   piic_ev.ctx = ckpt_ctx;
   co_await ftb_.publish(std::move(piic_ev));
@@ -271,15 +280,15 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
   (void)source_host;
   // Own cycle client: opened before any counterpart can publish (their
   // events need at least one network hop to reach this agent).
-  ftb::FtbClient cycle_client(ftb_agent_, "cyt:" + nla_.hostname());
-  cycle_client.subscribe(all_mig_events());
+  ftb::FtbClient cycle_client(ftb_agent_, job_name(job_.job_id(), "cyt:" + nla_.hostname()));
+  cycle_client.subscribe(all_mig_events(space_));
   EventWaiter waiter(cycle_client);
   target_mgr_ = std::make_unique<TargetBufferManager>(*nla_.env().hca, opts_.pool);
-  telemetry::ScopedSpan setup_span(crd_track(nla_), "pull setup");
+  telemetry::ScopedSpan setup_span(track_, "pull setup");
   setup_span.link_from(cycle_ctx);
   ib::IbAddr addr = co_await target_mgr_->open();
   ftb::FtbEvent pull_ready_ev = mig_event(
-      kEvPullReady, ftb::Severity::kInfo,
+      space_, kEvPullReady, ftb::Severity::kInfo,
       {{"node", std::to_string(addr.node)}, {"qpn", std::to_string(addr.qpn)}});
   pull_ready_ev.ctx = setup_span.context();
   const telemetry::TraceContext setup_ctx = setup_span.context();
@@ -289,13 +298,13 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
   // (not back in "pull setup", which seeded it — that would be a 2-cycle),
   // so the handshake traces as ready -> src-ready -> connect -> connected.
   ftb::FtbEvent src_ready = co_await waiter.await_named(kEvPullSrcReady);
-  telemetry::ScopedSpan connect_span(crd_track(nla_), "connect");
+  telemetry::ScopedSpan connect_span(track_, "connect");
   connect_span.link_from(setup_ctx);
   connect_span.link_from(src_ready.ctx);
   auto skv = decode_kv(src_ready.payload);
   target_mgr_->connect_to(ib::IbAddr{static_cast<ib::NodeId>(std::stoul(skv["node"])),
                                      static_cast<ib::QpNum>(std::stoul(skv["qpn"]))});
-  ftb::FtbEvent connected_ev = mig_event(kEvPullConnected, ftb::Severity::kInfo, {});
+  ftb::FtbEvent connected_ev = mig_event(space_, kEvPullConnected, ftb::Severity::kInfo, {});
   connected_ev.ctx = connect_span.context();
   const telemetry::TraceContext connect_ctx = connect_span.context();
   connect_span.end();
@@ -305,10 +314,11 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
   // In pipelined mode the paper's §IV-A revision runs here too: BLCR
   // restarts consume each rank's stream on the fly, overlapping the
   // transfer, so Phase 3 shrinks to bookkeeping.
-  telemetry::ScopedSpan pull_span(crd_track(nla_), "pull");
+  telemetry::ScopedSpan pull_span(track_, "pull");
   pull_span.link_from(connect_ctx);
+  pull_span.set_job(job_.job_id());
   telemetry::flight_note("crd", nla_.hostname() + ": pull begin", connect_ctx.trace_id,
-                         pull_span.id());
+                         pull_span.id(), job_.job_id());
   target_mgr_->set_trace_context(pull_span.context());
   std::map<int, proc::SimProcessPtr> pipelined_images;
   if (opts_.restart_mode == RestartMode::kPipelined) {
@@ -340,10 +350,11 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
   JOBMIG_ASSERT_MSG(rkv["dst"] == nla_.hostname(), "FTB_RESTART routed to the wrong node");
   const std::vector<int> ranks = decode_ranks(rkv["ranks"]);
 
-  telemetry::ScopedSpan restart_span(crd_track(nla_), "restart");
+  telemetry::ScopedSpan restart_span(track_, "restart");
   restart_span.link_from(restart_ev.ctx);
+  restart_span.set_job(job_.job_id());
   telemetry::flight_note("crd", nla_.hostname() + ": restart begin", restart_ev.ctx.trace_id,
-                         restart_span.id());
+                         restart_span.id(), job_.job_id());
   if (opts_.restart_mode == RestartMode::kPipelined) {
     for (int r : ranks) {
       auto it = pipelined_images.find(r);
@@ -358,7 +369,7 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
     sim::TaskGroup group(*nla_.env().engine);
     for (int r : ranks) {
       group.spawn([](NodeCrDaemon& self, int rank, storage::BlockDevice* disk) -> sim::Task {
-        telemetry::ScopedSpan span(crd_track(self.nla_), "restart rank " + std::to_string(rank),
+        telemetry::ScopedSpan span(self.track_, "restart rank " + std::to_string(rank),
                                    /*async=*/true);
         BufferedStreamSource source(self.target_mgr_->take_stream(rank), disk);
         proc::SimProcessPtr image = co_await self.nla_.env().blcr->restart(source);
@@ -371,20 +382,20 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
   }
   const telemetry::TraceContext restart_ctx = restart_span.context();
   restart_span.end();
-  ftb::FtbEvent restart_done = mig_event(kEvRestartDone, ftb::Severity::kInfo,
+  ftb::FtbEvent restart_done = mig_event(space_, kEvRestartDone, ftb::Severity::kInfo,
                                          {{"host", nla_.hostname()}});
   restart_done.ctx = restart_ctx;
   co_await ftb_.publish(std::move(restart_done));
 
   // ---- Phase 4: re-join the job and resume ----
-  telemetry::ScopedSpan resume_span(crd_track(nla_), "resume");
+  telemetry::ScopedSpan resume_span(track_, "resume");
   resume_span.link_from(restart_ctx);
   const telemetry::TraceContext resume_seed = resume_span.context();
   sim::TaskGroup resume_group(*nla_.env().engine);
   for (int r : ranks) {
     resume_group.spawn([](NodeCrDaemon& self, int rank,
                           telemetry::TraceContext seed) -> sim::Task {
-      telemetry::ScopedSpan span(crd_track(self.nla_), "resume rank " + std::to_string(rank),
+      telemetry::ScopedSpan span(self.track_, "resume rank " + std::to_string(rank),
                                  /*async=*/true);
       span.link_from(seed);
       // A re-joining rank may be the barrier's releaser; stamp its context
@@ -398,7 +409,7 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
   co_await resume_group.wait();
   const telemetry::TraceContext resume_ctx = resume_span.context();
   resume_span.end();
-  ftb::FtbEvent resume_done = mig_event(kEvResumeDone, ftb::Severity::kInfo,
+  ftb::FtbEvent resume_done = mig_event(space_, kEvResumeDone, ftb::Severity::kInfo,
                                         {{"host", nla_.hostname()}});
   resume_done.ctx = resume_ctx;
   co_await ftb_.publish(std::move(resume_done));
@@ -410,20 +421,39 @@ sim::Task NodeCrDaemon::target_routine(std::string source_host, telemetry::Trace
 
 MigrationManager::MigrationManager(launch::JobManager& jm, mpr::Job& job,
                                    ftb::FtbAgent& ftb_agent, MigrationOptions opts)
-    : jm_(jm), job_(job), ftb_agent_(ftb_agent), ftb_(ftb_agent, "migration_manager"),
+    : jm_(jm), job_(job), ftb_agent_(ftb_agent),
+      ftb_(ftb_agent, job_name(job.job_id(), "migration_manager")),
+      space_(mig_space_for(job.job_id())),
       opts_(opts) {}  // ftb_ publishes only; cycle clients do the listening
 
 sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& source_host) {
-  JOBMIG_EXPECTS_MSG(!cycle_active_, "one migration cycle at a time");
-  // Serialize against other job-wide FT operations (periodic checkpoints).
+  return migrate_impl(source_host, nullptr);
+}
+
+sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& source_host,
+                                                          MigrationGrant grant) {
+  co_return co_await migrate_impl(source_host, &grant);
+}
+
+sim::ValueTask<MigrationReport> MigrationManager::migrate_impl(std::string source_host,
+                                                               const MigrationGrant* grant) {
+  JOBMIG_EXPECTS_MSG(!cycle_active_, "one migration cycle at a time (per job)");
+  // Serialize against other FT operations of this job (periodic
+  // checkpoints); cross-job node exclusivity is the orchestrator's lease.
   auto ft_lock = co_await job_.acquire_ft_lock();
   cycle_active_ = true;
+  const int job_id = job_.job_id();
+  const std::string mgr_track = job_name(job_id, "migmgr");
 
   launch::NodeLaunchAgent* src = jm_.nla_for_host(source_host);
   JOBMIG_EXPECTS_MSG(src != nullptr, "unknown source host");
   JOBMIG_EXPECTS_MSG(!src->local_ranks().empty(), "source node hosts no ranks");
-  launch::NodeLaunchAgent* dst = jm_.find_spare();
-  JOBMIG_EXPECTS_MSG(dst != nullptr, "no spare node available");
+  launch::NodeLaunchAgent* dst =
+      grant != nullptr ? jm_.nla_for_host(grant->target_host) : jm_.find_spare();
+  JOBMIG_EXPECTS_MSG(dst != nullptr, grant != nullptr ? "granted target host unknown to this job"
+                                                      : "no spare node available");
+  JOBMIG_EXPECTS_MSG(dst->state() == launch::NlaState::kSpare,
+                     "migration target must be a spare");
   const std::vector<int> ranks = src->local_ranks();
 
   // Hosts that must report suspension (everyone currently hosting ranks).
@@ -432,25 +462,34 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
 
   job_.configure_migration_barrier();
   // Cycle-scoped client: subscribed before FTB_MIGRATE goes out.
-  ftb::FtbClient cycle_client(ftb_agent_, "migmgr_cycle");
-  cycle_client.subscribe(all_mig_events());
+  ftb::FtbClient cycle_client(ftb_agent_, job_name(job_id, "migmgr_cycle"));
+  cycle_client.subscribe(all_mig_events(space_));
+  if (space_ != kMigSpace) {
+    // Fail-stop announcements stay on the legacy space (they are per node,
+    // not per job): orchestrated cycles listen there too so a node death
+    // still aborts them.
+    cycle_client.subscribe(ftb::Subscription{kMigSpace, kEvNodeDead, ftb::Severity::kInfo});
+  }
   EventWaiter waiter(cycle_client);
   waiter.abort_on(kEvNodeDead);
   MigrationReport report;
   report.source_host = source_host;
   report.target_host = dst->hostname();
   report.migrated_ranks = ranks;
+  report.job_id = job_id;
 
-  telemetry::ScopedSpan cycle_span("migmgr", "migration cycle");
+  telemetry::ScopedSpan cycle_span(mgr_track, "migration cycle");
   if (telemetry::Telemetry* t = telemetry::current()) {
     report.trace_id = t->new_trace_id();
     cycle_span.set_trace(report.trace_id);
   }
+  cycle_span.set_job(job_id);
   cycle_span.attr("src", source_host);
   cycle_span.attr("dst", dst->hostname());
   cycle_span.attr("ranks", encode_ranks(ranks));
+  if (grant != nullptr) cycle_span.attr("lease", std::to_string(grant->lease_id));
   telemetry::flight_note("mig", "cycle begin " + source_host + " -> " + dst->hostname(),
-                         report.trace_id, cycle_span.id());
+                         report.trace_id, cycle_span.id(), job_id);
 
   const sim::TimePoint t0 = jm_.engine().now();
   sim::TimePoint t1 = t0, t2 = t0, t3 = t0, t4 = t0;
@@ -463,14 +502,16 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
   try {
     {
       // ---- Phase 1 ends when every hosting node reports drained ----
-      telemetry::ScopedSpan stall_span("migmgr", "Stall");
+      telemetry::ScopedSpan stall_span(mgr_track, "Stall");
+      stall_span.set_job(job_id);
       stall_span.set_trace(report.trace_id);
-      ftb::FtbEvent migrate_ev = mig_event(kEvMigrate, ftb::Severity::kWarning,
+      ftb::FtbEvent migrate_ev = mig_event(space_, kEvMigrate, ftb::Severity::kWarning,
                                            {{"src", source_host}, {"dst", dst->hostname()}});
       migrate_ev.ctx = stall_span.context();
       co_await ftb_.publish(std::move(migrate_ev));
 
-      telemetry::ScopedSpan collect_span("migmgr", "await suspend-done");
+      telemetry::ScopedSpan collect_span(mgr_track, "await suspend-done");
+      collect_span.set_job(job_id);
       collect_span.set_trace(report.trace_id);
       std::set<std::string> suspended;
       while (suspended.size() < hosting.size()) {
@@ -478,7 +519,7 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
         collect_span.link_from(ev.ctx);
         suspended.insert(decode_kv(ev.payload)["host"]);
       }
-      ftb::FtbEvent all_suspended = mig_event(kEvAllSuspended, ftb::Severity::kInfo, {});
+      ftb::FtbEvent all_suspended = mig_event(space_, kEvAllSuspended, ftb::Severity::kInfo, {});
       all_suspended.ctx = collect_span.context();
       backbone = collect_span.context();
       co_await ftb_.publish(std::move(all_suspended));
@@ -487,7 +528,8 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
 
     {
       // ---- Phase 2 ends with FTB_MIGRATE_PIIC from the source NLA ----
-      telemetry::ScopedSpan mig_span("migmgr", "Migration");
+      telemetry::ScopedSpan mig_span(mgr_track, "Migration");
+      mig_span.set_job(job_id);
       mig_span.set_trace(report.trace_id);
       mig_span.link_from(backbone);
       ftb::FtbEvent piic = co_await waiter.await_named(kEvMigratePiic);
@@ -500,16 +542,18 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
 
     {
       // ---- Phase 3: adjust the spawn tree, broadcast FTB_RESTART ----
-      telemetry::ScopedSpan restart_span("migmgr", "Restart");
+      telemetry::ScopedSpan restart_span(mgr_track, "Restart");
+      restart_span.set_job(job_id);
       restart_span.set_trace(report.trace_id);
       restart_span.link_from(backbone);
       jm_.adopt_migration(*src, *dst, ranks);
       ftb::FtbEvent restart_ev2 = mig_event(
-          kEvRestart, ftb::Severity::kInfo,
+          space_, kEvRestart, ftb::Severity::kInfo,
           {{"dst", dst->hostname()}, {"ranks", encode_ranks(ranks)}});
       restart_ev2.ctx = restart_span.context();
       co_await ftb_.publish(std::move(restart_ev2));
-      telemetry::ScopedSpan collect_span("migmgr", "await restart-done");
+      telemetry::ScopedSpan collect_span(mgr_track, "await restart-done");
+      collect_span.set_job(job_id);
       collect_span.set_trace(report.trace_id);
       ftb::FtbEvent restart_done = co_await waiter.await_named(kEvRestartDone);
       collect_span.link_from(restart_done.ctx);
@@ -519,7 +563,8 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
 
     {
       // ---- Phase 4 ends when every node hosting ranks has resumed ----
-      telemetry::ScopedSpan resume_span("migmgr", "Resume");
+      telemetry::ScopedSpan resume_span(mgr_track, "Resume");
+      resume_span.set_job(job_id);
       resume_span.set_trace(report.trace_id);
       resume_span.link_from(backbone);
       std::set<std::string> expected_resume;
@@ -544,13 +589,18 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
     cycle_span.attr("aborted", ab.what());
     telemetry::count("migration.aborts");
     telemetry::flight_note("mig", std::string("cycle aborted: ") + ab.what(),
-                           report.trace_id, cycle_span.id());
+                           report.trace_id, cycle_span.id(), job_id);
     telemetry::FlightRecorder::instance().dump_on_incident(
         std::string("migration aborted: ") + ab.what());
     sim::log_warn("migration", "cycle {} -> {} aborted: {}", source_host, dst->hostname(),
                   ab.what());
     last_report_ = report;
     cycle_active_ = false;
+  }
+  if (report.aborted) {
+    // co_await is illegal inside a handler, so the completion event for an
+    // aborted granted cycle is published here, after the catch.
+    if (grant != nullptr) co_await publish_cycle_done(report, grant->lease_id);
     co_return report;
   }
   cycle_span.end();
@@ -560,7 +610,7 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
   report.restart = t3 - t2;
   report.resume = t4 - t3;
   telemetry::flight_note("mig", "cycle done " + source_host + " -> " + dst->hostname(),
-                         report.trace_id);
+                         report.trace_id, 0, job_id);
   telemetry::count("migration.cycles");
   telemetry::count("migration.bytes_moved", report.bytes_moved);
   telemetry::observe_ns("migration.stall_ns", report.stall);
@@ -570,7 +620,23 @@ sim::ValueTask<MigrationReport> MigrationManager::migrate(const std::string& sou
   last_report_ = report;
   ++cycles_completed_;
   cycle_active_ = false;
+  if (grant != nullptr) co_await publish_cycle_done(report, grant->lease_id);
   co_return report;
+}
+
+sim::Task MigrationManager::publish_cycle_done(const MigrationReport& report,
+                                               std::uint64_t lease_id) {
+  // Orchestrator-mode completion notification. Legacy single-job runs never
+  // publish it, keeping their event sequence (and the goldens pinning it)
+  // byte-identical.
+  ftb::FtbEvent done =
+      mig_event(space_, kEvCycleDone, ftb::Severity::kInfo,
+                {{"src", report.source_host},
+                 {"dst", report.target_host},
+                 {"job", std::to_string(report.job_id)},
+                 {"lease", std::to_string(lease_id)},
+                 {"aborted", report.aborted ? "1" : "0"}});
+  co_await ftb_.publish(std::move(done));
 }
 
 void MigrationManager::start_request_listener() {
@@ -581,8 +647,8 @@ void MigrationManager::start_request_listener() {
 
 sim::Task MigrationManager::request_loop() {
   // A dedicated client so cycle-scoped event handling stays isolated.
-  ftb::FtbClient requests(ftb_agent_, "migration_requests");
-  requests.subscribe(ftb::Subscription{kMigSpace, kEvMigrateRequest, ftb::Severity::kInfo});
+  ftb::FtbClient requests(ftb_agent_, job_name(job_.job_id(), "migration_requests"));
+  requests.subscribe(ftb::Subscription{space_, kEvMigrateRequest, ftb::Severity::kInfo});
   while (running_) {
     ftb::FtbEvent ev = co_await requests.next_event();
     if (!running_) break;

@@ -50,6 +50,21 @@ inline constexpr const char* kEvRestartDone = "FTB_RESTART_DONE";
 inline constexpr const char* kEvResumeDone = "FTB_RESUME_DONE";
 inline constexpr const char* kEvMigrateRequest = "FTB_MIGRATE_REQUEST";
 inline constexpr const char* kEvNodeDead = "FTB_NODE_DEAD";
+/// Published by the manager when an orchestrator-granted cycle finishes
+/// (success or abort), so cluster-level services can observe completion
+/// without polling. Never published in legacy single-job mode — goldens pin
+/// that event sequence exactly.
+inline constexpr const char* kEvCycleDone = "FTB_CYCLE_DONE";
+
+/// FTB event space for a job's migration protocol. Job 0 (legacy single-job
+/// mode) keeps the paper's space verbatim; orchestrated jobs get their own
+/// space so concurrent cycles of different jobs never cross-talk (FTB space
+/// matching is exact unless a pattern contains '*', so "FTB.MPI.MVAPICH2"
+/// subscribers do not see "FTB.MPI.MVAPICH2.J1" traffic).
+inline std::string mig_space_for(int job_id) {
+  if (job_id == 0) return kMigSpace;
+  return std::string(kMigSpace) + ".J" + std::to_string(job_id);
+}
 
 /// Thrown through a migration cycle when completing it became impossible
 /// (fail-stop node death announced via FTB_NODE_DEAD). The manager converts
@@ -87,6 +102,17 @@ struct MigrationOptions {
   RestartMode restart_mode = RestartMode::kPipelined;
 };
 
+/// Authorization handed to MigrationManager::migrate by the cluster
+/// orchestrator: the placement engine already chose the target, and the
+/// node-set lock manager holds a lease on {source, target} for the cycle's
+/// duration. Without a grant the manager falls back to the paper's
+/// behaviour (first available spare, no completion event).
+struct MigrationGrant {
+  std::string target_host;
+  std::uint64_t lease_id = 0;
+  int priority = 0;
+};
+
 /// Result of one migration cycle, decomposed as in the paper's Fig. 4.
 struct MigrationReport {
   sim::Duration stall;      // Phase 1
@@ -98,6 +124,8 @@ struct MigrationReport {
   std::string source_host;
   std::string target_host;
   std::vector<int> migrated_ranks;
+  /// Job the cycle belonged to (0 in legacy single-job mode).
+  int job_id = 0;
   /// Causal-trace id of the cycle (0 when telemetry was off).
   std::uint64_t trace_id = 0;
   /// Set when the cycle was abandoned (node death); phase durations then
@@ -137,6 +165,8 @@ class NodeCrDaemon {
   mpr::Job& job_;
   ftb::FtbAgent& ftb_agent_;
   ftb::FtbClient ftb_;
+  std::string space_;  // this job's migration event space
+  std::string track_;  // telemetry track ("crd:<host>", job-qualified off 0)
   MigrationOptions opts_;
   bool running_ = false;
   sim::Event target_done_;
@@ -154,6 +184,12 @@ class MigrationManager {
   /// first available spare. Blocks (in virtual time) until Phase 4 ends.
   [[nodiscard]] sim::ValueTask<MigrationReport> migrate(const std::string& source_host);
 
+  /// Orchestrator-granted cycle: the target was chosen by the placement
+  /// engine and the {source, target} node set is leased to this cycle.
+  /// Publishes FTB_CYCLE_DONE on the job's space when the cycle ends.
+  [[nodiscard]] sim::ValueTask<MigrationReport> migrate(const std::string& source_host,
+                                                        MigrationGrant grant);
+
   /// Listen for FTB_MIGRATE_REQUEST events (from triggers) and run cycles;
   /// spawned, runs until shutdown().
   void start_request_listener();
@@ -165,11 +201,16 @@ class MigrationManager {
   sim::Task request_loop();
   [[nodiscard]] sim::ValueTask<ftb::FtbEvent> await_event(const std::string& name,
                                                           ftb::FtbClient& client);
+  [[nodiscard]] sim::ValueTask<MigrationReport> migrate_impl(std::string source_host,
+                                                             const MigrationGrant* grant);
+  [[nodiscard]] sim::Task publish_cycle_done(const MigrationReport& report,
+                                             std::uint64_t lease_id);
 
   launch::JobManager& jm_;
   mpr::Job& job_;
   ftb::FtbAgent& ftb_agent_;
   ftb::FtbClient ftb_;
+  std::string space_;  // this job's migration event space
   MigrationOptions opts_;
   bool running_ = false;
   bool cycle_active_ = false;

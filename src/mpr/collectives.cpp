@@ -42,6 +42,7 @@ sim::Task Proc::barrier() {
   if (n <= 1) co_return;
   telemetry::ScopedSpan span(trace_track(), "barrier");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   static const sim::Bytes kToken{std::byte{0x42}};
   // Dissemination barrier: log2(n) rounds of paired token exchange.
@@ -62,6 +63,7 @@ sim::Task Proc::bcast(int root, sim::Bytes& data) {
   if (n <= 1) co_return;
   telemetry::ScopedSpan span(trace_track(), "bcast");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 0);
   const int vrank = (rank_ - root + n) % n;
@@ -104,6 +106,7 @@ sim::ValueTask<double> Proc::allreduce(double value, ReduceOp op) {
   if (n <= 1) co_return value;
   telemetry::ScopedSpan span(trace_track(), "allreduce");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 1);
   // Binomial reduction to rank 0 ...
@@ -136,6 +139,7 @@ sim::ValueTask<std::vector<sim::Bytes>> Proc::allgather(sim::ByteSpan mine) {
   if (n <= 1) co_return blocks;
   telemetry::ScopedSpan span(trace_track(), "allgather");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   // Ring allgather: n-1 steps, each forwarding the block received last.
   const int to = (rank_ + 1) % n;
@@ -159,6 +163,7 @@ sim::ValueTask<double> Proc::reduce_sum(int root, double value) {
   if (n <= 1) co_return value;
   telemetry::ScopedSpan span(trace_track(), "reduce");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 2);
   const int vrank = (rank_ - root + n) % n;
@@ -185,6 +190,7 @@ sim::ValueTask<std::vector<sim::Bytes>> Proc::gather(int root, sim::ByteSpan min
   const int n = size();
   telemetry::ScopedSpan span(trace_track(), "gather");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 3);
   std::vector<sim::Bytes> blocks;
@@ -206,6 +212,7 @@ sim::ValueTask<sim::Bytes> Proc::scatter(int root, const std::vector<sim::Bytes>
   const int n = size();
   telemetry::ScopedSpan span(trace_track(), "scatter");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 4);
   if (rank_ == root) {
@@ -229,6 +236,7 @@ sim::ValueTask<std::vector<sim::Bytes>> Proc::alltoall(const std::vector<sim::By
                      "alltoall needs one block per rank");
   telemetry::ScopedSpan span(trace_track(), "alltoall");
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   telemetry::count("mpr.coll.calls");
   const std::int32_t tag = coll_tag(seq, 5);
   std::vector<sim::Bytes> from_each(static_cast<std::size_t>(n));
@@ -249,6 +257,9 @@ sim::ValueTask<std::vector<sim::Bytes>> Proc::alltoall(const std::vector<sim::By
 
 sim::ValueTask<sim::Bytes> Proc::sendrecv(int dst, int src, std::int32_t tag,
                                           sim::ByteSpan data) {
+  telemetry::ScopedSpan span(trace_track(), "sendrecv", /*async=*/true);
+  span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   sim::TaskGroup group(*env_->engine);
   group.spawn(send(dst, tag, data));
   sim::Bytes got = co_await recv(src, tag);

@@ -24,6 +24,15 @@ class Job {
   sim::Engine& engine() { return engine_; }
   const sim::Calibration& calibration() const { return cal_; }
 
+  /// Cluster-wide job identity. 0 (the default) is the single-job legacy
+  /// mode: telemetry tracks and FTB spaces keep their historical names so
+  /// existing traces and golden tests are unaffected. Orchestrated jobs get
+  /// ids >= 1 and job-qualified tracks/spaces.
+  int job_id() const { return job_id_; }
+  void set_job_id(int id) { job_id_ = id; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
   /// Place rank `rank` on `env` with the given image geometry.
   Proc& add_proc(int rank, NodeEnv& env, std::uint64_t image_bytes, std::uint64_t image_seed);
 
@@ -68,9 +77,12 @@ class Job {
   std::uint64_t total_messages() const { return total_messages_; }
   void count_message() { ++total_messages_; }
 
-  /// Global fault-tolerance lock: any operation that drives the job-wide
+  /// Per-job fault-tolerance lock: any operation that drives this job's
   /// park/drain/resume state machine (a migration cycle, a coordinated
-  /// checkpoint, a restart) must hold it, so cycles never interleave.
+  /// checkpoint, a restart) must hold it, so cycles within one job never
+  /// interleave. It is deliberately NOT a cluster-wide lock: cross-job
+  /// exclusivity is per node set, granted by orch::NodeSetLockManager, so
+  /// node-disjoint cycles of different jobs run concurrently.
   [[nodiscard]] sim::ValueTask<sim::Mutex::ScopedLock> acquire_ft_lock() {
     return ft_mutex_.lock();
   }
@@ -80,6 +92,8 @@ class Job {
 
   sim::Engine& engine_;
   sim::Calibration cal_;
+  int job_id_ = 0;
+  std::string name_;
   std::vector<std::unique_ptr<Proc>> procs_;  // index == rank
   std::vector<NodeEnv*> placement_;
   AppMain app_main_;

@@ -121,6 +121,12 @@ sim::Task Proc::check_suspend() {
 sim::Task Proc::compute(sim::Duration d, std::uint64_t dirty_bytes, std::uint64_t dirty_offset) {
   co_await enter_op();
   OpGuard guard(outstanding_ops_, ops_drained_);
+  telemetry::ScopedSpan span(trace_track(), "compute", /*async=*/true);
+  span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
+  if (telemetry::enabled() && dirty_bytes > 0) {
+    span.attr("dirty_bytes", std::to_string(dirty_bytes));
+  }
   co_await sim::sleep_for(d);
   if (dirty_bytes > 0) {
     auto& image = process_->image();
@@ -216,6 +222,11 @@ sim::Task Proc::rebuild_and_resume() {
   env_->engine->spawn(send_dispatch_loop());
   state_ = ProcState::kRunning;
   park_requested_ = false;
+  // Back to plain application work: from here on the rank's ops must not be
+  // attributed to the (ending) migration cycle, or the first post-resume
+  // compute span would dangle off the cycle's DAG as a bogus sink and hijack
+  // jobmig-trace's backward critical-path walk.
+  trace_ctx_ = {};
   resume_gate_.set();
 }
 
@@ -334,7 +345,13 @@ sim::Task Proc::progress_loop() {
   progress_running_ = false;
 }
 
-std::string Proc::trace_track() const { return "rank" + std::to_string(rank_); }
+std::string Proc::trace_track() const {
+  // Job 0 (single-job legacy mode) keeps the historical track names so
+  // existing traces, goldens and jobmig-trace baselines are unchanged.
+  const int jid = job_.job_id();
+  if (jid == 0) return "rank" + std::to_string(rank_);
+  return "j" + std::to_string(jid) + ":rank" + std::to_string(rank_);
+}
 
 void Proc::handle_message(int peer, const MsgHeader& h, sim::ByteSpan payload) {
   switch (h.kind) {
@@ -375,6 +392,7 @@ sim::Task Proc::run_rendezvous_pull(int peer, MsgHeader rts,
   ++active_pulls_;
   telemetry::ScopedSpan span(trace_track(), "rdvz pull", /*async=*/true);
   span.link_from(rts.ctx);
+  span.set_job(job_.job_id());
   sim::Bytes dst(rts.payload_len);
   ib::MemoryRegion* mr = co_await env_->hca->reg_mr(dst.data(), dst.size());
   auto it = links_.find(peer);
@@ -423,6 +441,7 @@ sim::Task Proc::send(int dst, std::int32_t tag, sim::Bytes payload) {
   OpGuard guard(outstanding_ops_, ops_drained_);
   telemetry::ScopedSpan span(trace_track(), "send", /*async=*/true);
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   if (telemetry::enabled()) {
     span.attr("dst", std::to_string(dst));
     span.attr("bytes", std::to_string(payload.size()));
@@ -471,6 +490,7 @@ sim::ValueTask<std::pair<int, sim::Bytes>> Proc::recv_impl(int src, std::int32_t
   OpGuard guard(outstanding_ops_, ops_drained_);
   telemetry::ScopedSpan span(trace_track(), "recv", /*async=*/true);
   span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   co_await sim::sleep_for(env_->cal->mpi.per_call_overhead);
 
   if (auto um = take_unexpected(src, tag)) {
@@ -514,6 +534,9 @@ sim::ValueTask<std::pair<int, sim::Bytes>> Proc::recv_any(std::int32_t tag) {
 sim::ValueTask<int> Proc::probe(int src, std::int32_t tag) {
   co_await enter_op();
   OpGuard guard(outstanding_ops_, ops_drained_);
+  telemetry::ScopedSpan span(trace_track(), "probe", /*async=*/true);
+  span.link_from(trace_ctx_);
+  span.set_job(job_.job_id());
   while (true) {
     if (state_ == ProcState::kDead) throw ProcKilled{};
     if (auto sender = iprobe(src, tag)) co_return *sender;

@@ -1,0 +1,83 @@
+#include "jobmig/orch/admission.hpp"
+
+#include <algorithm>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+
+namespace jobmig::orch {
+
+std::string_view to_string(CyclePriority p) {
+  switch (p) {
+    case CyclePriority::kMaintenance: return "maintenance";
+    case CyclePriority::kRebalance: return "rebalance";
+    case CyclePriority::kEvacuation: return "evacuation";
+  }
+  return "?";
+}
+
+void AdmissionController::Ticket::release() {
+  if (ctrl_ == nullptr) return;
+  std::exchange(ctrl_, nullptr)->release_slot();
+}
+
+AdmissionController::AdmissionController(std::size_t max_concurrent) : cap_(max_concurrent) {
+  JOBMIG_EXPECTS(max_concurrent >= 1);
+}
+
+sim::ValueTask<AdmissionController::Ticket> AdmissionController::admit(CyclePriority priority) {
+  Pending p;
+  p.seq = next_seq_++;
+  p.priority = static_cast<int>(priority);
+  pending_.push_back(&p);
+  pump();
+  if (!p.done) {
+    ++stats_.queued_total;
+    telemetry::count("orch.admission.queued");
+  }
+  co_await p.granted.wait();
+  JOBMIG_ASSERT(p.done);
+  co_return Ticket{this};
+}
+
+void AdmissionController::set_max_concurrent(std::size_t cap) {
+  JOBMIG_EXPECTS(cap >= 1);
+  cap_ = cap;
+  pump();
+}
+
+void AdmissionController::release_slot() {
+  JOBMIG_ASSERT(in_flight_ > 0);
+  --in_flight_;
+  telemetry::gauge_set("orch.admission.in_flight", static_cast<double>(in_flight_));
+  pump();
+}
+
+void AdmissionController::pump() {
+  while (in_flight_ < cap_ && !pending_.empty()) {
+    // Highest priority wins; FIFO within a priority.
+    auto it = std::min_element(pending_.begin(), pending_.end(),
+                               [](const Pending* a, const Pending* b) {
+                                 if (a->priority != b->priority) return a->priority > b->priority;
+                                 return a->seq < b->seq;
+                               });
+    Pending* p = *it;
+    const bool bypassed = std::any_of(pending_.begin(), pending_.end(), [&](const Pending* q) {
+      return q != p && q->seq < p->seq;
+    });
+    if (bypassed) {
+      ++stats_.overtakes;
+      telemetry::count("orch.admission.overtakes");
+    }
+    pending_.erase(it);
+    p->done = true;
+    ++in_flight_;
+    ++stats_.admitted;
+    stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_);
+    telemetry::count("orch.admission.admitted");
+    telemetry::gauge_set("orch.admission.in_flight", static_cast<double>(in_flight_));
+    p->granted.set();
+  }
+}
+
+}  // namespace jobmig::orch

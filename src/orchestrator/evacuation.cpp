@@ -1,0 +1,23 @@
+#include "jobmig/orch/evacuation.hpp"
+
+#include "jobmig/telemetry/telemetry.hpp"
+
+namespace jobmig::orch {
+
+EvacPlan EvacuationPlanner::plan_nodes(std::vector<std::string> hosts) {
+  EvacPlan plan;
+  plan.hosts = std::move(hosts);
+  for (const std::string& host : plan.hosts) {
+    for (const auto& mj : cluster_.managed_jobs()) {
+      launch::NodeLaunchAgent* nla = mj->jm->nla_for_host(host);
+      if (nla == nullptr || nla->state() != launch::NlaState::kReady) continue;
+      if (nla->local_ranks().empty()) continue;
+      plan.tasks.emplace_back(mj->job_id, host, nla->local_ranks());
+    }
+  }
+  telemetry::count("orch.evac.plans");
+  telemetry::count("orch.evac.tasks_planned", plan.tasks.size());
+  return plan;
+}
+
+}  // namespace jobmig::orch

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "jobmig/sim/sync.hpp"
+#include "jobmig/sim/task.hpp"
+
+/// Cluster-wide migration admission control: bounds how many cycles run at
+/// once (each cycle stalls its whole job and moves gigabytes over the
+/// fabric, so an unbounded burst of cycles degrades everyone). Excess
+/// requests queue by priority — an evacuation triggered by a failure
+/// prediction overtakes queued maintenance drains, never the other way
+/// round — and equal priorities drain FIFO.
+namespace jobmig::orch {
+
+enum class CyclePriority : int {
+  kMaintenance = 0,  // planned drain, no urgency
+  kRebalance = 1,    // operator- or policy-initiated move
+  kEvacuation = 2,   // predicted failure: get off the node now
+};
+
+std::string_view to_string(CyclePriority p);
+
+class AdmissionController {
+ public:
+  /// Move-only RAII admission slot.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept : ctrl_(std::exchange(o.ctrl_, nullptr)) {}
+    Ticket& operator=(Ticket&& o) noexcept {
+      if (this != &o) {
+        release();
+        ctrl_ = std::exchange(o.ctrl_, nullptr);
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { release(); }
+
+    void release();
+    bool valid() const { return ctrl_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* c) : ctrl_(c) {}
+    AdmissionController* ctrl_ = nullptr;
+  };
+
+  explicit AdmissionController(std::size_t max_concurrent);
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Wait for an admission slot. Higher priorities jump the queue.
+  [[nodiscard]] sim::ValueTask<Ticket> admit(CyclePriority priority);
+
+  /// Raising the cap admits queued waiters immediately; lowering it only
+  /// affects future admissions (running cycles finish).
+  void set_max_concurrent(std::size_t cap);
+  std::size_t max_concurrent() const { return cap_; }
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t queued() const { return pending_.size(); }
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t queued_total = 0;    // admissions that had to wait
+    std::uint64_t overtakes = 0;       // grants that bypassed an older waiter
+    std::size_t peak_in_flight = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;
+    int priority = 0;
+    sim::Event granted;
+    bool done = false;
+  };
+
+  friend class Ticket;
+  void release_slot();
+  void pump();
+
+  std::size_t cap_;
+  std::size_t in_flight_ = 0;
+  std::vector<Pending*> pending_;  // frames own the Pendings
+  std::uint64_t next_seq_ = 1;
+  Stats stats_;
+};
+
+}  // namespace jobmig::orch

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jobmig/cluster/cluster.hpp"
+
+/// Evacuation planning: turn "get everything off these nodes" into a batch
+/// of per-job migration cycles. A node can host ranks of at most one
+/// managed job (jobs occupy disjoint compute-node sets), but a node
+/// *group* being drained — say a rack losing its cooling — typically spans
+/// several jobs; the planner emits one EvacTask per (job, node) pair and
+/// the orchestrator runs them through admission control, so evacuations of
+/// disjoint node pairs proceed concurrently.
+namespace jobmig::orch {
+
+/// One migration cycle's worth of evacuation work.
+struct EvacTask {
+  int job_id = 0;
+  std::string source_host;
+  std::vector<int> ranks;  // ranks currently on source_host
+
+  // User-declared special members: EvacTask crosses coroutine boundaries
+  // by value (see sim::Channel's GCC 12 note).
+  EvacTask() = default;
+  EvacTask(int job, std::string host, std::vector<int> r)
+      : job_id(job), source_host(std::move(host)), ranks(std::move(r)) {}
+  EvacTask(const EvacTask&) = default;
+  EvacTask(EvacTask&&) = default;
+  EvacTask& operator=(const EvacTask&) = default;
+  EvacTask& operator=(EvacTask&&) = default;
+};
+
+struct EvacPlan {
+  std::vector<std::string> hosts;  // nodes being drained
+  std::vector<EvacTask> tasks;     // one per (job, host) with ranks present
+  std::size_t total_ranks() const {
+    std::size_t n = 0;
+    for (const EvacTask& t : tasks) n += t.ranks.size();
+    return n;
+  }
+};
+
+class EvacuationPlanner {
+ public:
+  explicit EvacuationPlanner(cluster::Cluster& cluster) : cluster_(cluster) {}
+
+  /// Plan the drain of one node.
+  EvacPlan plan_host(const std::string& host) { return plan_nodes({host}); }
+  /// Plan the drain of a node group (e.g. a rack ahead of maintenance).
+  EvacPlan plan_nodes(std::vector<std::string> hosts);
+
+ private:
+  cluster::Cluster& cluster_;
+};
+
+}  // namespace jobmig::orch

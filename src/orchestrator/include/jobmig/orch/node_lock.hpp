@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "jobmig/sim/sync.hpp"
+#include "jobmig/sim/task.hpp"
+
+/// Per-node-set locking for concurrent migration cycles. A migration cycle
+/// needs exclusive use of exactly two nodes — its source and its target —
+/// yet the seed design serialized whole cycles behind one job-level mutex.
+/// The lock manager instead grants a cycle a lease on its node *set*:
+/// cycles touching disjoint node sets run concurrently, cycles sharing any
+/// node queue. Ordering is priority-then-FIFO with a shadow-set scan, so an
+/// urgent evacuation overtakes queued maintenance drains but a blocked
+/// high-priority request can never be starved by lower-priority requests
+/// slipping past it onto the nodes it is waiting for.
+namespace jobmig::orch {
+
+class NodeSetLockManager {
+ public:
+  /// Move-only RAII grant: holds its node set until destroyed or released.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& o) noexcept
+        : mgr_(std::exchange(o.mgr_, nullptr)), nodes_(std::move(o.nodes_)), id_(o.id_) {}
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        mgr_ = std::exchange(o.mgr_, nullptr);
+        nodes_ = std::move(o.nodes_);
+        id_ = o.id_;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    void release();
+    bool valid() const { return mgr_ != nullptr; }
+    std::uint64_t id() const { return id_; }
+    const std::vector<std::string>& nodes() const { return nodes_; }
+
+   private:
+    friend class NodeSetLockManager;
+    Lease(NodeSetLockManager* mgr, std::vector<std::string> nodes, std::uint64_t id)
+        : mgr_(mgr), nodes_(std::move(nodes)), id_(id) {}
+
+    NodeSetLockManager* mgr_ = nullptr;
+    std::vector<std::string> nodes_;
+    std::uint64_t id_ = 0;
+  };
+
+  NodeSetLockManager() = default;
+  NodeSetLockManager(const NodeSetLockManager&) = delete;
+  NodeSetLockManager& operator=(const NodeSetLockManager&) = delete;
+
+  /// Acquire exclusive use of `nodes` (deduplicated; must be non-empty).
+  /// Blocks in virtual time until no held lease overlaps. Higher `priority`
+  /// requests are served first among waiters; equal priority is FIFO.
+  [[nodiscard]] sim::ValueTask<Lease> acquire(std::vector<std::string> nodes, int priority = 0);
+
+  bool is_held(const std::string& node) const { return held_.count(node) != 0; }
+  std::size_t active_leases() const { return active_; }
+  std::size_t pending_count() const { return pending_.size(); }
+
+  struct Stats {
+    std::uint64_t grants = 0;           // leases handed out
+    std::uint64_t waits = 0;            // acquires that had to block
+    std::size_t peak_concurrent = 0;    // max simultaneously-held leases
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;
+    int priority = 0;
+    std::vector<std::string> nodes;
+    sim::Event granted;
+    std::uint64_t lease_id = 0;  // assigned at grant time
+  };
+
+  friend class Lease;
+  void release_nodes(const std::vector<std::string>& nodes);
+  /// Grant every grantable waiter. Scans priority-desc / seq-asc; a waiter
+  /// that cannot be granted shadows its nodes so nothing behind it in the
+  /// order can claim them (no starvation of high-priority requests).
+  void pump();
+
+  std::set<std::string> held_;
+  std::vector<Pending*> pending_;  // frames own the Pendings; order arbitrary
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_lease_id_ = 1;
+  std::size_t active_ = 0;
+  Stats stats_;
+};
+
+}  // namespace jobmig::orch

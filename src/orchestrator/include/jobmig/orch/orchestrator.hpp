@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/migration/scheduler.hpp"
+#include "jobmig/orch/admission.hpp"
+#include "jobmig/orch/evacuation.hpp"
+#include "jobmig/orch/node_lock.hpp"
+#include "jobmig/orch/placement.hpp"
+
+/// Cluster-wide migration orchestrator: the control plane above the
+/// paper's per-job migration framework. Where the paper migrates one job
+/// away from one failing node, the orchestrator manages many jobs on
+/// disjoint node sets sharing one spare pool, and runs their cycles
+/// concurrently when — and only when — their node sets are disjoint:
+///
+///   admission  — bounds concurrent cycles cluster-wide; evacuations
+///                overtake queued maintenance drains,
+///   placement  — picks the target spare by health + load score,
+///   node locks — lease {source, target} per cycle; disjoint leases
+///                proceed in parallel, overlapping ones queue,
+///   evacuation — fans a node/group drain out into per-job cycles, and
+///                reacts to FAILURE_PREDICTED health events.
+namespace jobmig::orch {
+
+struct OrchestratorConfig {
+  /// Cluster-wide cap on simultaneously-running migration cycles.
+  std::size_t max_concurrent_cycles = 2;
+  PlacementEngine::Config placement{};
+  /// React to FAILURE_PREDICTED by evacuating the named node.
+  bool auto_evacuate = true;
+};
+
+/// One orchestrated cycle, with the wall-clock (virtual) window it
+/// occupied — overlapping windows of disjoint cycles are the concurrency
+/// proof the tests and bench assert on.
+struct CycleOutcome {
+  migration::MigrationReport report;
+  /// When the granted cycle began executing (post-admission, post-lease);
+  /// request-entry time for cycles that aborted before getting a lease.
+  sim::TimePoint started{};
+  sim::TimePoint finished{};
+  CyclePriority priority = CyclePriority::kRebalance;
+  std::uint64_t lease_id = 0;  // 0 when the cycle never got a lease
+
+  CycleOutcome() = default;
+  CycleOutcome(const CycleOutcome&) = default;
+  CycleOutcome(CycleOutcome&&) = default;
+  CycleOutcome& operator=(const CycleOutcome&) = default;
+  CycleOutcome& operator=(CycleOutcome&&) = default;
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(cluster::Cluster& cluster, OrchestratorConfig cfg = {});
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
+
+  /// Begin listening for FAILURE_PREDICTED health events (spawned; runs
+  /// until shutdown()).
+  void start();
+  void shutdown() { running_ = false; }
+  bool running() const { return running_; }
+
+  /// Register a job's checkpoint scheduler: a successful orchestrated
+  /// cycle for that job prolongs its next coordinated checkpoint (§VI).
+  void attach_checkpoint_scheduler(int job_id, migration::CheckpointScheduler& sched);
+
+  /// Run one orchestrated migration cycle: admission slot -> source
+  /// re-check -> spare reservation -> {source, target} lease -> granted
+  /// cycle -> pool/scheduler bookkeeping. Returns an aborted outcome
+  /// (never throws) when the source has nothing to migrate or the pool is
+  /// exhausted.
+  [[nodiscard]] sim::ValueTask<CycleOutcome> migrate_job(
+      int job_id, std::string source_host, CyclePriority priority = CyclePriority::kRebalance);
+
+  /// Drain every managed job off `host` (one cycle per job with ranks
+  /// there), all cycles racing through admission control.
+  [[nodiscard]] sim::ValueTask<std::vector<CycleOutcome>> evacuate_host(
+      std::string host, CyclePriority priority = CyclePriority::kEvacuation);
+  /// Planned drain of a node group (e.g. a rack ahead of maintenance).
+  [[nodiscard]] sim::ValueTask<std::vector<CycleOutcome>> drain_nodes(
+      std::vector<std::string> hosts, CyclePriority priority = CyclePriority::kMaintenance);
+
+  /// Sample every pooled spare's sensor and feed the placement scores.
+  void observe_spares();
+
+  NodeSetLockManager& locks() { return locks_; }
+  PlacementEngine& placement() { return placement_; }
+  AdmissionController& admission() { return admission_; }
+  EvacuationPlanner& planner() { return planner_; }
+
+  /// Every cycle that reached the lease stage, in completion order.
+  const std::vector<CycleOutcome>& history() const { return history_; }
+  std::size_t evacuations_triggered() const { return evacuations_triggered_; }
+
+ private:
+  sim::Task health_loop();
+  sim::Task auto_evacuate_host(std::string host);
+  sim::Task run_evac_task(EvacTask t, CyclePriority priority, std::vector<CycleOutcome>* out);
+
+  cluster::Cluster& cluster_;
+  OrchestratorConfig cfg_;
+  NodeSetLockManager locks_;
+  PlacementEngine placement_;
+  AdmissionController admission_;
+  EvacuationPlanner planner_;
+  ftb::FtbClient ftb_;
+  bool running_ = false;
+  std::map<int, migration::CheckpointScheduler*> ckpt_scheds_;
+  std::vector<CycleOutcome> history_;
+  std::set<std::string> evacuating_;  // hosts with an auto-evac in flight
+  std::size_t evacuations_triggered_ = 0;
+};
+
+}  // namespace jobmig::orch

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jobmig/health/health.hpp"
+#include "jobmig/sim/time.hpp"
+
+/// Spare-pool placement: the orchestrator's single authority for which
+/// spare node a migration cycle may target. Every managed job registers all
+/// spares in its own JobManager (so Phase 3 can adopt any of them), but
+/// only the placement engine decides which one is actually free — it
+/// tracks reservations, background load, and a per-spare health score fed
+/// by the same predictor the IPMI pollers run, and hands out the
+/// best-scoring healthy spare.
+namespace jobmig::orch {
+
+struct PlacementConfig {
+  /// Combined score = health_weight * health + load_weight * (1 - load).
+  double health_weight = 0.6;
+  double load_weight = 0.4;
+  health::HealthPredictor::Config predictor{};
+};
+
+class PlacementEngine {
+ public:
+  using Config = PlacementConfig;
+
+  struct Spare {
+    std::string host;
+    double load = 0.0;        // [0,1] background utilization
+    double last_temp = 0.0;   // most recent observed temperature (0 = none)
+    bool reserved = false;    // handed to an in-flight cycle
+    bool unhealthy = false;   // predictor fired or marked by hand
+    health::HealthPredictor predictor;
+
+    Spare() = default;
+    Spare(const Spare&) = delete;
+    Spare& operator=(const Spare&) = delete;
+    Spare(Spare&&) = default;
+    Spare& operator=(Spare&&) = default;
+  };
+
+  explicit PlacementEngine(Config cfg = {}) : cfg_(cfg) {}
+
+  void add_spare(const std::string& host);
+  bool has_spare(const std::string& host) const { return spares_.count(host) != 0; }
+
+  /// Feed a temperature sample; flips the spare unhealthy when the
+  /// predictor projects a failure (an unhealthy spare is never reserved).
+  void observe_temperature(const std::string& host, sim::TimePoint when, double celsius);
+  void set_load(const std::string& host, double load01);
+  void mark_unhealthy(const std::string& host);
+  void mark_healthy(const std::string& host);
+
+  /// Reserve the best-scoring free healthy spare (excluding `exclude`,
+  /// typically the migration source). nullopt when the pool is exhausted.
+  std::optional<std::string> reserve(const std::string& exclude = {});
+  /// The reserved spare was consumed by a finished cycle: it is a compute
+  /// node now and leaves the pool.
+  void consume(const std::string& host);
+  /// The reservation fell through (cycle aborted): back to the pool.
+  void restore(const std::string& host);
+
+  /// Combined placement score in [0,1]; 0 for unknown/unhealthy spares.
+  double score(const std::string& host) const;
+  std::size_t free_count() const;
+  std::size_t pool_size() const { return spares_.size(); }
+  const std::map<std::string, Spare>& spares() const { return spares_; }
+
+ private:
+  double score_of(const Spare& s) const;
+
+  Config cfg_;
+  std::map<std::string, Spare> spares_;  // keyed by host: deterministic ties
+};
+
+}  // namespace jobmig::orch

@@ -1,0 +1,82 @@
+#include "jobmig/orch/node_lock.hpp"
+
+#include <algorithm>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+
+namespace jobmig::orch {
+
+void NodeSetLockManager::Lease::release() {
+  if (mgr_ == nullptr) return;
+  std::exchange(mgr_, nullptr)->release_nodes(nodes_);
+}
+
+sim::ValueTask<NodeSetLockManager::Lease> NodeSetLockManager::acquire(
+    std::vector<std::string> nodes, int priority) {
+  JOBMIG_EXPECTS_MSG(!nodes.empty(), "lease on an empty node set");
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  // Uniform path: enqueue, pump, wait. When nothing conflicts the pump
+  // grants immediately and the wait falls straight through (Event is set).
+  Pending p;
+  p.seq = next_seq_++;
+  p.priority = priority;
+  p.nodes = nodes;
+  pending_.push_back(&p);
+  pump();
+  if (!p.granted.is_set()) {
+    ++stats_.waits;
+    telemetry::count("orch.lock.waits");
+  }
+  co_await p.granted.wait();
+  JOBMIG_ASSERT_MSG(p.lease_id != 0, "woken without a grant");
+  co_return Lease{this, std::move(nodes), p.lease_id};
+}
+
+void NodeSetLockManager::release_nodes(const std::vector<std::string>& nodes) {
+  for (const std::string& n : nodes) {
+    const std::size_t erased = held_.erase(n);
+    JOBMIG_ASSERT_MSG(erased == 1, "released a node that was not held");
+  }
+  JOBMIG_ASSERT(active_ > 0);
+  --active_;
+  telemetry::gauge_set("orch.lock.active_leases", static_cast<double>(active_));
+  pump();
+}
+
+void NodeSetLockManager::pump() {
+  if (pending_.empty()) return;
+  // Service order: priority desc, then arrival order.
+  std::vector<Pending*> order = pending_;
+  std::sort(order.begin(), order.end(), [](const Pending* a, const Pending* b) {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    return a->seq < b->seq;
+  });
+  // Shadow set: nodes held plus nodes earlier (non-grantable) waiters are
+  // queued on. A later waiter may only be granted nodes outside it.
+  std::set<std::string> shadow = held_;
+  for (Pending* p : order) {
+    const bool free = std::none_of(p->nodes.begin(), p->nodes.end(),
+                                   [&](const std::string& n) { return shadow.count(n) != 0; });
+    if (!free) {
+      shadow.insert(p->nodes.begin(), p->nodes.end());
+      continue;
+    }
+    for (const std::string& n : p->nodes) {
+      JOBMIG_ASSERT_MSG(held_.insert(n).second, "double-granted node");
+      shadow.insert(n);
+    }
+    p->lease_id = next_lease_id_++;
+    ++active_;
+    ++stats_.grants;
+    stats_.peak_concurrent = std::max(stats_.peak_concurrent, active_);
+    telemetry::count("orch.lock.grants");
+    telemetry::gauge_set("orch.lock.active_leases", static_cast<double>(active_));
+    pending_.erase(std::find(pending_.begin(), pending_.end(), p));
+    p->granted.set();
+  }
+}
+
+}  // namespace jobmig::orch

@@ -1,0 +1,180 @@
+#include "jobmig/orch/orchestrator.hpp"
+
+#include "jobmig/telemetry/flight_recorder.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+
+namespace jobmig::orch {
+
+Orchestrator::Orchestrator(cluster::Cluster& cluster, OrchestratorConfig cfg)
+    : cluster_(cluster),
+      cfg_(cfg),
+      placement_(cfg.placement),
+      admission_(cfg.max_concurrent_cycles),
+      planner_(cluster),
+      ftb_(cluster.login_agent(), "orchestrator") {
+  for (int idx = cluster.config().compute_nodes; idx < cluster.node_count(); ++idx) {
+    placement_.add_spare(cluster.node_name(idx));
+  }
+  ftb_.subscribe(ftb::Subscription{health::kHealthSpace, health::kEventFailurePredicted});
+}
+
+void Orchestrator::start() {
+  JOBMIG_EXPECTS(!running_);
+  running_ = true;
+  cluster_.engine().spawn(health_loop());
+}
+
+void Orchestrator::attach_checkpoint_scheduler(int job_id, migration::CheckpointScheduler& sched) {
+  ckpt_scheds_[job_id] = &sched;
+}
+
+void Orchestrator::observe_spares() {
+  const sim::TimePoint now = cluster_.engine().now();
+  for (int idx = cluster_.config().compute_nodes; idx < cluster_.node_count(); ++idx) {
+    const std::string host = cluster_.node_name(idx);
+    if (!placement_.has_spare(host)) continue;  // already consumed
+    placement_.observe_temperature(host, now, cluster_.sensor(idx).temperature(now));
+  }
+}
+
+sim::ValueTask<CycleOutcome> Orchestrator::migrate_job(int job_id, std::string source_host,
+                                                       CyclePriority priority) {
+  cluster::ManagedJob* mj = cluster_.managed_job(job_id);
+  JOBMIG_EXPECTS_MSG(mj != nullptr, "migrate_job: unknown job id");
+
+  CycleOutcome oc;
+  oc.priority = priority;
+  oc.started = cluster_.engine().now();
+  oc.report.job_id = job_id;
+  oc.report.source_host = source_host;
+
+  telemetry::ScopedSpan span("orch", "cycle j" + std::to_string(job_id) + " " + source_host,
+                             /*async=*/true);
+  span.set_job(job_id);
+  span.attr("priority", std::string(to_string(priority)));
+
+  AdmissionController::Ticket ticket = co_await admission_.admit(priority);
+
+  // Re-check after (possibly) queueing: another cycle — say an evacuation
+  // racing a maintenance drain of the same node — may have emptied the
+  // source while this request waited for its slot.
+  launch::NodeLaunchAgent* src = mj->jm->nla_for_host(source_host);
+  if (src == nullptr || src->state() != launch::NlaState::kReady ||
+      src->local_ranks().empty()) {
+    oc.report.aborted = true;
+    oc.report.abort_reason = "nothing to migrate from " + source_host;
+    oc.finished = cluster_.engine().now();
+    telemetry::count("orch.cycles_skipped");
+    co_return oc;
+  }
+
+  std::optional<std::string> target = placement_.reserve(source_host);
+  if (!target) {
+    oc.report.aborted = true;
+    oc.report.abort_reason = "spare pool exhausted";
+    oc.finished = cluster_.engine().now();
+    telemetry::count("orch.no_spare");
+    telemetry::flight_note("orch", "no spare for j" + std::to_string(job_id) + " off " +
+                                       source_host,
+                           0, 0, job_id);
+    co_return oc;
+  }
+
+  {
+    std::vector<std::string> node_set;
+    node_set.push_back(source_host);
+    node_set.push_back(*target);
+    NodeSetLockManager::Lease lease =
+        co_await locks_.acquire(std::move(node_set), static_cast<int>(priority));
+    oc.lease_id = lease.id();
+    span.attr("target", *target);
+    span.attr("lease", std::to_string(lease.id()));
+    telemetry::flight_note("orch", "lease " + std::to_string(lease.id()) + " " + source_host +
+                                       " -> " + *target,
+                           0, 0, job_id);
+
+    migration::MigrationGrant grant;
+    grant.target_host = *target;
+    grant.lease_id = lease.id();
+    grant.priority = static_cast<int>(priority);
+    oc.started = cluster_.engine().now();  // cycle (not queue) entry
+    oc.report = co_await mj->mm->migrate(source_host, grant);
+
+    if (oc.report.aborted) {
+      // If the cycle died before the target adopted ranks it is still a
+      // spare and returns to the pool; otherwise it is spent.
+      launch::NodeLaunchAgent* tgt = mj->jm->nla_for_host(*target);
+      if (tgt != nullptr && tgt->state() == launch::NlaState::kSpare) {
+        placement_.restore(*target);
+      } else {
+        placement_.consume(*target);
+      }
+      telemetry::count("orch.cycles_aborted");
+    } else {
+      placement_.consume(*target);
+      telemetry::count("orch.cycles_completed");
+      telemetry::observe_ns("orch.cycle_downtime_ns", oc.report.total());
+      auto it = ckpt_scheds_.find(job_id);
+      if (it != ckpt_scheds_.end()) it->second->notify_migration();
+    }
+    // Lease and ticket release here (RAII), before the outcome is recorded.
+  }
+  ticket.release();
+  oc.finished = cluster_.engine().now();
+  history_.push_back(oc);
+  co_return oc;
+}
+
+sim::ValueTask<std::vector<CycleOutcome>> Orchestrator::evacuate_host(std::string host,
+                                                                      CyclePriority priority) {
+  std::vector<std::string> hosts;
+  hosts.push_back(std::move(host));
+  return drain_nodes(std::move(hosts), priority);
+}
+
+sim::ValueTask<std::vector<CycleOutcome>> Orchestrator::drain_nodes(
+    std::vector<std::string> hosts, CyclePriority priority) {
+  EvacPlan plan = planner_.plan_nodes(std::move(hosts));
+  std::vector<CycleOutcome> out;
+  sim::TaskGroup group(cluster_.engine());
+  for (const EvacTask& t : plan.tasks) {
+    group.spawn(run_evac_task(t, priority, &out));
+  }
+  co_await group.wait();
+  co_return out;
+}
+
+sim::Task Orchestrator::run_evac_task(EvacTask t, CyclePriority priority,
+                                      std::vector<CycleOutcome>* out) {
+  CycleOutcome oc = co_await migrate_job(t.job_id, t.source_host, priority);
+  out->push_back(std::move(oc));
+}
+
+sim::Task Orchestrator::health_loop() {
+  while (running_) {
+    ftb::FtbEvent ev = co_await ftb_.next_event();
+    if (!running_) break;
+    const std::string host = ev.payload;  // IPMI pollers put the hostname there
+    telemetry::count("orch.failure_predictions_seen");
+    telemetry::flight_note("orch", "FAILURE_PREDICTED on " + host);
+    if (placement_.has_spare(host)) {
+      // A failing spare is never a placement target; nothing to drain.
+      placement_.mark_unhealthy(host);
+      continue;
+    }
+    if (!cfg_.auto_evacuate) continue;
+    if (!evacuating_.insert(host).second) continue;  // drain already running
+    ++evacuations_triggered_;
+    telemetry::count("orch.auto_evacuations");
+    cluster_.engine().spawn(auto_evacuate_host(host));
+  }
+}
+
+sim::Task Orchestrator::auto_evacuate_host(std::string host) {
+  std::vector<CycleOutcome> outcomes =
+      co_await evacuate_host(host, CyclePriority::kEvacuation);
+  (void)outcomes;  // every cycle is already in history_
+  evacuating_.erase(host);
+}
+
+}  // namespace jobmig::orch

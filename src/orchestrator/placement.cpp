@@ -1,0 +1,109 @@
+#include "jobmig/orch/placement.hpp"
+
+#include <algorithm>
+
+#include "jobmig/sim/assert.hpp"
+#include "jobmig/telemetry/telemetry.hpp"
+
+namespace jobmig::orch {
+
+void PlacementEngine::add_spare(const std::string& host) {
+  JOBMIG_EXPECTS_MSG(spares_.count(host) == 0, "spare registered twice");
+  Spare s;
+  s.host = host;
+  s.predictor = health::HealthPredictor(cfg_.predictor);
+  spares_.emplace(host, std::move(s));
+  telemetry::gauge_set("orch.placement.pool_size", static_cast<double>(spares_.size()));
+}
+
+void PlacementEngine::observe_temperature(const std::string& host, sim::TimePoint when,
+                                          double celsius) {
+  auto it = spares_.find(host);
+  if (it == spares_.end()) return;
+  it->second.last_temp = celsius;
+  if (it->second.predictor.add_sample(when, celsius) && !it->second.unhealthy) {
+    it->second.unhealthy = true;
+    telemetry::count("orch.placement.spares_marked_unhealthy");
+  }
+}
+
+void PlacementEngine::set_load(const std::string& host, double load01) {
+  auto it = spares_.find(host);
+  if (it == spares_.end()) return;
+  it->second.load = std::clamp(load01, 0.0, 1.0);
+}
+
+void PlacementEngine::mark_unhealthy(const std::string& host) {
+  auto it = spares_.find(host);
+  if (it != spares_.end()) it->second.unhealthy = true;
+}
+
+void PlacementEngine::mark_healthy(const std::string& host) {
+  auto it = spares_.find(host);
+  if (it != spares_.end()) it->second.unhealthy = false;
+}
+
+double PlacementEngine::score_of(const Spare& s) const {
+  if (s.unhealthy) return 0.0;
+  // Health component: 1 at a comfortable 40°C floor, 0 at the warn
+  // threshold; a spare with no sample yet counts as fully healthy.
+  double health = 1.0;
+  if (s.last_temp > 0.0) {
+    const double warn = cfg_.predictor.warn_threshold_celsius;
+    constexpr double kCool = 40.0;
+    health = std::clamp((warn - s.last_temp) / (warn - kCool), 0.0, 1.0);
+  }
+  const double load = 1.0 - std::clamp(s.load, 0.0, 1.0);
+  return cfg_.health_weight * health + cfg_.load_weight * load;
+}
+
+double PlacementEngine::score(const std::string& host) const {
+  auto it = spares_.find(host);
+  return it == spares_.end() ? 0.0 : score_of(it->second);
+}
+
+std::optional<std::string> PlacementEngine::reserve(const std::string& exclude) {
+  const Spare* best = nullptr;
+  double best_score = -1.0;
+  for (const auto& [host, s] : spares_) {
+    if (s.reserved || s.unhealthy || host == exclude) continue;
+    const double sc = score_of(s);
+    if (sc > best_score) {  // strict: map order breaks ties by hostname
+      best = &s;
+      best_score = sc;
+    }
+  }
+  if (best == nullptr) {
+    telemetry::count("orch.placement.reserve_failed");
+    return std::nullopt;
+  }
+  spares_.at(best->host).reserved = true;
+  telemetry::count("orch.placement.reservations");
+  return best->host;
+}
+
+void PlacementEngine::consume(const std::string& host) {
+  auto it = spares_.find(host);
+  JOBMIG_EXPECTS_MSG(it != spares_.end() && it->second.reserved,
+                     "consume without a reservation");
+  spares_.erase(it);
+  telemetry::count("orch.placement.consumed");
+  telemetry::gauge_set("orch.placement.pool_size", static_cast<double>(spares_.size()));
+}
+
+void PlacementEngine::restore(const std::string& host) {
+  auto it = spares_.find(host);
+  JOBMIG_EXPECTS_MSG(it != spares_.end() && it->second.reserved,
+                     "restore without a reservation");
+  it->second.reserved = false;
+}
+
+std::size_t PlacementEngine::free_count() const {
+  std::size_t n = 0;
+  for (const auto& [host, s] : spares_) {
+    if (!s.reserved && !s.unhealthy) ++n;
+  }
+  return n;
+}
+
+}  // namespace jobmig::orch

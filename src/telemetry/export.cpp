@@ -43,6 +43,7 @@ void span_args(JsonWriter& w, const Span& s) {
   w.field("span_id", s.id);
   if (s.link_parent != kNoSpan) w.field("link_parent", s.link_parent);
   if (s.trace_id != 0) w.field("trace_id", s.trace_id);
+  if (s.job_id != 0) w.field("job_id", static_cast<std::int64_t>(s.job_id));
   for (const auto& [k, v] : s.attrs) w.field(k, v);
   w.end_object();
 }

@@ -47,12 +47,13 @@ FlightRecorder& FlightRecorder::instance() {
 }
 
 void FlightRecorder::note(std::string_view category, std::string_view text,
-                          std::uint64_t trace_id, std::uint64_t span_id) {
+                          std::uint64_t trace_id, std::uint64_t span_id, std::int32_t job_id) {
   Entry& e = ring_[next_seq_ % kCapacity];
   e.seq = next_seq_++;
   e.t_ns = virtual_now_ns();
   e.trace_id = trace_id;
   e.span_id = span_id;
+  e.job_id = job_id;
   copy_trunc(e.category, kCategoryBytes, category);
   copy_trunc(e.text, kTextBytes, text);
 }
@@ -89,6 +90,7 @@ void FlightRecorder::dump(std::ostream& os, std::string_view reason) const {
     w.field("t_ns", e.t_ns);
     if (e.trace_id != 0) w.field("trace_id", e.trace_id);
     if (e.span_id != 0) w.field("span_id", e.span_id);
+    if (e.job_id != 0) w.field("job_id", static_cast<std::int64_t>(e.job_id));
     w.field("category", static_cast<const char*>(e.category));
     w.field("text", static_cast<const char*>(e.text));
     w.end_object();
@@ -111,8 +113,8 @@ bool FlightRecorder::dump_on_incident(std::string_view reason) {
 }
 
 void flight_note(std::string_view category, std::string_view text, std::uint64_t trace_id,
-                 std::uint64_t span_id) {
-  FlightRecorder::instance().note(category, text, trace_id, span_id);
+                 std::uint64_t span_id, std::int32_t job_id) {
+  FlightRecorder::instance().note(category, text, trace_id, span_id, job_id);
 }
 
 }  // namespace jobmig::telemetry

@@ -38,6 +38,7 @@ class FlightRecorder {
     std::int64_t t_ns = 0;       // virtual time when noted (0 outside a run)
     std::uint64_t trace_id = 0;  // migration trace, when known
     std::uint64_t span_id = 0;
+    std::int32_t job_id = 0;             // owning MPI job; 0 = unattributed
     char category[kCategoryBytes] = {};  // NUL-terminated, truncated to fit
     char text[kTextBytes] = {};
   };
@@ -47,7 +48,7 @@ class FlightRecorder {
 
   /// Record one event (truncating category/text to the slot widths).
   void note(std::string_view category, std::string_view text, std::uint64_t trace_id = 0,
-            std::uint64_t span_id = 0);
+            std::uint64_t span_id = 0, std::int32_t job_id = 0);
 
   /// Surviving entries, oldest first.
   std::vector<Entry> snapshot() const;
@@ -80,6 +81,6 @@ class FlightRecorder {
 
 /// Shorthand for FlightRecorder::instance().note(...).
 void flight_note(std::string_view category, std::string_view text, std::uint64_t trace_id = 0,
-                 std::uint64_t span_id = 0);
+                 std::uint64_t span_id = 0, std::int32_t job_id = 0);
 
 }  // namespace jobmig::telemetry

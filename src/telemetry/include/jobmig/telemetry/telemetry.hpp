@@ -85,6 +85,10 @@ class ScopedSpan {
   void set_trace(std::uint64_t trace_id) {
     if (id_ != kNoSpan) current()->trace.set_trace(id_, trace_id);
   }
+  /// Stamp this span with the owning MPI job (0 = single-job default).
+  void set_job(int job_id) {
+    if (id_ != kNoSpan && job_id != 0) current()->trace.set_job(id_, job_id);
+  }
   /// Record that `from` (a context received in a message) caused this span.
   void link_from(const TraceContext& from) {
     if (id_ != kNoSpan) current()->trace.link(from, id_);

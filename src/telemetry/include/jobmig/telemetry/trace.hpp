@@ -49,6 +49,7 @@ struct Span {
   /// event caused this one. Set via link(); kNoSpan when uncaused.
   SpanId link_parent = kNoSpan;
   std::uint64_t trace_id = 0;  // migration cycle this span belongs to
+  int job_id = 0;              // owning MPI job; 0 = single-job / unattributed
   std::uint32_t process = 0;
   std::string track;
   std::string name;
@@ -116,6 +117,8 @@ class TraceRecorder {
 
   /// Stamp the migration trace a span belongs to.
   void set_trace(SpanId id, std::uint64_t trace_id);
+  /// Stamp the owning job, so multi-job traces are separable offline.
+  void set_job(SpanId id, int job_id);
   /// Record the causal edge from.span_id -> to: sets to's link_parent (first
   /// link wins), inherits the trace id if unset, and emits a flow edge.
   /// No-op unless `from` is valid and refers to a recorded span.

@@ -81,6 +81,11 @@ void TraceRecorder::set_trace(SpanId id, std::uint64_t trace_id) {
   spans_[id - 1].trace_id = trace_id;
 }
 
+void TraceRecorder::set_job(SpanId id, int job_id) {
+  JOBMIG_EXPECTS_MSG(id >= 1 && id <= spans_.size(), "set_job: unknown span id");
+  spans_[id - 1].job_id = job_id;
+}
+
 void TraceRecorder::link(const TraceContext& from, SpanId to) {
   if (!from.valid() || to < 1 || to > spans_.size()) return;
   if (from.span_id < 1 || from.span_id > spans_.size()) return;

@@ -1,0 +1,318 @@
+#include "jobmig/orch/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jobmig/cluster/cluster.hpp"
+#include "jobmig/migration/cr_baseline.hpp"
+#include "jobmig/workload/npb.hpp"
+
+namespace jobmig::orch {
+namespace {
+
+using namespace jobmig::sim::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::ManagedJob;
+using sim::Engine;
+using sim::Task;
+
+ClusterConfig two_job_config(int spares = 2) {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 4;
+  cfg.spare_nodes = spares;
+  return cfg;
+}
+
+workload::KernelSpec small_spec() {
+  auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 4, 0.2);
+  spec.time_per_iter = 100_ms;  // keep apps alive across the cycles
+  return spec;
+}
+
+/// Start both managed jobs (each 2 nodes x 2 ranks) and give them a head
+/// start before any cycles.
+Task start_two_jobs(Cluster& cl, ManagedJob& ja, ManagedJob& jb, workload::KernelSpec spec) {
+  co_await cl.start_managed(ja, workload::make_app(spec));
+  co_await cl.start_managed(jb, workload::make_app(spec));
+  co_await sim::sleep_for(2_s);
+}
+
+Task run_cycle(Orchestrator& orch, int job_id, std::string src, CyclePriority prio,
+               CycleOutcome* out, bool* done) {
+  *out = co_await orch.migrate_job(job_id, std::move(src), prio);
+  *done = true;
+}
+
+TEST(Orchestrator, DisjointCyclesOfTwoJobsRunConcurrently) {
+  Engine engine;
+  Cluster cl(engine, two_job_config());
+  auto spec = small_spec();
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  ManagedJob& jb = cl.add_job("jobB", {2, 3}, 2, spec.image_bytes_per_rank);
+  Orchestrator orch(cl);
+
+  CycleOutcome oa, ob;
+  bool da = false, db = false;
+  engine.spawn([](Cluster& c, ManagedJob& a, ManagedJob& b, workload::KernelSpec s,
+                  Orchestrator& o, CycleOutcome& ra, CycleOutcome& rb, bool& fa,
+                  bool& fb) -> Task {
+    co_await start_two_jobs(c, a, b, s);
+    c.engine().spawn(run_cycle(o, a.job_id, "node0", CyclePriority::kRebalance, &ra, &fa));
+    c.engine().spawn(run_cycle(o, b.job_id, "node2", CyclePriority::kRebalance, &rb, &fb));
+  }(cl, ja, jb, spec, orch, oa, ob, da, db));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(da && db);
+  EXPECT_FALSE(oa.report.aborted);
+  EXPECT_FALSE(ob.report.aborted);
+  // The node sets were disjoint, so the two cycles' execution windows must
+  // overlap — the concurrency the node-set lock manager exists to allow.
+  EXPECT_LT(oa.started, ob.finished);
+  EXPECT_LT(ob.started, oa.finished);
+  EXPECT_NE(oa.report.target_host, ob.report.target_host);
+  EXPECT_GT(oa.report.total().count_ns(), 0);
+  EXPECT_GT(ob.report.total().count_ns(), 0);
+  EXPECT_EQ(orch.locks().stats().peak_concurrent, 2u);
+  EXPECT_EQ(orch.locks().stats().waits, 0u);
+  // Pool bookkeeping: both spares consumed.
+  EXPECT_EQ(orch.placement().pool_size(), 0u);
+  // Per-job placement follow-through.
+  EXPECT_EQ(ja.jm->nla_for_host("node0")->state(), launch::NlaState::kInactive);
+  EXPECT_EQ(jb.jm->nla_for_host("node2")->state(), launch::NlaState::kInactive);
+  EXPECT_EQ(orch.history().size(), 2u);
+}
+
+TEST(Orchestrator, AdmissionCapOneSerializesCycles) {
+  Engine engine;
+  Cluster cl(engine, two_job_config());
+  auto spec = small_spec();
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  ManagedJob& jb = cl.add_job("jobB", {2, 3}, 2, spec.image_bytes_per_rank);
+  OrchestratorConfig cfg;
+  cfg.max_concurrent_cycles = 1;
+  Orchestrator orch(cl, cfg);
+
+  CycleOutcome oa, ob;
+  bool da = false, db = false;
+  engine.spawn([](Cluster& c, ManagedJob& a, ManagedJob& b, workload::KernelSpec s,
+                  Orchestrator& o, CycleOutcome& ra, CycleOutcome& rb, bool& fa,
+                  bool& fb) -> Task {
+    co_await start_two_jobs(c, a, b, s);
+    c.engine().spawn(run_cycle(o, a.job_id, "node0", CyclePriority::kRebalance, &ra, &fa));
+    c.engine().spawn(run_cycle(o, b.job_id, "node2", CyclePriority::kRebalance, &rb, &fb));
+  }(cl, ja, jb, spec, orch, oa, ob, da, db));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(da && db);
+  EXPECT_FALSE(oa.report.aborted);
+  EXPECT_FALSE(ob.report.aborted);
+  // Cap 1: the execution windows must not overlap.
+  EXPECT_TRUE(oa.finished <= ob.started || ob.finished <= oa.started);
+  EXPECT_EQ(orch.admission().stats().peak_in_flight, 1u);
+  EXPECT_EQ(orch.admission().stats().queued_total, 1u);
+}
+
+TEST(Orchestrator, SparePoolExhaustionAbortsGracefully) {
+  Engine engine;
+  Cluster cl(engine, two_job_config(/*spares=*/1));
+  auto spec = small_spec();
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  ManagedJob& jb = cl.add_job("jobB", {2, 3}, 2, spec.image_bytes_per_rank);
+  Orchestrator orch(cl);
+
+  CycleOutcome oa, ob;
+  bool da = false, db = false;
+  engine.spawn([](Cluster& c, ManagedJob& a, ManagedJob& b, workload::KernelSpec s,
+                  Orchestrator& o, CycleOutcome& ra, CycleOutcome& rb, bool& fa,
+                  bool& fb) -> Task {
+    co_await start_two_jobs(c, a, b, s);
+    ra = co_await o.migrate_job(a.job_id, "node0");
+    rb = co_await o.migrate_job(b.job_id, "node2");
+    fa = fb = true;
+  }(cl, ja, jb, spec, orch, oa, ob, da, db));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(da && db);
+  EXPECT_FALSE(oa.report.aborted);
+  EXPECT_TRUE(ob.report.aborted);
+  EXPECT_EQ(ob.report.abort_reason, "spare pool exhausted");
+  EXPECT_EQ(ob.lease_id, 0u);
+  EXPECT_EQ(orch.placement().pool_size(), 0u);
+}
+
+TEST(Orchestrator, EvacuateHostDrainsEveryRank) {
+  Engine engine;
+  Cluster cl(engine, two_job_config());
+  auto spec = small_spec();
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  ManagedJob& jb = cl.add_job("jobB", {2, 3}, 2, spec.image_bytes_per_rank);
+
+  Orchestrator orch(cl);
+
+  EvacPlan plan;
+  std::vector<CycleOutcome> outcomes;
+  bool done = false;
+  engine.spawn([](Cluster& c, ManagedJob& a, ManagedJob& b, workload::KernelSpec s,
+                  Orchestrator& o, EvacPlan& pl, std::vector<CycleOutcome>& out,
+                  bool& fin) -> Task {
+    co_await start_two_jobs(c, a, b, s);
+    // Plan sanity once ranks are placed: node0 hosts only jobA's ranks.
+    pl = o.planner().plan_host("node0");
+    out = co_await o.evacuate_host("node0");
+    fin = true;
+  }(cl, ja, jb, spec, orch, plan, outcomes, done));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(done);
+  ASSERT_EQ(plan.tasks.size(), 1u);
+  EXPECT_EQ(plan.tasks[0].job_id, ja.job_id);
+  EXPECT_EQ(plan.tasks[0].source_host, "node0");
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].report.aborted);
+  EXPECT_EQ(outcomes[0].priority, CyclePriority::kEvacuation);
+  // All of jobA's node0 ranks live elsewhere now.
+  for (int r = 0; r < ja.job->size(); ++r) {
+    EXPECT_NE(ja.job->node_of(r).hostname, "node0") << "rank " << r;
+  }
+  EXPECT_TRUE(ja.jm->nla_for_host("node0")->local_ranks().empty());
+}
+
+TEST(Orchestrator, DrainNodeGroupSpansJobs) {
+  Engine engine;
+  Cluster cl(engine, two_job_config());
+  auto spec = small_spec();
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  ManagedJob& jb = cl.add_job("jobB", {2, 3}, 2, spec.image_bytes_per_rank);
+  Orchestrator orch(cl);
+
+  std::vector<CycleOutcome> outcomes;
+  bool done = false;
+  engine.spawn([](Cluster& c, ManagedJob& a, ManagedJob& b, workload::KernelSpec s,
+                  Orchestrator& o, std::vector<CycleOutcome>& out, bool& fin) -> Task {
+    co_await start_two_jobs(c, a, b, s);
+    // A rack drain touching both jobs: one cycle each, batched. (Hoisted:
+    // GCC 12 + initializer-list temporaries in awaited expressions.)
+    std::vector<std::string> rack{"node1", "node3"};
+    out = co_await o.drain_nodes(std::move(rack));
+    fin = true;
+  }(cl, ja, jb, spec, orch, outcomes, done));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(done);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const CycleOutcome& oc : outcomes) {
+    EXPECT_FALSE(oc.report.aborted);
+    EXPECT_EQ(oc.priority, CyclePriority::kMaintenance);
+  }
+  EXPECT_TRUE(ja.jm->nla_for_host("node1")->local_ranks().empty());
+  EXPECT_TRUE(jb.jm->nla_for_host("node3")->local_ranks().empty());
+  // Disjoint node sets: the batch ran concurrently under the default cap.
+  EXPECT_EQ(orch.locks().stats().peak_concurrent, 2u);
+}
+
+TEST(Orchestrator, FailurePredictionAutoEvacuatesTheNode) {
+  Engine engine;
+  Cluster cl(engine, two_job_config());
+  auto spec = small_spec();
+  spec.time_per_iter = 300_ms;  // keep the apps alive past the prediction
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  ManagedJob& jb = cl.add_job("jobB", {2, 3}, 2, spec.image_bytes_per_rank);
+  Orchestrator orch(cl);
+  orch.start();
+
+  // A failing fan on node2 (jobB). The IPMI poller publishes
+  // FAILURE_PREDICTED; the orchestrator must drain the node unasked.
+  // Fast poll + steep ramp so the trend predictor fires within seconds.
+  health::IpmiPoller poller(engine, cl.sensor(2), cl.node_agent(2), 1_s);
+  engine.spawn([](Cluster& c, ManagedJob& a, ManagedJob& b, workload::KernelSpec s,
+                  health::IpmiPoller& p) -> Task {
+    co_await c.start_managed(a, workload::make_app(s));
+    co_await c.start_managed(b, workload::make_app(s));
+    c.sensor(2).inject_degradation(c.engine().now() + 1_s, 2.0);
+    p.start();
+    co_return;
+  }(cl, ja, jb, spec, poller));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+  poller.stop();
+  orch.shutdown();
+
+  EXPECT_TRUE(poller.prediction_fired());
+  EXPECT_EQ(orch.evacuations_triggered(), 1u);
+  ASSERT_EQ(orch.history().size(), 1u);
+  const CycleOutcome& oc = orch.history()[0];
+  EXPECT_FALSE(oc.report.aborted);
+  EXPECT_EQ(oc.report.source_host, "node2");
+  EXPECT_EQ(oc.report.job_id, jb.job_id);
+  EXPECT_EQ(oc.priority, CyclePriority::kEvacuation);
+  EXPECT_TRUE(jb.jm->nla_for_host("node2")->local_ranks().empty());
+  // jobA was never disturbed.
+  EXPECT_EQ(ja.jm->nla_for_host("node0")->state(), launch::NlaState::kReady);
+  EXPECT_EQ(ja.jm->nla_for_host("node1")->state(), launch::NlaState::kReady);
+}
+
+TEST(Orchestrator, SuccessfulCycleProlongsCheckpointSchedule) {
+  Engine engine;
+  Cluster cl(engine, two_job_config());
+  auto spec = small_spec();
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  Orchestrator orch(cl);
+
+  // Coordinated CR to node-local disks for the managed job, long interval
+  // so no checkpoint fires during the test window.
+  migration::CheckpointRestart cr(
+      *ja.job, [&ja](int rank) -> storage::FileSystem& { return *ja.job->node_of(rank).scratch; });
+  migration::CheckpointScheduler::Config scfg;
+  scfg.interval = sim::Duration::sec(3600);
+  migration::CheckpointScheduler sched(*ja.job, cr, scfg);
+  orch.attach_checkpoint_scheduler(ja.job_id, sched);
+
+  CycleOutcome oc;
+  bool done = false;
+  engine.spawn([](Cluster& c, ManagedJob& a, workload::KernelSpec s, Orchestrator& o,
+                  migration::CheckpointScheduler& sc, CycleOutcome& out, bool& fin) -> Task {
+    co_await c.start_managed(a, workload::make_app(s));
+    sc.start();
+    co_await sim::sleep_for(2_s);
+    out = co_await o.migrate_job(a.job_id, "node1");
+    sc.stop();
+    fin = true;
+  }(cl, ja, spec, orch, sched, oc, done));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(oc.report.aborted);
+  // §VI: the migration handled the (hypothetical) failure, so the next
+  // coordinated checkpoint is pushed out — one full-job dump avoided.
+  EXPECT_EQ(sched.checkpoints_avoided(), 1u);
+  EXPECT_EQ(sched.checkpoints_taken(), 0u);
+}
+
+TEST(Orchestrator, SkipsCycleWhenSourceHasNothingToMigrate) {
+  Engine engine;
+  Cluster cl(engine, two_job_config());
+  auto spec = small_spec();
+  ManagedJob& ja = cl.add_job("jobA", {0, 1}, 2, spec.image_bytes_per_rank);
+  Orchestrator orch(cl);
+
+  CycleOutcome oc;
+  bool done = false;
+  engine.spawn([](Cluster& c, ManagedJob& a, workload::KernelSpec s, Orchestrator& o,
+                  CycleOutcome& out, bool& fin) -> Task {
+    co_await c.start_managed(a, workload::make_app(s));
+    co_await sim::sleep_for(2_s);
+    // node3 belongs to no managed job of jobA; nothing to move.
+    out = co_await o.migrate_job(a.job_id, "node3");
+    fin = true;
+  }(cl, ja, spec, orch, oc, done));
+  engine.run_until(sim::TimePoint::origin() + 600_s);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(oc.report.aborted);
+  EXPECT_EQ(oc.report.abort_reason, "nothing to migrate from node3");
+  // No spare was reserved and no lease taken for the skipped cycle.
+  EXPECT_EQ(orch.placement().free_count(), 2u);
+  EXPECT_EQ(orch.locks().stats().grants, 0u);
+}
+
+}  // namespace
+}  // namespace jobmig::orch

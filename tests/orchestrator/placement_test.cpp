@@ -1,0 +1,100 @@
+#include "jobmig/orch/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jobmig::orch {
+namespace {
+
+using sim::TimePoint;
+
+TEST(Placement, ReservesBestScoredSpare) {
+  PlacementEngine pe;
+  pe.add_spare("spare0");
+  pe.add_spare("spare1");
+  pe.add_spare("spare2");
+  // spare0 carries background load, spare2 runs hot: spare1 wins.
+  pe.set_load("spare0", 0.8);
+  pe.observe_temperature("spare2", TimePoint::origin(), 64.0);
+  EXPECT_GT(pe.score("spare1"), pe.score("spare0"));
+  EXPECT_GT(pe.score("spare1"), pe.score("spare2"));
+  auto host = pe.reserve();
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(*host, "spare1");
+  EXPECT_EQ(pe.free_count(), 2u);
+}
+
+TEST(Placement, TiesBreakByHostnameDeterministically) {
+  PlacementEngine pe;
+  pe.add_spare("spare1");
+  pe.add_spare("spare0");
+  auto host = pe.reserve();
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(*host, "spare0");
+}
+
+TEST(Placement, ExcludeAndExhaustion) {
+  PlacementEngine pe;
+  pe.add_spare("spare0");
+  EXPECT_EQ(pe.reserve("spare0"), std::nullopt);  // excluded
+  auto host = pe.reserve();
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(pe.reserve(), std::nullopt);  // all reserved
+  pe.restore("spare0");
+  EXPECT_TRUE(pe.reserve().has_value());  // back in the pool
+}
+
+TEST(Placement, ConsumeRemovesFromPool) {
+  PlacementEngine pe;
+  pe.add_spare("spare0");
+  pe.add_spare("spare1");
+  auto host = pe.reserve();
+  ASSERT_TRUE(host.has_value());
+  pe.consume(*host);
+  EXPECT_EQ(pe.pool_size(), 1u);
+  EXPECT_FALSE(pe.has_spare(*host));
+}
+
+TEST(Placement, UnhealthySpareIsNeverReserved) {
+  PlacementEngine pe;
+  pe.add_spare("spare0");
+  pe.add_spare("spare1");
+  pe.mark_unhealthy("spare0");
+  EXPECT_EQ(pe.score("spare0"), 0.0);
+  auto host = pe.reserve();
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(*host, "spare1");
+  EXPECT_EQ(pe.reserve(), std::nullopt);
+  pe.mark_healthy("spare0");
+  EXPECT_EQ(pe.reserve(), std::optional<std::string>("spare0"));
+}
+
+TEST(Placement, PredictorFlipsRampingSpareUnhealthy) {
+  PlacementEngine pe;
+  pe.add_spare("spare0");
+  pe.add_spare("spare1");
+  // Feed spare0 a steep thermal ramp: the predictor projects a breach
+  // within its horizon and the spare drops out of the pool.
+  for (int i = 0; i < 8; ++i) {
+    const auto when = TimePoint::origin() + sim::Duration::sec(5 * i);
+    pe.observe_temperature("spare0", when, 55.0 + 1.5 * i);
+    pe.observe_temperature("spare1", when, 52.0);
+  }
+  EXPECT_EQ(pe.score("spare0"), 0.0);
+  EXPECT_GT(pe.score("spare1"), 0.0);
+  EXPECT_EQ(pe.reserve(), std::optional<std::string>("spare1"));
+}
+
+TEST(Placement, ScoreBlendsHealthAndLoad) {
+  PlacementConfig cfg;
+  cfg.health_weight = 0.5;
+  cfg.load_weight = 0.5;
+  PlacementEngine pe(cfg);
+  pe.add_spare("spare0");
+  EXPECT_DOUBLE_EQ(pe.score("spare0"), 1.0);  // cool and idle
+  pe.set_load("spare0", 1.0);
+  EXPECT_DOUBLE_EQ(pe.score("spare0"), 0.5);  // fully loaded, still cool
+  EXPECT_EQ(pe.score("nonexistent"), 0.0);
+}
+
+}  // namespace
+}  // namespace jobmig::orch
