@@ -23,6 +23,7 @@ double run_transfer(migration::PoolConfig cfg, bench::BenchReporter& reporter) {
                      std::to_string(cfg.chunk_bytes / 1000) + "kB");
   sim::Engine engine;
   ib::Fabric fabric(engine);
+  bench::apply_engine(engine, reporter.options(), fabric.suggested_lookahead());
   ib::Hca& src = fabric.add_node("src");
   ib::Hca& dst = fabric.add_node("dst");
   proc::Blcr blcr(engine);

@@ -34,6 +34,7 @@ Outcome run(bool with_migration, sim::Duration interval, sim::Duration failure_a
             bench::BenchReporter& reporter) {
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed());
+  bench::apply_engine(engine, reporter.options(), cl.fabric().suggested_lookahead());
   auto spec = workload::make_spec(workload::NpbApp::kBT, workload::NpbClass::kC, 64, 0.6);
   cl.create_job(8, spec.image_bytes_per_rank);
   auto cr = cl.make_cr_local();

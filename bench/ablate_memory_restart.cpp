@@ -21,6 +21,7 @@ migration::MigrationReport run_one(const workload::KernelSpec& spec,
   cluster::ClusterConfig cfg = bench::paper_testbed();
   cfg.mig.restart_mode = mode;
   cluster::Cluster cl(engine, cfg);
+  bench::apply_engine(engine, reporter.options(), cl.fabric().suggested_lookahead());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
   migration::MigrationReport report;
   engine.spawn([](cluster::Cluster& c, workload::KernelSpec s,

@@ -21,6 +21,7 @@ using namespace jobmig::sim::literals;
 double run_rdma(std::uint64_t image_bytes, bench::BenchReporter& reporter) {
   sim::Engine engine;
   ib::Fabric fabric(engine);
+  bench::apply_engine(engine, reporter.options(), fabric.suggested_lookahead());
   ib::Hca& src = fabric.add_node("src");
   ib::Hca& dst = fabric.add_node("dst");
   proc::Blcr blcr(engine);
@@ -63,6 +64,7 @@ double run_tcp(std::uint64_t image_bytes, double bandwidth_Bps,
   sim::EthParams eth;
   eth.bandwidth_Bps = bandwidth_Bps;
   net::Network net(engine, eth);
+  bench::apply_engine(engine, reporter.options(), net.suggested_lookahead());
   net::Host& src = net.add_host("src");
   net::Host& dst = net.add_host("dst");
   proc::Blcr blcr(engine);

@@ -52,11 +52,13 @@ int main(int argc, char** argv) {
   for (int writers : {1, 2, 4, 8, 16}) {
     reporter.begin_run(std::to_string(writers) + "writers");
     sim::Engine e1;
+    bench::apply_engine(e1, reporter.options());
     storage::LocalFs ext3(e1, cal.disk);
     const double ext3_bw = aggregate_bandwidth(ext3, e1, writers, 64ull << 20);
     reporter.record_engine(e1);
 
     sim::Engine e2;
+    bench::apply_engine(e2, reporter.options());
     storage::ParallelFs pvfs(e2, cal.pvfs);
     const double pvfs_bw = aggregate_bandwidth(pvfs, e2, writers, 64ull << 20);
     reporter.record_engine(e2);

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -63,6 +64,13 @@ struct BenchOptions {
   /// --quick: benches that support it run a reduced configuration (CI smoke
   /// runs); rows keep their labels so diffs against a quick baseline line up.
   bool quick = false;
+  /// --engine=seq|par[:N]: run the sim engine sequentially (the golden
+  /// reference) or in the conservative-lookahead parallel mode with N
+  /// workers (default: hardware concurrency). Virtual-time results are
+  /// bit-identical either way (DESIGN.md §9) — the flag only changes how
+  /// much wall-clock the run costs, so every deterministic gate still holds.
+  bool engine_par = false;
+  std::size_t engine_workers = 0;  // 0 = pick from hardware concurrency
 
   bool telemetry() const { return !json_out.empty() || !trace_out.empty(); }
 
@@ -94,10 +102,27 @@ struct BenchOptions {
                        v.c_str());
           std::exit(2);
         }
+      } else if (!(v = take(i, "--engine")).empty()) {
+        if (v == "seq") {
+          opts.engine_par = false;
+        } else if (v == "par" || v.rfind("par:", 0) == 0) {
+          opts.engine_par = true;
+          if (v.size() > 4) {
+            const long n = std::strtol(v.c_str() + 4, nullptr, 10);
+            if (n < 1) {
+              std::fprintf(stderr, "--engine=par:N wants N >= 1, got '%s'\n", v.c_str());
+              std::exit(2);
+            }
+            opts.engine_workers = static_cast<std::size_t>(n);
+          }
+        } else {
+          std::fprintf(stderr, "unknown --engine mode '%s' (seq|par[:N])\n", v.c_str());
+          std::exit(2);
+        }
       } else {
         std::fprintf(stderr,
                      "usage: %s [--json-out FILE] [--trace-out FILE]"
-                     " [--restart file|memory|pipelined] [--quick]\n",
+                     " [--restart file|memory|pipelined] [--engine seq|par[:N]] [--quick]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -112,6 +137,22 @@ inline cluster::ClusterConfig paper_testbed(const BenchOptions& opts, int comput
   cluster::ClusterConfig cfg = paper_testbed(compute_nodes, spare_nodes);
   cfg.mig.restart_mode = opts.restart;
   return cfg;
+}
+
+/// Apply --engine to a freshly built engine. `lookahead` is the model's
+/// conservative bound (Fabric/Network::suggested_lookahead()); pass zero for
+/// workloads that never tag domains — they stay on the sequential fast path
+/// even with --engine=par, and the flag is then a no-op by construction.
+inline void apply_engine(sim::Engine& e, const BenchOptions& opts,
+                         sim::Duration lookahead = sim::Duration::zero()) {
+  if (lookahead.count_ns() > 0) e.set_lookahead(lookahead);
+  if (!opts.engine_par) return;
+  std::size_t workers = opts.engine_workers;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 0 ? hw : 1;
+  }
+  e.enable_parallel(workers);
 }
 
 /// Collects the bench's printed rows as machine-readable key/value fields
@@ -151,6 +192,20 @@ class BenchReporter {
     m.counter("sim.engine.wheel_scheduled").add(e.wheel_scheduled());
     m.counter("sim.engine.overflow_scheduled").add(e.overflow_scheduled());
     m.gauge("sim.engine.peak_queue_depth").set(static_cast<double>(e.peak_queue_depth()));
+    // Parallel-mode internals (DESIGN.md §9). Reported, never gated: worker
+    // attribution depends on the batch->worker race, only the replayed
+    // totals are deterministic.
+    if (e.parallel_enabled() || e.parallel_windows() > 0) {
+      m.counter("sim.engine.par.windows").add(e.parallel_windows());
+      m.counter("sim.engine.par.serial_windows").add(e.parallel_serial_windows());
+      m.counter("sim.engine.par.batches").add(e.parallel_batches());
+      m.counter("sim.engine.par.events").add(e.parallel_events());
+      const auto& per_worker = e.worker_event_counts();
+      for (std::size_t w = 0; w < per_worker.size(); ++w) {
+        m.counter("sim.engine.par.worker." + std::to_string(w) + ".events")
+            .add(per_worker[w]);
+      }
+    }
   }
 
   /// One summary row; field keys mirror the printed table's columns.

@@ -58,6 +58,7 @@ FleetResult run_fleet(std::size_t cap, bench::BenchReporter& reporter) {
   reporter.begin_run("cap" + std::to_string(cap));
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed(reporter.options(), 8, kJobs));
+  bench::apply_engine(engine, reporter.options(), cl.fabric().suggested_lookahead());
 
   auto spec = workload::make_spec(workload::NpbApp::kLU, workload::NpbClass::kTest, 4, 0.2);
   spec.time_per_iter = 1_s;  // keep every job alive across the whole sweep

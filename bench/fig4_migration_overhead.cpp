@@ -30,6 +30,7 @@ Row run_one(const workload::KernelSpec& spec, bench::BenchReporter& reporter) {
   reporter.begin_run(spec.name());
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed(reporter.options()));
+  bench::apply_engine(engine, reporter.options(), cl.fabric().suggested_lookahead());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
 
   Row row;

@@ -17,6 +17,7 @@ double run_app(const workload::KernelSpec& spec, bool with_migration,
   reporter.begin_run(spec.name() + (with_migration ? "/migrated" : "/baseline"));
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed(reporter.options()));
+  bench::apply_engine(engine, reporter.options(), cl.fabric().suggested_lookahead());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
 
   engine.spawn([](cluster::Cluster& c, workload::KernelSpec s, bool migrate) -> sim::Task {

@@ -27,6 +27,7 @@ migration::MigrationReport run_migration(const workload::KernelSpec& spec,
   reporter.begin_run(spec.name() + "/migration");
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed(reporter.options()));
+  bench::apply_engine(engine, reporter.options(), cl.fabric().suggested_lookahead());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
   migration::MigrationReport report;
   engine.spawn([](cluster::Cluster& c, workload::KernelSpec s,
@@ -46,6 +47,7 @@ migration::CrReport run_cr(const workload::KernelSpec& spec, bool pvfs,
   reporter.begin_run(spec.name() + (pvfs ? "/cr-pvfs" : "/cr-ext3"));
   sim::Engine engine;
   cluster::Cluster cl(engine, bench::paper_testbed(reporter.options()));
+  bench::apply_engine(engine, reporter.options(), cl.fabric().suggested_lookahead());
   cl.create_job(spec.nprocs / 8, spec.image_bytes_per_rank);
   migration::CrReport report;
   engine.spawn([](cluster::Cluster& c, workload::KernelSpec s, bool use_pvfs,

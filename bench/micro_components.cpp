@@ -5,9 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <set>
+#include <string>
 
 #include "jobmig/proc/memory_image.hpp"
 #include "jobmig/sim/bytes.hpp"
+#include "jobmig/sim/bytes_kernels.hpp"
 #include "jobmig/sim/engine.hpp"
 #include "jobmig/sim/resource.hpp"
 #include "jobmig/sim/sync.hpp"
@@ -111,6 +114,71 @@ void BM_FairShareChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_FairShareChurn);
 
+// ---- per-path kernel benches ----------------------------------------------
+// One benchmark per dispatch this host supports (scalar first), so a single
+// run shows the scalar/table baseline next to the SIMD paths and the
+// speedup ratio the dispatch buys. BM_Crc64/BM_PatternFill above measure
+// whatever `kernels::active()` picked.
+
+void run_crc64_path(benchmark::State& state, sim::kernels::Dispatch d) {
+  sim::Bytes buf(1 << 20);
+  sim::pattern_fill(buf, 7, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.crc64(~0ull, buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+void run_fill_path(benchmark::State& state, sim::kernels::Dispatch d) {
+  sim::Bytes buf(1 << 20);
+  std::uint64_t lane = 0;
+  const std::size_t nlanes = buf.size() / 8;
+  for (auto _ : state) {
+    d.fill(buf.data(), 42, lane, nlanes);
+    lane += nlanes;
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+void run_check_path(benchmark::State& state, sim::kernels::Dispatch d) {
+  sim::Bytes buf(1 << 20);
+  const std::size_t nlanes = buf.size() / 8;
+  d.fill(buf.data(), 42, 0, nlanes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.check(buf.data(), 42, 0, nlanes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+
+void register_kernel_paths() {
+  // all_supported() entries vary one axis at a time off the scalar baseline,
+  // so the same impl name recurs across entries — register each path once.
+  std::set<std::string> seen;
+  for (const auto& d : sim::kernels::all_supported()) {
+    if (seen.insert(std::string("crc/") + d.crc64_impl).second) {
+      benchmark::RegisterBenchmark((std::string("BM_Crc64Path/") + d.crc64_impl).c_str(),
+                                   [d](benchmark::State& s) { run_crc64_path(s, d); });
+    }
+    if (seen.insert(std::string("pat/") + d.pattern_impl).second) {
+      benchmark::RegisterBenchmark((std::string("BM_PatternFillPath/") + d.pattern_impl).c_str(),
+                                   [d](benchmark::State& s) { run_fill_path(s, d); });
+      benchmark::RegisterBenchmark((std::string("BM_PatternCheckPath/") + d.pattern_impl).c_str(),
+                                   [d](benchmark::State& s) { run_check_path(s, d); });
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_kernel_paths();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -36,6 +36,7 @@ void report(bench::BenchReporter& reporter, const std::string& label, const RunS
 RunStats timer_churn(bench::BenchReporter& reporter, int chains, int steps) {
   reporter.begin_run("timer-churn");
   sim::Engine engine;
+  bench::apply_engine(engine, reporter.options());
   bench::WallClock wall;
   struct Chain {
     sim::Engine* e = nullptr;
@@ -64,6 +65,7 @@ RunStats timer_churn(bench::BenchReporter& reporter, int chains, int steps) {
 RunStats cancel_storm(bench::BenchReporter& reporter, int slots, int steps) {
   reporter.begin_run("cancel-storm");
   sim::Engine engine;
+  bench::apply_engine(engine, reporter.options());
   bench::WallClock wall;
   struct Storm {
     sim::Engine* e = nullptr;
@@ -92,6 +94,7 @@ RunStats cancel_storm(bench::BenchReporter& reporter, int slots, int steps) {
 RunStats far_horizon(bench::BenchReporter& reporter, int count) {
   reporter.begin_run("far-horizon");
   sim::Engine engine;
+  bench::apply_engine(engine, reporter.options());
   bench::WallClock wall;
   std::uint64_t lcg = 0x123456789abcdef1ull;
   for (int i = 0; i < count; ++i) {
@@ -111,6 +114,7 @@ RunStats qp_burst(bench::BenchReporter& reporter, int messages, std::size_t msg_
   sim::Engine engine;
   bench::WallClock wall;
   ib::Fabric fabric(engine);
+  bench::apply_engine(engine, reporter.options(), fabric.suggested_lookahead());
   ib::Hca& a = fabric.add_node("a");
   ib::Hca& b = fabric.add_node("b");
   ib::CompletionQueue a_scq, a_rcq, b_scq, b_rcq;
@@ -151,6 +155,50 @@ RunStats qp_burst(bench::BenchReporter& reporter, int messages, std::size_t msg_
   return {engine.now().to_seconds() * 1e3, engine.events_processed(), wall.seconds()};
 }
 
+/// Domain-tagged timer mesh: one domain per simulated node, cross-domain
+/// "messages" at exactly the IB lookahead bound (two switch hops). This is
+/// the scenario that actually leaves the sequential fast path under
+/// --engine=par — virtual time and event count must not move with the
+/// engine mode or the worker count (the gate), only wall-clock may.
+RunStats domain_sweep(bench::BenchReporter& reporter, int nodes, int steps) {
+  reporter.begin_run("domain-sweep");
+  sim::Engine engine;
+  const sim::Duration lookahead = sim::IbParams{}.hop_latency * 2;
+  bench::apply_engine(engine, reporter.options(), lookahead);
+  bench::WallClock wall;
+  struct Node {
+    sim::Engine* e = nullptr;
+    std::vector<Node>* all = nullptr;
+    sim::Duration lookahead;
+    std::uint32_t id = 0;
+    std::uint64_t state = 0;
+    int remaining = 0;
+    void pump() {
+      if (remaining-- <= 0) return;
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      if (remaining % 4 == 0) {  // message to the next node: one switch traversal away
+        Node& peer = (*all)[(id + 1) % all->size()];
+        sim::DomainScope scope(peer.id + 1);
+        e->call_at(e->now() + lookahead, [&peer] { peer.state ^= peer.state << 7 | 1; });
+      }
+      sim::DomainScope scope(id + 1);
+      e->call_in(sim::Duration::ns(80 + static_cast<std::int64_t>(state % 160)),
+                 [this] { pump(); });
+    }
+  };
+  std::vector<Node> ns(static_cast<std::size_t>(nodes));
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    ns[i] = Node{&engine, &ns, lookahead, static_cast<std::uint32_t>(i),
+                 0x9e3779b97f4a7c15ull * (i + 1), steps};
+    sim::DomainScope scope(ns[i].id + 1);
+    engine.call_in(sim::Duration::ns(static_cast<std::int64_t>(10 + i)),
+                   [&n = ns[i]] { n.pump(); });
+  }
+  engine.run();
+  reporter.record_engine(engine);
+  return {engine.now().to_seconds() * 1e3, engine.events_processed(), wall.seconds()};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +222,9 @@ int main(int argc, char** argv) {
   const RunStats burst = qp_burst(reporter, 20000, 4096);
   report(reporter, "qp-burst", burst);
   sim_total += burst.virtual_ms / 1e3;
+  const RunStats sweep = domain_sweep(reporter, 8, 20000);
+  report(reporter, "domain-sweep", sweep);
+  sim_total += sweep.virtual_ms / 1e3;
 
   jobmig::bench::print_footer(wall, sim_total);
   return reporter.finish() ? 0 : 1;

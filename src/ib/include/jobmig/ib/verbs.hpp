@@ -259,6 +259,12 @@ class Fabric {
   std::size_t node_count() const { return hcas_.size(); }
   std::uint64_t total_bytes() const { return total_bytes_; }
 
+  /// Conservative lookahead bound for the parallel engine mode (DESIGN.md
+  /// §9): no cross-node interaction completes faster than one switch
+  /// traversal, i.e. two hops (ingress + egress) of propagation latency.
+  /// Safe to feed to Engine::set_lookahead when nodes map to domains.
+  sim::Duration suggested_lookahead() const { return params_.hop_latency * 2; }
+
   /// Internal (used by the delivery coroutines).
   void account(std::uint64_t bytes) { total_bytes_ += bytes; }
 

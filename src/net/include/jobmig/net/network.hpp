@@ -161,6 +161,10 @@ class Network {
   std::uint64_t total_bytes() const { return total_bytes_; }
   void account(std::uint64_t n) { total_bytes_ += n; }
 
+  /// Conservative lookahead bound for the parallel engine mode (DESIGN.md
+  /// §9): no cross-host delivery lands sooner than the one-way wire latency.
+  sim::Duration suggested_lookahead() const { return params_.latency; }
+
  private:
   sim::Engine& engine_;
   sim::EthParams params_;

@@ -1,72 +1,20 @@
 #include "jobmig/sim/bytes.hpp"
 
-#include <array>
-#include <bit>
 #include <cstring>
 
 #include "jobmig/sim/assert.hpp"
-#include "jobmig/sim/rng.hpp"
+#include "jobmig/sim/bytes_kernels.hpp"
 
 namespace jobmig::sim {
 
-namespace {
-
-// CRC-64/XZ: reflected polynomial 0xC96C5795D7870F42, computed slice-by-16.
-// Table 0 is the classic byte-at-a-time table; table t folds a byte that is
-// t positions further from the end of the message, so sixteen lookups retire
-// sixteen input bytes per iteration with no loop-carried table dependency
-// (the checkpoint pipeline checksums every image byte, so this loop sits on
-// the simulator's wall-clock critical path).
-std::array<std::array<std::uint64_t, 256>, 16> make_crc64_tables() {
-  std::array<std::array<std::uint64_t, 256>, 16> tables{};
-  for (std::uint64_t i = 0; i < 256; ++i) {
-    std::uint64_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc & 1) ? (crc >> 1) ^ 0xC96C5795D7870F42ULL : crc >> 1;
-    }
-    tables[0][static_cast<std::size_t>(i)] = crc;
-  }
-  for (std::size_t t = 1; t < 16; ++t) {
-    for (std::size_t i = 0; i < 256; ++i) {
-      const std::uint64_t prev = tables[t - 1][i];
-      tables[t][i] = tables[0][prev & 0xFF] ^ (prev >> 8);
-    }
-  }
-  return tables;
-}
-
-const std::array<std::array<std::uint64_t, 256>, 16>& crc64_tables() {
-  static const auto tables = make_crc64_tables();
-  return tables;
-}
-
-}  // namespace
+// The byte-level hot loops (CRC, pattern fill/verify) live behind the
+// runtime-dispatched kernel table in bytes_kernels.hpp: cpuid-selected SIMD
+// bodies with the scalar code as the portable, bit-identical fallback. This
+// file keeps only the public-API plumbing — running-state bookkeeping for
+// Crc64 and the unaligned head/tail peeling around whole-lane pattern bodies.
 
 Crc64& Crc64::update(ByteSpan data) {
-  const auto& t = crc64_tables();
-  const std::byte* p = data.data();
-  std::size_t n = data.size();
-  std::uint64_t crc = crc_;  // keep the running value in a register
-  if constexpr (std::endian::native == std::endian::little) {
-    while (n >= 16) {
-      std::uint64_t a, b;
-      std::memcpy(&a, p, 8);
-      std::memcpy(&b, p + 8, 8);
-      a ^= crc;
-      crc = t[15][a & 0xFF] ^ t[14][(a >> 8) & 0xFF] ^ t[13][(a >> 16) & 0xFF] ^
-            t[12][(a >> 24) & 0xFF] ^ t[11][(a >> 32) & 0xFF] ^ t[10][(a >> 40) & 0xFF] ^
-            t[9][(a >> 48) & 0xFF] ^ t[8][(a >> 56) & 0xFF] ^ t[7][b & 0xFF] ^
-            t[6][(b >> 8) & 0xFF] ^ t[5][(b >> 16) & 0xFF] ^ t[4][(b >> 24) & 0xFF] ^
-            t[3][(b >> 32) & 0xFF] ^ t[2][(b >> 40) & 0xFF] ^ t[1][(b >> 48) & 0xFF] ^
-            t[0][(b >> 56) & 0xFF];
-      p += 16;
-      n -= 16;
-    }
-  }
-  for (; n > 0; ++p, --n) {
-    crc = t[0][(crc ^ static_cast<std::uint64_t>(*p)) & 0xFF] ^ (crc >> 8);
-  }
-  crc_ = crc;
+  crc_ = kernels::active().crc64(crc_, data.data(), data.size());
   return *this;
 }
 
@@ -76,53 +24,29 @@ Crc64& Crc64::update_u64(std::uint64_t v) {
   return update(ByteSpan(buf, 8));
 }
 
-namespace {
-
-/// Value of the 8-byte lane `lane` of the (seed)-keyed pattern stream.
-inline std::uint64_t pattern_lane(std::uint64_t seed, std::uint64_t lane) {
-  SplitMix64 sm(seed ^ (lane * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL));
-  return sm.next();
-}
-
-}  // namespace
-
 void pattern_fill(MutableByteSpan out, std::uint64_t seed, std::uint64_t offset) {
   // One SplitMix64 step per 8-byte lane, keyed by absolute lane index so any
   // sub-range can be regenerated independently. Unaligned head/tail bytes
-  // are peeled off; the body writes whole lanes (this function backs every
-  // clean-page materialization, so it is on the simulator's hot path). The
-  // body is unrolled four lanes deep: each lane's hash chain is independent,
-  // so the unroll exposes the multiply latency to the pipeline.
+  // are peeled off here; the whole-lane body goes through the dispatched
+  // kernel (this function backs every clean-page materialization, so it is
+  // on the simulator's wall-clock critical path).
   std::size_t i = 0;
   const std::size_t n = out.size();
   // Head: bytes until (offset + i) is lane-aligned.
   while (i < n && (offset + i) % 8 != 0) {
-    const std::uint64_t v = pattern_lane(seed, (offset + i) / 8);
+    const std::uint64_t v = kernels::pattern_lane(seed, (offset + i) / 8);
     out[i] = static_cast<std::byte>((v >> (8 * ((offset + i) % 8))) & 0xFF);
     ++i;
   }
-  // Body: whole lanes, four at a time.
-  std::uint64_t lane = (offset + i) / 8;
-  while (i + 32 <= n) {
-    const std::uint64_t v0 = pattern_lane(seed, lane);
-    const std::uint64_t v1 = pattern_lane(seed, lane + 1);
-    const std::uint64_t v2 = pattern_lane(seed, lane + 2);
-    const std::uint64_t v3 = pattern_lane(seed, lane + 3);
-    std::memcpy(out.data() + i, &v0, 8);
-    std::memcpy(out.data() + i + 8, &v1, 8);
-    std::memcpy(out.data() + i + 16, &v2, 8);
-    std::memcpy(out.data() + i + 24, &v3, 8);
-    lane += 4;
-    i += 32;
-  }
-  while (i + 8 <= n) {
-    const std::uint64_t v = pattern_lane(seed, lane++);
-    std::memcpy(out.data() + i, &v, 8);
-    i += 8;
+  // Body: whole lanes via the active kernel.
+  const std::size_t lanes = (n - i) / 8;
+  if (lanes > 0) {
+    kernels::active().fill(out.data() + i, seed, (offset + i) / 8, lanes);
+    i += lanes * 8;
   }
   // Tail.
   while (i < n) {
-    const std::uint64_t v = pattern_lane(seed, (offset + i) / 8);
+    const std::uint64_t v = kernels::pattern_lane(seed, (offset + i) / 8);
     out[i] = static_cast<std::byte>((v >> (8 * ((offset + i) % 8))) & 0xFF);
     ++i;
   }
@@ -131,39 +55,21 @@ void pattern_fill(MutableByteSpan out, std::uint64_t seed, std::uint64_t offset)
 bool pattern_check(ByteSpan data, std::uint64_t seed, std::uint64_t offset) {
   // Streaming equivalent of pattern_fill + compare: verifies `data` against
   // the (seed, offset) pattern without materializing an expected buffer.
-  // Receivers and restart-side clean-section checks sit on this, so the
-  // structure mirrors pattern_fill's unrolled lane walk.
+  // Receivers and restart-side clean-section checks sit on this.
   std::size_t i = 0;
   const std::size_t n = data.size();
   while (i < n && (offset + i) % 8 != 0) {
-    const std::uint64_t v = pattern_lane(seed, (offset + i) / 8);
+    const std::uint64_t v = kernels::pattern_lane(seed, (offset + i) / 8);
     if (data[i] != static_cast<std::byte>((v >> (8 * ((offset + i) % 8))) & 0xFF)) return false;
     ++i;
   }
-  std::uint64_t lane = (offset + i) / 8;
-  while (i + 32 <= n) {
-    const std::uint64_t v0 = pattern_lane(seed, lane);
-    const std::uint64_t v1 = pattern_lane(seed, lane + 1);
-    const std::uint64_t v2 = pattern_lane(seed, lane + 2);
-    const std::uint64_t v3 = pattern_lane(seed, lane + 3);
-    std::uint64_t g0, g1, g2, g3;
-    std::memcpy(&g0, data.data() + i, 8);
-    std::memcpy(&g1, data.data() + i + 8, 8);
-    std::memcpy(&g2, data.data() + i + 16, 8);
-    std::memcpy(&g3, data.data() + i + 24, 8);
-    if (((g0 ^ v0) | (g1 ^ v1) | (g2 ^ v2) | (g3 ^ v3)) != 0) return false;
-    lane += 4;
-    i += 32;
-  }
-  while (i + 8 <= n) {
-    const std::uint64_t v = pattern_lane(seed, lane++);
-    std::uint64_t g;
-    std::memcpy(&g, data.data() + i, 8);
-    if (g != v) return false;
-    i += 8;
+  const std::size_t lanes = (n - i) / 8;
+  if (lanes > 0) {
+    if (!kernels::active().check(data.data() + i, seed, (offset + i) / 8, lanes)) return false;
+    i += lanes * 8;
   }
   while (i < n) {
-    const std::uint64_t v = pattern_lane(seed, (offset + i) / 8);
+    const std::uint64_t v = kernels::pattern_lane(seed, (offset + i) / 8);
     if (data[i] != static_cast<std::byte>((v >> (8 * ((offset + i) % 8))) & 0xFF)) return false;
     ++i;
   }

@@ -1,0 +1,205 @@
+#include "jobmig/sim/bytes_kernels.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace jobmig::sim::kernels {
+
+namespace {
+
+// CRC-64/XZ: reflected polynomial 0xC96C5795D7870F42, computed slice-by-16.
+// Table 0 is the classic byte-at-a-time table; table t folds a byte that is
+// t positions further from the end of the message, so sixteen lookups retire
+// sixteen input bytes per iteration with no loop-carried table dependency.
+std::array<std::array<std::uint64_t, 256>, 16> make_crc64_tables() {
+  std::array<std::array<std::uint64_t, 256>, 16> tables{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0xC96C5795D7870F42ULL : crc >> 1;
+    }
+    tables[0][static_cast<std::size_t>(i)] = crc;
+  }
+  for (std::size_t t = 1; t < 16; ++t) {
+    for (std::size_t i = 0; i < 256; ++i) {
+      const std::uint64_t prev = tables[t - 1][i];
+      tables[t][i] = tables[0][prev & 0xFF] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+const std::array<std::array<std::uint64_t, 256>, 16>& crc64_tables() {
+  static const auto tables = make_crc64_tables();
+  return tables;
+}
+
+bool env_force_scalar() {
+  const char* v = std::getenv("JOBMIG_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+std::uint64_t crc64_table16(std::uint64_t crc, const std::byte* p, std::size_t n) {
+  const auto& t = crc64_tables();
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 16) {
+      std::uint64_t a, b;
+      std::memcpy(&a, p, 8);
+      std::memcpy(&b, p + 8, 8);
+      a ^= crc;
+      crc = t[15][a & 0xFF] ^ t[14][(a >> 8) & 0xFF] ^ t[13][(a >> 16) & 0xFF] ^
+            t[12][(a >> 24) & 0xFF] ^ t[11][(a >> 32) & 0xFF] ^ t[10][(a >> 40) & 0xFF] ^
+            t[9][(a >> 48) & 0xFF] ^ t[8][(a >> 56) & 0xFF] ^ t[7][b & 0xFF] ^
+            t[6][(b >> 8) & 0xFF] ^ t[5][(b >> 16) & 0xFF] ^ t[4][(b >> 24) & 0xFF] ^
+            t[3][(b >> 32) & 0xFF] ^ t[2][(b >> 40) & 0xFF] ^ t[1][(b >> 48) & 0xFF] ^
+            t[0][(b >> 56) & 0xFF];
+      p += 16;
+      n -= 16;
+    }
+  }
+  for (; n > 0; ++p, --n) {
+    crc = t[0][(crc ^ static_cast<std::uint64_t>(*p)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint64_t crc64_bitwise(std::uint64_t crc, const std::byte* p, std::size_t n) {
+  for (; n > 0; ++p, --n) {
+    crc ^= static_cast<std::uint64_t>(*p);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0xC96C5795D7870F42ULL : crc >> 1;
+    }
+  }
+  return crc;
+}
+
+void pattern_lanes_scalar(std::byte* dst, std::uint64_t seed, std::uint64_t first_lane,
+                          std::size_t nlanes) {
+  // Four independent hash chains per iteration expose the multiply latency
+  // to the pipeline (each lane is keyed by its absolute index, no carry).
+  std::size_t i = 0;
+  for (; i + 4 <= nlanes; i += 4) {
+    const std::uint64_t v0 = pattern_lane(seed, first_lane + i);
+    const std::uint64_t v1 = pattern_lane(seed, first_lane + i + 1);
+    const std::uint64_t v2 = pattern_lane(seed, first_lane + i + 2);
+    const std::uint64_t v3 = pattern_lane(seed, first_lane + i + 3);
+    std::memcpy(dst + i * 8, &v0, 8);
+    std::memcpy(dst + i * 8 + 8, &v1, 8);
+    std::memcpy(dst + i * 8 + 16, &v2, 8);
+    std::memcpy(dst + i * 8 + 24, &v3, 8);
+  }
+  for (; i < nlanes; ++i) {
+    const std::uint64_t v = pattern_lane(seed, first_lane + i);
+    std::memcpy(dst + i * 8, &v, 8);
+  }
+}
+
+bool pattern_lanes_check_scalar(const std::byte* src, std::uint64_t seed,
+                                std::uint64_t first_lane, std::size_t nlanes) {
+  std::size_t i = 0;
+  for (; i + 4 <= nlanes; i += 4) {
+    const std::uint64_t v0 = pattern_lane(seed, first_lane + i);
+    const std::uint64_t v1 = pattern_lane(seed, first_lane + i + 1);
+    const std::uint64_t v2 = pattern_lane(seed, first_lane + i + 2);
+    const std::uint64_t v3 = pattern_lane(seed, first_lane + i + 3);
+    std::uint64_t g0, g1, g2, g3;
+    std::memcpy(&g0, src + i * 8, 8);
+    std::memcpy(&g1, src + i * 8 + 8, 8);
+    std::memcpy(&g2, src + i * 8 + 16, 8);
+    std::memcpy(&g3, src + i * 8 + 24, 8);
+    if (((g0 ^ v0) | (g1 ^ v1) | (g2 ^ v2) | (g3 ^ v3)) != 0) return false;
+  }
+  for (; i < nlanes; ++i) {
+    const std::uint64_t v = pattern_lane(seed, first_lane + i);
+    std::uint64_t g;
+    std::memcpy(&g, src + i * 8, 8);
+    if (g != v) return false;
+  }
+  return true;
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+CpuFeatures detect_cpu() {
+  CpuFeatures f;
+  __builtin_cpu_init();
+  f.pclmul = __builtin_cpu_supports("pclmul") != 0 && __builtin_cpu_supports("sse2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.avx512 =
+      __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512dq") != 0;
+  return f;
+}
+
+#else
+
+CpuFeatures detect_cpu() { return {}; }
+
+#endif
+
+Dispatch select(const CpuFeatures& f, bool force_scalar) {
+  Dispatch d;
+  d.crc64 = &crc64_table16;
+  d.crc64_impl = "table16";
+  d.fill = &pattern_lanes_scalar;
+  d.check = &pattern_lanes_check_scalar;
+  d.pattern_impl = "scalar";
+  if (force_scalar) return d;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (f.pclmul) {
+    d.crc64 = &crc64_clmul;
+    d.crc64_impl = "pclmul";
+  }
+  if (f.avx512) {
+    d.fill = &pattern_lanes_avx512;
+    d.check = &pattern_lanes_check_avx512;
+    d.pattern_impl = "avx512";
+  } else if (f.avx2) {
+    d.fill = &pattern_lanes_avx2;
+    d.check = &pattern_lanes_check_avx2;
+    d.pattern_impl = "avx2";
+  }
+#else
+  (void)f;
+#endif
+  return d;
+}
+
+const Dispatch& active() {
+  static const Dispatch d = select(detect_cpu(), env_force_scalar());
+  return d;
+}
+
+std::vector<Dispatch> all_supported() {
+  std::vector<Dispatch> out;
+  out.push_back(select({}, true));  // scalar baseline, always first
+#if defined(__x86_64__) || defined(_M_X64)
+  const CpuFeatures f = detect_cpu();
+  if (f.pclmul) {
+    Dispatch d = out.front();
+    d.crc64 = &crc64_clmul;
+    d.crc64_impl = "pclmul";
+    out.push_back(d);
+  }
+  if (f.avx2) {
+    Dispatch d = out.front();
+    d.fill = &pattern_lanes_avx2;
+    d.check = &pattern_lanes_check_avx2;
+    d.pattern_impl = "avx2";
+    out.push_back(d);
+  }
+  if (f.avx512) {
+    Dispatch d = out.front();
+    d.fill = &pattern_lanes_avx512;
+    d.check = &pattern_lanes_check_avx512;
+    d.pattern_impl = "avx512";
+    out.push_back(d);
+  }
+#endif
+  return out;
+}
+
+}  // namespace jobmig::sim::kernels

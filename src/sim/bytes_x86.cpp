@@ -1,0 +1,261 @@
+// x86-64 SIMD implementations of the data-path kernels. Compiled into every
+// x86-64 build with per-function target attributes (the TU's baseline stays
+// plain x86-64, so the binary still runs on hosts without these features);
+// callers must consult kernels::detect_cpu() before dispatching here.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "jobmig/sim/bytes_kernels.hpp"
+
+namespace jobmig::sim::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC-64/XZ via PCLMULQDQ carry-less-multiply folding.
+//
+// Reflected-domain folding (Intel's "Fast CRC Computation Using PCLMULQDQ
+// Instruction" adapted to a 64-bit reflected CRC): a 128-bit register holds
+// the bit-reflected image of the running message polynomial, and multiplying
+// that polynomial by x^n (mod P) is one PCLMULQDQ against the precomputed
+// constant rev64(x^(n-1) mod P) — the (n-1) absorbs the one-bit offset of a
+// 64×64→127-bit carry-less product in reflected representation. The main
+// loop folds four independent 128-bit accumulators across 64-byte strides,
+// the accumulators are then folded into one, and the final 16 bytes plus any
+// tail finish through the slice-by-16 table path — which both sidesteps the
+// Barrett reduction and guarantees the last-bytes behaviour is literally the
+// fallback implementation. Constants are derived at first use from the
+// forward ECMA-182 polynomial by plain GF(2) arithmetic rather than
+// transcribed from tables.
+
+/// x^n mod P over GF(2), forward domain. P = x^64 + POLY_FWD.
+std::uint64_t xpow_mod(unsigned n) {
+  // Forward polynomial = bit-reverse of the reflected 0xC96C5795D7870F42.
+  constexpr std::uint64_t kPolyFwd = 0x42F0E1EBA9EA3693ULL;
+  std::uint64_t v = 1;  // x^0
+  for (unsigned i = 0; i < n; ++i) {
+    const bool carry = (v >> 63) != 0;
+    v <<= 1;
+    if (carry) v ^= kPolyFwd;
+  }
+  return v;
+}
+
+std::uint64_t rev64(std::uint64_t v) {
+  v = ((v & 0x5555555555555555ULL) << 1) | ((v >> 1) & 0x5555555555555555ULL);
+  v = ((v & 0x3333333333333333ULL) << 2) | ((v >> 2) & 0x3333333333333333ULL);
+  v = ((v & 0x0F0F0F0F0F0F0F0FULL) << 4) | ((v >> 4) & 0x0F0F0F0F0F0F0F0FULL);
+  v = ((v & 0x00FF00FF00FF00FFULL) << 8) | ((v >> 8) & 0x00FF00FF00FF00FFULL);
+  v = ((v & 0x0000FFFF0000FFFFULL) << 16) | ((v >> 16) & 0x0000FFFF0000FFFFULL);
+  return (v << 32) | (v >> 32);
+}
+
+struct ClmulConsts {
+  // {rev64(x^(512+64-1) mod P), rev64(x^(512-1) mod P)}: 64-byte stride.
+  std::uint64_t k512_lo, k512_hi;
+  // {rev64(x^(128+64-1) mod P), rev64(x^(128-1) mod P)}: 16-byte stride and
+  // accumulator combining.
+  std::uint64_t k128_lo, k128_hi;
+};
+
+const ClmulConsts& clmul_consts() {
+  static const ClmulConsts c = [] {
+    ClmulConsts k;
+    k.k512_lo = rev64(xpow_mod(575));
+    k.k512_hi = rev64(xpow_mod(511));
+    k.k128_lo = rev64(xpow_mod(191));
+    k.k128_hi = rev64(xpow_mod(127));
+    return k;
+  }();
+  return c;
+}
+
+__attribute__((target("pclmul,sse2"), always_inline)) inline __m128i fold_step(__m128i acc,
+                                                                               __m128i k) {
+  return _mm_xor_si128(_mm_clmulepi64_si128(acc, k, 0x00),
+                       _mm_clmulepi64_si128(acc, k, 0x11));
+}
+
+}  // namespace
+
+__attribute__((target("pclmul,sse2"))) std::uint64_t crc64_clmul(std::uint64_t crc,
+                                                                 const std::byte* p,
+                                                                 std::size_t n) {
+  // Folding pays for itself only with a few whole strides; short inputs go
+  // straight to the table path (bit-identical by definition).
+  if (n < 128) return crc64_table16(crc, p, n);
+  const ClmulConsts& c = clmul_consts();
+  const __m128i k512 =
+      _mm_set_epi64x(static_cast<long long>(c.k512_hi), static_cast<long long>(c.k512_lo));
+  const __m128i k128 =
+      _mm_set_epi64x(static_cast<long long>(c.k128_hi), static_cast<long long>(c.k128_lo));
+  const auto* q = reinterpret_cast<const __m128i*>(p);
+  __m128i a0 = _mm_loadu_si128(q + 0);
+  __m128i a1 = _mm_loadu_si128(q + 1);
+  __m128i a2 = _mm_loadu_si128(q + 2);
+  __m128i a3 = _mm_loadu_si128(q + 3);
+  // The running CRC enters as an XOR into the first 8 message bytes, exactly
+  // as the table path's first `a ^= crc` does.
+  a0 = _mm_xor_si128(a0, _mm_set_epi64x(0, static_cast<long long>(crc)));
+  p += 64;
+  n -= 64;
+  while (n >= 64) {
+    q = reinterpret_cast<const __m128i*>(p);
+    a0 = _mm_xor_si128(fold_step(a0, k512), _mm_loadu_si128(q + 0));
+    a1 = _mm_xor_si128(fold_step(a1, k512), _mm_loadu_si128(q + 1));
+    a2 = _mm_xor_si128(fold_step(a2, k512), _mm_loadu_si128(q + 2));
+    a3 = _mm_xor_si128(fold_step(a3, k512), _mm_loadu_si128(q + 3));
+    p += 64;
+    n -= 64;
+  }
+  __m128i acc = _mm_xor_si128(fold_step(a0, k128), a1);
+  acc = _mm_xor_si128(fold_step(acc, k128), a2);
+  acc = _mm_xor_si128(fold_step(acc, k128), a3);
+  while (n >= 16) {
+    acc = _mm_xor_si128(fold_step(acc, k128),
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    p += 16;
+    n -= 16;
+  }
+  // Finish: the accumulator is, by the fold invariant, a 16-byte virtual
+  // message prefix equivalent to everything consumed so far under a zero
+  // running CRC; stream it and the (<16-byte) tail through the table path.
+  std::byte buf[16];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(buf), acc);
+  return crc64_table16(crc64_table16(0, buf, 16), p, n);
+}
+
+// ---------------------------------------------------------------------------
+// Pattern lanes: the SplitMix64-per-lane stream, vectorized. Lane keys are
+// affine in the lane index (lane*K1 + K2), so the key vector advances by a
+// constant additive step per iteration — no multiply on the key chain; only
+// the two finalizer multiplies remain, emulated from 32-bit products under
+// AVX2 and native VPMULLQ under AVX-512DQ. Remainder lanes fall through to
+// the scalar kernel, which is the definition of the stream.
+
+namespace {
+
+constexpr std::uint64_t kK1 = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kK2 = 0x243f6a8885a308d3ULL;
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kM1 = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kM2 = 0x94d049bb133111ebULL;
+
+__attribute__((target("avx2"), always_inline)) inline __m256i mul64_avx2(__m256i a, __m256i b) {
+  // 64×64→64 low product from three 32×32 products (vpmuludq).
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i hi1 = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  const __m256i hi2 = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(_mm256_add_epi64(hi1, hi2), 32));
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i lanes4_avx2(__m256i key,
+                                                                          __m256i seedv) {
+  const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(kM1));
+  const __m256i m2 = _mm256_set1_epi64x(static_cast<long long>(kM2));
+  __m256i z = _mm256_add_epi64(_mm256_xor_si256(seedv, key),
+                               _mm256_set1_epi64x(static_cast<long long>(kGamma)));
+  z = mul64_avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)), m1);
+  z = mul64_avx2(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)), m2);
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i key4_at(std::uint64_t first_lane) {
+  return _mm256_setr_epi64x(static_cast<long long>(first_lane * kK1 + kK2),
+                            static_cast<long long>((first_lane + 1) * kK1 + kK2),
+                            static_cast<long long>((first_lane + 2) * kK1 + kK2),
+                            static_cast<long long>((first_lane + 3) * kK1 + kK2));
+}
+
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline __m512i lanes8_avx512(
+    __m512i key, __m512i seedv) {
+  const __m512i m1 = _mm512_set1_epi64(static_cast<long long>(kM1));
+  const __m512i m2 = _mm512_set1_epi64(static_cast<long long>(kM2));
+  __m512i z = _mm512_add_epi64(_mm512_xor_si512(seedv, key),
+                               _mm512_set1_epi64(static_cast<long long>(kGamma)));
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 30)), m1);
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 27)), m2);
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+}
+
+__attribute__((target("avx512f,avx512dq"), always_inline)) inline __m512i key8_at(
+    std::uint64_t first_lane) {
+  alignas(64) std::uint64_t k[8];
+  for (int j = 0; j < 8; ++j) k[j] = (first_lane + static_cast<std::uint64_t>(j)) * kK1 + kK2;
+  return _mm512_load_si512(reinterpret_cast<const __m512i*>(k));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void pattern_lanes_avx2(std::byte* dst, std::uint64_t seed,
+                                                        std::uint64_t first_lane,
+                                                        std::size_t nlanes) {
+  const __m256i seedv = _mm256_set1_epi64x(static_cast<long long>(seed));
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * kK1));
+  __m256i key = key4_at(first_lane);
+  std::size_t i = 0;
+  for (; i + 4 <= nlanes; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i * 8), lanes4_avx2(key, seedv));
+    key = _mm256_add_epi64(key, step);
+  }
+  if (i < nlanes) pattern_lanes_scalar(dst + i * 8, seed, first_lane + i, nlanes - i);
+}
+
+__attribute__((target("avx2"))) bool pattern_lanes_check_avx2(const std::byte* src,
+                                                              std::uint64_t seed,
+                                                              std::uint64_t first_lane,
+                                                              std::size_t nlanes) {
+  const __m256i seedv = _mm256_set1_epi64x(static_cast<long long>(seed));
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * kK1));
+  __m256i key = key4_at(first_lane);
+  std::size_t i = 0;
+  for (; i + 4 <= nlanes; i += 4) {
+    const __m256i got = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i * 8));
+    const __m256i eq = _mm256_cmpeq_epi64(got, lanes4_avx2(key, seedv));
+    if (_mm256_movemask_epi8(eq) != -1) return false;
+    key = _mm256_add_epi64(key, step);
+  }
+  if (i < nlanes) {
+    return pattern_lanes_check_scalar(src + i * 8, seed, first_lane + i, nlanes - i);
+  }
+  return true;
+}
+
+__attribute__((target("avx512f,avx512dq"))) void pattern_lanes_avx512(std::byte* dst,
+                                                                      std::uint64_t seed,
+                                                                      std::uint64_t first_lane,
+                                                                      std::size_t nlanes) {
+  const __m512i seedv = _mm512_set1_epi64(static_cast<long long>(seed));
+  const __m512i step = _mm512_set1_epi64(static_cast<long long>(8 * kK1));
+  __m512i key = key8_at(first_lane);
+  std::size_t i = 0;
+  for (; i + 8 <= nlanes; i += 8) {
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(dst + i * 8), lanes8_avx512(key, seedv));
+    key = _mm512_add_epi64(key, step);
+  }
+  if (i < nlanes) pattern_lanes_scalar(dst + i * 8, seed, first_lane + i, nlanes - i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) bool pattern_lanes_check_avx512(
+    const std::byte* src, std::uint64_t seed, std::uint64_t first_lane, std::size_t nlanes) {
+  const __m512i seedv = _mm512_set1_epi64(static_cast<long long>(seed));
+  const __m512i step = _mm512_set1_epi64(static_cast<long long>(8 * kK1));
+  __m512i key = key8_at(first_lane);
+  std::size_t i = 0;
+  for (; i + 8 <= nlanes; i += 8) {
+    const __m512i got = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(src + i * 8));
+    if (_mm512_cmpneq_epu64_mask(got, lanes8_avx512(key, seedv)) != 0) return false;
+    key = _mm512_add_epi64(key, step);
+  }
+  if (i < nlanes) {
+    return pattern_lanes_check_scalar(src + i * 8, seed, first_lane + i, nlanes - i);
+  }
+  return true;
+}
+
+}  // namespace jobmig::sim::kernels
+
+#endif  // x86-64

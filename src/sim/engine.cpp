@@ -9,9 +9,17 @@
 
 namespace jobmig::sim {
 
+namespace detail2 {
+// Thread-local so parallel workers each carry their own dispatch context;
+// on the main thread t_worker_ctx stays null and the sequential paths are
+// untouched. Definitions live here; WorkerCtx itself is in engine_par.cpp.
+thread_local WorkerCtx* t_worker_ctx = nullptr;
+thread_local DomainId t_current_domain = kSerialDomain;
+}  // namespace detail2
+
 namespace {
 
-Engine* g_current_engine = nullptr;
+thread_local Engine* g_current_engine = nullptr;
 
 /// First set bit index >= `from` in a 256-bit bitmap, or -1 if none.
 int find_set_from(const std::array<std::uint64_t, 4>& bm, std::uint32_t from) {
@@ -58,13 +66,9 @@ Detached run_root(Task t) { co_await std::move(t); }
 
 }  // namespace detail2
 
-Engine::Engine() {
-  for (Level& lv : levels_) lv.head.fill(kNoNode);
-  slab_.reserve(256);
-  ready_.reserve(64);
-}
-
-Engine::~Engine() = default;
+// Engine's constructor and destructor live in engine_par.cpp, where
+// ParallelState is a complete type (the destructor joins any worker pool
+// before the members are torn down).
 
 // ---------------------------------------------------------------------------
 // Node slab / freelist
@@ -83,9 +87,12 @@ std::uint32_t Engine::acquire_node(TimePoint t, std::coroutine_handle<> h,
   n.when_ns = t.count_ns();
   n.seq = next_seq_++;
   n.next = kNoNode;
+  n.domain = detail2::t_current_domain;
+  n.arena_ref = kNoNode;
   n.cancelled = false;
   n.handle = h;
   n.callback = std::move(fn);
+  if (n.domain != kSerialDomain) has_domains_ = true;
   ++live_events_;
   peak_queue_depth_ = std::max(peak_queue_depth_, live_events_);
   return idx;
@@ -94,6 +101,10 @@ std::uint32_t Engine::acquire_node(TimePoint t, std::coroutine_handle<> h,
 void Engine::release_node(std::uint32_t idx) {
   Node& n = slab_[idx];
   ++n.gen;  // invalidate any outstanding TimerHandle
+  if (n.arena_ref != kNoNode) {
+    free_arena_ref(n.arena_ref);  // retire the arena entry forwarding here
+    n.arena_ref = kNoNode;
+  }
   n.handle = {};
   n.callback = nullptr;
   n.cancelled = false;
@@ -113,9 +124,14 @@ void Engine::release_node(std::uint32_t idx) {
 void Engine::insert(std::uint32_t idx) {
   Node& n = slab_[idx];
   const std::int64_t t = n.when_ns >> kTickBits;
-  if (t == poured_tick_) {
-    // The slot for this tick has already been poured into the ready heap
-    // (common case: zero-delay wakeups scheduled while dispatching).
+  if (t <= poured_tick_) {
+    // This tick's slot has already been poured into the ready heap (common
+    // case: zero-delay wakeups scheduled while dispatching). Ticks *behind*
+    // the poured one only occur at a parallel-window barrier: gathering may
+    // pour the cursor past the window's end, and ops materialized for
+    // [window_end, cursor) must not be filed into wheel slots the cursor
+    // scan has already passed. The ready heap orders them correctly either
+    // way — everything still in the wheel is strictly later.
     push_ready(idx);
     ++wheel_scheduled_;
     return;
@@ -259,16 +275,21 @@ bool Engine::ensure_ready() {
 // Public scheduling API
 
 void Engine::schedule_at(TimePoint t, std::coroutine_handle<> h) {
+  if (detail2::t_worker_ctx != nullptr) {
+    worker_schedule_at(t, h);
+    return;
+  }
   JOBMIG_EXPECTS_MSG(t >= now_, "cannot schedule into the past");
   insert(acquire_node(t, h, nullptr));
 }
 
 void Engine::schedule_in(Duration d, std::coroutine_handle<> h) {
   JOBMIG_EXPECTS_MSG(d >= Duration::zero(), "negative delay");
-  schedule_at(now_ + d, h);
+  schedule_at(now() + d, h);
 }
 
 Engine::TimerHandle Engine::call_at(TimePoint t, std::function<void()> fn) {
+  if (detail2::t_worker_ctx != nullptr) return worker_call_at(t, std::move(fn));
   JOBMIG_EXPECTS_MSG(t >= now_, "cannot schedule into the past");
   const std::uint32_t idx = acquire_node(t, nullptr, std::move(fn));
   const TimerHandle h{idx, slab_[idx].gen};
@@ -278,11 +299,20 @@ Engine::TimerHandle Engine::call_at(TimePoint t, std::function<void()> fn) {
 
 Engine::TimerHandle Engine::call_in(Duration d, std::function<void()> fn) {
   JOBMIG_EXPECTS_MSG(d >= Duration::zero(), "negative delay");
-  return call_at(now_ + d, std::move(fn));
+  return call_at(now() + d, std::move(fn));
 }
 
 void Engine::cancel(TimerHandle h) {
-  if (!h.valid() || h.node >= slab_.size()) return;
+  if (!h.valid()) return;
+  if (detail2::t_worker_ctx != nullptr) {
+    worker_cancel(h);
+    return;
+  }
+  if ((h.node & 0x80000000u) != 0) {  // worker-created timer: arena handle
+    cancel_arena(h);
+    return;
+  }
+  if (h.node >= slab_.size()) return;
   Node& n = slab_[h.node];
   if (n.gen != h.gen) return;  // already fired/freed and possibly recycled
   n.cancelled = true;
@@ -293,9 +323,9 @@ void Engine::spawn(Task t) {
   JOBMIG_EXPECTS_MSG(t.valid(), "spawn() of an empty task");
   detail2::Detached d = detail2::run_root(std::move(t));
   d.handle.promise().engine = this;
-  ++live_tasks_;
-  ++frames_spawned_;
-  schedule_at(now_, d.handle);
+  live_tasks_.fetch_add(1, std::memory_order_relaxed);
+  frames_spawned_.fetch_add(1, std::memory_order_relaxed);
+  schedule_at(now(), d.handle);
 }
 
 // ---------------------------------------------------------------------------
@@ -304,8 +334,9 @@ void Engine::spawn(Task t) {
 TimePoint Engine::run() { return run_until(TimePoint::max()); }
 
 TimePoint Engine::run_until(TimePoint deadline) {
-  stop_requested_ = false;
-  while (!stop_requested_ && ensure_ready()) {
+  if (parallel_enabled()) return run_until_parallel(deadline);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  while (!stop_requested_.load(std::memory_order_relaxed) && ensure_ready()) {
     if (ready_.front().when_ns > deadline.count_ns()) break;
     step();
     if (pending_exception_) {
@@ -341,9 +372,11 @@ void Engine::dispatch(std::uint32_t idx) {
   // callback/coroutine may schedule new events and reuse this very node.
   Node& n = slab_[idx];
   const std::coroutine_handle<> h = n.handle;
+  const DomainId domain = n.domain;
   std::function<void()> cb = std::move(n.callback);
   release_node(idx);
   CurrentEngineGuard guard(this);
+  DomainScope dscope(domain);  // events inherit the dispatching event's domain
   if (h) {
     h.resume();
   } else if (cb) {  // cancelled timers have a null callback: fire as a no-op
@@ -353,6 +386,7 @@ void Engine::dispatch(std::uint32_t idx) {
 
 void Engine::on_root_task_exception(std::exception_ptr e) {
   // First exception wins; later ones are dropped (the sim is already failing).
+  const std::lock_guard<std::mutex> lock(exception_mutex_);
   if (!pending_exception_) pending_exception_ = e;
 }
 

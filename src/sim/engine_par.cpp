@@ -1,0 +1,634 @@
+// Parallel discrete-event execution mode (DESIGN.md §9).
+//
+// Conservative lookahead windows: run_until repeatedly takes the earliest
+// pending event time t0 and executes every event in [t0, t0 + lookahead) as
+// one window. Events are partitioned by domain; each domain's batch runs on
+// a worker thread with a private clock and a private (time, order) heap, so
+// same-domain causality is preserved without locks. The workload contract —
+// an event may only schedule into a *different* domain at ≥ lookahead in the
+// future (the minimum cross-domain link latency) — guarantees no worker can
+// affect another worker's current window, which is checked, not trusted:
+// violations fail a contract assert on the offending worker.
+//
+// Determinism: workers do not mutate the global scheduler. Every scheduling
+// op they perform is recorded in a per-batch log, and at the window barrier
+// the main thread *replays* the window — merging the batches' dispatch logs
+// through a (time, seq) heap that reconstructs exactly the order the
+// sequential engine would have dispatched in, assigning global sequence
+// numbers to recorded ops in that order and folding the FNV-1a sequence
+// hash event by event. Within one domain the worker's local order equals
+// the sequential order (same keys, same tie-break); across domains the
+// replay heap re-merges by the same (when, seq) comparison the sequential
+// ready-heap uses — so virtual times, event counts, and sequence hashes are
+// bit-identical to the sequential engine at any worker count, and a window
+// containing any serial-domain (domain 0) event simply runs on the literal
+// sequential path.
+//
+// Timer handles for worker-created timers come from per-domain arenas
+// (bit 31 set distinguishes them from slab handles): an arena entry starts
+// Pending against the batch op log, then either becomes Done when the op is
+// dispatched inside the window or Forwarded to the slab node the op
+// materializes into at the barrier, so cancel() keeps working across
+// windows. Cancellation follows the domain discipline: a worker may cancel
+// only timers of its own domain (or its own arena handles); cross-domain
+// cancellation must travel as a cross-domain event like any other message.
+
+#include <algorithm>
+#include <condition_variable>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "jobmig/sim/engine.hpp"
+
+namespace jobmig::sim {
+
+namespace par_detail {
+
+constexpr std::uint32_t kArenaBit = 0x80000000u;
+constexpr int kSlotShift = 20;
+constexpr std::uint32_t kIdxMask = (1u << kSlotShift) - 1;        // 1M timers/domain
+constexpr std::uint32_t kMaxSlots = 1u << (31 - kSlotShift);      // 2048 domains
+constexpr std::uint32_t kNone = UINT32_MAX;
+
+std::uint32_t encode_arena(std::uint32_t slot, std::uint32_t idx) {
+  return kArenaBit | (slot << kSlotShift) | idx;
+}
+std::uint32_t arena_slot(std::uint32_t ref) { return (ref & ~kArenaBit) >> kSlotShift; }
+std::uint32_t arena_index(std::uint32_t ref) { return ref & kIdxMask; }
+
+/// Cross-window identity for a worker-created timer.
+struct ArenaEntry {
+  enum class State : std::uint8_t { Free, Pending, Forwarded, Done };
+  State state = State::Free;
+  std::uint64_t gen = 0;       // bumped on free; stale handles cancel as no-ops
+  std::uint32_t op_idx = 0;    // Pending: index into the creating batch's ops
+  std::uint32_t fwd_node = 0;  // Forwarded: slab node the op materialized into
+  std::uint64_t fwd_gen = 0;   // Forwarded: that node's generation
+  std::uint32_t next_free = kNone;
+};
+
+struct DomainState {
+  std::vector<ArenaEntry> arena;
+  std::uint32_t free_head = kNone;
+};
+
+/// One scheduling operation recorded by a worker (schedule_at or call_at).
+struct Op {
+  std::int64_t when_ns = 0;
+  DomainId domain = kSerialDomain;
+  std::uint32_t arena_idx = kNone;  // set for call_at (cancellable) ops
+  bool cancelled = false;
+  std::coroutine_handle<> handle;
+  std::function<void()> callback;
+};
+
+/// One event dispatched by a worker, with the ops it performed (a slice of
+/// the batch op log, in code order). recs in dispatch order are the batch's
+/// contribution to the barrier replay.
+struct DispatchRec {
+  std::int64_t when_ns = 0;
+  std::uint32_t src_node = kNone;  // gathered slab node, or
+  std::uint32_t src_op = kNone;    // in-window created op
+  std::uint32_t ops_begin = 0;
+  std::uint32_t ops_end = 0;
+};
+
+struct Batch {
+  DomainId domain = kSerialDomain;
+  std::uint32_t slot = 0;
+  std::vector<std::uint32_t> nodes;  // gathered slab nodes, (when, seq) order
+  std::vector<Op> ops;
+  std::vector<DispatchRec> recs;
+  std::size_t rec_cursor = 0;  // replay progress
+  std::exception_ptr error;
+};
+
+}  // namespace par_detail
+
+namespace detail2 {
+
+/// Thread-local dispatch context active while a worker executes a batch.
+struct WorkerCtx {
+  Engine* engine = nullptr;
+  par_detail::Batch* batch = nullptr;
+  par_detail::DomainState* dstate = nullptr;
+  std::int64_t local_now = 0;
+  std::int64_t window_end = 0;
+};
+
+}  // namespace detail2
+
+using par_detail::ArenaEntry;
+using par_detail::Batch;
+using par_detail::DispatchRec;
+using par_detail::DomainState;
+using par_detail::Op;
+using par_detail::kNone;
+
+struct Engine::ParallelState {
+  Engine* engine;
+
+  // Worker pool. Workers pull batches off an atomic cursor, so batch→thread
+  // assignment is scheduling-dependent — which is why nothing a batch does
+  // may depend on *which* thread runs it, only on its domain.
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> worker_events;  // per-thread dispatch counts
+  std::mutex m;
+  std::condition_variable cv_work, cv_done;
+  std::uint64_t work_epoch = 0;
+  std::size_t workers_done = 0;
+  bool shutdown = false;
+
+  // Current window.
+  std::vector<Batch> batches;
+  std::atomic<std::size_t> next_batch{0};
+  std::int64_t window_end = 0;
+  std::uint64_t seq_base = 0;  // next_seq_ snapshot: every in-window-created
+                               // event orders after every gathered one
+
+  // Domain registry: dense slots for the per-domain arenas (main thread
+  // only — workers reach their own slot through the batch).
+  std::unordered_map<DomainId, std::uint32_t> slot_of;
+  std::vector<DomainState> domains;
+  std::unordered_map<DomainId, std::size_t> batch_index;  // window scratch
+  std::vector<std::uint32_t> gather_scratch;
+
+  explicit ParallelState(Engine* e) : engine(e) {}
+
+  std::uint32_t slot_for(DomainId d) {
+    const auto [it, fresh] = slot_of.try_emplace(d, static_cast<std::uint32_t>(domains.size()));
+    if (fresh) {
+      JOBMIG_ASSERT_MSG(domains.size() < par_detail::kMaxSlots, "too many domains");
+      domains.emplace_back();
+    }
+    return it->second;
+  }
+
+  void start_threads(std::size_t n) {
+    JOBMIG_ASSERT(threads.empty());
+    worker_events.assign(n, 0);
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, i] { worker_main(i); });
+    }
+  }
+
+  void stop_threads() {
+    if (threads.empty()) return;
+    {
+      const std::lock_guard<std::mutex> lock(m);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+    shutdown = false;
+  }
+
+  /// Release the pool onto `batches` and block until every batch completed.
+  void run_window() {
+    next_batch.store(0, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(m);
+      ++work_epoch;
+      workers_done = 0;
+    }
+    cv_work.notify_all();
+    std::unique_lock<std::mutex> lock(m);
+    cv_done.wait(lock, [this] { return workers_done == threads.size(); });
+  }
+
+  void worker_main(std::size_t worker_idx) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv_work.wait(lock, [&] { return shutdown || work_epoch != seen_epoch; });
+        if (shutdown) return;
+        seen_epoch = work_epoch;
+      }
+      for (;;) {
+        const std::size_t bi = next_batch.fetch_add(1, std::memory_order_relaxed);
+        if (bi >= batches.size()) break;
+        process_batch(batches[bi], worker_events[worker_idx]);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(m);
+        if (++workers_done == threads.size()) cv_done.notify_all();
+      }
+    }
+  }
+
+  /// Execute one domain's window batch on the calling worker thread.
+  void process_batch(Batch& b, std::uint64_t& event_count) {
+    struct LocalEntry {
+      std::int64_t when_ns;
+      std::uint64_t lseq;
+      std::uint32_t idx;  // slab node (gathered) or op index (created)
+      bool is_op;
+    };
+    // Local order == sequential order restricted to this domain: gathered
+    // events carry their real seqs (all < seq_base), created ops order by
+    // append position (seq_base + op index), matching the order the replay
+    // will assign their real seqs in.
+    const auto later = [](const LocalEntry& a, const LocalEntry& b2) {
+      return a.when_ns != b2.when_ns ? a.when_ns > b2.when_ns : a.lseq > b2.lseq;
+    };
+    detail2::WorkerCtx ctx;
+    ctx.engine = engine;
+    ctx.batch = &b;
+    ctx.dstate = &domains[b.slot];
+    ctx.window_end = window_end;
+    detail2::t_worker_ctx = &ctx;
+    try {
+      auto& slab = engine->slab_;
+      std::vector<LocalEntry> heap;
+      heap.reserve(b.nodes.size());
+      for (const std::uint32_t idx : b.nodes) {
+        heap.push_back({slab[idx].when_ns, slab[idx].seq, idx, false});
+      }
+      std::make_heap(heap.begin(), heap.end(), later);
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), later);
+        const LocalEntry e = heap.back();
+        heap.pop_back();
+        ctx.local_now = e.when_ns;
+        const auto ops_begin = static_cast<std::uint32_t>(b.ops.size());
+        {
+          // Move the payload out, exactly like sequential dispatch (the node
+          // itself is released by the main thread during replay).
+          std::coroutine_handle<> h;
+          std::function<void()> cb;
+          if (e.is_op) {
+            Op& o = b.ops[e.idx];
+            h = std::exchange(o.handle, {});
+            cb = std::move(o.callback);
+            if (o.arena_idx != kNone) {
+              domains[b.slot].arena[o.arena_idx].state = ArenaEntry::State::Done;
+            }
+          } else {
+            Node& n = slab[e.idx];
+            h = std::exchange(n.handle, {});
+            cb = std::move(n.callback);
+          }
+          CurrentEngineGuard guard(engine);
+          DomainScope dscope(b.domain);
+          if (h) {
+            h.resume();
+          } else if (cb) {  // cancelled timers fire as no-ops, as in sequential
+            cb();
+          }
+        }
+        const auto ops_end = static_cast<std::uint32_t>(b.ops.size());
+        b.recs.push_back({e.when_ns, e.is_op ? kNone : e.idx, e.is_op ? e.idx : kNone,
+                          ops_begin, ops_end});
+        // Same-domain ops due inside the window join the local timeline
+        // (cross-domain ones were bounds-checked at creation and wait for
+        // the barrier).
+        for (std::uint32_t j = ops_begin; j < ops_end; ++j) {
+          if (b.ops[j].when_ns < window_end) {
+            heap.push_back({b.ops[j].when_ns, seq_base + j, j, true});
+            std::push_heap(heap.begin(), heap.end(), later);
+          }
+        }
+        ++event_count;
+      }
+    } catch (...) {
+      b.error = std::current_exception();
+    }
+    detail2::t_worker_ctx = nullptr;
+  }
+
+  /// Barrier replay: reconstruct the sequential dispatch order of the window
+  /// from the batch logs, assigning global seqs and folding the hash.
+  void replay() {
+    Engine& E = *engine;
+    struct ReplayEntry {
+      std::int64_t when_ns;
+      std::uint64_t seq;
+      std::uint32_t batch;
+      std::uint32_t idx;  // slab node or op index
+      bool is_op;
+    };
+    const auto later = [](const ReplayEntry& a, const ReplayEntry& b) {
+      return a.when_ns != b.when_ns ? a.when_ns > b.when_ns : a.seq > b.seq;
+    };
+    std::vector<ReplayEntry> heap;
+    for (std::uint32_t bi = 0; bi < batches.size(); ++bi) {
+      for (const std::uint32_t idx : batches[bi].nodes) {
+        heap.push_back({E.slab_[idx].when_ns, E.slab_[idx].seq, bi, idx, false});
+      }
+    }
+    std::make_heap(heap.begin(), heap.end(), later);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const ReplayEntry e = heap.back();
+      heap.pop_back();
+      Batch& b = batches[e.batch];
+      JOBMIG_ASSERT_MSG(b.rec_cursor < b.recs.size(), "replay/worker dispatch log mismatch");
+      const DispatchRec rec = b.recs[b.rec_cursor++];
+      JOBMIG_ASSERT(rec.when_ns == e.when_ns &&
+                    (e.is_op ? rec.src_op == e.idx : rec.src_node == e.idx));
+      JOBMIG_ASSERT(e.when_ns >= E.now_.count_ns());
+      E.now_ = TimePoint::from_ns(e.when_ns);
+      ++E.events_processed_;
+      --E.live_events_;
+      ++E.par_events_;
+      E.sequence_hash_ =
+          (E.sequence_hash_ ^ static_cast<std::uint64_t>(e.when_ns)) * 0x100000001b3ull;
+      for (std::uint32_t j = rec.ops_begin; j < rec.ops_end; ++j) {
+        Op& o = b.ops[j];
+        const std::uint64_t seq = E.next_seq_++;
+        ++E.live_events_;
+        E.peak_queue_depth_ = std::max(E.peak_queue_depth_, E.live_events_);
+        if (o.when_ns < window_end && o.domain == b.domain) {
+          // Dispatched inside the window by the worker; its own record shows
+          // up later in this batch's log. Counter parity: the sequential
+          // engine files near-horizon events into the wheel/ready path.
+          ++E.wheel_scheduled_;
+          heap.push_back({o.when_ns, seq, e.batch, j, true});
+          std::push_heap(heap.begin(), heap.end(), later);
+        } else {
+          materialize(b, o, seq);
+        }
+      }
+      if (!e.is_op) E.release_node(e.idx);
+    }
+    for (Batch& b : batches) {
+      JOBMIG_ASSERT_MSG(b.rec_cursor == b.recs.size(), "unconsumed worker dispatches");
+      // Arena entries whose op fired inside the window are dead: retire them
+      // so later cancels through stale handles are generation-checked no-ops.
+      for (const Op& o : b.ops) {
+        if (o.arena_idx == kNone) continue;
+        ArenaEntry& ae = domains[b.slot].arena[o.arena_idx];
+        if (ae.state == ArenaEntry::State::Done) free_entry(b.slot, o.arena_idx);
+      }
+    }
+  }
+
+  /// File a worker-recorded op into the real scheduler with its final seq.
+  void materialize(const Batch& b, Op& o, std::uint64_t seq) {
+    Engine& E = *engine;
+    std::uint32_t idx;
+    if (E.free_head_ != kNoNode) {
+      idx = E.free_head_;
+      E.free_head_ = E.slab_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(E.slab_.size());
+      E.slab_.emplace_back();
+    }
+    Node& n = E.slab_[idx];
+    n.when_ns = o.when_ns;
+    n.seq = seq;
+    n.next = kNoNode;
+    n.domain = o.domain;
+    n.arena_ref =
+        o.arena_idx != kNone ? par_detail::encode_arena(b.slot, o.arena_idx) : kNoNode;
+    n.cancelled = o.cancelled;
+    n.handle = o.handle;
+    n.callback = std::move(o.callback);
+    if (o.arena_idx != kNone) {
+      ArenaEntry& ae = domains[b.slot].arena[o.arena_idx];
+      ae.state = ArenaEntry::State::Forwarded;
+      ae.fwd_node = idx;
+      ae.fwd_gen = n.gen;
+    }
+    E.insert(idx);
+  }
+
+  void free_entry(std::uint32_t slot, std::uint32_t idx) {
+    DomainState& ds = domains[slot];
+    ArenaEntry& ae = ds.arena[idx];
+    ++ae.gen;
+    ae.state = ArenaEntry::State::Free;
+    ae.next_free = ds.free_head;
+    ds.free_head = idx;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Engine: parallel-mode public API and worker-side scheduling hooks
+
+Engine::Engine() {
+  for (Level& lv : levels_) lv.head.fill(kNoNode);
+  slab_.reserve(256);
+  ready_.reserve(64);
+}
+
+Engine::~Engine() {
+  if (par_) par_->stop_threads();
+}
+
+void Engine::enable_parallel(std::size_t workers) {
+  if (!par_) {
+    if (workers == 0) return;
+    par_ = std::make_unique<ParallelState>(this);
+  }
+  par_->stop_threads();
+  if (workers > 0) par_->start_threads(workers);
+}
+
+bool Engine::parallel_enabled() const { return par_ != nullptr && !par_->threads.empty(); }
+
+std::size_t Engine::parallel_workers() const { return par_ ? par_->threads.size() : 0; }
+
+std::vector<std::uint64_t> Engine::worker_event_counts() const {
+  return par_ ? par_->worker_events : std::vector<std::uint64_t>{};
+}
+
+TimePoint Engine::worker_now() const {
+  const detail2::WorkerCtx* ctx = detail2::t_worker_ctx;
+  JOBMIG_ASSERT_MSG(ctx->engine == this, "now() on a foreign engine from a worker");
+  return TimePoint::from_ns(ctx->local_now);
+}
+
+TimePoint Engine::run_until_parallel(TimePoint deadline) {
+  stop_requested_.store(false, std::memory_order_relaxed);
+  const std::int64_t deadline_ns = deadline.count_ns();
+  while (!stop_requested_.load(std::memory_order_relaxed) && ensure_ready()) {
+    if (ready_.front().when_ns > deadline_ns) break;
+    if (!has_domains_) {
+      // No domain ever tagged: the workload is serial, run the unchanged
+      // sequential fast path (fig4/fig6 under --engine=par land here).
+      step();
+    } else {
+      process_window(deadline_ns);
+    }
+    if (pending_exception_) {
+      auto e = std::exchange(pending_exception_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+  if (now_ < deadline && deadline != TimePoint::max()) now_ = deadline;
+  return now_;
+}
+
+void Engine::process_window(std::int64_t deadline_ns) {
+  ParallelState& P = *par_;
+  const std::int64_t t0 = ready_.front().when_ns;
+  const std::int64_t lookahead_ns = std::max<std::int64_t>(lookahead_.count_ns(), 1);
+  std::int64_t window_end =
+      t0 > INT64_MAX - lookahead_ns ? INT64_MAX : t0 + lookahead_ns;
+  if (deadline_ns != INT64_MAX) window_end = std::min(window_end, deadline_ns + 1);
+
+  // Gather every event due before window_end, in global (when, seq) order.
+  std::vector<std::uint32_t>& gathered = P.gather_scratch;
+  gathered.clear();
+  bool serial = false;
+  const auto later = [](const ReadyEntry& a, const ReadyEntry& b) {
+    return a.when_ns != b.when_ns ? a.when_ns > b.when_ns : a.seq > b.seq;
+  };
+  while (ensure_ready() && ready_.front().when_ns < window_end) {
+    std::pop_heap(ready_.begin(), ready_.end(), later);
+    const std::uint32_t idx = ready_.back().node;
+    ready_.pop_back();
+    gathered.push_back(idx);
+    if (slab_[idx].domain == kSerialDomain) serial = true;
+  }
+  JOBMIG_ASSERT(!gathered.empty());
+
+  if (serial) {
+    // A serial-domain event pins the window to the main thread: put the
+    // events back and run the literal sequential loop up to window_end.
+    // Anything these dispatches schedule inside the window — any domain —
+    // simply joins the same sequential run, exactly as in the seq engine.
+    ++par_serial_windows_;
+    for (const std::uint32_t idx : gathered) push_ready(idx);
+    while (!stop_requested_.load(std::memory_order_relaxed) && ensure_ready() &&
+           ready_.front().when_ns < window_end) {
+      step();
+      if (pending_exception_) return;  // rethrown by run_until_parallel
+    }
+    return;
+  }
+
+  ++par_windows_;
+  // Partition into per-domain batches; the per-domain node lists inherit the
+  // gathered (when, seq) order.
+  P.batches.clear();
+  P.batch_index.clear();
+  for (const std::uint32_t idx : gathered) {
+    const DomainId d = slab_[idx].domain;
+    const auto [it, fresh] = P.batch_index.try_emplace(d, P.batches.size());
+    if (fresh) {
+      P.batches.emplace_back();
+      P.batches.back().domain = d;
+      P.batches.back().slot = P.slot_for(d);
+    }
+    P.batches[it->second].nodes.push_back(idx);
+  }
+  par_batches_ += P.batches.size();
+  P.window_end = window_end;
+  P.seq_base = next_seq_;
+
+  P.run_window();
+
+  // Deterministic error propagation: first failing batch in domain-gather
+  // order wins. The engine is poisoned after this (the window was torn
+  // mid-flight), matching an exception escaping a sequential dispatch.
+  for (const Batch& b : P.batches) {
+    if (b.error) std::rethrow_exception(b.error);
+  }
+
+  P.replay();
+}
+
+void Engine::worker_schedule_at(TimePoint t, std::coroutine_handle<> h) {
+  detail2::WorkerCtx* ctx = detail2::t_worker_ctx;
+  JOBMIG_EXPECTS_MSG(ctx->engine == this, "cross-engine scheduling from a worker");
+  JOBMIG_EXPECTS_MSG(t.count_ns() >= ctx->local_now, "cannot schedule into the past");
+  const DomainId dom = detail2::t_current_domain;
+  JOBMIG_EXPECTS_MSG(dom == ctx->batch->domain || t.count_ns() >= ctx->window_end,
+                     "lookahead violation: cross-domain event inside the current window");
+  ctx->batch->ops.push_back(Op{t.count_ns(), dom, kNone, false, h, nullptr});
+}
+
+Engine::TimerHandle Engine::worker_call_at(TimePoint t, std::function<void()> fn) {
+  detail2::WorkerCtx* ctx = detail2::t_worker_ctx;
+  JOBMIG_EXPECTS_MSG(ctx->engine == this, "cross-engine scheduling from a worker");
+  JOBMIG_EXPECTS_MSG(t.count_ns() >= ctx->local_now, "cannot schedule into the past");
+  const DomainId dom = detail2::t_current_domain;
+  JOBMIG_EXPECTS_MSG(dom == ctx->batch->domain || t.count_ns() >= ctx->window_end,
+                     "lookahead violation: cross-domain event inside the current window");
+  DomainState& ds = *ctx->dstate;
+  std::uint32_t ai;
+  if (ds.free_head != kNone) {
+    ai = ds.free_head;
+    ds.free_head = ds.arena[ai].next_free;
+  } else {
+    ai = static_cast<std::uint32_t>(ds.arena.size());
+    JOBMIG_ASSERT_MSG(ai <= par_detail::kIdxMask, "arena overflow");
+    ds.arena.emplace_back();
+  }
+  ArenaEntry& ae = ds.arena[ai];
+  ae.state = ArenaEntry::State::Pending;
+  ae.op_idx = static_cast<std::uint32_t>(ctx->batch->ops.size());
+  ctx->batch->ops.push_back(Op{t.count_ns(), dom, ai, false, {}, std::move(fn)});
+  return TimerHandle{par_detail::encode_arena(ctx->batch->slot, ai), ae.gen};
+}
+
+void Engine::worker_cancel(TimerHandle h) {
+  detail2::WorkerCtx* ctx = detail2::t_worker_ctx;
+  JOBMIG_EXPECTS_MSG(ctx->engine == this, "cross-engine cancel from a worker");
+  Batch& b = *ctx->batch;
+  if ((h.node & par_detail::kArenaBit) != 0) {
+    JOBMIG_EXPECTS_MSG(par_detail::arena_slot(h.node) == b.slot,
+                       "cross-domain cancel from a worker");
+    ArenaEntry& ae = ctx->dstate->arena[par_detail::arena_index(h.node)];
+    if (ae.gen != h.gen) return;  // already fired and retired
+    switch (ae.state) {
+      case ArenaEntry::State::Pending: {
+        Op& o = b.ops[ae.op_idx];
+        o.cancelled = true;
+        o.callback = nullptr;
+        return;
+      }
+      case ArenaEntry::State::Forwarded: {
+        Node& n = slab_[ae.fwd_node];
+        if (n.gen != ae.fwd_gen) return;
+        JOBMIG_EXPECTS_MSG(n.when_ns >= ctx->window_end || n.domain == b.domain,
+                           "cross-domain cancel inside the current window");
+        n.cancelled = true;
+        n.callback = nullptr;
+        return;
+      }
+      case ArenaEntry::State::Done:
+      case ArenaEntry::State::Free:
+        return;
+    }
+    return;
+  }
+  if (h.node >= slab_.size()) return;
+  Node& n = slab_[h.node];
+  if (n.gen != h.gen) return;  // stale handles stay silent no-ops
+  JOBMIG_EXPECTS_MSG(n.domain == b.domain, "cross-domain cancel from a worker");
+  n.cancelled = true;
+  n.callback = nullptr;
+}
+
+void Engine::cancel_arena(TimerHandle h) {
+  if (!par_) return;
+  const std::uint32_t slot = par_detail::arena_slot(h.node);
+  const std::uint32_t idx = par_detail::arena_index(h.node);
+  if (slot >= par_->domains.size()) return;
+  DomainState& ds = par_->domains[slot];
+  if (idx >= ds.arena.size()) return;
+  ArenaEntry& ae = ds.arena[idx];
+  if (ae.gen != h.gen) return;
+  // Between windows only Forwarded / Done / Free states exist.
+  JOBMIG_ASSERT(ae.state != ArenaEntry::State::Pending);
+  if (ae.state == ArenaEntry::State::Forwarded) {
+    Node& n = slab_[ae.fwd_node];
+    if (n.gen != ae.fwd_gen) return;
+    n.cancelled = true;
+    n.callback = nullptr;
+  }
+}
+
+void Engine::free_arena_ref(std::uint32_t ref) {
+  JOBMIG_ASSERT(par_ != nullptr);
+  par_->free_entry(par_detail::arena_slot(ref), par_detail::arena_index(ref));
+}
+
+}  // namespace jobmig::sim

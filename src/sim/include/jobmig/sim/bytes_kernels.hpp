@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// Runtime-dispatched data-path kernels backing `sim::Crc64`, `pattern_fill`
+/// and `pattern_check` (see DESIGN.md §9). The checkpoint pipeline checksums
+/// and regenerates every image byte, so these three loops dominate bench
+/// wall-clock; each has a portable scalar implementation (the golden
+/// reference) and, on x86-64, carry-less-multiply / AVX variants selected
+/// once per process by cpuid probe. All implementations of a kernel are
+/// bit-identical on every input — the SIMD paths are pure speed, never a
+/// semantic fork — and `JOBMIG_FORCE_SCALAR=1` pins the scalar paths so CI
+/// can cover the fallback on SIMD-capable runners.
+namespace jobmig::sim::kernels {
+
+/// Host SIMD capabilities relevant to the kernel set.
+struct CpuFeatures {
+  bool pclmul = false;  // PCLMULQDQ (+SSE2): carry-less multiply for CRC
+  bool avx2 = false;    // 4×64-bit pattern lanes
+  bool avx512 = false;  // AVX-512F+DQ: 8×64-bit lanes with native VPMULLQ
+};
+
+/// Probe the executing CPU. Non-x86 hosts report everything false.
+CpuFeatures detect_cpu();
+
+/// Raw CRC-64/XZ state update (reflected ECMA-182 polynomial). `crc` is the
+/// internal running value (pre-inversion); callers own the ~crc init/final.
+using Crc64Fn = std::uint64_t (*)(std::uint64_t crc, const std::byte* p, std::size_t n);
+
+/// Write `nlanes` whole 8-byte pattern lanes `[first_lane, first_lane+nlanes)`
+/// of the (seed)-keyed SplitMix64 stream to `dst` (unaligned stores allowed).
+using LaneFillFn = void (*)(std::byte* dst, std::uint64_t seed, std::uint64_t first_lane,
+                            std::size_t nlanes);
+
+/// True iff `src` matches those same lanes byte for byte.
+using LaneCheckFn = bool (*)(const std::byte* src, std::uint64_t seed, std::uint64_t first_lane,
+                             std::size_t nlanes);
+
+/// One coherent kernel selection. `crc64_impl` / `pattern_impl` name the
+/// active paths for logs, benches and tests ("table16", "pclmul", ...).
+struct Dispatch {
+  Crc64Fn crc64 = nullptr;
+  LaneFillFn fill = nullptr;
+  LaneCheckFn check = nullptr;
+  const char* crc64_impl = "";
+  const char* pattern_impl = "";
+};
+
+/// The process-wide selection: cpuid probe + JOBMIG_FORCE_SCALAR, resolved
+/// once on first use (thread-safe magic static).
+const Dispatch& active();
+
+/// Pure selection logic (no env/cpuid side effects) — unit-testable.
+Dispatch select(const CpuFeatures& f, bool force_scalar);
+
+/// Every dispatch this host can actually run, scalar first. The fuzz tests
+/// iterate this to assert cross-path bit-identity on arbitrary inputs.
+std::vector<Dispatch> all_supported();
+
+/// Value of 8-byte lane `lane` of the (seed)-keyed pattern stream. All fill
+/// and check implementations — scalar head/tail peeling and the SIMD lane
+/// bodies alike — must reproduce exactly this function.
+inline std::uint64_t pattern_lane(std::uint64_t seed, std::uint64_t lane) {
+  // SplitMix64 keyed by the absolute lane index: state = seed ^ (lane*K1+K2),
+  // one next() step (+= gamma, then the two-multiply finalizer).
+  std::uint64_t z = (seed ^ (lane * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL)) +
+                    0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// ---- portable implementations (always available) --------------------------
+
+/// Slice-by-16 table CRC (the pre-SIMD fast path, kept as the fallback).
+std::uint64_t crc64_table16(std::uint64_t crc, const std::byte* p, std::size_t n);
+/// Bit-at-a-time reference, O(8n) — for known-answer tests only.
+std::uint64_t crc64_bitwise(std::uint64_t crc, const std::byte* p, std::size_t n);
+
+void pattern_lanes_scalar(std::byte* dst, std::uint64_t seed, std::uint64_t first_lane,
+                          std::size_t nlanes);
+bool pattern_lanes_check_scalar(const std::byte* src, std::uint64_t seed,
+                                std::uint64_t first_lane, std::size_t nlanes);
+
+// ---- x86-64 implementations (defined only when compiled for x86-64; call
+// ---- only when the matching detect_cpu() bit is set) ----------------------
+#if defined(__x86_64__) || defined(_M_X64)
+std::uint64_t crc64_clmul(std::uint64_t crc, const std::byte* p, std::size_t n);
+void pattern_lanes_avx2(std::byte* dst, std::uint64_t seed, std::uint64_t first_lane,
+                        std::size_t nlanes);
+bool pattern_lanes_check_avx2(const std::byte* src, std::uint64_t seed, std::uint64_t first_lane,
+                              std::size_t nlanes);
+void pattern_lanes_avx512(std::byte* dst, std::uint64_t seed, std::uint64_t first_lane,
+                          std::size_t nlanes);
+bool pattern_lanes_check_avx512(const std::byte* src, std::uint64_t seed,
+                                std::uint64_t first_lane, std::size_t nlanes);
+#endif
+
+}  // namespace jobmig::sim::kernels

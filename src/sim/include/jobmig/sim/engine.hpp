@@ -1,10 +1,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "jobmig/sim/assert.hpp"
@@ -15,6 +18,23 @@ namespace jobmig::sim {
 template <typename T>
 class ValueTask;  // fwd (task.hpp)
 using Task = ValueTask<void>;
+
+/// Logical partition of the event space for the parallel execution mode
+/// (DESIGN.md §9). Domain 0 is the *serial* domain: its events always run on
+/// the main thread, one at a time, interleaved with everything else exactly
+/// as the sequential engine would — untagged workloads therefore behave
+/// identically under both engines. Non-zero domains (one per simulated
+/// node/switch) may be dispatched concurrently within a conservative
+/// lookahead window; events inherit the domain of the event that scheduled
+/// them unless overridden with a DomainScope.
+using DomainId = std::uint32_t;
+inline constexpr DomainId kSerialDomain = 0;
+
+namespace detail2 {
+struct WorkerCtx;  // engine_par.cpp: per-thread parallel dispatch context
+extern thread_local WorkerCtx* t_worker_ctx;
+extern thread_local DomainId t_current_domain;
+}  // namespace detail2
 
 /// Deterministic discrete-event engine. Single-threaded: all simulated
 /// entities are coroutines resumed from this loop, so there is no data-race
@@ -47,8 +67,12 @@ class Engine {
     bool valid() const { return node != UINT32_MAX; }
   };
 
-  /// Current virtual time.
-  TimePoint now() const { return now_; }
+  /// Current virtual time. On a parallel worker thread this is the worker's
+  /// local clock, which trails the window it is executing.
+  TimePoint now() const {
+    if (detail2::t_worker_ctx != nullptr) return worker_now();
+    return now_;
+  }
 
   /// Schedule a coroutine to be resumed at absolute time `t` (>= now).
   void schedule_at(TimePoint t, std::coroutine_handle<> h);
@@ -79,7 +103,7 @@ class Engine {
   /// Number of events processed so far.
   std::uint64_t events_processed() const { return events_processed_; }
   /// Number of spawned root tasks that have not yet completed.
-  std::size_t live_tasks() const { return live_tasks_; }
+  std::size_t live_tasks() const { return live_tasks_.load(std::memory_order_relaxed); }
   bool queue_empty() const { return live_events_ == 0; }
 
   // ---- scheduler introspection (surfaced as sim.engine.* bench metrics) ----
@@ -95,19 +119,57 @@ class Engine {
   /// Root coroutine frames created via spawn().
   std::uint64_t frames_spawned() const { return frames_spawned_; }
   /// FNV-1a over every dispatched event's timestamp: two runs of the same
-  /// workload must produce identical hashes (golden determinism tests).
+  /// workload must produce identical hashes (golden determinism tests). The
+  /// parallel mode reconstructs the sequential dispatch order at every
+  /// window barrier, so this hash is bit-identical across `seq` and `par`
+  /// at any worker count.
   std::uint64_t sequence_hash() const { return sequence_hash_; }
+
+  // ---- parallel execution mode (DESIGN.md §9) -----------------------------
+  /// Switch run()/run_until() to windowed parallel dispatch on `workers`
+  /// threads (0 = back to sequential). May only be called between runs.
+  /// Workloads that never tag a domain run on the unchanged sequential path
+  /// even when parallel mode is enabled.
+  void enable_parallel(std::size_t workers);
+  bool parallel_enabled() const;
+  std::size_t parallel_workers() const;
+
+  /// Conservative lookahead: the minimum cross-domain latency the workload
+  /// guarantees (e.g. the fabric's hop latency). Every window spans
+  /// [t, t + max(lookahead, 1 ns)); an event scheduled from a worker into a
+  /// different domain inside the current window is a contract violation.
+  /// Zero (the default) still parallelizes same-timestamp events.
+  void set_lookahead(Duration d) { lookahead_ = d; }
+  Duration lookahead() const { return lookahead_; }
+
+  /// Domain of the event currently being dispatched on this thread (the
+  /// domain new events inherit); kSerialDomain outside a dispatch.
+  static DomainId current_domain() { return detail2::t_current_domain; }
+
+  /// Parallel-mode introspection (sim.engine.par.* bench metrics). All of
+  /// these are deterministic for a given workload + lookahead; per-worker
+  /// dispatch counts (worker_event_counts) depend on thread scheduling and
+  /// are reported but never gated.
+  std::uint64_t parallel_windows() const { return par_windows_; }
+  std::uint64_t parallel_serial_windows() const { return par_serial_windows_; }
+  std::uint64_t parallel_batches() const { return par_batches_; }
+  std::uint64_t parallel_events() const { return par_events_; }
+  std::vector<std::uint64_t> worker_event_counts() const;
 
   /// The engine whose loop is currently executing (set around every event
   /// dispatch). Awaitables use this to find their engine; valid only while
   /// simulation code is running.
   static Engine* current();
 
-  /// Stop the run loop after the current event (queue is preserved).
-  void request_stop() { stop_requested_ = true; }
+  /// Stop the run loop after the current event (sequential) or window
+  /// barrier (parallel); the queue is preserved.
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
 
   /// Internal: root-task lifecycle callbacks (used by the spawn wrapper).
-  void on_root_task_done() { JOBMIG_ASSERT(live_tasks_ > 0); --live_tasks_; }
+  void on_root_task_done() {
+    const auto prev = live_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    JOBMIG_ASSERT(prev > 0);
+  }
   void on_root_task_exception(std::exception_ptr e);
 
  private:
@@ -125,6 +187,8 @@ class Engine {
     std::uint64_t seq = 0;
     std::uint64_t gen = 0;
     std::uint32_t next = kNoNode;
+    DomainId domain = kSerialDomain;
+    std::uint32_t arena_ref = kNoNode;    // backing arena entry, if any
     bool cancelled = false;
     std::coroutine_handle<> handle;       // exactly one of handle/callback set
     std::function<void()> callback;
@@ -146,6 +210,19 @@ class Engine {
                              std::function<void()> fn);
   void release_node(std::uint32_t idx);
   void insert(std::uint32_t idx);
+
+  // ---- parallel mode internals (engine_par.cpp) ----
+  struct ParallelState;  // worker pool, per-domain arenas, window scratch
+  TimePoint worker_now() const;
+  TimePoint run_until_parallel(TimePoint deadline);
+  /// Execute one window starting at the earliest pending event. Requires a
+  /// non-empty ready front ≤ deadline.
+  void process_window(std::int64_t deadline_ns);
+  void worker_schedule_at(TimePoint t, std::coroutine_handle<> h);
+  TimerHandle worker_call_at(TimePoint t, std::function<void()> fn);
+  void worker_cancel(TimerHandle h);
+  void cancel_arena(TimerHandle h);  // main-thread cancel of an arena handle
+  void free_arena_ref(std::uint32_t ref);
   void push_ready(std::uint32_t idx);
   void push_overflow(std::uint32_t idx);
   std::uint32_t pop_overflow();
@@ -172,10 +249,36 @@ class Engine {
   std::size_t peak_queue_depth_ = 0;
   std::uint64_t wheel_scheduled_ = 0;
   std::uint64_t overflow_scheduled_ = 0;
-  std::uint64_t frames_spawned_ = 0;
-  std::size_t live_tasks_ = 0;
+  std::atomic<std::uint64_t> frames_spawned_{0};
+  std::atomic<std::size_t> live_tasks_{0};
+  std::mutex exception_mutex_;  // workers report root-task exceptions
   std::exception_ptr pending_exception_;
-  bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
+
+  // ---- parallel mode ----
+  std::unique_ptr<ParallelState> par_;
+  Duration lookahead_{};
+  bool has_domains_ = false;  // any non-serial event ever scheduled
+  std::uint64_t par_windows_ = 0;
+  std::uint64_t par_serial_windows_ = 0;
+  std::uint64_t par_batches_ = 0;
+  std::uint64_t par_events_ = 0;
+};
+
+/// RAII override of the domain that events scheduled in its scope are tagged
+/// with (thread-local). Used at domain boundaries: a cross-domain message is
+/// scheduled under the *target's* DomainScope at ≥ lookahead in the future.
+class DomainScope {
+ public:
+  explicit DomainScope(DomainId d) : prev_(detail2::t_current_domain) {
+    detail2::t_current_domain = d;
+  }
+  ~DomainScope() { detail2::t_current_domain = prev_; }
+  DomainScope(const DomainScope&) = delete;
+  DomainScope& operator=(const DomainScope&) = delete;
+
+ private:
+  DomainId prev_;
 };
 
 /// RAII guard that makes `e` the Engine::current() for its scope.

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 /// Named metrics for the migration stack: monotonically increasing counters
@@ -12,27 +14,38 @@
 /// the full uint64 range in constant memory, and percentile queries
 /// interpolate inside a bucket, which is plenty for the order-of-magnitude
 /// latency breakdowns the paper's evaluation reports.
+///
+/// Thread-safety contract (for the parallel engine mode, DESIGN.md §9):
+/// *updates* — Counter::add, Gauge::set/add, Histogram::observe, and the
+/// registry's name-resolving accessors — are safe from engine worker
+/// threads. *Reads* (value(), percentile(), the map accessors, JSON export)
+/// are meant for quiescent points — between windows, or after run() — and
+/// only promise to see every update that happened-before the read; a read
+/// racing an update may observe the fields (count vs sum vs buckets) at
+/// slightly different instants. Updates use relaxed atomics so the
+/// single-threaded cost stays what it was: one uncontended RMW.
 namespace jobmig::telemetry {
 
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
   void set(double v);
-  void add(double delta) { set(value_ + delta); }
-  double value() const { return value_; }
-  double low() const { return low_; }
-  double high() const { return high_; }
-  bool seen() const { return seen_; }
+  void add(double delta);
+  double value() const;
+  double low() const;
+  double high() const;
+  bool seen() const;
 
  private:
+  mutable std::mutex m_;  // gauges are warm-path (pool/queue watermarks), not per-event
   double value_ = 0.0;
   double low_ = 0.0;
   double high_ = 0.0;
@@ -45,15 +58,16 @@ class Histogram {
 
   void observe(std::uint64_t v);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return count_ ? max_ : 0; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const { return count() ? min_.load(std::memory_order_relaxed) : 0; }
+  std::uint64_t max() const { return count() ? max_.load(std::memory_order_relaxed) : 0; }
   double mean() const;
   /// Approximate p-th percentile (0 < p <= 100), linearly interpolated
   /// inside the bucket holding that rank.
   double percentile(double p) const;
-  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  /// Snapshot of the bucket counts (value copy: the live array is atomic).
+  std::array<std::uint64_t, kBuckets> buckets() const;
 
   static int bucket_of(std::uint64_t v);
   /// Inclusive [lower, upper] value range of a bucket.
@@ -61,18 +75,34 @@ class Histogram {
   static std::uint64_t bucket_upper(int b);
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  // CAS-maintained extremes; the sentinels make first-observation handling
+  // branch-free and the getters mask them behind the count() == 0 check.
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
 };
 
+/// Name -> metric map. Resolution (the accessors below) may insert and is
+/// mutex-guarded so interned handles can re-resolve from worker threads;
+/// returned references stay valid for the registry's lifetime (std::map
+/// nodes are address-stable). Iteration via the const map accessors is
+/// export-time-only and must not race resolution of *new* names.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Counter& counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(m_);
+    return counters_[name];
+  }
+  Gauge& gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(m_);
+    return gauges_[name];
+  }
+  Histogram& histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(m_);
+    return histograms_[name];
+  }
 
   const std::map<std::string, Counter>& counters() const { return counters_; }
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
@@ -82,6 +112,7 @@ class MetricsRegistry {
   void clear();
 
  private:
+  mutable std::mutex m_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -144,6 +145,12 @@ void ftb_mark_deliver(std::uint32_t origin, std::uint64_t seq);
 // set_current forces a re-resolve) and registry growth (std::map nodes are
 // address-stable).
 
+// Handles are also safe to hit from engine worker threads (DESIGN.md §9):
+// the cached pointer publishes under a release store of the epoch, so a
+// reader that observes a current epoch also observes the pointer that goes
+// with it. A re-resolve race between two workers is benign — both arrive at
+// the same address-stable map node. rename() is setup-time-only.
+
 class InternedCounter {
  public:
   InternedCounter() = default;
@@ -152,24 +159,24 @@ class InternedCounter {
   /// Re-point the handle at a different metric (drops the cached pointer).
   void rename(std::string name) {
     name_ = std::move(name);
-    epoch_ = 0;
+    epoch_.store(0, std::memory_order_release);
   }
   const std::string& name() const { return name_; }
 
   void add(std::uint64_t delta = 1) {
     Telemetry* t = current();
     if (t == nullptr) return;
-    if (epoch_ != detail::g_epoch) {
-      cached_ = &t->metrics.counter(name_);
-      epoch_ = detail::g_epoch;
+    if (epoch_.load(std::memory_order_acquire) != detail::g_epoch) {
+      cached_.store(&t->metrics.counter(name_), std::memory_order_relaxed);
+      epoch_.store(detail::g_epoch, std::memory_order_release);
     }
-    cached_->add(delta);
+    cached_.load(std::memory_order_relaxed)->add(delta);
   }
 
  private:
   std::string name_;
-  Counter* cached_ = nullptr;
-  std::uint64_t epoch_ = 0;  // 0 = never resolved (g_epoch starts at 1)
+  std::atomic<Counter*> cached_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};  // 0 = never resolved (g_epoch starts at 1)
 };
 
 class InternedHistogram {
@@ -179,18 +186,18 @@ class InternedHistogram {
 
   void rename(std::string name) {
     name_ = std::move(name);
-    epoch_ = 0;
+    epoch_.store(0, std::memory_order_release);
   }
   const std::string& name() const { return name_; }
 
   void observe(std::uint64_t v) {
     Telemetry* t = current();
     if (t == nullptr) return;
-    if (epoch_ != detail::g_epoch) {
-      cached_ = &t->metrics.histogram(name_);
-      epoch_ = detail::g_epoch;
+    if (epoch_.load(std::memory_order_acquire) != detail::g_epoch) {
+      cached_.store(&t->metrics.histogram(name_), std::memory_order_relaxed);
+      epoch_.store(detail::g_epoch, std::memory_order_release);
     }
-    cached_->observe(v);
+    cached_.load(std::memory_order_relaxed)->observe(v);
   }
   void observe_ns(sim::Duration d) {
     observe(d.count_ns() > 0 ? static_cast<std::uint64_t>(d.count_ns()) : 0);
@@ -198,8 +205,8 @@ class InternedHistogram {
 
  private:
   std::string name_;
-  Histogram* cached_ = nullptr;
-  std::uint64_t epoch_ = 0;
+  std::atomic<Histogram*> cached_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace jobmig::telemetry

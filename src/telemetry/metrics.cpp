@@ -9,6 +9,7 @@
 namespace jobmig::telemetry {
 
 void Gauge::set(double v) {
+  std::lock_guard<std::mutex> lock(m_);
   value_ = v;
   if (!seen_) {
     low_ = high_ = v;
@@ -17,6 +18,39 @@ void Gauge::set(double v) {
     low_ = std::min(low_, v);
     high_ = std::max(high_, v);
   }
+}
+
+void Gauge::add(double delta) {
+  std::lock_guard<std::mutex> lock(m_);
+  const double v = value_ + delta;
+  value_ = v;
+  if (!seen_) {
+    low_ = high_ = v;
+    seen_ = true;
+  } else {
+    low_ = std::min(low_, v);
+    high_ = std::max(high_, v);
+  }
+}
+
+double Gauge::value() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return value_;
+}
+
+double Gauge::low() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return low_;
+}
+
+double Gauge::high() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return high_;
+}
+
+bool Gauge::seen() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return seen_;
 }
 
 int Histogram::bucket_of(std::uint64_t v) {
@@ -36,29 +70,56 @@ std::uint64_t Histogram::bucket_upper(int b) {
   return (std::uint64_t{1} << b) - 1;
 }
 
-void Histogram::observe(std::uint64_t v) {
-  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
-  ++count_;
-  sum_ += v;
-  if (count_ == 1) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+namespace {
+
+/// Relaxed CAS-min/max: contention is rare (per-domain workloads touch
+/// disjoint metrics), so the loop almost always succeeds first try.
+void atomic_min(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
 }
 
+void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::observe(std::uint64_t v) {
+  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
 double Histogram::mean() const {
-  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  const std::uint64_t n = count();
+  return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out;
+  for (int b = 0; b < kBuckets; ++b) {
+    out[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double Histogram::percentile(double p) const {
   JOBMIG_EXPECTS_MSG(p > 0.0 && p <= 100.0, "percentile wants p in (0, 100]");
-  if (count_ == 0) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(count_);
+  const auto snap = buckets();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : snap) total += c;
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+    const std::uint64_t in_bucket = snap[static_cast<std::size_t>(b)];
     if (in_bucket == 0) continue;
     if (static_cast<double>(seen + in_bucket) >= rank) {
       // Interpolate within the bucket, clamped to the observed extremes so
@@ -76,6 +137,7 @@ double Histogram::percentile(double p) const {
 }
 
 void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(m_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

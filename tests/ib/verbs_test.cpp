@@ -38,6 +38,14 @@ struct Pair {
   }
 };
 
+TEST(Verbs, SuggestedLookaheadIsTwoHops) {
+  Engine e;
+  sim::IbParams params;
+  params.hop_latency = Duration::ns(600);
+  Fabric f(e, params);
+  EXPECT_EQ(f.suggested_lookahead().count_ns(), 1200);
+}
+
 TEST(Verbs, SendRecvDeliversExactBytes) {
   Pair p;
   Bytes recv_buf(4096);

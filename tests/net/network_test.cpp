@@ -31,6 +31,14 @@ struct NetFixture {
   Host& b{net.add_host("b")};
 };
 
+TEST(Network, SuggestedLookaheadIsWireLatency) {
+  Engine e;
+  sim::EthParams params;
+  params.latency = sim::Duration::us(60);
+  Network n(e, params);
+  EXPECT_EQ(n.suggested_lookahead().count_ns(), params.latency.count_ns());
+}
+
 TEST(Network, ConnectAcceptExchange) {
   NetFixture f;
   std::string got_at_b, got_at_a;

@@ -1,0 +1,164 @@
+// Kernel dispatch correctness (DESIGN.md §9): CRC-64/XZ known-answer
+// vectors, cross-path bit-identity fuzz over every dispatch this host
+// supports, and the selection logic itself. All SIMD paths must be pure
+// speed — any divergence from the scalar reference on any input, length,
+// alignment, or split point is a bug these tests are built to catch.
+#include <cstring>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "jobmig/sim/bytes.hpp"
+#include "jobmig/sim/bytes_kernels.hpp"
+
+namespace jobmig::sim {
+namespace {
+
+std::uint64_t crc_of(kernels::Crc64Fn fn, const Bytes& data) {
+  return ~fn(~0ULL, data.data(), data.size());
+}
+
+Bytes from_string(std::string_view s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+TEST(Crc64Kat, CheckVector) {
+  // The CRC-64/XZ check value: crc64("123456789").
+  const Bytes nine = from_string("123456789");
+  EXPECT_EQ(Crc64::of(nine), 0x995DC9BBDF1939FAULL);
+  for (const auto& d : kernels::all_supported()) {
+    EXPECT_EQ(crc_of(d.crc64, nine), 0x995DC9BBDF1939FAULL) << d.crc64_impl;
+  }
+}
+
+TEST(Crc64Kat, EmptyInputIsZero) {
+  EXPECT_EQ(Crc64::of({}), 0u);
+  for (const auto& d : kernels::all_supported()) {
+    EXPECT_EQ(~d.crc64(~0ULL, nullptr, 0), 0u) << d.crc64_impl;
+  }
+}
+
+TEST(Crc64Kat, AllLengthsToSixtyFourMatchBitwiseReference) {
+  Bytes buf(64);
+  pattern_fill(buf, 0xfeedface, 0);
+  for (std::size_t n = 0; n <= buf.size(); ++n) {
+    const std::uint64_t ref = ~kernels::crc64_bitwise(~0ULL, buf.data(), n);
+    for (const auto& d : kernels::all_supported()) {
+      EXPECT_EQ(~d.crc64(~0ULL, buf.data(), n), ref) << d.crc64_impl << " n=" << n;
+    }
+  }
+}
+
+TEST(Crc64Fuzz, PathsAgreeOnArbitrarySplitPoints) {
+  // Random lengths (biased to straddle the 128-byte PCLMUL threshold and
+  // the 64-byte stride), random initial states, and a random split point:
+  // crc(a+b) computed as two chunked updates must agree across every path.
+  std::mt19937_64 rng(0x5eed5eed);
+  const auto paths = kernels::all_supported();
+  ASSERT_GE(paths.size(), 1u);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t n = static_cast<std::size_t>(rng() % 1500);
+    const std::size_t off = static_cast<std::size_t>(rng() % 8);  // misalign the base
+    Bytes raw(n + off);
+    pattern_fill(raw, rng(), rng() % 1024);
+    const std::byte* p = raw.data() + off;
+    const std::uint64_t init = rng();
+    const std::size_t split = n ? static_cast<std::size_t>(rng()) % n : 0;
+
+    const std::uint64_t ref =
+        kernels::crc64_table16(kernels::crc64_table16(init, p, split), p + split, n - split);
+    for (const auto& d : paths) {
+      EXPECT_EQ(d.crc64(d.crc64(init, p, split), p + split, n - split), ref)
+          << d.crc64_impl << " n=" << n << " split=" << split << " off=" << off;
+    }
+  }
+}
+
+TEST(PatternFuzz, FillPathsAreBitIdentical) {
+  std::mt19937_64 rng(0xabad1dea);
+  const auto paths = kernels::all_supported();
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t nlanes = static_cast<std::size_t>(rng() % 200);
+    const std::uint64_t seed = rng();
+    const std::uint64_t first = rng() % (1u << 20);
+    Bytes ref(nlanes * 8);
+    kernels::pattern_lanes_scalar(ref.data(), seed, first, nlanes);
+    for (const auto& d : paths) {
+      Bytes got(nlanes * 8, std::byte{0x55});
+      d.fill(got.data(), seed, first, nlanes);
+      EXPECT_EQ(got, ref) << d.pattern_impl << " nlanes=" << nlanes;
+      EXPECT_TRUE(d.check(got.data(), seed, first, nlanes)) << d.pattern_impl;
+    }
+  }
+}
+
+TEST(PatternFuzz, CheckDetectsSingleBitCorruption) {
+  std::mt19937_64 rng(0xc0ffee);
+  const auto paths = kernels::all_supported();
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t nlanes = 1 + static_cast<std::size_t>(rng() % 64);
+    const std::uint64_t seed = rng();
+    Bytes buf(nlanes * 8);
+    kernels::pattern_lanes_scalar(buf.data(), seed, 0, nlanes);
+    const std::size_t victim = static_cast<std::size_t>(rng()) % buf.size();
+    buf[victim] ^= std::byte{1 << (rng() % 8)};
+    for (const auto& d : paths) {
+      EXPECT_FALSE(d.check(buf.data(), seed, 0, nlanes)) << d.pattern_impl;
+    }
+  }
+}
+
+TEST(PatternFuzz, HighLevelFillAndCheckUseActiveDispatch) {
+  // End-to-end through sim::pattern_fill/check, exercising the unaligned
+  // head/tail peeling around the lane kernels at every offset phase.
+  for (std::uint64_t off = 0; off < 16; ++off) {
+    Bytes buf(333);
+    pattern_fill(buf, 99, off);
+    EXPECT_TRUE(pattern_check(buf, 99, off)) << off;
+    buf[200] ^= std::byte{0x80};
+    EXPECT_FALSE(pattern_check(buf, 99, off)) << off;
+  }
+}
+
+TEST(Select, ForceScalarPinsPortablePaths) {
+  kernels::CpuFeatures all;
+  all.pclmul = all.avx2 = all.avx512 = true;
+  const kernels::Dispatch forced = kernels::select(all, /*force_scalar=*/true);
+  EXPECT_STREQ(forced.crc64_impl, "table16");
+  EXPECT_STREQ(forced.pattern_impl, "scalar");
+  EXPECT_EQ(forced.crc64, &kernels::crc64_table16);
+  EXPECT_EQ(forced.fill, &kernels::pattern_lanes_scalar);
+  EXPECT_EQ(forced.check, &kernels::pattern_lanes_check_scalar);
+}
+
+TEST(Select, NoFeaturesFallsBackToScalar) {
+  const kernels::Dispatch d = kernels::select({}, /*force_scalar=*/false);
+  EXPECT_STREQ(d.crc64_impl, "table16");
+  EXPECT_STREQ(d.pattern_impl, "scalar");
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+TEST(Select, FeaturesUpgradeThePaths) {
+  kernels::CpuFeatures f;
+  f.pclmul = true;
+  EXPECT_STREQ(kernels::select(f, false).crc64_impl, "pclmul");
+  f.avx2 = true;
+  EXPECT_STREQ(kernels::select(f, false).pattern_impl, "avx2");
+  f.avx512 = true;
+  EXPECT_STREQ(kernels::select(f, false).pattern_impl, "avx512");
+}
+#endif
+
+TEST(Select, AllSupportedStartsWithScalar) {
+  const auto paths = kernels::all_supported();
+  ASSERT_GE(paths.size(), 1u);
+  EXPECT_STREQ(paths.front().crc64_impl, "table16");
+  EXPECT_STREQ(paths.front().pattern_impl, "scalar");
+}
+
+}  // namespace
+}  // namespace jobmig::sim

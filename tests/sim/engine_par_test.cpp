@@ -1,0 +1,264 @@
+// Parallel execution mode (DESIGN.md §9): windows, domains, and the
+// bit-exact-vs-sequential determinism contract at 1, 2, and 8 workers.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "jobmig/sim/engine.hpp"
+#include "jobmig/sim/task.hpp"
+
+namespace jobmig::sim {
+namespace {
+
+using namespace jobmig::sim::literals;
+
+constexpr Duration kHop = 600_ns;  // the "fabric" latency = lookahead bound
+
+/// Fingerprint of everything the determinism contract pins down.
+struct RunResult {
+  std::uint64_t hash = 0;
+  std::uint64_t events = 0;
+  std::int64_t final_ns = 0;
+  std::vector<std::uint64_t> state;  // workload-visible side effects
+
+  bool operator==(const RunResult&) const = default;
+};
+
+/// Synthetic multi-domain workload: `domains` timer chains, each advancing
+/// by an irregular per-domain stride, sending a cross-domain "message" to
+/// the next domain every 4th hop at exactly the lookahead bound. Messages
+/// increment the receiver's counter — received values depend on the global
+/// interleaving being reconstructed correctly.
+struct MeshWorkload {
+  explicit MeshWorkload(std::uint32_t domains) : counters(domains, 0), sent(domains, 0) {}
+
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint64_t> sent;
+
+  void start(Engine& e, std::uint32_t steps) {
+    const auto n = static_cast<std::uint32_t>(counters.size());
+    for (std::uint32_t d = 0; d < n; ++d) {
+      DomainScope scope(d + 1);  // domain 0 is the serial domain
+      e.call_in(Duration::ns(10 + d), [this, &e, d, steps] { tick(e, d, steps); });
+    }
+  }
+
+  void tick(Engine& e, std::uint32_t d, std::uint32_t remaining) {
+    const auto n = static_cast<std::uint32_t>(counters.size());
+    counters[d] += d + 1;
+    if (remaining % 4 == 0) {
+      const std::uint32_t to = (d + 1) % n;
+      ++sent[d];
+      DomainScope scope(to + 1);
+      e.call_at(e.now() + kHop, [this, to] { counters[to] ^= counters[to] << 3 | 1; });
+    }
+    if (remaining > 0) {
+      DomainScope scope(d + 1);
+      e.call_at(e.now() + Duration::ns(40 + 13 * (d % 5)),
+                [this, &e, d, remaining] { tick(e, d, remaining - 1); });
+    }
+  }
+
+  RunResult run(Engine& e, std::uint32_t steps) {
+    start(e, steps);
+    const TimePoint end = e.run();
+    return RunResult{e.sequence_hash(), e.events_processed(), end.count_ns(), counters};
+  }
+};
+
+RunResult run_mesh(std::size_t workers, std::uint32_t domains = 6, std::uint32_t steps = 200) {
+  Engine e;
+  e.set_lookahead(kHop);
+  if (workers > 0) e.enable_parallel(workers);
+  MeshWorkload w(domains);
+  return w.run(e, steps);
+}
+
+TEST(EngineParallel, MeshBitIdenticalAcrossWorkerCounts) {
+  const RunResult seq = run_mesh(0);
+  EXPECT_GT(seq.events, 1000u);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    const RunResult par = run_mesh(workers);
+    EXPECT_EQ(par, seq) << "workers=" << workers;
+  }
+}
+
+TEST(EngineParallel, UntaggedWorkloadRunsSequentialPath) {
+  auto run = [](std::size_t workers) {
+    Engine e;
+    if (workers > 0) e.enable_parallel(workers);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 100; ++i) {
+      e.call_in(Duration::ns(7 * i), [&acc, i] { acc = acc * 31 + static_cast<std::uint64_t>(i); });
+    }
+    e.run();
+    EXPECT_EQ(e.parallel_windows(), 0u);  // never left the sequential path
+    return RunResult{e.sequence_hash(), e.events_processed(), e.now().count_ns(), {acc}};
+  };
+  EXPECT_EQ(run(2), run(0));
+}
+
+TEST(EngineParallel, SerialDomainPinsWindowAndStaysBitIdentical) {
+  // Half the traffic is untagged (serial domain), interleaved with tagged
+  // domains at the same timestamps: every window falls back to the literal
+  // sequential loop, and the result must still be bit-identical.
+  auto run = [](std::size_t workers) {
+    Engine e;
+    e.set_lookahead(kHop);
+    if (workers > 0) e.enable_parallel(workers);
+    std::vector<std::uint64_t> log;
+    for (int i = 0; i < 60; ++i) {
+      e.call_in(Duration::ns(25 * i), [&log, i] { log.push_back(1000u + static_cast<std::uint64_t>(i)); });
+      DomainScope scope(1 + (i % 3));
+      e.call_in(Duration::ns(25 * i), [&log, i] { log.push_back(2000u + static_cast<std::uint64_t>(i)); });
+    }
+    e.run();
+    if (workers > 0) EXPECT_GT(e.parallel_serial_windows(), 0u);
+    return RunResult{e.sequence_hash(), e.events_processed(), e.now().count_ns(), log};
+  };
+  const RunResult seq = run(0);
+  EXPECT_EQ(run(1), seq);
+  EXPECT_EQ(run(8), seq);
+}
+
+TEST(EngineParallel, CoroutinesRunInsideDomains) {
+  auto run = [](std::size_t workers) {
+    Engine e;
+    e.set_lookahead(kHop);
+    if (workers > 0) e.enable_parallel(workers);
+    std::vector<std::uint64_t> totals(4, 0);
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      DomainScope scope(d + 1);
+      e.spawn([](Engine& eng, std::uint64_t& total, std::uint32_t dom) -> Task {
+        for (int i = 0; i < 50; ++i) {
+          co_await sleep_for(Duration::ns(30 + dom));
+          total += eng.now().count_ns() % 97;
+        }
+      }(e, totals[d], d));
+    }
+    e.run();
+    EXPECT_EQ(e.live_tasks(), 0u);
+    return RunResult{e.sequence_hash(), e.events_processed(), e.now().count_ns(), totals};
+  };
+  const RunResult seq = run(0);
+  EXPECT_EQ(run(1), seq);
+  EXPECT_EQ(run(2), seq);
+  EXPECT_EQ(run(8), seq);
+}
+
+TEST(EngineParallel, WorkerCreatedTimersCancelAcrossWindows) {
+  auto run = [](std::size_t workers) {
+    Engine e;
+    e.set_lookahead(kHop);
+    if (workers > 0) e.enable_parallel(workers);
+    std::uint64_t fired = 0, doomed = 0;
+    {
+      DomainScope scope(1);
+      e.call_in(100_ns, [&] {
+        // Worker-created timer several windows out, cancelled by a later
+        // event of the same domain before it can fire.
+        const auto h = Engine::current()->call_in(50 * kHop, [&doomed] { ++doomed; });
+        Engine::current()->call_in(10 * kHop, [&e, h, &fired] {
+          e.cancel(h);
+          ++fired;
+        });
+      });
+    }
+    e.run();
+    EXPECT_EQ(fired, 1u);
+    EXPECT_EQ(doomed, 0u);
+    return RunResult{e.sequence_hash(), e.events_processed(), e.now().count_ns(), {}};
+  };
+  // Cancelled timers still fire as no-ops, so the hash stays bit-identical.
+  const RunResult seq = run(0);
+  EXPECT_EQ(run(1), seq);
+  EXPECT_EQ(run(2), seq);
+}
+
+TEST(EngineParallel, LookaheadViolationIsDetected) {
+  Engine e;
+  e.set_lookahead(kHop);
+  e.enable_parallel(2);
+  {
+    DomainScope scope(1);
+    e.call_in(10_ns, [&e] {
+      DomainScope target(2);  // cross-domain, inside the current window
+      e.call_in(1_ns, [] {});
+    });
+  }
+  EXPECT_THROW(e.run(), ContractViolation);
+}
+
+TEST(EngineParallel, CrossDomainCancelFromWorkerIsDetected) {
+  Engine e;
+  e.set_lookahead(kHop);
+  e.enable_parallel(2);
+  Engine::TimerHandle victim;
+  {
+    DomainScope scope(2);
+    victim = e.call_in(100 * kHop, [] {});
+  }
+  {
+    DomainScope scope(1);
+    e.call_in(10_ns, [&e, &victim] { e.cancel(victim); });
+  }
+  EXPECT_THROW(e.run(), ContractViolation);
+}
+
+TEST(EngineParallel, StatsAccountForWindows) {
+  Engine e;
+  e.set_lookahead(kHop);
+  e.enable_parallel(2);
+  MeshWorkload w(4);
+  w.run(e, 100);
+  EXPECT_GT(e.parallel_windows(), 0u);
+  EXPECT_GE(e.parallel_batches(), e.parallel_windows());
+  EXPECT_EQ(e.parallel_events(), e.events_processed());  // fully tagged workload
+  std::uint64_t worker_total = 0;
+  for (const std::uint64_t c : e.worker_event_counts()) worker_total += c;
+  EXPECT_EQ(worker_total, e.parallel_events());
+}
+
+TEST(EngineParallel, RunUntilHonorsDeadlineAndResumes) {
+  auto run = [](std::size_t workers) {
+    Engine e;
+    e.set_lookahead(kHop);
+    if (workers > 0) e.enable_parallel(workers);
+    MeshWorkload w(3);
+    w.start(e, 150);
+    e.run_until(TimePoint::origin() + 2_us);
+    const std::int64_t mid = e.now().count_ns();
+    EXPECT_EQ(mid, (TimePoint::origin() + 2_us).count_ns());
+    const TimePoint end = e.run();
+    return RunResult{e.sequence_hash(), e.events_processed(), end.count_ns(), w.counters};
+  };
+  const RunResult seq = run(0);
+  EXPECT_EQ(run(1), seq);
+  EXPECT_EQ(run(8), seq);
+}
+
+TEST(EngineParallel, EnableDisableRoundTrip) {
+  Engine e;
+  e.set_lookahead(kHop);
+  e.enable_parallel(2);
+  EXPECT_TRUE(e.parallel_enabled());
+  EXPECT_EQ(e.parallel_workers(), 2u);
+  MeshWorkload w(3);
+  w.start(e, 20);
+  e.run();
+  e.enable_parallel(0);
+  EXPECT_FALSE(e.parallel_enabled());
+  // Subsequent scheduling runs sequentially on the same engine.
+  std::uint64_t late = 0;
+  {
+    DomainScope scope(1);
+    e.call_in(1_us, [&late] { ++late; });
+  }
+  e.run();
+  EXPECT_EQ(late, 1u);
+}
+
+}  // namespace
+}  // namespace jobmig::sim
